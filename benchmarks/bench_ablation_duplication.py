@@ -1,0 +1,75 @@
+"""Ablation — kernel duplication on/off (the Δ_dp term).
+
+JPEG is the app the paper duplicates (``huff_ac_dec``); turning
+duplication off must cost analytic performance and save one kernel core
+of resources, while leaving the other design decisions in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core import DesignConfig, design_interconnect
+from repro.core.analytic import AnalyticModel
+from repro.hw.resources import ComponentKind, component_cost
+from repro.hw.synthesis import estimate_system
+
+
+def ablate_duplication(fitted):
+    config = DesignConfig(
+        theta_s_per_byte=fitted.theta_s_per_byte,
+        stream_overhead_s=fitted.stream_overhead_s,
+    )
+    with_dup = design_interconnect("jpeg", fitted.graph, config)
+    without = design_interconnect(
+        "jpeg", fitted.graph, replace(config, enable_duplication=False)
+    )
+    model = AnalyticModel(fitted.graph, fitted.theta_s_per_byte, fitted.host_other_s)
+    return {
+        "with": (
+            model.proposed(with_dup).kernels_s,
+            estimate_system(
+                "d",
+                [with_dup.graph.kernel(k).resources
+                 for k in with_dup.graph.kernel_names()],
+                with_dup.component_counts(),
+            ).total.luts,
+            with_dup,
+        ),
+        "without": (
+            model.proposed(without).kernels_s,
+            estimate_system(
+                "n",
+                [without.graph.kernel(k).resources
+                 for k in without.graph.kernel_names()],
+                without.component_counts(),
+            ).total.luts,
+            without,
+        ),
+    }
+
+
+def test_ablation_duplication(benchmark, results, emit):
+    fitted = results["jpeg"].fitted
+    rows = benchmark(ablate_duplication, fitted)
+    t_with, l_with, plan_with = rows["with"]
+    t_without, l_without, plan_without = rows["without"]
+    emit(
+        "ablation_duplication",
+        f"jpeg with duplication   : {t_with * 1e3:.3f} ms, {l_with} LUTs\n"
+        f"jpeg without duplication: {t_without * 1e3:.3f} ms, {l_without} LUTs",
+    )
+    assert any(d.applied for d in plan_with.duplications)
+    assert plan_without.duplications == ()
+    # Duplication buys time and costs area.
+    assert t_with < t_without
+    assert l_with > l_without
+    # The area delta is one huff_ac_dec core plus its NoC attachment
+    # (router + kernel network adapter + BRAM-port mux).
+    ac = fitted.graph.kernel("huff_ac_dec").resources.luts
+    attachment = (
+        component_cost(ComponentKind.ROUTER).luts
+        + component_cost(ComponentKind.NA_KERNEL).luts
+        + component_cost(ComponentKind.MUX).luts
+    )
+    assert l_with - l_without == ac + attachment

@@ -1,0 +1,62 @@
+"""Ablation — adaptive mapping vs maximum attachment.
+
+Section IV-B: "An alternative simpler solution is to map all the kernels
+and all their local memories to both the NoC and the system
+communication infrastructure. However, this mapping solution requires
+the maximum number of routers as well as network adapters." The adaptive
+mapping must never use more routers/adapters and must save on every app
+that keeps a NoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core import DesignConfig, design_interconnect
+from repro.hw.resources import ComponentKind
+
+
+def ablate_mapping(results):
+    rows = {}
+    for name, r in results.items():
+        f = r.fitted
+        config = DesignConfig(
+            theta_s_per_byte=f.theta_s_per_byte,
+            stream_overhead_s=f.stream_overhead_s,
+        )
+        full = design_interconnect(
+            name, f.graph, replace(config, enable_adaptive_mapping=False)
+        )
+        adaptive_routers = (
+            r.plan.noc.router_count if r.plan.noc is not None else 0
+        )
+        full_routers = full.noc.router_count if full.noc is not None else 0
+        rows[name] = (
+            adaptive_routers,
+            full_routers,
+            r.plan.component_counts().get(ComponentKind.NA_KERNEL, 0)
+            + r.plan.component_counts().get(ComponentKind.NA_MEMORY, 0),
+            full.component_counts().get(ComponentKind.NA_KERNEL, 0)
+            + full.component_counts().get(ComponentKind.NA_MEMORY, 0),
+        )
+    return rows
+
+
+def test_ablation_adaptive_mapping(benchmark, results, emit):
+    rows = benchmark(ablate_mapping, results)
+    lines = [
+        f"{'app':<8}{'routers adapt':>15}{'routers full':>14}"
+        f"{'NAs adapt':>11}{'NAs full':>10}"
+    ]
+    for name, (ra, rf, na, nf) in rows.items():
+        lines.append(f"{name:<8}{ra:>15}{rf:>14}{na:>11}{nf:>10}")
+    emit("ablation_mapping", "\n".join(lines))
+    for name, (ra, rf, na, nf) in rows.items():
+        n_kernels = len(results[name].plan.graph.kernel_names())
+        assert rf == 2 * n_kernels  # maximum attachment
+        assert ra <= rf
+        assert na <= nf
+        if results[name].plan.noc is not None and name != "fluid":
+            # Fluid's all-to-all traffic genuinely needs full attachment;
+            # every other NoC app saves routers.
+            assert ra < rf

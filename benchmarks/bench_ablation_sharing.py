@@ -1,0 +1,55 @@
+"""Ablation — shared local memory on/off.
+
+DESIGN.md: the SM solution exists purely to save resources; the paper
+argues its performance equals the NoC for exclusive pairs while a pair
+of NoC attachments costs ~5x more. Disabling sharing must therefore
+leave analytic performance unchanged and strictly increase resources for
+every app that used SM (canny, jpeg, klt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core import DesignConfig, design_interconnect
+from repro.core.analytic import AnalyticModel
+from repro.hw.synthesis import estimate_system
+
+
+def ablate_sharing(results):
+    rows = {}
+    for name, r in results.items():
+        f = r.fitted
+        config = DesignConfig(
+            theta_s_per_byte=f.theta_s_per_byte,
+            stream_overhead_s=f.stream_overhead_s,
+        )
+        no_sm = design_interconnect(name, f.graph, replace(config, enable_sharing=False))
+        model = AnalyticModel(f.graph, f.theta_s_per_byte, f.host_other_s)
+        perf_with = model.proposed(r.plan).kernels_s
+        perf_without = model.proposed(no_sm).kernels_s
+        luts_with = r.synth_proposed.total.luts
+        luts_without = estimate_system(
+            "no_sm",
+            [no_sm.graph.kernel(k).resources for k in no_sm.graph.kernel_names()],
+            no_sm.component_counts(),
+        ).total.luts
+        rows[name] = (perf_with, perf_without, luts_with, luts_without)
+    return rows
+
+
+def test_ablation_sharing(benchmark, results, emit):
+    rows = benchmark(ablate_sharing, results)
+    lines = [f"{'app':<8}{'t SM':>12}{'t no-SM':>12}{'LUTs SM':>10}{'LUTs no-SM':>12}"]
+    for name, (t1, t2, l1, l2) in rows.items():
+        lines.append(f"{name:<8}{t1 * 1e3:>10.3f}ms{t2 * 1e3:>10.3f}ms{l1:>10}{l2:>12}")
+    emit("ablation_sharing", "\n".join(lines))
+    for name, r in results.items():
+        t1, t2, l1, l2 = rows[name]
+        if r.plan.sharing:
+            # Same hidden traffic either way (case-2 pipelining may shift
+            # marginally); resources strictly worse without SM.
+            assert abs(t1 - t2) < 0.15 * t1
+            assert l2 > l1
+        else:
+            assert l2 == l1

@@ -1,0 +1,45 @@
+"""Ablation — sweep the bus per-byte cost θ.
+
+The custom interconnect's value comes from hiding bus transfers, so the
+proposed-vs-baseline speed-up must grow monotonically with θ (slower
+buses → bigger win) and approach 1 as the bus becomes free. This is the
+crossover analysis DESIGN.md calls out: on a platform with a fast enough
+bus, the custom interconnect stops paying for itself.
+"""
+
+from __future__ import annotations
+
+from repro.core import DesignConfig, design_interconnect
+from repro.core.analytic import AnalyticModel
+
+#: Multipliers on the calibrated θ (1.0 = the ML510-like platform).
+SWEEP = (0.01, 0.1, 0.5, 1.0, 2.0, 5.0)
+
+
+def sweep_theta(fitted):
+    out = []
+    for mult in SWEEP:
+        theta = fitted.theta_s_per_byte * mult
+        config = DesignConfig(
+            theta_s_per_byte=theta,
+            stream_overhead_s=fitted.stream_overhead_s,
+        )
+        plan = design_interconnect("jpeg", fitted.graph, config)
+        model = AnalyticModel(fitted.graph, theta, fitted.host_other_s)
+        speedup = model.proposed_vs_baseline(plan).kernels
+        out.append((mult, speedup))
+    return out
+
+
+def test_ablation_theta_sweep(benchmark, results, emit):
+    fitted = results["jpeg"].fitted
+    rows = benchmark(sweep_theta, fitted)
+    lines = [f"{'theta multiplier':>16}  {'speedup vs baseline':>20}"]
+    for mult, speedup in rows:
+        lines.append(f"{mult:>16.2f}  {speedup:>19.2f}x")
+    emit("ablation_theta", "\n".join(lines))
+    speedups = [s for _, s in rows]
+    # Monotone non-decreasing in theta; degenerates to ~1 on free buses.
+    assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+    assert speedups[0] < 1.3
+    assert speedups[-1] > 3.0

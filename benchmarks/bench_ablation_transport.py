@@ -1,0 +1,64 @@
+"""Ablation — store-and-forward vs wormhole NoC switching.
+
+Our default transport is store-and-forward at packet granularity (a
+conservative approximation documented in DESIGN.md); the paper's router
+is wormhole. This bench quantifies the modelling gap on the real
+applications: the whole-system makespans agree within a few percent —
+the NoC transfers overlap computation, so switching mode barely moves
+the headline results — which is the evidence backing DESIGN.md's claim
+that the approximation "preserves the relevant behaviour". At the pure
+transport level (no computation to hide behind) wormhole's latency
+advantage is visible and grows with hop count.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Engine
+from repro.sim.noc import NocMesh, NocParams
+from repro.sim.systems import SystemParams, simulate_proposed
+
+
+def evaluate(results):
+    rows = {}
+    for name, r in results.items():
+        if r.plan.noc is None:
+            continue
+        times = {}
+        for transport in ("store_forward", "wormhole"):
+            params = SystemParams(noc_transport=transport)
+            times[transport] = simulate_proposed(
+                r.plan, r.fitted.host_other_s, params
+            ).kernels_s
+        rows[name] = times
+    # Raw transport latency across 6 hops, no computation.
+    latency = {}
+    for transport in ("store_forward", "wormhole"):
+        mesh = NocMesh(
+            Engine(), NocParams(width=4, height=4, transport=transport)
+        )
+        latency[transport] = mesh.transfer_seconds((0, 0), (3, 3), 16 * 1024)
+    return rows, latency
+
+
+def test_ablation_transport(benchmark, results, emit):
+    rows, latency = benchmark(evaluate, results)
+    lines = [f"{'app':<8}{'store-fwd':>12}{'wormhole':>12}{'delta':>8}"]
+    for name, times in rows.items():
+        sf, wh = times["store_forward"], times["wormhole"]
+        lines.append(
+            f"{name:<8}{sf * 1e3:>10.3f}ms{wh * 1e3:>10.3f}ms"
+            f"{(wh - sf) / sf:>+7.1%}"
+        )
+    lines.append(
+        f"{'(raw 6-hop 16KiB transfer)':<8}"
+        f"{latency['store_forward'] * 1e6:>10.1f}us"
+        f"{latency['wormhole'] * 1e6:>10.1f}us"
+    )
+    emit("ablation_transport", "\n".join(lines))
+
+    # System level: the switching mode moves makespans by only a few %.
+    for name, times in rows.items():
+        sf, wh = times["store_forward"], times["wormhole"]
+        assert abs(wh - sf) / sf < 0.10, name
+    # Transport level: wormhole strictly faster over multiple hops.
+    assert latency["wormhole"] < latency["store_forward"]

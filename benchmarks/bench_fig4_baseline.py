@@ -1,0 +1,33 @@
+"""Fig. 4 — baseline-vs-software speed-ups + comm/comp ratio.
+
+Regenerates the two bar series and the ratio line of the paper's Fig. 4
+for all four applications, benchmarking the analytic baseline evaluation
+(profile volumes → Eq. 2 → speed-ups).
+"""
+
+from __future__ import annotations
+
+from repro.core.analytic import AnalyticModel
+from repro.reporting import render_fig4
+
+
+def compute_fig4(results):
+    rows = {}
+    for name, r in results.items():
+        f = r.fitted
+        model = AnalyticModel(f.graph, f.theta_s_per_byte, f.host_other_s)
+        pair = model.baseline_vs_software()
+        rows[name] = (pair.application, pair.kernels, model.baseline().comm_comp_ratio)
+    return rows
+
+
+def test_fig4_baseline_speedups(benchmark, results, emit):
+    rows = benchmark(compute_fig4, results)
+    emit("fig4_baseline", render_fig4(results))
+    # Shape: jpeg loses to SW, everything else wins; jpeg ratio 3.63.
+    assert rows["jpeg"][0] < 1.0
+    for name in ("canny", "klt", "fluid"):
+        assert rows[name][0] > 1.0
+    assert abs(rows["jpeg"][2] - 3.63) < 0.05
+    avg_ratio = sum(v[2] for v in rows.values()) / len(rows)
+    assert abs(avg_ratio - 2.09) < 0.05

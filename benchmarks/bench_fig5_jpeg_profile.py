@@ -1,0 +1,35 @@
+"""Fig. 5 — the JPEG data-communication profiling graph.
+
+Benchmarks the QUAD substitute end-to-end: executing the instrumented
+JPEG decoder under the tracer and extracting the quantitative
+producer→consumer graph. This is the workload the paper feeds to the
+design algorithm, regenerated from scratch every round.
+"""
+
+from __future__ import annotations
+
+from repro.apps import get_application
+from repro.profiling.report import render_profile_graph
+from repro.reporting import render_fig5
+
+
+def profile_jpeg():
+    app = get_application("jpeg")
+    profile = app.run_profiled(verify=True)
+    return app, profile
+
+
+def test_fig5_jpeg_profile(benchmark, results, emit):
+    app, profile = benchmark.pedantic(profile_jpeg, rounds=3, iterations=1)
+    folded = profile.restricted_to(app.kernel_names(), "host")
+    emit("fig5_jpeg_profile", render_fig5(results["jpeg"]))
+    emit("fig5_jpeg_profile_full", render_profile_graph(folded))
+
+    # The Fig. 5 structure, as described in Section V-B.
+    assert folded.consumers_of("dquantz_lum") == ("j_rev_dct",)
+    assert folded.producers_of("j_rev_dct") == ("dquantz_lum", "host")
+    assert folded.producers_of("huff_dc_dec") == ("host",)
+    assert folded.consumers_of("huff_dc_dec") == ("dquantz_lum",)
+    # Every edge has a positive UMA count no larger than its bytes.
+    for e in folded.edges:
+        assert 0 < e.umas <= e.bytes

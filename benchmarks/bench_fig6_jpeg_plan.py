@@ -1,0 +1,43 @@
+"""Fig. 6 — the designed interconnect for the JPEG decoder.
+
+Benchmarks Algorithm 1 itself (duplication, shared-memory detection,
+adaptive mapping, mesh placement, pipelining checks) on the calibrated
+JPEG communication graph, and checks the resulting topology against the
+paper's figure.
+"""
+
+from __future__ import annotations
+
+from repro.core import DesignConfig, design_interconnect
+from repro.core.topology import KernelAttach, MemoryAttach
+from repro.reporting import render_fig6
+
+
+def test_fig6_jpeg_plan(benchmark, results, emit):
+    fitted = results["jpeg"].fitted
+    config = DesignConfig(
+        theta_s_per_byte=fitted.theta_s_per_byte,
+        stream_overhead_s=fitted.stream_overhead_s,
+    )
+    plan = benchmark(design_interconnect, "jpeg", fitted.graph, config)
+    emit("fig6_jpeg_plan", render_fig6(results["jpeg"]))
+
+    # Fig. 6's structure: huff_ac_dec duplicated; dquantz->j_rev_dct
+    # shared through the crossbar; dc + both ac kernels on the NoC with
+    # dquantz's local memory; dc's memory on the bus only.
+    assert [d.kernel for d in plan.duplications if d.applied] == ["huff_ac_dec"]
+    link = plan.sharing[0]
+    assert (link.producer, link.consumer) == ("dquantz_lum", "j_rev_dct")
+    assert link.crossbar
+    assert set(plan.noc.kernel_nodes) == {
+        "huff_dc_dec", "huff_ac_dec#0", "huff_ac_dec#1",
+    }
+    assert plan.noc.memory_nodes == ("dquantz_lum",)
+    dc = plan.mappings["huff_dc_dec"]
+    assert (dc.attach_kernel, dc.attach_memory) == (
+        KernelAttach.K2, MemoryAttach.M1,
+    )
+    # Duplicated huff_ac memories are over-subscribed -> multiplexers
+    # (the paper's Section V-B observation).
+    assert {"huff_ac_dec#0", "huff_ac_dec#1"} <= set(plan.mux_kernels())
+    assert plan.solution_label() == "NoC, SM, P"

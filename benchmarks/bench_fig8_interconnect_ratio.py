@@ -1,0 +1,31 @@
+"""Fig. 8 — custom-interconnect resources normalized to kernel resources.
+
+The paper's claim: "The interconnect uses only 40.7% resources compared
+to the resources used for computing at most."
+"""
+
+from __future__ import annotations
+
+from repro.hw.synthesis import estimate_system
+from repro.reporting import render_fig8
+
+
+def compute_fig8(results):
+    ratios = {}
+    for name, r in results.items():
+        est = estimate_system(
+            "proposed",
+            [r.plan.graph.kernel(k).resources for k in r.plan.graph.kernel_names()],
+            r.plan.component_counts(),
+        )
+        ratios[name] = est.interconnect_over_kernels
+    return ratios
+
+
+def test_fig8_interconnect_ratio(benchmark, results, emit):
+    ratios = benchmark(compute_fig8, results)
+    emit("fig8_interconnect_ratio", render_fig8(results))
+    worst = max(ratios.values())
+    assert abs(worst - 0.407) < 0.06  # the paper's 40.7 % bound
+    assert min(ratios, key=ratios.get) == "klt"  # one crossbar only
+    assert all(v > 0 for v in ratios.values())

@@ -1,0 +1,59 @@
+"""Extension bench — Pareto front of interconnect configurations.
+
+For each paper application, enumerate the designer's configuration
+lattice and extract the time/area Pareto front. The paper's implicit
+claim — that the hybrid design is the right operating point — shows up
+as: the hybrid-full configuration is always on the front, the NoC-only
+strawman never is (the adaptive variant dominates it), and bus-only
+anchors the cheap end.
+"""
+
+from __future__ import annotations
+
+from repro.core.designer import DesignConfig
+from repro.explore import enumerate_design_points, pareto_front
+
+
+def compute_fronts(results):
+    out = {}
+    for name, r in results.items():
+        f = r.fitted
+        config = DesignConfig(
+            theta_s_per_byte=f.theta_s_per_byte,
+            stream_overhead_s=f.stream_overhead_s,
+        )
+        points = enumerate_design_points(
+            name, f.graph, config, f.host_other_s
+        )
+        out[name] = (points, pareto_front(points))
+    return out
+
+
+def test_pareto_front(benchmark, results, emit):
+    fronts = benchmark(compute_fronts, results)
+    lines = []
+    for name, (points, front) in fronts.items():
+        lines.append(f"{name}:")
+        front_labels = {p.label for p in front}
+        for p in sorted(points, key=lambda p: p.kernels_seconds):
+            mark = "*" if p.label in front_labels else " "
+            lines.append(
+                f"  {mark} {p.label:<20} {p.kernels_seconds * 1e3:8.3f} ms  "
+                f"{p.luts:>6} LUTs"
+            )
+    emit("pareto_front", "\n".join(lines))
+
+    for name, (points, front) in fronts.items():
+        labels = {p.label for p in front}
+        by_label = {p.label: p for p in points}
+        # The cheap anchor is always Pareto-optimal.
+        assert "bus-only" in labels, name
+        # The paper's chosen design is on the front for every app.
+        assert "hybrid-full" in labels or (
+            by_label["hybrid-full"].kernels_seconds
+            == min(p.kernels_seconds for p in points)
+        ), name
+        # The NoC-only strawman is dominated whenever adaptive mapping
+        # actually trims something (everywhere except fluid).
+        if name != "fluid":
+            assert "noc-only" not in labels, name

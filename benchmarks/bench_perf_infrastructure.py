@@ -1,0 +1,69 @@
+"""Performance benchmarks of the reproduction's own infrastructure.
+
+Not paper artifacts — these track the throughput of the two hot
+substrates so performance regressions in the profiler or the simulator
+show up in CI:
+
+* the QUAD-substitute tracer (interval-map updates per second while
+  profiling the JPEG decoder end to end);
+* the discrete-event engine (events per second under heavy resource
+  contention);
+* the mesh NoC transport (bytes per simulated send).
+"""
+
+from __future__ import annotations
+
+from repro.apps import get_application
+from repro.sim.engine import Engine, Resource
+from repro.sim.noc import NocMesh, NocParams
+
+
+def profile_jpeg_scaled():
+    app = get_application("jpeg", scale=4)
+    return app.run_profiled(verify=False)
+
+
+def test_perf_profiler_throughput(benchmark):
+    profile = benchmark.pedantic(profile_jpeg_scaled, rounds=3, iterations=1)
+    assert profile.total_bytes() > 0
+
+
+def contention_storm(n_procs: int = 50, rounds: int = 40) -> float:
+    engine = Engine()
+    res = Resource(engine, capacity=2)
+
+    def worker(idx: int):
+        for _ in range(rounds):
+            yield res.request(idx)
+            yield 1e-6
+            res.release()
+
+    for i in range(n_procs):
+        engine.process(worker(i))
+    return engine.run()
+
+
+def test_perf_engine_contention(benchmark):
+    makespan = benchmark(contention_storm)
+    # 50 workers x 40 slots on 2 servers of 1 us each.
+    assert makespan > 0.0009
+
+
+def noc_storm():
+    engine = Engine()
+    mesh = NocMesh(engine, NocParams(width=4, height=4, max_packet_bytes=1024))
+    done = []
+
+    def flow(src, dst, nbytes):
+        yield from mesh.send(src, dst, nbytes)
+        done.append(engine.now)
+
+    for i in range(8):
+        engine.process(flow((i % 4, 0), ((i + 1) % 4, 3), 32 * 1024))
+    engine.run()
+    return mesh
+
+
+def test_perf_noc_transport(benchmark):
+    mesh = benchmark(noc_storm)
+    assert mesh.bytes_delivered == 8 * 32 * 1024

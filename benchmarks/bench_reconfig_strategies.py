@@ -1,0 +1,71 @@
+"""Extension bench — runtime reconfigurability (the paper's future work).
+
+Evaluates the three deployment strategies for the four designed
+application systems over workload mixes of increasing burstiness, on
+the real board and on a constrained device. The qualitative story:
+
+* when everything fits, static deployment wins (zero switch cost);
+* on a constrained device only the reconfigurable strategies fit, and
+  their overhead shrinks as the mix gets burstier;
+* pinning the hottest application never loses to blind reconfiguration.
+"""
+
+from __future__ import annotations
+
+from repro.flow import to_deployment
+from repro.hw.device import Device
+from repro.hw.resources import ComponentKind, component_cost
+from repro.hw.synthesis import PLATFORM_BASE
+from repro.reconfig import ReconfigurationScheduler, Strategy, WorkloadMix
+
+SMALL = Device("constrained", luts=36_000, regs=50_000, bram_bits=10**6)
+BURSTS = (1, 2, 4, 8)  # invocations per application per burst
+
+
+def evaluate(results):
+    deployments = [to_deployment(r) for r in results.values()]
+    static_cost = PLATFORM_BASE + component_cost(ComponentKind.BUS)
+    names = [d.name for d in deployments]
+    big = ReconfigurationScheduler(deployments, static_cost)
+    small = ReconfigurationScheduler(deployments, static_cost, device=SMALL)
+    rows = []
+    for burst in BURSTS:
+        mix = WorkloadMix.bursty([(n, burst) for n in names] * (8 // burst))
+        big_best = big.best(mix)
+        small_plans = small.evaluate(mix)
+        rows.append((burst, big_best, small_plans))
+    return rows
+
+
+def test_reconfig_strategies(benchmark, results, emit):
+    rows = benchmark(evaluate, results)
+    lines = [
+        f"{'burst':>6}  {'big-device best':<16}  "
+        f"{'small reconfig (ms)':>20}  {'small hybrid (ms)':>18}"
+    ]
+    for burst, big_best, small_plans in rows:
+        r = small_plans[Strategy.RECONFIG_SINGLE]
+        h = small_plans[Strategy.HYBRID_PINNED]
+        lines.append(
+            f"{burst:>6}  {big_best.strategy.value:<16}  "
+            f"{r.reconfig_seconds * 1e3:>20.2f}  {h.reconfig_seconds * 1e3:>18.2f}"
+        )
+    emit("reconfig_strategies", "\n".join(lines))
+
+    for burst, big_best, small_plans in rows:
+        # Plenty of fabric -> zero-switch static deployment wins.
+        assert big_best.strategy is Strategy.STATIC_ALL
+        # Constrained device: static infeasible, others feasible.
+        assert not small_plans[Strategy.STATIC_ALL].feasible
+        assert small_plans[Strategy.RECONFIG_SINGLE].feasible
+        # Hybrid never reconfigures more than blind single-region.
+        assert (
+            small_plans[Strategy.HYBRID_PINNED].reconfig_seconds
+            <= small_plans[Strategy.RECONFIG_SINGLE].reconfig_seconds + 1e-12
+        )
+    # Burstier mixes pay less reconfiguration overhead.
+    overheads = [
+        plans[Strategy.RECONFIG_SINGLE].reconfig_seconds
+        for _, _, plans in rows
+    ]
+    assert all(b <= a + 1e-12 for a, b in zip(overheads, overheads[1:]))

@@ -1,0 +1,75 @@
+"""Scalability — bus-based vs hybrid interconnect as kernel count grows.
+
+The paper's motivation (Section I): buses "become inefficient when the
+number of cores rises" while NoCs scale. We sweep synthetic streaming
+pipelines of 2..10 kernels and regenerate the crossover story: the
+hybrid interconnect's speed-up over the bus-only baseline grows with the
+kernel count, and the simulated bus utilization saturates.
+"""
+
+from __future__ import annotations
+
+from repro.core import CommGraph, DesignConfig, KernelSpec, design_interconnect
+from repro.core.analytic import AnalyticModel
+from repro.hw.resources import ResourceCost
+from repro.sim.systems import SystemParams, simulate_baseline, simulate_proposed
+
+KERNEL_COUNTS = (2, 4, 6, 8, 10)
+EDGE_BYTES = 128_000
+TAU = 25_000.0
+
+
+def pipeline_graph(n: int) -> CommGraph:
+    """A streaming pipeline: host -> k0 -> k1 -> ... -> host.
+
+    Alternating fan-out keeps the graph from collapsing entirely into
+    shared-memory pairs (every second stage feeds two successors).
+    """
+    ks = {
+        f"k{i}": KernelSpec(
+            f"k{i}", TAU, TAU * 16, resources=ResourceCost(500, 500)
+        )
+        for i in range(n)
+    }
+    edges = {}
+    for i in range(n - 1):
+        edges[(f"k{i}", f"k{i + 1}")] = EDGE_BYTES
+        if i + 2 < n and i % 2 == 0:
+            edges[(f"k{i}", f"k{i + 2}")] = EDGE_BYTES // 4
+    return CommGraph(
+        kernels=ks,
+        kk_edges=edges,
+        host_in={"k0": EDGE_BYTES},
+        host_out={f"k{n - 1}": EDGE_BYTES},
+    )
+
+
+def sweep(params: SystemParams):
+    theta = params.theta_s_per_byte()
+    config = DesignConfig(theta_s_per_byte=theta, stream_overhead_s=0.0)
+    rows = []
+    for n in KERNEL_COUNTS:
+        g = pipeline_graph(n)
+        plan = design_interconnect(f"pipe{n}", g, config)
+        model = AnalyticModel(g, theta, host_other_s=0.0)
+        analytic = model.proposed_vs_baseline(plan).kernels
+        base = simulate_baseline(g, 0.0, params)
+        prop = simulate_proposed(plan, 0.0, params)
+        _, sim_speedup = prop.speedup_over(base)
+        bus_util = base.bus_busy_s / base.kernels_s
+        rows.append((n, analytic, sim_speedup, bus_util))
+    return rows
+
+
+def test_scalability_with_kernel_count(benchmark, system_params, emit):
+    rows = benchmark.pedantic(sweep, args=(system_params,), rounds=3, iterations=1)
+    lines = [f"{'kernels':>8}{'analytic':>10}{'simulated':>11}{'bus util':>10}"]
+    for n, a, s, u in rows:
+        lines.append(f"{n:>8}{a:>9.2f}x{s:>10.2f}x{u:>9.1%}")
+    emit("scalability_kernels", "\n".join(lines))
+    speedups = [a for _, a, _, _ in rows]
+    # More kernels -> more kernel-to-kernel traffic hidden -> bigger win.
+    assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] > speedups[0] * 1.2
+    # The bus-only baseline spends most of its time communicating.
+    assert rows[-1][3] > 0.5

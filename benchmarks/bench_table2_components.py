@@ -1,0 +1,37 @@
+"""Table II — interconnect component resource costs and frequencies.
+
+Regenerates the component library table and benchmarks the synthesis
+estimator that prices a full interconnect bill of materials from it.
+"""
+
+from __future__ import annotations
+
+from repro.hw.resources import ComponentKind, ResourceCost, component_cost
+from repro.hw.synthesis import interconnect_cost
+from repro.reporting import render_table2
+
+BOM = {
+    ComponentKind.BUS: 1,
+    ComponentKind.CROSSBAR: 2,
+    ComponentKind.ROUTER: 8,
+    ComponentKind.NA_KERNEL: 5,
+    ComponentKind.NA_MEMORY: 3,
+    ComponentKind.MUX: 4,
+    ComponentKind.NOC_GLUE: 1,
+}
+
+
+def test_table2_component_library(benchmark, emit):
+    total, breakdown = benchmark(interconnect_cost, BOM)
+    emit("table2_components", render_table2())
+    # Paper values, verbatim.
+    assert component_cost(ComponentKind.BUS) == ResourceCost(1048, 188)
+    assert component_cost(ComponentKind.CROSSBAR) == ResourceCost(201, 200)
+    assert component_cost(ComponentKind.ROUTER) == ResourceCost(309, 353)
+    assert component_cost(ComponentKind.NA_KERNEL) == ResourceCost(396, 426)
+    assert component_cost(ComponentKind.NA_MEMORY) == ResourceCost(60, 114)
+    assert total.luts == sum(c.luts for _, c in breakdown.values())
+    # Section IV-B's claim: 4 routers ≈ 5x the shared-memory solution.
+    four_routers = component_cost(ComponentKind.ROUTER) * 4
+    crossbar = component_cost(ComponentKind.CROSSBAR)
+    assert 4.0 < four_routers.luts / crossbar.luts < 8.0

@@ -1,0 +1,68 @@
+"""Table IV — whole-system resource utilization + chosen solutions.
+
+Regenerates the baseline / our-system / NoC-only LUT+register columns
+and the solution column, benchmarking the synthesis estimator over the
+plans' bills of materials.
+"""
+
+from __future__ import annotations
+
+from repro.hw.synthesis import estimate_baseline, estimate_system
+from repro.reporting import render_table4
+from repro.units import percent_saving
+
+PAPER_SOLUTIONS = {
+    "canny": "NoC, SM, P",
+    "jpeg": "NoC, SM, P",
+    "klt": "SM",
+    "fluid": "NoC",
+}
+
+PAPER_BASELINE = {
+    "canny": (9926, 12707),
+    "jpeg": (11755, 11910),
+    "klt": (4721, 5430),
+    "fluid": (19125, 28793),
+}
+
+
+def compute_table4(results):
+    table = {}
+    for name, r in results.items():
+        graph = r.fitted.graph
+        base = estimate_baseline(
+            [graph.kernel(k).resources for k in graph.kernel_names()]
+        )
+        ours = estimate_system(
+            "proposed",
+            [r.plan.graph.kernel(k).resources for k in r.plan.graph.kernel_names()],
+            r.plan.component_counts(),
+        )
+        noc = estimate_system(
+            "noc_only",
+            [
+                r.noc_only_plan.graph.kernel(k).resources
+                for k in r.noc_only_plan.graph.kernel_names()
+            ],
+            r.noc_only_plan.component_counts(),
+        )
+        table[name] = (base.total, ours.total, noc.total, r.plan.solution_label())
+    return table
+
+
+def test_table4_resources(benchmark, results, emit):
+    table = benchmark(compute_table4, results)
+    emit("table4_resources", render_table4(results))
+    for name, (base, ours, noc, solution) in table.items():
+        assert solution == PAPER_SOLUTIONS[name]
+        assert (base.luts, base.regs) == PAPER_BASELINE[name]
+        assert base.luts <= ours.luts <= noc.luts
+    # Max LUT saving vs NoC-only lands on KLT, near the paper's 33.1 %.
+    savings = {
+        n: percent_saving(noc.luts, ours.luts)
+        for n, (_, ours, noc, _) in table.items()
+    }
+    assert max(savings, key=savings.get) == "klt"
+    assert abs(savings["klt"] - 33.1) < 4.0
+    # KLT's custom interconnect is exactly one crossbar (201 LUTs).
+    assert table["klt"][1].luts - table["klt"][0].luts == 201

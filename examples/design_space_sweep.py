@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Design-space exploration with the analytic model and the simulator.
+
+Three sweeps over the JPEG system:
+
+1. bus speed (θ) — when does the custom interconnect stop paying off?
+2. NoC link width — how sensitive is the simulated makespan to NoC
+   bandwidth?
+3. streaming overhead ``O`` — when do the pipelining cases switch off?
+
+Run time is a few seconds; all sweeps print aligned tables.
+"""
+
+from dataclasses import replace
+
+from repro.core.analytic import AnalyticModel
+from repro.core.designer import DesignConfig, design_interconnect
+from repro.core.parallel import PipelineCase
+from repro.flow import run_experiment
+from repro.sim.systems import SystemParams, simulate_proposed
+
+
+def sweep_theta(fitted) -> None:
+    print("bus cost sweep (theta multiplier vs speed-up over baseline):")
+    for mult in (0.01, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0):
+        theta = fitted.theta_s_per_byte * mult
+        config = DesignConfig(
+            theta_s_per_byte=theta, stream_overhead_s=fitted.stream_overhead_s
+        )
+        plan = design_interconnect("jpeg", fitted.graph, config)
+        model = AnalyticModel(fitted.graph, theta, fitted.host_other_s)
+        s = model.proposed_vs_baseline(plan).kernels
+        print(f"  theta x{mult:<5}  ->  {s:5.2f}x  ({plan.solution_label()})")
+    print()
+
+
+def sweep_noc_width(result) -> None:
+    print("NoC link width sweep (simulated kernel makespan):")
+    for width in (1, 2, 4, 8, 16):
+        params = SystemParams(noc_link_width_bytes=width)
+        sim = simulate_proposed(result.plan, result.fitted.host_other_s, params)
+        print(f"  {width:>2} B/cycle  ->  {sim.kernels_s * 1e3:7.3f} ms")
+    print()
+
+
+def sweep_overhead(fitted) -> None:
+    print("streaming overhead sweep (applied pipelining decisions):")
+    for frac in (0.0, 0.05, 0.1, 0.2, 0.4, 0.8):
+        overhead = frac * sum(
+            fitted.graph.kernel(k).tau_seconds
+            for k in fitted.graph.kernel_names()
+        )
+        config = DesignConfig(
+            theta_s_per_byte=fitted.theta_s_per_byte,
+            stream_overhead_s=overhead,
+        )
+        plan = design_interconnect("jpeg", fitted.graph, config)
+        case1 = sum(
+            1 for d in plan.pipeline
+            if d.applied and d.case is PipelineCase.HOST_STREAM
+        )
+        case2 = sum(
+            1 for d in plan.pipeline
+            if d.applied and d.case is PipelineCase.KERNEL_STREAM
+        )
+        dup = sum(1 for d in plan.duplications if d.applied)
+        print(
+            f"  O = {frac:4.2f} tau_total  ->  case1: {case1}, "
+            f"case2: {case2}, duplications: {dup}"
+        )
+    print()
+
+
+def main() -> None:
+    result = run_experiment("jpeg", simulate=False)
+    sweep_theta(result.fitted)
+    sweep_noc_width(result)
+    sweep_overhead(result.fitted)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The paper's future work: runtime-reconfigurable interconnects.
+
+"Runtime reconfigurability is the next step in our work such that each
+application can dispose of its best interconnect infrastructure" —
+this example deploys all four designed application systems onto one
+FPGA and compares three strategies under two workload mixes:
+
+* STATIC_ALL       — every system resident side by side;
+* RECONFIG_SINGLE  — one partially-reconfigurable region, ICAP-swapped
+                     on every application change;
+* HYBRID_PINNED    — the most switch-hungry applications stay resident,
+                     the rest share a region.
+"""
+
+from repro.flow import run_all, to_deployment
+from repro.hw.device import Device
+from repro.hw.synthesis import PLATFORM_BASE
+from repro.hw.resources import ComponentKind, component_cost
+from repro.reconfig import ReconfigurationScheduler, WorkloadMix
+
+
+def show(title, sched, mix) -> None:
+    print(f"--- {title} ({len(mix.sequence)} invocations, "
+          f"{len(mix.switches())} switches) ---")
+    for strategy, plan in sched.evaluate(mix).items():
+        status = "ok " if plan.feasible else "N/A"
+        print(
+            f"  {strategy.value:<16} [{status}] "
+            f"{plan.resources.luts:>6} LUTs  "
+            f"compute {plan.compute_seconds * 1e3:8.2f} ms  "
+            f"+ reconfig {plan.reconfig_seconds * 1e3:7.2f} ms "
+            f"({plan.reconfig_count}x)  {plan.notes}"
+        )
+    best = sched.best(mix)
+    print(f"  => best: {best.strategy.value}\n")
+
+
+def main() -> None:
+    results = run_all(simulate=False)
+    deployments = [to_deployment(r) for r in results.values()]
+    static_cost = PLATFORM_BASE + component_cost(ComponentKind.BUS)
+
+    names = [d.name for d in deployments]
+
+    # The real board: plenty of room, statics win.
+    big = ReconfigurationScheduler(deployments, static_cost)
+    show("xc5vfx130t, alternating mix", big,
+         WorkloadMix.round_robin(names, rounds=8))
+
+    # A small device: static deployment does not fit any more.
+    small_dev = Device("xc5vlx50-like", luts=36_000, regs=50_000,
+                       bram_bits=10**6)
+    small = ReconfigurationScheduler(deployments, static_cost, device=small_dev)
+    show("small device, alternating mix", small,
+         WorkloadMix.round_robin(names, rounds=8))
+    show("small device, bursty mix", small,
+         WorkloadMix.bursty([(n, 8) for n in names]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""What-if analysis: where should optimization effort go?
+
+Loads the calibrated JPEG system and asks the questions an architect
+iterating on it would ask — which kernel is worth accelerating further,
+what happens if the bitstream grows, when does a faster bus make the
+custom interconnect pointless, and what breaks if a kernel falls out of
+the hardware set.
+"""
+
+from repro.apps import fit_application, get_application
+from repro.core import DesignConfig, WhatIf
+from repro.sim.systems import SystemParams
+
+
+def main() -> None:
+    theta = SystemParams().theta_s_per_byte()
+    fitted = fit_application(get_application("jpeg"), theta)
+    w = WhatIf(
+        "jpeg",
+        fitted.graph,
+        DesignConfig(theta_s_per_byte=theta,
+                     stream_overhead_s=fitted.stream_overhead_s),
+        host_other_s=fitted.host_other_s,
+    )
+    print(f"reference: {w.reference_seconds * 1e6:.1f} us kernels, "
+          f"solution {w.reference_plan.solution_label()}\n")
+
+    print("sensitivity (each kernel 2x faster -> relative time):")
+    for name, rel in sorted(w.sensitivity(2.0).items(), key=lambda kv: kv[1]):
+        print(f"  {name:<16} {rel:6.3f}")
+
+    print("\nscenarios:")
+    for outcome in [
+        w.kernel_speed("huff_ac_dec", 4.0),
+        w.edge_volume("dquantz_lum", "j_rev_dct", 2.0),
+        w.bus_speed(8.0),
+        w.drop_kernel("j_rev_dct"),
+    ]:
+        flag = (
+            f"  [solution {outcome.reference_solution} -> {outcome.new_solution}]"
+            if outcome.solution_changed else ""
+        )
+        print(
+            f"  {outcome.description:<32} time x{outcome.relative_time:5.2f}  "
+            f"speedup vs baseline {outcome.speedup_vs_baseline:4.2f}x{flag}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim so legacy editable installs work offline."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro — reproduction of "Automated Hybrid Interconnect Design for FPGA
+Accelerators Using Data Communication Profiling" (Pham-Quoc, Al-Ars,
+Bertels, 2014).
+
+Public API tour
+---------------
+
+* Profiling (the QUAD substitute): :class:`~repro.profiling.Tracer`,
+  :class:`~repro.profiling.AddressSpace`,
+  :class:`~repro.profiling.QuadAnalyzer`.
+* Design algorithm: :func:`~repro.core.design_interconnect`,
+  :class:`~repro.core.DesignConfig`,
+  :class:`~repro.core.InterconnectPlan`.
+* Performance models: :class:`~repro.core.AnalyticModel` plus the
+  discrete-event simulator in :mod:`repro.sim`.
+* Hardware models: :mod:`repro.hw` (resources / synthesis / energy).
+* The paper's applications: :func:`~repro.apps.get_application`.
+* The end-to-end flow: :func:`~repro.flow.run_experiment`,
+  :func:`~repro.flow.run_all`.
+
+Quickstart::
+
+    from repro import run_experiment
+    result = run_experiment("jpeg")
+    print(result.plan.describe())
+    print(result.proposed_vs_baseline)
+"""
+
+from .errors import (
+    ConfigurationError,
+    DesignError,
+    ProfilingError,
+    ReproError,
+    SimulationError,
+)
+from .core import (
+    AnalyticModel,
+    CommGraph,
+    DesignConfig,
+    InterconnectPlan,
+    KernelSpec,
+    design_interconnect,
+)
+from .apps import get_application
+from .flow import ExperimentResult, run_all, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ProfilingError",
+    "DesignError",
+    "SimulationError",
+    "ConfigurationError",
+    "KernelSpec",
+    "CommGraph",
+    "DesignConfig",
+    "InterconnectPlan",
+    "design_interconnect",
+    "AnalyticModel",
+    "get_application",
+    "run_experiment",
+    "run_all",
+    "ExperimentResult",
+    "__version__",
+]

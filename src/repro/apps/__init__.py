@@ -1,0 +1,26 @@
+"""The paper's four experimental applications, re-implemented.
+
+Each application is real code (NumPy implementations of Canny edge
+detection, a JPEG-style decoder, the KLT feature tracker and Stam's
+stable-fluid solver) decomposed into the function sets the paper names,
+running against tracked buffers so the QUAD-style profiler observes the
+genuine producer→consumer traffic.
+
+:mod:`~repro.apps.calibration` maps the profiles onto the paper's
+platform numbers (kernel cycle counts, software times, footprints); see
+DESIGN.md §6 for the fitting rationale.
+"""
+
+from .base import Application, KernelTraits
+from .registry import APP_NAMES, get_application
+from .calibration import CalibrationTargets, TARGETS, fit_application
+
+__all__ = [
+    "Application",
+    "KernelTraits",
+    "get_application",
+    "APP_NAMES",
+    "CalibrationTargets",
+    "TARGETS",
+    "fit_application",
+]

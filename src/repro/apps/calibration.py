@@ -1,0 +1,226 @@
+"""Calibration: mapping profiles onto the paper's platform numbers.
+
+We do not have the authors' board, DWARV-generated kernels or ISE
+synthesis runs, so per-kernel computation times, software times and
+footprints cannot be *measured* — they are **fitted** from quantities the
+paper publishes, and everything downstream (the design algorithm, the
+proposed-system results, Tables III–IV, Figs. 7–9) then *emerges*:
+
+* the byte volumes come from the real profiled applications (no fitting);
+* ``τ_Σ`` (total kernel computation) is set from the published baseline
+  communication/computation ratio: ``τ_Σ = C / ρ`` where ``C`` is the
+  profiled traffic times ``θ``; per-kernel ``τ_i`` splits ``τ_Σ``
+  proportionally to the profiled work counters;
+* total software time is set from the published baseline-vs-SW kernel
+  speed-up: ``Σ sw = σ_bk · (τ_Σ + C)``;
+* the host-resident software time follows from the published
+  application-level speed-up: ``T_other = A·(σ_bk − σ_ba)/(σ_ba − 1)``
+  with ``A = τ_Σ + C`` (derivation: DESIGN.md §6);
+* kernel footprints split Table IV's baseline column (minus the platform
+  base and the bus) proportionally to work.
+
+The ``σ`` targets are back-solved from the paper's own Table III
+(baseline-vs-SW = proposed-vs-SW ÷ proposed-vs-baseline); ``ρ`` is the
+published 3.63 for JPEG and chosen for the other three applications such
+that the published average of ≈2.09 holds and the proposed-system
+speed-ups land near Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..core.commgraph import CommGraph
+from ..core.kernel import KernelSpec
+from ..errors import ConfigurationError
+from ..hw.resources import ComponentKind, ResourceCost, component_cost
+from ..hw.synthesis import PLATFORM_BASE
+from ..units import HOST_CLOCK, KERNEL_CLOCK
+from .base import Application
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationTargets:
+    """Published (or back-solved) per-application calibration targets."""
+
+    app: str
+    #: Baseline communication/computation ratio (Fig. 4 right axis).
+    comm_comp_ratio: float
+    #: Baseline-vs-SW application speed-up (Table III col2 / col4).
+    baseline_app_speedup: float
+    #: Baseline-vs-SW kernels speed-up (Table III col3 / col5).
+    baseline_kernel_speedup: float
+    #: Table IV baseline column.
+    baseline_luts: int
+    baseline_regs: int
+    #: Streaming overhead ``O`` as a fraction of ``τ_Σ``.
+    overhead_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.comm_comp_ratio <= 0:
+            raise ConfigurationError(f"{self.app}: ratio must be positive")
+        if abs(self.baseline_app_speedup - 1.0) < 1e-9:
+            raise ConfigurationError(
+                f"{self.app}: app speed-up of exactly 1 makes T_other "
+                "indeterminate"
+            )
+
+
+#: Calibration table. σ values are Table III ratios; ρ for JPEG is the
+#: published 3.63, the others are fitted (average ≈ 2.09 as published).
+TARGETS: Dict[str, CalibrationTargets] = {
+    "canny": CalibrationTargets(
+        app="canny",
+        comm_comp_ratio=2.30,
+        baseline_app_speedup=3.15 / 1.83,
+        baseline_kernel_speedup=3.88 / 2.12,
+        baseline_luts=9926,
+        baseline_regs=12707,
+        overhead_fraction=0.10,
+    ),
+    "jpeg": CalibrationTargets(
+        app="jpeg",
+        comm_comp_ratio=3.63,
+        baseline_app_speedup=2.33 / 2.87,
+        baseline_kernel_speedup=2.5 / 3.08,
+        baseline_luts=11755,
+        baseline_regs=11910,
+        overhead_fraction=0.245,
+    ),
+    "klt": CalibrationTargets(
+        app="klt",
+        comm_comp_ratio=1.48,
+        baseline_app_speedup=3.72 / 1.26,
+        baseline_kernel_speedup=6.58 / 1.55,
+        baseline_luts=4721,
+        baseline_regs=5430,
+    ),
+    "fluid": CalibrationTargets(
+        app="fluid",
+        comm_comp_ratio=0.95,
+        baseline_app_speedup=1.66 / 1.59,
+        baseline_kernel_speedup=1.68 / 1.60,
+        baseline_luts=19125,
+        baseline_regs=28793,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FittedApplication:
+    """A profiled application with calibrated platform quantities."""
+
+    app: Application
+    targets: CalibrationTargets
+    graph: CommGraph
+    theta_s_per_byte: float
+    host_other_s: float
+    stream_overhead_s: float
+
+    @property
+    def name(self) -> str:
+        """Application name."""
+        return self.app.name
+
+
+def _proportional_split(total: int, weights: Mapping[str, float]) -> Dict[str, int]:
+    """Split an integer total proportionally, conserving the sum."""
+    wsum = sum(weights.values())
+    if wsum <= 0:
+        raise ConfigurationError("cannot split by non-positive weights")
+    names = list(weights)
+    out = {n: int(total * weights[n] / wsum) for n in names}
+    # Hand the rounding remainder to the heaviest entries, biggest first.
+    remainder = total - sum(out.values())
+    for n in sorted(names, key=lambda n: -weights[n]):
+        if remainder <= 0:
+            break
+        out[n] += 1
+        remainder -= 1
+    return out
+
+
+def fit_application(
+    app: Application,
+    theta_s_per_byte: float,
+    targets: CalibrationTargets | None = None,
+) -> FittedApplication:
+    """Profile ``app`` and fit the calibrated communication graph."""
+    if theta_s_per_byte <= 0:
+        raise ConfigurationError("theta must be positive")
+    targets = targets or TARGETS.get(app.name)
+    if targets is None:
+        raise ConfigurationError(
+            f"no calibration targets for {app.name!r}; pass them explicitly"
+        )
+
+    profile = app.profile()
+    traits = app.kernel_traits()
+    names = app.kernel_names()
+    work = {n: profile.function(n).work for n in names}
+    if any(w <= 0 for w in work.values()):
+        raise ConfigurationError(
+            f"{app.name}: every kernel must charge work; got {work}"
+        )
+
+    # Provisional graph to read the profiled byte volumes.
+    provisional = CommGraph.from_profile(
+        profile, [KernelSpec(n, 0.0, 0.0) for n in names]
+    )
+    traffic = provisional.total_kernel_traffic()
+    if traffic <= 0:
+        raise ConfigurationError(f"{app.name}: no kernel traffic profiled")
+
+    comm_s = traffic * theta_s_per_byte
+    tau_total_s = comm_s / targets.comm_comp_ratio
+    a = tau_total_s + comm_s
+    sw_total_s = targets.baseline_kernel_speedup * a
+    sigma_a = targets.baseline_app_speedup
+    sigma_k = targets.baseline_kernel_speedup
+    host_other_s = max(a * (sigma_k - sigma_a) / (sigma_a - 1.0), 0.0)
+
+    lut_budget = (
+        targets.baseline_luts
+        - PLATFORM_BASE.luts
+        - component_cost(ComponentKind.BUS).luts
+    )
+    reg_budget = (
+        targets.baseline_regs
+        - PLATFORM_BASE.regs
+        - component_cost(ComponentKind.BUS).regs
+    )
+    if lut_budget <= 0 or reg_budget <= 0:
+        raise ConfigurationError(
+            f"{app.name}: Table IV baseline smaller than platform base"
+        )
+    luts = _proportional_split(lut_budget, work)
+    regs = _proportional_split(reg_budget, work)
+
+    wsum = sum(work.values())
+    specs = []
+    for n in names:
+        share = work[n] / wsum
+        t = traits[n]
+        specs.append(
+            KernelSpec(
+                name=n,
+                tau_cycles=KERNEL_CLOCK.seconds_to_cycles(tau_total_s * share),
+                sw_cycles=HOST_CLOCK.seconds_to_cycles(sw_total_s * share),
+                parallelizable=t.parallelizable,
+                streams_host_io=t.streams_host_io,
+                streams_kernel_input=t.streams_kernel_input,
+                resources=ResourceCost(luts[n], regs[n]),
+                local_memory_bytes=provisional.d_in(n) + provisional.d_out(n),
+            )
+        )
+
+    graph = CommGraph.from_profile(profile, specs)
+    return FittedApplication(
+        app=app,
+        targets=targets,
+        graph=graph,
+        theta_s_per_byte=theta_s_per_byte,
+        host_other_s=host_other_s,
+        stream_overhead_s=targets.overhead_fraction * tau_total_s,
+    )

@@ -1,0 +1,186 @@
+"""Canny edge detection (Canny, 1986) — instrumented implementation.
+
+Kernel decomposition follows the classic four-stage pipeline:
+
+``gaussian_smooth → sobel_gradient → nonmax_suppression → hysteresis``
+
+The gradient stage feeds non-maximum suppression with *two* arrays
+(magnitude and quantized direction) and suppression feeds hysteresis with
+one; every stage additionally exchanges data with the host (the raw frame
+in, the edge map out), which produces the mixed NoC + shared-memory +
+pipelining solution the paper reports for Canny (Table IV).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..profiling import AddressSpace, Tracer
+from .base import Application, KernelTraits
+
+#: 1-D Gaussian kernel (σ≈1.0, 5 taps), separable.
+_GAUSS = np.array([1.0, 4.0, 6.0, 4.0, 1.0]) / 16.0
+
+
+def _convolve_rows(img: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Row-wise 1-D convolution with edge padding."""
+    pad = len(taps) // 2
+    padded = np.pad(img, ((0, 0), (pad, pad)), mode="edge")
+    out = np.zeros_like(img, dtype=np.float64)
+    for i, t in enumerate(taps):
+        out += t * padded[:, i : i + img.shape[1]]
+    return out
+
+
+def gaussian_blur(img: np.ndarray) -> np.ndarray:
+    """Separable 5×5 Gaussian blur (reference implementation)."""
+    return _convolve_rows(_convolve_rows(img, _GAUSS).T, _GAUSS).T
+
+
+def sobel(img: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sobel gradient magnitude and direction quantized to 4 sectors."""
+    p = np.pad(img, 1, mode="edge")
+    gx = (
+        (p[:-2, 2:] + 2 * p[1:-1, 2:] + p[2:, 2:])
+        - (p[:-2, :-2] + 2 * p[1:-1, :-2] + p[2:, :-2])
+    )
+    gy = (
+        (p[2:, :-2] + 2 * p[2:, 1:-1] + p[2:, 2:])
+        - (p[:-2, :-2] + 2 * p[:-2, 1:-1] + p[:-2, 2:])
+    )
+    mag = np.hypot(gx, gy)
+    angle = np.rad2deg(np.arctan2(gy, gx)) % 180.0
+    direction = np.zeros(img.shape, dtype=np.uint8)
+    direction[(angle >= 22.5) & (angle < 67.5)] = 1
+    direction[(angle >= 67.5) & (angle < 112.5)] = 2
+    direction[(angle >= 112.5) & (angle < 157.5)] = 3
+    return mag, direction
+
+
+def nonmax(mag: np.ndarray, direction: np.ndarray) -> np.ndarray:
+    """Thin edges: keep pixels that are local maxima along the gradient."""
+    h, w = mag.shape
+    out = np.zeros_like(mag)
+    padded = np.pad(mag, 1, mode="constant")
+    offsets = {  # neighbour pair per quantized direction
+        0: ((0, 1), (0, -1)),
+        1: ((-1, 1), (1, -1)),
+        2: ((-1, 0), (1, 0)),
+        3: ((-1, -1), (1, 1)),
+    }
+    for d, ((dy1, dx1), (dy2, dx2)) in offsets.items():
+        sel = direction == d
+        n1 = padded[1 + dy1 : 1 + dy1 + h, 1 + dx1 : 1 + dx1 + w]
+        n2 = padded[1 + dy2 : 1 + dy2 + h, 1 + dx2 : 1 + dx2 + w]
+        keep = sel & (mag >= n1) & (mag >= n2)
+        out[keep] = mag[keep]
+    return out
+
+
+def hysteresis_threshold(
+    nms: np.ndarray, low: float, high: float, max_iters: int = 64
+) -> np.ndarray:
+    """Double threshold + connectivity: weak pixels survive only when
+    connected (8-neighbourhood) to a strong pixel."""
+    strong = nms >= high
+    weak = (nms >= low) & ~strong
+    edges = strong.copy()
+    for _ in range(max_iters):
+        p = np.pad(edges, 1, mode="constant")
+        neighbour = (
+            p[:-2, :-2] | p[:-2, 1:-1] | p[:-2, 2:]
+            | p[1:-1, :-2] | p[1:-1, 2:]
+            | p[2:, :-2] | p[2:, 1:-1] | p[2:, 2:]
+        )
+        grown = edges | (weak & neighbour)
+        if np.array_equal(grown, edges):
+            break
+        edges = grown
+    return edges.astype(np.uint8)
+
+
+class CannyApp(Application):
+    """Instrumented Canny pipeline over a synthetic frame."""
+
+    name = "canny"
+
+    def __init__(self, scale: int = 1, seed: int = 2014) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.size = 96 * scale
+        if self.size < 16:
+            raise ConfigurationError("image too small for Canny")
+
+    def kernel_traits(self) -> Dict[str, KernelTraits]:
+        return {
+            # Row-streaming works for the local stages; hysteresis is
+            # global (connectivity), so it cannot stream its input.
+            "gaussian_smooth": KernelTraits(streams_host_io=True),
+            "sobel_gradient": KernelTraits(streams_kernel_input=True),
+            "nonmax_suppression": KernelTraits(streams_kernel_input=True),
+            "hysteresis": KernelTraits(streams_host_io=True),
+        }
+
+    def _make_frame(self) -> np.ndarray:
+        """A synthetic frame with a bright square plus noise."""
+        n = self.size
+        img = 16.0 + 8.0 * self.rng.standard_normal((n, n))
+        q = n // 4
+        img[q : 3 * q, q : 3 * q] += 120.0
+        return np.clip(img, 0, 255)
+
+    def execute(self, tracer: Tracer, space: AddressSpace) -> None:
+        n = self.size
+        image = space.alloc("image", (n, n), np.float32)
+        smooth = space.alloc("smooth", (n, n), np.float32)
+        mag = space.alloc("mag", (n, n), np.float32)
+        direction = space.alloc("dir", (n, n), np.uint8)
+        nms_buf = space.alloc("nms", (n, n), np.float32)
+        edges = space.alloc("edges", (n, n), np.uint8)
+
+        with tracer.context("frame_capture"):
+            image.store_full(self._make_frame())
+
+        with tracer.context("gaussian_smooth"):
+            frame = image.load_full()
+            smooth.store_full(gaussian_blur(frame))
+            tracer.add_work(25.0 * n * n)  # 5x5 taps per pixel
+
+        with tracer.context("sobel_gradient"):
+            s = smooth.load_full()
+            m, d = sobel(s)
+            mag.store_full(m)
+            direction.store_full(d)
+            tracer.add_work(18.0 * n * n)
+
+        with tracer.context("nonmax_suppression"):
+            m = nms = nonmax(mag.load_full(), direction.load_full())
+            nms_buf.store_full(nms)
+            tracer.add_work(8.0 * n * n)
+
+        with tracer.context("hysteresis"):
+            e = hysteresis_threshold(nms_buf.load_full(), low=20.0, high=60.0)
+            edges.store_full(e)
+            tracer.add_work(12.0 * n * n)
+
+        with tracer.context("display"):
+            edges.load_full()  # host consumes the edge map
+            mag.load_full()  # ...and the gradient magnitude overlay
+
+    def verify(self, space: AddressSpace) -> None:
+        n = self.size
+        edges = space.get("edges").data
+        q = n // 4
+        # The square's border must be detected...
+        border = (
+            edges[q - 2 : q + 2, q + 4 : 3 * q - 4].sum()
+            + edges[3 * q - 2 : 3 * q + 2, q + 4 : 3 * q - 4].sum()
+        )
+        if border < (3 * q - 4 - (q + 4)):
+            raise AssertionError("Canny missed the square's border")
+        # ...and the flat interior must stay (mostly) clean.
+        interior = edges[q + 8 : 3 * q - 8, q + 8 : 3 * q - 8]
+        if interior.mean() > 0.05:
+            raise AssertionError("Canny produced spurious interior edges")

@@ -1,0 +1,208 @@
+"""Real-time fluid simulation (Stam, GDC 2003) — instrumented.
+
+Three-kernel decomposition of the stable-fluids step:
+
+* ``diffuse`` — viscous diffusion of velocity and density (Jacobi
+  relaxation);
+* ``project`` — pressure projection making the velocity divergence-free
+  (Poisson solve + gradient subtraction), run before *and* after
+  advection as in Stam's solver;
+* ``advect`` — semi-Lagrangian transport of velocity and density.
+
+The kernels exchange whole fields every time step in a cycle
+(diffuse → project → advect → project → diffuse …), so no kernel pair is
+exclusive and Algorithm 1 maps *everything* onto the NoC — the paper's
+Table IV reports exactly "NoC" as the Fluid solution. The stateful
+iteration also rules out streaming, so no pipelining applies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..profiling import AddressSpace, Tracer
+from .base import Application, KernelTraits
+
+#: Jacobi sweeps for the diffusion and pressure solves.
+RELAX = 20
+#: Solver time step and viscosity/diffusion rates.
+DT = 0.1
+VISC = 0.0002
+DIFF = 0.0001
+
+
+def jacobi(x0: np.ndarray, b: np.ndarray, alpha: float, beta: float) -> np.ndarray:
+    """Jacobi relaxation for ``(I - alpha ∇²) x = b``-style systems."""
+    x = x0.copy()
+    for _ in range(RELAX):
+        x_new = x.copy()
+        x_new[1:-1, 1:-1] = (
+            b[1:-1, 1:-1]
+            + alpha
+            * (x[:-2, 1:-1] + x[2:, 1:-1] + x[1:-1, :-2] + x[1:-1, 2:])
+        ) / beta
+        x = x_new
+    return x
+
+
+def diffuse_field(field: np.ndarray, rate: float) -> np.ndarray:
+    """Implicit diffusion of one field."""
+    a = DT * rate * field.shape[0] * field.shape[1]
+    return jacobi(field, field, a, 1 + 4 * a)
+
+
+def advect_field(field: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Semi-Lagrangian advection: trace back along the velocity field."""
+    n, m = field.shape
+    ys, xs = np.mgrid[0:n, 0:m].astype(np.float64)
+    back_y = np.clip(ys - DT * n * v, 0.5, n - 1.5)
+    back_x = np.clip(xs - DT * m * u, 0.5, m - 1.5)
+    y0 = np.floor(back_y).astype(int)
+    x0 = np.floor(back_x).astype(int)
+    fy, fx = back_y - y0, back_x - x0
+    return (
+        field[y0, x0] * (1 - fy) * (1 - fx)
+        + field[y0, x0 + 1] * (1 - fy) * fx
+        + field[y0 + 1, x0] * fy * (1 - fx)
+        + field[y0 + 1, x0 + 1] * fy * fx
+    )
+
+
+def project_fields(u: np.ndarray, v: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Pressure projection: return a (near) divergence-free velocity."""
+    n = u.shape[0]
+    div = np.zeros_like(u)
+    div[1:-1, 1:-1] = -0.5 * (
+        (u[1:-1, 2:] - u[1:-1, :-2]) + (v[2:, 1:-1] - v[:-2, 1:-1])
+    ) / n
+    p = jacobi(np.zeros_like(u), div, 1.0, 4.0)
+    u2, v2 = u.copy(), v.copy()
+    u2[1:-1, 1:-1] -= 0.5 * n * (p[1:-1, 2:] - p[1:-1, :-2])
+    v2[1:-1, 1:-1] -= 0.5 * n * (p[2:, 1:-1] - p[:-2, 1:-1])
+    return u2, v2
+
+
+def divergence(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Interior divergence of a velocity field."""
+    return 0.5 * (
+        (u[1:-1, 2:] - u[1:-1, :-2]) + (v[2:, 1:-1] - v[:-2, 1:-1])
+    )
+
+
+class FluidApp(Application):
+    """Instrumented stable-fluids solver over a synthetic scene."""
+
+    name = "fluid"
+
+    def __init__(self, scale: int = 1, seed: int = 2014, steps: int = 2) -> None:
+        super().__init__(scale=scale, seed=seed)
+        if steps < 1:
+            raise ConfigurationError("need at least one solver step")
+        self.size = 64 * scale
+        self.steps = steps
+
+    def kernel_traits(self) -> Dict[str, KernelTraits]:
+        return {
+            "diffuse": KernelTraits(),
+            "project": KernelTraits(),
+            "advect": KernelTraits(),
+        }
+
+    def execute(self, tracer: Tracer, space: AddressSpace) -> None:
+        n = self.size
+        # Iteration state (who wrote it last is what QUAD tracks).
+        u_state = space.alloc("u_state", (n, n), np.float32)
+        v_state = space.alloc("v_state", (n, n), np.float32)
+        d_state = space.alloc("d_state", (n, n), np.float32)
+        force_u = space.alloc("force_u", (n, n), np.float32)
+        force_v = space.alloc("force_v", (n, n), np.float32)
+        source_d = space.alloc("source_d", (n, n), np.float32)
+        u_dif = space.alloc("u_dif", (n, n), np.float32)
+        v_dif = space.alloc("v_dif", (n, n), np.float32)
+        d_dif = space.alloc("d_dif", (n, n), np.float32)
+        u_proj = space.alloc("u_proj", (n, n), np.float32)
+        v_proj = space.alloc("v_proj", (n, n), np.float32)
+        u_adv = space.alloc("u_adv", (n, n), np.float32)
+        v_adv = space.alloc("v_adv", (n, n), np.float32)
+        d_adv = space.alloc("d_adv", (n, n), np.float32)
+        display = space.alloc("display", (n, n), np.float32)
+
+        ys, xs = np.mgrid[0:n, 0:n] / n
+        swirl_u = np.sin(2 * np.pi * ys) * 0.5
+        swirl_v = np.cos(2 * np.pi * xs) * 0.5
+        puff = np.exp(-(((xs - 0.5) ** 2 + (ys - 0.5) ** 2) / 0.02))
+
+        with tracer.context("scene_setup"):
+            u_state.store_full(np.zeros((n, n)))
+            v_state.store_full(np.zeros((n, n)))
+            d_state.store_full(puff)
+
+        for _step in range(self.steps):
+            with tracer.context("inject_forces"):
+                force_u.store_full(swirl_u)
+                force_v.store_full(swirl_v)
+                source_d.store_full(0.1 * puff)
+
+            with tracer.context("diffuse"):
+                u = u_state.load_full().astype(np.float64)
+                v = v_state.load_full().astype(np.float64)
+                d = d_state.load_full().astype(np.float64)
+                u += DT * force_u.load_full()
+                v += DT * force_v.load_full()
+                d += DT * source_d.load_full()
+                u_dif.store_full(diffuse_field(u, VISC))
+                v_dif.store_full(diffuse_field(v, VISC))
+                d_dif.store_full(diffuse_field(d, DIFF))
+                tracer.add_work(3.0 * RELAX * 6.0 * n * n)
+
+            with tracer.context("project"):
+                u2, v2 = project_fields(
+                    u_dif.load_full().astype(np.float64),
+                    v_dif.load_full().astype(np.float64),
+                )
+                u_proj.store_full(u2)
+                v_proj.store_full(v2)
+                tracer.add_work((RELAX + 2) * 6.0 * n * n)
+
+            with tracer.context("advect"):
+                uu = u_proj.load_full().astype(np.float64)
+                vv = v_proj.load_full().astype(np.float64)
+                u_adv.store_full(advect_field(uu, uu, vv))
+                v_adv.store_full(advect_field(vv, uu, vv))
+                d_adv.store_full(
+                    advect_field(d_dif.load_full().astype(np.float64), uu, vv)
+                )
+                tracer.add_work(3.0 * 14.0 * n * n)
+
+            with tracer.context("project"):
+                u2, v2 = project_fields(
+                    u_adv.load_full().astype(np.float64),
+                    v_adv.load_full().astype(np.float64),
+                )
+                u_state.store_full(u2)
+                v_state.store_full(v2)
+                tracer.add_work((RELAX + 2) * 6.0 * n * n)
+
+            with tracer.context("diffuse"):
+                # Density state hand-off for the next step lives with the
+                # diffusion kernel's memory in the HW partitioning.
+                d_state.store_full(d_adv.load_full())
+
+            with tracer.context("render"):
+                display.store_full(d_state.load_full())
+                display.load_full()  # host reads the frame
+
+    def verify(self, space: AddressSpace) -> None:
+        u = space.get("u_state").data.astype(np.float64)
+        v = space.get("v_state").data.astype(np.float64)
+        d = space.get("d_state").data.astype(np.float64)
+        if not (np.isfinite(u).all() and np.isfinite(v).all() and np.isfinite(d).all()):
+            raise AssertionError("fluid solver produced non-finite values")
+        div = np.abs(divergence(u, v)).max()
+        if div > 0.25:
+            raise AssertionError(f"velocity far from divergence-free: {div:.3f}")
+        if d.min() < -1e-6 or d.max() > 2.0:
+            raise AssertionError("density left its physical range")

@@ -1,0 +1,33 @@
+"""Application registry."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from ..errors import ConfigurationError
+from .base import Application
+from .canny import CannyApp
+from .fluid import FluidApp
+from .jpeg import JpegApp
+from .klt import KltApp
+
+_REGISTRY: Dict[str, Type[Application]] = {
+    CannyApp.name: CannyApp,
+    JpegApp.name: JpegApp,
+    KltApp.name: KltApp,
+    FluidApp.name: FluidApp,
+}
+
+#: The paper's four experimental applications, evaluation order.
+APP_NAMES: Tuple[str, ...] = ("canny", "jpeg", "klt", "fluid")
+
+
+def get_application(name: str, scale: int = 1, seed: int = 2014) -> Application:
+    """Instantiate one of the paper's applications by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown application {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+    return cls(scale=scale, seed=seed)

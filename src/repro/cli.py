@@ -1,0 +1,282 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's main flows:
+
+* ``profile <app>`` — run the instrumented application and print its
+  QUAD-style communication profile (Fig. 5 format);
+* ``design <app>`` — run Algorithm 1 and print the interconnect plan
+  (Fig. 6 format), with ``--no-sharing`` / ``--noc-only`` etc. toggles;
+* ``report`` — regenerate every paper table/figure in one go;
+* ``simulate <app>`` — run the discrete-event simulation and show the
+  baseline-vs-proposed Gantt comparison;
+* ``apps`` — list the available applications.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .apps import fit_application, get_application
+from .apps.registry import APP_NAMES
+from .core.designer import DesignConfig, design_interconnect
+from .errors import ReproError
+from .flow import run_all, run_experiment
+from .profiling.report import render_profile_graph, render_profile_table
+from .reporting import (
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig8,
+    render_fig9,
+    render_simulation_crosscheck,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from .sim.systems import SystemParams
+from .sim.timeline import render_comparison
+
+
+def _add_app_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "app", choices=APP_NAMES, help="application to operate on"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automated hybrid interconnect design (IPPS 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", help="print an application's communication profile")
+    _add_app_argument(p)
+    p.add_argument("--table", action="store_true", help="tabular instead of graph form")
+    p.add_argument("--scale", type=int, default=1, help="workload scale factor")
+
+    p = sub.add_parser("design", help="design and print the custom interconnect")
+    _add_app_argument(p)
+    p.add_argument("--no-sharing", action="store_true", help="disable shared local memory")
+    p.add_argument("--no-duplication", action="store_true", help="disable kernel duplication")
+    p.add_argument("--no-pipelining", action="store_true", help="disable pipelining")
+    p.add_argument("--noc-only", action="store_true",
+                   help="the paper's NoC-only comparison system")
+
+    p = sub.add_parser("simulate", help="simulate baseline vs proposed with a Gantt chart")
+    _add_app_argument(p)
+    p.add_argument("--width", type=int, default=60, help="gantt chart width")
+    p.add_argument("--qos", action="store_true", help="enable NoC WRR QoS weights")
+
+    p = sub.add_parser("report", help="regenerate every paper table and figure")
+    p.add_argument("--markdown", action="store_true",
+                   help="emit one markdown document instead of sections")
+    p.add_argument("--output", type=str, default=None,
+                   help="also write the report to this file")
+    sub.add_parser("apps", help="list available applications")
+
+    p = sub.add_parser("pareto", help="time/area Pareto front of designer configs")
+    _add_app_argument(p)
+
+    sub.add_parser(
+        "portfolio",
+        help="rank all applications by expected interconnect benefit",
+    )
+
+    p = sub.add_parser(
+        "reconfig",
+        help="deployment strategies for all four apps on one device",
+    )
+    p.add_argument("--device-luts", type=int, default=81920,
+                   help="device LUT capacity (default: xc5vfx130t)")
+    p.add_argument("--device-regs", type=int, default=81920,
+                   help="device register capacity")
+    p.add_argument("--rounds", type=int, default=8,
+                   help="round-robin invocations per application")
+    return parser
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    app = get_application(args.app, scale=args.scale)
+    profile = app.profile()
+    folded = profile.restricted_to(app.kernel_names(), "host")
+    render = render_profile_table if args.table else render_profile_graph
+    print(render(folded))
+    return 0
+
+
+def cmd_design(args: argparse.Namespace) -> int:
+    params = SystemParams()
+    theta = params.theta_s_per_byte()
+    fitted = fit_application(get_application(args.app), theta)
+    config = DesignConfig(
+        theta_s_per_byte=theta,
+        stream_overhead_s=fitted.stream_overhead_s,
+        enable_sharing=not args.no_sharing,
+        enable_duplication=not args.no_duplication,
+        enable_pipelining=not args.no_pipelining,
+    )
+    if args.noc_only:
+        config = config.noc_only()
+    plan = design_interconnect(args.app, fitted.graph, config)
+    print(plan.describe())
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from .sim.stats import collect_stats
+    from .sim.systems import simulate_proposed
+
+    params = SystemParams(noc_qos=args.qos)
+    result = run_experiment(args.app, params=params)
+    assert result.sim_baseline is not None and result.sim_proposed is not None
+    print(render_comparison(result.sim_baseline, result.sim_proposed,
+                            width=args.width))
+    app_s, kern_s = result.sim_proposed.speedup_over(result.sim_baseline)
+    print(f"\nsimulated speed-up vs baseline: {app_s:.2f}x application, "
+          f"{kern_s:.2f}x kernels\n")
+    # Re-run once more keeping the live components for exact counters.
+    components: dict = {}
+    times = simulate_proposed(
+        result.plan, result.fitted.host_other_s, params,
+        components_out=components,
+    )
+    print(collect_stats(
+        times,
+        bus=components.get("bus"),
+        noc=components.get("noc"),
+    ).render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    results = run_all()
+    if getattr(args, "markdown", False):
+        from .reporting import generate_markdown_report
+
+        text = generate_markdown_report(results)
+        print(text)
+        if args.output:
+            import pathlib
+
+            pathlib.Path(args.output).write_text(text)
+        return 0
+    sections = [
+        ("Fig. 4  — baseline vs software", render_fig4(results)),
+        ("Table II — interconnect components", render_table2()),
+        ("Fig. 5  — jpeg communication profile", render_fig5(results["jpeg"])),
+        ("Fig. 6  — jpeg interconnect plan", render_fig6(results["jpeg"])),
+        ("Table III / Fig. 7 — proposed-system speed-ups", render_table3(results)),
+        ("Table IV — resource utilization", render_table4(results)),
+        ("Fig. 8  — interconnect / kernel resources", render_fig8(results)),
+        ("Fig. 9  — normalized energy", render_fig9(results)),
+        ("Model vs simulation cross-check", render_simulation_crosscheck(results)),
+    ]
+    for title, body in sections:
+        print(f"=== {title} ===")
+        print(body)
+        print()
+    return 0
+
+
+def cmd_apps(_args: argparse.Namespace) -> int:
+    for name in APP_NAMES:
+        app = get_application(name)
+        kernels = ", ".join(app.kernel_names())
+        print(f"{name:<8} kernels: {kernels}")
+    return 0
+
+
+def cmd_pareto(args: argparse.Namespace) -> int:
+    from .explore import enumerate_design_points, pareto_front
+
+    params = SystemParams()
+    theta = params.theta_s_per_byte()
+    fitted = fit_application(get_application(args.app), theta)
+    config = DesignConfig(
+        theta_s_per_byte=theta, stream_overhead_s=fitted.stream_overhead_s
+    )
+    points = enumerate_design_points(
+        args.app, fitted.graph, config, fitted.host_other_s
+    )
+    front = {p.label for p in pareto_front(points)}
+    print(f"{'':2}{'configuration':<20}{'kernels':>12}{'LUTs':>8}")
+    for p in sorted(points, key=lambda p: p.kernels_seconds):
+        mark = "*" if p.label in front else " "
+        print(
+            f"{mark:2}{p.label:<20}{p.kernels_seconds * 1e3:>10.3f}ms"
+            f"{p.luts:>8}"
+        )
+    print("\n(* = Pareto-optimal)")
+    return 0
+
+
+def cmd_reconfig(args: argparse.Namespace) -> int:
+    from .flow import to_deployment
+    from .hw.device import Device
+    from .hw.resources import ComponentKind, component_cost
+    from .hw.synthesis import PLATFORM_BASE
+    from .reconfig import ReconfigurationScheduler, WorkloadMix
+
+    results = run_all(simulate=False)
+    deployments = [to_deployment(r) for r in results.values()]
+    device = Device("cli-device", args.device_luts, args.device_regs, 10**6)
+    sched = ReconfigurationScheduler(
+        deployments,
+        PLATFORM_BASE + component_cost(ComponentKind.BUS),
+        device=device,
+    )
+    mix = WorkloadMix.round_robin([d.name for d in deployments], args.rounds)
+    print(f"device: {device.luts} LUTs / {device.regs} regs; "
+          f"mix: {len(mix.sequence)} invocations, {len(mix.switches())} switches")
+    for strategy, plan in sched.evaluate(mix).items():
+        status = "ok " if plan.feasible else "N/A"
+        print(
+            f"  {strategy.value:<16} [{status}] {plan.resources.luts:>6} LUTs  "
+            f"total {plan.total_seconds * 1e3:8.2f} ms  "
+            f"(reconfig {plan.reconfig_seconds * 1e3:.2f} ms x{plan.reconfig_count})"
+        )
+    best = sched.best(mix)
+    print(f"best: {best.strategy.value}")
+    return 0
+
+
+def cmd_portfolio(_args: argparse.Namespace) -> int:
+    from .explore import portfolio_summary, render_portfolio
+
+    params = SystemParams()
+    theta = params.theta_s_per_byte()
+    graphs = {
+        name: fit_application(get_application(name), theta).graph
+        for name in APP_NAMES
+    }
+    print(render_portfolio(portfolio_summary(graphs, theta)))
+    return 0
+
+
+_COMMANDS = {
+    "profile": cmd_profile,
+    "design": cmd_design,
+    "simulate": cmd_simulate,
+    "report": cmd_report,
+    "apps": cmd_apps,
+    "pareto": cmd_pareto,
+    "reconfig": cmd_reconfig,
+    "portfolio": cmd_portfolio,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

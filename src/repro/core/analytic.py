@@ -1,0 +1,198 @@
+"""Analytical performance model — Eq. 2 and the ``Δ`` savings terms.
+
+The paper estimates system performance with a closed-form model:
+
+* software:  ``T_sw = T_other + Σ sw_i``
+* baseline:  ``T_b = T_other + Σ τ_i + Σ (D_in,i + D_out,i)·θ`` (Eq. 2)
+* proposed:  baseline minus the savings of the applied solutions —
+  ``Δ_c`` per shared-memory pair, ``Δ_n`` for NoC-hidden kernel traffic,
+  ``Δ_p1``/``Δ_p2`` for pipelining and ``Δ_dp`` for duplication.
+
+``T_other`` is the software time of the application parts that stay on
+the host; the paper's "overall application" speed-ups include it, the
+"kernels" speed-ups do not.
+
+Bounds: the model clamps the proposed computation time at half the
+baseline computation (duplication and chain pipelining can at best halve
+work on the critical path) and communication at zero — the paper's
+formulas already embed these limits per term (each ``min(·, τ/2)``), the
+clamp just keeps pathological configurations (e.g. absurd ``θ``) from
+producing negative times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import speedup
+from .commgraph import CommGraph
+from .parallel import PipelineCase
+from .plan import InterconnectPlan
+
+
+@dataclass(frozen=True, slots=True)
+class SystemTimes:
+    """Execution-time decomposition of one system variant (seconds)."""
+
+    label: str
+    computation_s: float
+    communication_s: float
+    host_other_s: float
+
+    @property
+    def kernels_s(self) -> float:
+        """Total time attributed to the kernels (comp + comm)."""
+        return self.computation_s + self.communication_s
+
+    @property
+    def application_s(self) -> float:
+        """Overall application time (kernels + host-resident parts)."""
+        return self.kernels_s + self.host_other_s
+
+    @property
+    def comm_comp_ratio(self) -> float:
+        """Fig. 4's communication/computation ratio."""
+        if self.computation_s <= 0:
+            raise ConfigurationError(f"{self.label}: zero computation time")
+        return self.communication_s / self.computation_s
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedupPair:
+    """Application and kernels speed-up of one system over another."""
+
+    application: float
+    kernels: float
+
+
+class AnalyticModel:
+    """Closed-form timing of software / baseline / proposed systems.
+
+    Parameters
+    ----------
+    graph:
+        The *original* (pre-duplication) communication graph — Eq. 2 is
+        defined on it, and duplication conserves both ``Σ τ`` and traffic
+        totals, so the baseline is identical either way.
+    theta_s_per_byte:
+        ``θ`` — average seconds to move one byte over the bus.
+    host_other_s:
+        Software time of the non-accelerated application parts.
+    """
+
+    def __init__(
+        self,
+        graph: CommGraph,
+        theta_s_per_byte: float,
+        host_other_s: float,
+    ) -> None:
+        if theta_s_per_byte <= 0:
+            raise ConfigurationError(f"theta must be positive: {theta_s_per_byte}")
+        if host_other_s < 0:
+            raise ConfigurationError(f"host_other_s must be >= 0: {host_other_s}")
+        self.graph = graph
+        self.theta = theta_s_per_byte
+        self.host_other_s = host_other_s
+
+    # -- the three systems --------------------------------------------------
+    def software(self) -> SystemTimes:
+        """All functions on the host (the vs-SW reference)."""
+        sw = sum(self.graph.kernel(k).sw_seconds for k in self.graph.kernel_names())
+        return SystemTimes(
+            label="software",
+            computation_s=sw,
+            communication_s=0.0,
+            host_other_s=self.host_other_s,
+        )
+
+    def baseline(self) -> SystemTimes:
+        """Eq. 2: every byte moves through the host over the bus."""
+        comp = sum(
+            self.graph.kernel(k).tau_seconds for k in self.graph.kernel_names()
+        )
+        traffic = self.graph.total_kernel_traffic()
+        return SystemTimes(
+            label="baseline",
+            computation_s=comp,
+            communication_s=traffic * self.theta,
+            host_other_s=self.host_other_s,
+        )
+
+    # -- savings ------------------------------------------------------------
+    def delta_c(self, plan: InterconnectPlan) -> float:
+        """Total shared-memory saving ``Σ 2·D_ij·θ`` (seconds)."""
+        return sum(l.delta_c_seconds(self.theta) for l in plan.sharing)
+
+    def delta_n(self, plan: InterconnectPlan) -> float:
+        """Total NoC saving: hidden kernel-to-kernel traffic (seconds).
+
+        Each NoC-carried edge removes one kernel→host and one host→kernel
+        transfer, i.e. ``2·D_ij·θ`` — summing ``(D^K_in + D^K_out)·θ``
+        over NoC kernels (the paper's formulation) counts exactly the
+        same bytes.
+        """
+        if plan.noc is None:
+            return 0.0
+        return sum(2.0 * b * self.theta for _, _, b in plan.noc.edges)
+
+    def delta_p1(self, plan: InterconnectPlan) -> float:
+        """Applied host-stream pipelining savings (seconds)."""
+        return sum(
+            d.delta_seconds
+            for d in plan.pipeline
+            if d.applied and d.case is PipelineCase.HOST_STREAM
+        )
+
+    def delta_p2(self, plan: InterconnectPlan) -> float:
+        """Applied kernel-chain pipelining savings (seconds)."""
+        return sum(
+            d.delta_seconds
+            for d in plan.pipeline
+            if d.applied and d.case is PipelineCase.KERNEL_STREAM
+        )
+
+    def delta_dp(self, plan: InterconnectPlan) -> float:
+        """Applied duplication savings ``Σ (τ/2 − O)`` (seconds)."""
+        return sum(d.delta_dp_seconds for d in plan.duplications if d.applied)
+
+    # -- the proposed system ---------------------------------------------------
+    def proposed(self, plan: InterconnectPlan) -> SystemTimes:
+        """Baseline minus the plan's savings, with physical clamps."""
+        base = self.baseline()
+        comp = base.computation_s - self.delta_dp(plan) - self.delta_p2(plan)
+        comp = max(comp, base.computation_s / 2.0)
+        comm = (
+            base.communication_s
+            - self.delta_c(plan)
+            - self.delta_n(plan)
+            - self.delta_p1(plan)
+        )
+        comm = max(comm, 0.0)
+        return SystemTimes(
+            label="proposed",
+            computation_s=comp,
+            communication_s=comm,
+            host_other_s=self.host_other_s,
+        )
+
+    # -- comparisons -----------------------------------------------------------
+    @staticmethod
+    def compare(reference: SystemTimes, improved: SystemTimes) -> SpeedupPair:
+        """Speed-up of ``improved`` over ``reference`` (app & kernels)."""
+        return SpeedupPair(
+            application=speedup(reference.application_s, improved.application_s),
+            kernels=speedup(reference.kernels_s, improved.kernels_s),
+        )
+
+    def baseline_vs_software(self) -> SpeedupPair:
+        """Fig. 4's left-hand bars."""
+        return self.compare(self.software(), self.baseline())
+
+    def proposed_vs_software(self, plan: InterconnectPlan) -> SpeedupPair:
+        """Table III columns 2–3."""
+        return self.compare(self.software(), self.proposed(plan))
+
+    def proposed_vs_baseline(self, plan: InterconnectPlan) -> SpeedupPair:
+        """Table III columns 4–5."""
+        return self.compare(self.baseline(), self.proposed(plan))

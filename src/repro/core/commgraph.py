@@ -1,0 +1,212 @@
+"""The kernel communication graph ``[HW_i → HW_j : D_ij]``.
+
+A :class:`CommGraph` joins the kernel specs with the traffic a QUAD
+profile measured: kernel→kernel edge weights plus per-kernel host traffic
+(``D^H_in`` / ``D^H_out``). All data-volume quantities of Eq. 1
+(``D^K_in``, ``D^K_out``, ``D_in``, ``D_out``) are derived from the edges
+so the graph can never disagree with itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..errors import DesignError
+from ..profiling.quad import CommunicationProfile
+from .kernel import KernelSpec
+
+#: Pseudo-node name for the host in collapsed profiles.
+HOST = "host"
+
+
+@dataclass(frozen=True)
+class CommGraph:
+    """Immutable kernel communication graph.
+
+    Parameters
+    ----------
+    kernels:
+        ``{name: KernelSpec}`` for every kernel candidate.
+    kk_edges:
+        ``{(producer, consumer): bytes}`` kernel-to-kernel traffic.
+    host_in / host_out:
+        ``{kernel: bytes}`` traffic from/to the host. Kernels missing
+        from these maps have zero host traffic.
+    """
+
+    kernels: Mapping[str, KernelSpec]
+    kk_edges: Mapping[Tuple[str, str], int] = field(default_factory=dict)
+    host_in: Mapping[str, int] = field(default_factory=dict)
+    host_out: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for (p, c), nbytes in self.kk_edges.items():
+            if p not in self.kernels or c not in self.kernels:
+                raise DesignError(f"edge ({p!r}, {c!r}) references unknown kernel")
+            if p == c:
+                raise DesignError(f"self edge on kernel {p!r}")
+            if nbytes <= 0:
+                raise DesignError(f"edge ({p!r}, {c!r}) must carry positive bytes")
+        for attr in ("host_in", "host_out"):
+            for k, nbytes in getattr(self, attr).items():
+                if k not in self.kernels:
+                    raise DesignError(f"{attr} references unknown kernel {k!r}")
+                if nbytes < 0:
+                    raise DesignError(f"{attr}[{k!r}] is negative")
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_profile(
+        cls,
+        profile: CommunicationProfile,
+        kernels: Iterable[KernelSpec],
+        host_name: str = HOST,
+    ) -> "CommGraph":
+        """Build the graph from a QUAD profile.
+
+        Every profiled function that is not a kernel (including the entry
+        pseudo-producer) is folded into the host, exactly as the paper's
+        model does: non-accelerated functions run on the host.
+        """
+        specs = {k.name: k for k in kernels}
+        folded = profile.restricted_to(tuple(specs), host_name)
+        kk: Dict[Tuple[str, str], int] = {}
+        h_in: Dict[str, int] = {}
+        h_out: Dict[str, int] = {}
+        for e in folded.edges:
+            if e.producer == host_name and e.consumer in specs:
+                h_in[e.consumer] = h_in.get(e.consumer, 0) + e.bytes
+            elif e.consumer == host_name and e.producer in specs:
+                h_out[e.producer] = h_out.get(e.producer, 0) + e.bytes
+            elif e.producer in specs and e.consumer in specs:
+                kk[(e.producer, e.consumer)] = e.bytes
+        return cls(kernels=specs, kk_edges=kk, host_in=h_in, host_out=h_out)
+
+    # -- Eq. 1 quantities ---------------------------------------------------
+    def d_h_in(self, name: str) -> int:
+        """``D^H_in`` — input bytes produced by host functions."""
+        self._require(name)
+        return self.host_in.get(name, 0)
+
+    def d_h_out(self, name: str) -> int:
+        """``D^H_out`` — output bytes consumed by host functions."""
+        self._require(name)
+        return self.host_out.get(name, 0)
+
+    def d_k_in(self, name: str) -> int:
+        """``D^K_in`` — input bytes produced by other kernels."""
+        self._require(name)
+        return sum(b for (_, c), b in self.kk_edges.items() if c == name)
+
+    def d_k_out(self, name: str) -> int:
+        """``D^K_out`` — output bytes consumed by other kernels."""
+        self._require(name)
+        return sum(b for (p, _), b in self.kk_edges.items() if p == name)
+
+    def d_in(self, name: str) -> int:
+        """Total input ``D_in = D^H_in + D^K_in``."""
+        return self.d_h_in(name) + self.d_k_in(name)
+
+    def d_out(self, name: str) -> int:
+        """Total output ``D_out = D^H_out + D^K_out``."""
+        return self.d_h_out(name) + self.d_k_out(name)
+
+    # -- structure queries ---------------------------------------------------
+    def producers_of(self, name: str) -> Tuple[str, ...]:
+        """Kernels sending data to ``name``, heaviest first."""
+        self._require(name)
+        rows = [(b, p) for (p, c), b in self.kk_edges.items() if c == name]
+        return tuple(p for _, p in sorted(rows, key=lambda r: (-r[0], r[1])))
+
+    def consumers_of(self, name: str) -> Tuple[str, ...]:
+        """Kernels receiving data from ``name``, heaviest first."""
+        self._require(name)
+        rows = [(b, c) for (p, c), b in self.kk_edges.items() if p == name]
+        return tuple(c for _, c in sorted(rows, key=lambda r: (-r[0], r[1])))
+
+    def edge_bytes(self, producer: str, consumer: str) -> int:
+        """``D_ij`` for one edge (0 when absent)."""
+        return self.kk_edges.get((producer, consumer), 0)
+
+    def edges_by_weight(self) -> Tuple[Tuple[str, str, int], ...]:
+        """All kernel-to-kernel edges, heaviest first (deterministic)."""
+        rows = [(p, c, b) for (p, c), b in self.kk_edges.items()]
+        rows.sort(key=lambda r: (-r[2], r[0], r[1]))
+        return tuple(rows)
+
+    def kernel(self, name: str) -> KernelSpec:
+        """Spec of one kernel."""
+        self._require(name)
+        return self.kernels[name]
+
+    def kernel_names(self) -> Tuple[str, ...]:
+        """All kernel names, insertion order."""
+        return tuple(self.kernels)
+
+    def total_kernel_traffic(self) -> int:
+        """``Σ (D_in + D_out)`` over all kernels (counts host and kernel
+        data; each kernel-kernel edge contributes twice, as in Eq. 2)."""
+        return sum(self.d_in(k) + self.d_out(k) for k in self.kernels)
+
+    def invocation_order(self) -> Tuple[str, ...]:
+        """A producer-before-consumer kernel order (for schedules).
+
+        Uses Kahn's algorithm; cycles (e.g. the fluid solver's feedback
+        edges) are broken by releasing the remaining kernel with the
+        smallest in-degree, which matches how an iterative application
+        actually invokes its kernels within one time step.
+        """
+        remaining = dict.fromkeys(self.kernels, 0)
+        for (_, c), _b in self.kk_edges.items():
+            remaining[c] += 1
+        order = []
+        pending = dict(remaining)
+        while pending:
+            ready = [k for k, deg in pending.items() if deg == 0]
+            if not ready:  # cycle: release min in-degree, stable by name
+                ready = [min(pending, key=lambda k: (pending[k], k))]
+            nxt = ready[0]
+            order.append(nxt)
+            del pending[nxt]
+            for (p, c), _b in self.kk_edges.items():
+                if p == nxt and c in pending:
+                    pending[c] -= 1
+        return tuple(order)
+
+    # -- transformations -------------------------------------------------------
+    def without_edge(self, producer: str, consumer: str) -> "CommGraph":
+        """Copy with one kernel-to-kernel edge removed."""
+        if (producer, consumer) not in self.kk_edges:
+            raise DesignError(f"no edge ({producer!r}, {consumer!r}) to remove")
+        kk = {k: v for k, v in self.kk_edges.items() if k != (producer, consumer)}
+        return CommGraph(self.kernels, kk, self.host_in, self.host_out)
+
+    def restricted(self, names: Sequence[str]) -> "CommGraph":
+        """Sub-graph over a subset of kernels.
+
+        Edges to dropped kernels are *redirected to the host* — a function
+        that is not accelerated runs on the host, so its traffic becomes
+        host traffic. This is exactly what happens when ``L_hw`` selects
+        fewer functions than the profile contains.
+        """
+        keep = set(names)
+        unknown = keep - set(self.kernels)
+        if unknown:
+            raise DesignError(f"unknown kernels in restriction: {sorted(unknown)}")
+        kernels = {n: s for n, s in self.kernels.items() if n in keep}
+        kk: Dict[Tuple[str, str], int] = {}
+        h_in = {n: self.host_in.get(n, 0) for n in kernels}
+        h_out = {n: self.host_out.get(n, 0) for n in kernels}
+        for (p, c), b in self.kk_edges.items():
+            if p in keep and c in keep:
+                kk[(p, c)] = b
+            elif p in keep:
+                h_out[p] = h_out.get(p, 0) + b
+            elif c in keep:
+                h_in[c] = h_in.get(c, 0) + b
+        return CommGraph(kernels, kk, h_in, h_out)
+
+    def _require(self, name: str) -> None:
+        if name not in self.kernels:
+            raise DesignError(f"unknown kernel {name!r}")

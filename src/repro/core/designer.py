@@ -1,0 +1,216 @@
+"""Algorithm 1 — the custom interconnect design algorithm, end to end.
+
+Given the application's communication graph (built from a QUAD profile
+and per-kernel timing), the designer:
+
+1. duplicates parallelizable hot kernels when ``Δ_dp > 0`` and the device
+   has room (lines 2–6);
+2. applies the shared-local-memory solution to exclusive producer→
+   consumer pairs (lines 8–13);
+3. classifies each kernel's residual communication topology and applies
+   the adaptive mapping function (line 14, Table I);
+4. places the NoC-attached kernels and memories on the smallest mesh
+   that fits, minimizing weighted hop distance;
+5. evaluates pipelining cases 1 and 2 (line 15).
+
+Every stage can be disabled through :class:`DesignConfig` — that is how
+the ablation benches and the paper's "NoC-only" comparison system are
+expressed (sharing and adaptive mapping off, everything on the NoC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from ..errors import DesignError
+from ..hw.device import Device, XC5VFX130T
+from ..hw.resources import ComponentKind, ResourceCost, component_cost
+from ..hw.synthesis import PLATFORM_BASE
+from .commgraph import CommGraph
+from .duplication import DuplicationDecision, decide_duplications
+from .mapping import adaptive_map
+from .parallel import PipelineDecision, find_pipeline_opportunities
+from .placement import place_on_mesh
+from .plan import InterconnectPlan, KernelMapping, NocPlan, memory_node
+from .sharing import find_sharing_pairs, residual_graph
+from .topology import (
+    KernelAttach,
+    MemoryAttach,
+    classify_receive,
+    classify_send,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class DesignConfig:
+    """Knobs of the design algorithm.
+
+    ``theta_s_per_byte`` is the paper's ``θ`` — the average time to move
+    one byte over the system communication infrastructure; it comes from
+    the bus model. ``stream_overhead_s`` is the paper's ``O``.
+    """
+
+    theta_s_per_byte: float
+    stream_overhead_s: float = 2.0e-6
+    device: Device = XC5VFX130T
+    utilization_cap: float = 0.85
+    max_duplications: int = 1
+    enable_duplication: bool = True
+    enable_sharing: bool = True
+    enable_noc: bool = True
+    enable_adaptive_mapping: bool = True
+    enable_pipelining: bool = True
+    #: NoC topology: "mesh" (the paper's) or "torus" (extension).
+    noc_topology: str = "mesh"
+
+    def __post_init__(self) -> None:
+        if self.theta_s_per_byte <= 0:
+            raise DesignError(f"theta must be positive, got {self.theta_s_per_byte}")
+        if self.stream_overhead_s < 0:
+            raise DesignError(f"overhead must be >= 0, got {self.stream_overhead_s}")
+        if self.noc_topology not in ("mesh", "torus"):
+            raise DesignError(f"unknown NoC topology {self.noc_topology!r}")
+
+    def noc_only(self) -> "DesignConfig":
+        """The paper's NoC-only comparison system: parallel solution on,
+        shared memory off, adaptive mapping off (everything on the NoC)."""
+        return replace(self, enable_sharing=False, enable_adaptive_mapping=False)
+
+    def bus_only(self) -> "DesignConfig":
+        """Pure baseline interconnect (used by ablations)."""
+        return replace(
+            self,
+            enable_duplication=False,
+            enable_sharing=False,
+            enable_noc=False,
+            enable_pipelining=False,
+        )
+
+
+class InterconnectDesigner:
+    """Stateful wrapper running Algorithm 1 for one application."""
+
+    def __init__(self, app: str, graph: CommGraph, config: DesignConfig) -> None:
+        self.app = app
+        self.graph = graph
+        self.config = config
+
+    # -- stages ------------------------------------------------------------
+    def _committed_cost(self, graph: CommGraph) -> ResourceCost:
+        cost = PLATFORM_BASE + component_cost(ComponentKind.BUS)
+        for name in graph.kernel_names():
+            cost = cost + graph.kernel(name).resources
+        return cost
+
+    def _duplicate(self) -> Tuple[CommGraph, Tuple[DuplicationDecision, ...]]:
+        if not self.config.enable_duplication:
+            return self.graph, ()
+        return decide_duplications(
+            self.graph,
+            self.config.device,
+            self.config.stream_overhead_s,
+            self._committed_cost(self.graph),
+            utilization_cap=self.config.utilization_cap,
+            max_duplications=self.config.max_duplications,
+        )
+
+    def _map_kernels(
+        self, graph: CommGraph, residual: CommGraph
+    ) -> Dict[str, KernelMapping]:
+        mappings: Dict[str, KernelMapping] = {}
+        for name in graph.kernel_names():
+            receive = classify_receive(residual, name)
+            send = classify_send(residual, name)
+            if not self.config.enable_noc:
+                attach = (KernelAttach.K1, MemoryAttach.M1)
+            elif self.config.enable_adaptive_mapping:
+                attach = adaptive_map(receive, send)
+            else:
+                # NoC-only: maximum attachment — every kernel and every
+                # local memory gets a router (the paper's strawman).
+                attach = (KernelAttach.K2, MemoryAttach.M3)
+            mappings[name] = KernelMapping(
+                kernel=name,
+                receive=receive,
+                send=send,
+                attach_kernel=attach[0],
+                attach_memory=attach[1],
+            )
+        return mappings
+
+    def _build_noc(
+        self,
+        mappings: Dict[str, KernelMapping],
+        residual: CommGraph,
+    ) -> NocPlan | None:
+        if not self.config.enable_noc:
+            return None
+        kernel_nodes = [m.kernel for m in mappings.values() if m.on_noc]
+        memory_nodes = [m.kernel for m in mappings.values() if m.memory_on_noc]
+        if not kernel_nodes and not memory_nodes:
+            return None
+        nodes = list(kernel_nodes) + [memory_node(k) for k in memory_nodes]
+        edges: Dict[Tuple[str, str], float] = {}
+        noc_edges: List[Tuple[str, str, int]] = []
+        for p, c, b in residual.edges_by_weight():
+            if p not in kernel_nodes or c not in memory_nodes:
+                raise DesignError(
+                    f"residual edge {p}->{c} not representable on the NoC "
+                    f"(mapping gave K={mappings[p].attach_kernel}, "
+                    f"M={mappings[c].attach_memory})"
+                )
+            key = (p, memory_node(c))
+            edges[key] = edges.get(key, 0.0) + float(b)
+            noc_edges.append((p, c, b))
+        placement = place_on_mesh(
+            nodes, edges, torus=self.config.noc_topology == "torus"
+        )
+        return NocPlan(
+            placement=placement,
+            kernel_nodes=tuple(kernel_nodes),
+            memory_nodes=tuple(memory_nodes),
+            edges=tuple(noc_edges),
+        )
+
+    # -- entry point ----------------------------------------------------------
+    def design(self) -> InterconnectPlan:
+        """Run Algorithm 1 and return the plan."""
+        graph, duplications = self._duplicate()
+
+        sharing = find_sharing_pairs(graph) if self.config.enable_sharing else ()
+        residual = residual_graph(graph, sharing)
+
+        mappings = self._map_kernels(graph, residual)
+        noc = self._build_noc(mappings, residual)
+
+        pipeline: Tuple[PipelineDecision, ...] = ()
+        if self.config.enable_pipelining:
+            kept: List[Tuple[str, str]] = [
+                (l.producer, l.consumer) for l in sharing
+            ]
+            if noc is not None:
+                kept.extend((p, c) for p, c, _ in noc.edges)
+            pipeline = find_pipeline_opportunities(
+                graph,
+                tuple(kept),
+                self.config.theta_s_per_byte,
+                self.config.stream_overhead_s,
+            )
+
+        return InterconnectPlan(
+            app=self.app,
+            graph=graph,
+            duplications=duplications,
+            sharing=sharing,
+            mappings=mappings,
+            noc=noc,
+            pipeline=pipeline,
+        )
+
+
+def design_interconnect(
+    app: str, graph: CommGraph, config: DesignConfig
+) -> InterconnectPlan:
+    """Functional façade over :class:`InterconnectDesigner`."""
+    return InterconnectDesigner(app, graph, config).design()

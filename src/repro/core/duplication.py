@@ -1,0 +1,155 @@
+"""Kernel duplication (Algorithm 1, lines 2–6; parallel case 3).
+
+A computationally intensive kernel that can process independent data
+halves in parallel is duplicated when ``Δ_dp = τ_i/2 − O > 0`` and the
+device has room for a second core. Duplication is applied *structurally*:
+the kernel is replaced by two copies, each with half the computation and
+half of every data volume, so every later stage (sharing, mapping,
+simulation, synthesis) sees the duplicated system — the paper's JPEG
+example duplicates ``huff_ac_dec`` and then maps both copies to the NoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..hw.device import Device
+from ..hw.resources import ResourceCost
+from ..units import KERNEL_CLOCK
+from .commgraph import CommGraph
+
+#: Suffixes for the two copies of a duplicated kernel.
+DUP_SUFFIXES = ("#0", "#1")
+
+
+@dataclass(frozen=True, slots=True)
+class DuplicationDecision:
+    """Outcome of the duplication test for one kernel."""
+
+    kernel: str
+    delta_dp_seconds: float
+    applied: bool
+    reason: str
+
+
+def delta_dp_seconds(tau_cycles: float, overhead_s: float) -> float:
+    """``Δ_dp = τ_i/2 − O`` in seconds."""
+    return KERNEL_CLOCK.cycles_to_seconds(tau_cycles) / 2.0 - overhead_s
+
+
+def split_bytes(nbytes: int) -> Tuple[int, int]:
+    """Split a byte count across two copies without losing bytes."""
+    half = nbytes // 2
+    return half, nbytes - half
+
+
+def apply_duplication(graph: CommGraph, name: str) -> CommGraph:
+    """Replace ``name`` with two half-sized copies in the graph.
+
+    Every edge and host flow touching the kernel is split across the
+    copies; total traffic is conserved exactly.
+    """
+    spec = graph.kernel(name)
+    copies = [spec.halved(sfx) for sfx in DUP_SUFFIXES]
+
+    kernels = {}
+    for n, s in graph.kernels.items():
+        if n == name:
+            for c in copies:
+                kernels[c.name] = c
+        else:
+            kernels[n] = s
+
+    kk: Dict[Tuple[str, str], int] = {}
+    for (p, c), b in graph.kk_edges.items():
+        if p == name and c == name:  # pragma: no cover - self edges rejected earlier
+            continue
+        if p == name:
+            b0, b1 = split_bytes(b)
+            if b0:
+                kk[(copies[0].name, c)] = b0
+            if b1:
+                kk[(copies[1].name, c)] = b1
+        elif c == name:
+            b0, b1 = split_bytes(b)
+            if b0:
+                kk[(p, copies[0].name)] = b0
+            if b1:
+                kk[(p, copies[1].name)] = b1
+        else:
+            kk[(p, c)] = b
+
+    def split_host(flows: Dict[str, int]) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for k, b in flows.items():
+            if k == name:
+                b0, b1 = split_bytes(b)
+                if b0:
+                    out[copies[0].name] = b0
+                if b1:
+                    out[copies[1].name] = b1
+            else:
+                out[k] = b
+        return out
+
+    return CommGraph(
+        kernels=kernels,
+        kk_edges=kk,
+        host_in=split_host(dict(graph.host_in)),
+        host_out=split_host(dict(graph.host_out)),
+    )
+
+
+def decide_duplications(
+    graph: CommGraph,
+    device: Device,
+    overhead_s: float,
+    committed_cost: ResourceCost,
+    utilization_cap: float = 0.85,
+    max_duplications: int = 1,
+) -> Tuple[CommGraph, Tuple[DuplicationDecision, ...]]:
+    """Run the duplication loop of Algorithm 1.
+
+    Kernels are visited in descending computation time (the paper
+    duplicates "the most computationally intensive function"). Each
+    applied duplication adds one full kernel footprint to the committed
+    cost, and the loop stops honouring further candidates once the device
+    would overflow ``utilization_cap``.
+    """
+    decisions: List[DuplicationDecision] = []
+    cost = committed_cost
+    applied = 0
+    order = sorted(
+        graph.kernel_names(),
+        key=lambda n: (-graph.kernel(n).tau_cycles, n),
+    )
+    for name in order:
+        spec = graph.kernel(name)
+        delta = delta_dp_seconds(spec.tau_cycles, overhead_s)
+        if not spec.parallelizable:
+            decisions.append(
+                DuplicationDecision(name, delta, False, "not parallelizable")
+            )
+            continue
+        if delta <= 0:
+            decisions.append(
+                DuplicationDecision(name, delta, False, "delta_dp <= 0")
+            )
+            continue
+        if applied >= max_duplications:
+            decisions.append(
+                DuplicationDecision(name, delta, False, "duplication budget spent")
+            )
+            continue
+        extra = spec.resources
+        if not device.fits(cost + extra, utilization_cap):
+            decisions.append(
+                DuplicationDecision(name, delta, False, "insufficient device resources")
+            )
+            continue
+        graph = apply_duplication(graph, name)
+        cost = cost + extra
+        applied += 1
+        decisions.append(DuplicationDecision(name, delta, True, "applied"))
+    return graph, tuple(decisions)

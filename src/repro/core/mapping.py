@@ -1,0 +1,62 @@
+"""The adaptive mapping function ``f`` (Eq. 3 / Table I).
+
+Maps each of the nine communication-topology cases
+``{R1,R2,R3} × {S1,S2,S3}`` to an interconnect-topology case
+``{K1,K2} × {M1,M2,M3}``. The combination ``{K1, M2}`` — a kernel that is
+off the NoC while its memory is reachable only from the NoC — is
+infeasible ("the result of the HW accelerator will be inaccessible by any
+other function"), and the table never produces it.
+
+The table's logic, spelled out:
+
+* a kernel *sends* to other kernels (``S1``/``S3``) ⇒ it needs its own
+  NoC port (``K2``);
+* a kernel *receives* from other kernels (``R1``/``R3``) ⇒ producers must
+  be able to write its local memory through the NoC (``M2`` or ``M3``);
+* the host touches the kernel (``R2``/``R3`` input or ``S2``/``S3``
+  output) ⇒ the memory stays reachable from the bus (``M1`` or ``M3``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import MappingError
+from .topology import KernelAttach, MemoryAttach, ReceiveClass, SendClass
+
+#: Table I, verbatim.
+ADAPTIVE_MAPPING: Dict[
+    Tuple[ReceiveClass, SendClass], Tuple[KernelAttach, MemoryAttach]
+] = {
+    (ReceiveClass.R1, SendClass.S1): (KernelAttach.K2, MemoryAttach.M2),
+    (ReceiveClass.R1, SendClass.S2): (KernelAttach.K1, MemoryAttach.M3),
+    (ReceiveClass.R3, SendClass.S2): (KernelAttach.K1, MemoryAttach.M3),
+    (ReceiveClass.R1, SendClass.S3): (KernelAttach.K2, MemoryAttach.M3),
+    (ReceiveClass.R3, SendClass.S1): (KernelAttach.K2, MemoryAttach.M3),
+    (ReceiveClass.R3, SendClass.S3): (KernelAttach.K2, MemoryAttach.M3),
+    (ReceiveClass.R2, SendClass.S1): (KernelAttach.K2, MemoryAttach.M1),
+    (ReceiveClass.R2, SendClass.S3): (KernelAttach.K2, MemoryAttach.M1),
+    (ReceiveClass.R2, SendClass.S2): (KernelAttach.K1, MemoryAttach.M1),
+}
+
+#: The infeasible interconnect value Table I must never produce.
+INFEASIBLE = (KernelAttach.K1, MemoryAttach.M2)
+
+
+def adaptive_map(
+    receive: ReceiveClass, send: SendClass
+) -> Tuple[KernelAttach, MemoryAttach]:
+    """Apply the adaptive mapping function to one kernel's classes."""
+    try:
+        result = ADAPTIVE_MAPPING[(receive, send)]
+    except KeyError:  # pragma: no cover - table is total over the enums
+        raise MappingError(f"no mapping for ({receive}, {send})") from None
+    if result == INFEASIBLE:  # pragma: no cover - defensive
+        raise MappingError(f"mapping produced infeasible {result}")
+    return result
+
+
+def needs_noc(receive: ReceiveClass, send: SendClass) -> bool:
+    """Whether this kernel contributes any NoC component at all."""
+    k, m = adaptive_map(receive, send)
+    return k is KernelAttach.K2 or m in (MemoryAttach.M2, MemoryAttach.M3)

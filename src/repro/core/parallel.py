@@ -1,0 +1,145 @@
+"""Pipelining — parallel processing cases 1 and 2 (Section IV-A3).
+
+* **Case 1** (host-stream): a kernel whose host input/output can be
+  processed in two segments overlaps transfer with computation, saving
+  ``Δ_p1 = min(D^H_in·θ, τ)/2 + min(D^H_out·θ, τ)/2 − O``.
+* **Case 2** (kernel chain): a consumer that can start on the first half
+  of a producer's result overlaps the two computations, saving
+  ``Δ_p2 = min(τ_i, τ_j)/2 − O``.
+
+Algorithm 1 checks these *last* (line 15), on the kernels that remain
+after sharing and mapping. Case 2 applies to kernel-to-kernel edges that
+were kept (NoC or shared-memory — a shared memory delivers the first half
+as soon as it is written, so both interconnect styles support it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..units import KERNEL_CLOCK
+from .commgraph import CommGraph
+
+
+class PipelineCase(enum.Enum):
+    """Which of the paper's parallel-processing cases a decision is."""
+
+    HOST_STREAM = "case1"
+    KERNEL_STREAM = "case2"
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineDecision:
+    """One applied (or rejected) pipelining opportunity."""
+
+    case: PipelineCase
+    #: The kernel (case 1) or the producer kernel (case 2).
+    kernel: str
+    #: The consumer kernel for case 2, ``None`` for case 1.
+    consumer: Optional[str]
+    delta_seconds: float
+    applied: bool
+    reason: str
+
+
+def delta_p1_seconds(
+    d_h_in: int, d_h_out: int, tau_cycles: float, theta_s: float, overhead_s: float
+) -> float:
+    """``Δ_p1`` for one kernel (seconds)."""
+    tau_s = KERNEL_CLOCK.cycles_to_seconds(tau_cycles)
+    gain_in = min(d_h_in * theta_s, tau_s) / 2.0
+    gain_out = min(d_h_out * theta_s, tau_s) / 2.0
+    return gain_in + gain_out - overhead_s
+
+
+def delta_p2_seconds(
+    tau_i_cycles: float, tau_j_cycles: float, overhead_s: float
+) -> float:
+    """``Δ_p2`` for one producer→consumer edge (seconds)."""
+    return (
+        min(
+            KERNEL_CLOCK.cycles_to_seconds(tau_i_cycles),
+            KERNEL_CLOCK.cycles_to_seconds(tau_j_cycles),
+        )
+        / 2.0
+        - overhead_s
+    )
+
+
+def find_pipeline_opportunities(
+    graph: CommGraph,
+    kept_edges: Tuple[Tuple[str, str], ...],
+    theta_s: float,
+    overhead_s: float,
+) -> Tuple[PipelineDecision, ...]:
+    """Evaluate cases 1 and 2 over the designed system.
+
+    ``kept_edges`` are the kernel-to-kernel edges the interconnect
+    actually carries (shared-memory links + residual NoC edges). A
+    decision is applied only when its ``Δ`` is positive and the involved
+    kernels advertise the needed streaming capability.
+    """
+    decisions: List[PipelineDecision] = []
+
+    # Case 1 — host streaming per kernel, deterministic order.
+    for name in graph.kernel_names():
+        spec = graph.kernel(name)
+        d_in, d_out = graph.d_h_in(name), graph.d_h_out(name)
+        if d_in == 0 and d_out == 0:
+            continue  # nothing to stream with the host
+        delta = delta_p1_seconds(d_in, d_out, spec.tau_cycles, theta_s, overhead_s)
+        if not spec.streams_host_io:
+            decisions.append(
+                PipelineDecision(
+                    PipelineCase.HOST_STREAM, name, None, delta, False,
+                    "kernel cannot stream host I/O",
+                )
+            )
+        elif delta <= 0:
+            decisions.append(
+                PipelineDecision(
+                    PipelineCase.HOST_STREAM, name, None, delta, False,
+                    "delta_p1 <= 0",
+                )
+            )
+        else:
+            decisions.append(
+                PipelineDecision(
+                    PipelineCase.HOST_STREAM, name, None, delta, True, "applied"
+                )
+            )
+
+    # Case 2 — producer/consumer overlap on kept kernel-to-kernel edges.
+    for producer, consumer in kept_edges:
+        spec_p = graph.kernel(producer)
+        spec_c = graph.kernel(consumer)
+        delta = delta_p2_seconds(spec_p.tau_cycles, spec_c.tau_cycles, overhead_s)
+        if not spec_c.streams_kernel_input:
+            decisions.append(
+                PipelineDecision(
+                    PipelineCase.KERNEL_STREAM, producer, consumer, delta, False,
+                    "consumer cannot stream kernel input",
+                )
+            )
+        elif delta <= 0:
+            decisions.append(
+                PipelineDecision(
+                    PipelineCase.KERNEL_STREAM, producer, consumer, delta, False,
+                    "delta_p2 <= 0",
+                )
+            )
+        else:
+            decisions.append(
+                PipelineDecision(
+                    PipelineCase.KERNEL_STREAM, producer, consumer, delta, True,
+                    "applied",
+                )
+            )
+    return tuple(decisions)
+
+
+def total_pipeline_gain(decisions: Tuple[PipelineDecision, ...]) -> float:
+    """Sum of the applied decisions' savings (seconds)."""
+    return sum(d.delta_seconds for d in decisions if d.applied)

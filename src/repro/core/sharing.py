@@ -1,0 +1,97 @@
+"""The shared local memory solution (Algorithm 1, lines 8–13).
+
+Two kernels can share their local memories when the producer sends its
+kernel output to exactly one consumer and that consumer receives kernel
+input from exactly that producer: ``D^K_i(out) = D^K_j(in) = D_ij``. The
+shared data then needs no transfer at all, saving ``Δ_c = 2·D_ij·θ``
+versus the baseline (one host-bound and one host-to-consumer transfer).
+
+The crossbar: BRAMs have two ports and one is normally taken by the host
+(Section IV-A1), so sharing generally goes through the 2×2 crossbar; only
+when the consumer has no host traffic (``D^H_j(in) = D^H_j(out) = 0``)
+can the memories be shared directly.
+
+Pairing policy (paper ambiguity #1, see DESIGN.md): edges are considered
+heaviest-first, and a kernel participates in at most one sharing pair —
+chaining shared memories (A↔B↔C) would need more BRAM ports than exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from .commgraph import CommGraph
+
+
+@dataclass(frozen=True, slots=True)
+class SharedMemoryLink:
+    """One applied shared-local-memory pairing."""
+
+    producer: str
+    consumer: str
+    #: ``D_ij`` — the traffic the pairing eliminates (bytes).
+    bytes: int
+    #: Whether the 2×2 crossbar is required (consumer has host traffic).
+    crossbar: bool
+
+    def delta_c_seconds(self, theta_s_per_byte: float) -> float:
+        """``Δ_c = 2·D_ij·θ`` — communication time saved (seconds)."""
+        return 2.0 * self.bytes * theta_s_per_byte
+
+
+def is_exclusive_pair(graph: CommGraph, producer: str, consumer: str) -> bool:
+    """Check the paper's sharing condition for one edge.
+
+    ``HW_i`` sends kernel output only to ``HW_j`` and ``HW_j`` receives
+    kernel input only from ``HW_i``; both with non-zero traffic.
+    """
+    d_ij = graph.edge_bytes(producer, consumer)
+    if d_ij <= 0:
+        return False
+    return (
+        graph.d_k_out(producer) == d_ij  # i sends to j only
+        and graph.d_k_in(consumer) == d_ij  # j receives from i only
+    )
+
+
+def find_sharing_pairs(graph: CommGraph) -> Tuple[SharedMemoryLink, ...]:
+    """All shared-memory pairings Algorithm 1 applies, heaviest first.
+
+    Deterministic: edges are scanned in descending weight (ties broken by
+    name) and each kernel joins at most one pair.
+    """
+    used: Set[str] = set()
+    links: List[SharedMemoryLink] = []
+    for producer, consumer, nbytes in graph.edges_by_weight():
+        if producer in used or consumer in used:
+            continue
+        if not is_exclusive_pair(graph, producer, consumer):
+            continue
+        crossbar = (graph.d_h_in(consumer) + graph.d_h_out(consumer)) > 0
+        links.append(
+            SharedMemoryLink(
+                producer=producer,
+                consumer=consumer,
+                bytes=nbytes,
+                crossbar=crossbar,
+            )
+        )
+        used.add(producer)
+        used.add(consumer)
+    return tuple(links)
+
+
+def residual_graph(
+    graph: CommGraph, links: Tuple[SharedMemoryLink, ...]
+) -> CommGraph:
+    """The communication graph with SM-satisfied edges removed.
+
+    The remaining kernel-to-kernel edges are what the NoC must carry;
+    classification for the adaptive mapping runs on this residual graph
+    (DESIGN.md interpretation decision #1/#2).
+    """
+    g = graph
+    for link in links:
+        g = g.without_edge(link.producer, link.consumer)
+    return g

@@ -1,0 +1,74 @@
+"""Communication and interconnect topology classes (Eqs. 4–5).
+
+For each kernel the paper distinguishes where its input comes from
+(``R1`` kernels only / ``R2`` host only / ``R3`` both) and where its
+output goes (``S1`` kernels only / ``S2`` host only / ``S3`` both), and
+for the resulting interconnect whether the kernel attaches to the NoC
+(``K1`` no / ``K2`` yes) and how its local memory attaches (``M1`` bus
+only / ``M2`` NoC only / ``M3`` both).
+
+Degenerate kernels the paper does not discuss are classified
+conservatively: a kernel with no input at all still gets its invocation
+parameters from the host, so it is ``R2``; a kernel whose output nobody
+reads is still collected by the host in the paper's execution model, so
+it is ``S2``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .commgraph import CommGraph
+
+
+class ReceiveClass(enum.Enum):
+    """Where a kernel's input data is produced (Eq. 4 first factor)."""
+
+    R1 = "kernels_only"
+    R2 = "host_only"
+    R3 = "kernels_and_host"
+
+
+class SendClass(enum.Enum):
+    """Where a kernel's output data is consumed (Eq. 4 second factor)."""
+
+    S1 = "kernels_only"
+    S2 = "host_only"
+    S3 = "kernels_and_host"
+
+
+class KernelAttach(enum.Enum):
+    """Kernel-to-NoC connection options (Eq. 5 first factor)."""
+
+    K1 = "not_on_noc"
+    K2 = "on_noc"
+
+
+class MemoryAttach(enum.Enum):
+    """Local-memory connection options (Eq. 5 second factor)."""
+
+    M1 = "bus_only"
+    M2 = "noc_only"
+    M3 = "bus_and_noc"
+
+
+def classify_receive(graph: CommGraph, name: str) -> ReceiveClass:
+    """Classify a kernel's receive side on the given graph."""
+    from_kernels = graph.d_k_in(name) > 0
+    from_host = graph.d_h_in(name) > 0
+    if from_kernels and from_host:
+        return ReceiveClass.R3
+    if from_kernels:
+        return ReceiveClass.R1
+    return ReceiveClass.R2  # host-only, including the no-input case
+
+
+def classify_send(graph: CommGraph, name: str) -> SendClass:
+    """Classify a kernel's send side on the given graph."""
+    to_kernels = graph.d_k_out(name) > 0
+    to_host = graph.d_h_out(name) > 0
+    if to_kernels and to_host:
+        return SendClass.S3
+    if to_kernels:
+        return SendClass.S1
+    return SendClass.S2  # host-only, including the no-output case

@@ -1,0 +1,125 @@
+"""Interconnect-plan validation.
+
+A plan produced by hand (or by a modified designer) can violate
+invariants the rest of the toolchain assumes — infeasible Table I
+combinations, NoC edges whose endpoints are not attached, sharing links
+that are not exclusive pairs, placements missing routers. The validator
+checks everything an :class:`~repro.core.plan.InterconnectPlan` promises
+and reports *all* violations (not just the first), so it doubles as a
+debugging aid for custom designer configurations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import DesignError
+from .plan import InterconnectPlan, memory_node
+from .sharing import is_exclusive_pair
+from .topology import KernelAttach, MemoryAttach
+
+
+def validate_plan(plan: InterconnectPlan) -> List[str]:
+    """Return a list of human-readable violations (empty = valid)."""
+    problems: List[str] = []
+    graph = plan.graph
+    kernel_names = set(graph.kernel_names())
+
+    # -- mappings ----------------------------------------------------------
+    if set(plan.mappings) != kernel_names:
+        missing = kernel_names - set(plan.mappings)
+        extra = set(plan.mappings) - kernel_names
+        if missing:
+            problems.append(f"kernels without a mapping: {sorted(missing)}")
+        if extra:
+            problems.append(f"mappings for unknown kernels: {sorted(extra)}")
+
+    for name, m in plan.mappings.items():
+        if (
+            m.attach_kernel is KernelAttach.K1
+            and m.attach_memory is MemoryAttach.M2
+        ):
+            problems.append(
+                f"{name}: infeasible {{K1, M2}} — the kernel's result "
+                "would be unreachable (Table I)"
+            )
+
+    # -- sharing -----------------------------------------------------------
+    seen = set()
+    for link in plan.sharing:
+        for endpoint in (link.producer, link.consumer):
+            if endpoint not in kernel_names:
+                problems.append(f"sharing link references unknown {endpoint!r}")
+            elif endpoint in seen:
+                problems.append(
+                    f"{endpoint} participates in more than one sharing pair "
+                    "(BRAM port budget)"
+                )
+            seen.add(endpoint)
+        if (
+            link.producer in kernel_names
+            and link.consumer in kernel_names
+            and not is_exclusive_pair(graph, link.producer, link.consumer)
+        ):
+            problems.append(
+                f"sharing {link.producer}->{link.consumer} is not an "
+                "exclusive pair on this graph"
+            )
+        has_host = (
+            graph.d_h_in(link.consumer) + graph.d_h_out(link.consumer) > 0
+            if link.consumer in kernel_names
+            else False
+        )
+        if has_host and not link.crossbar:
+            problems.append(
+                f"sharing {link.producer}->{link.consumer}: consumer has "
+                "host traffic but no crossbar (Section IV-A1)"
+            )
+
+    # -- NoC ------------------------------------------------------------------
+    sm_edges = {(l.producer, l.consumer) for l in plan.sharing}
+    if plan.noc is not None:
+        positions = plan.noc.placement.positions
+        for k in plan.noc.kernel_nodes:
+            if k not in positions:
+                problems.append(f"NoC kernel node {k!r} has no router")
+            if k in plan.mappings and not plan.mappings[k].on_noc:
+                problems.append(f"{k} is on the NoC but mapped K1")
+        for k in plan.noc.memory_nodes:
+            if memory_node(k) not in positions:
+                problems.append(f"NoC memory node of {k!r} has no router")
+            if k in plan.mappings and not plan.mappings[k].memory_on_noc:
+                problems.append(f"{k}'s memory is on the NoC but mapped M1")
+        for p, c, b in plan.noc.edges:
+            if graph.edge_bytes(p, c) != b:
+                problems.append(
+                    f"NoC edge {p}->{c} carries {b} bytes but the graph "
+                    f"says {graph.edge_bytes(p, c)}"
+                )
+            if p not in plan.noc.kernel_nodes:
+                problems.append(f"NoC edge {p}->{c}: producer lacks a NoC port")
+            if c not in plan.noc.memory_nodes:
+                problems.append(f"NoC edge {p}->{c}: consumer memory not on NoC")
+            if (p, c) in sm_edges:
+                problems.append(f"edge {p}->{c} is both shared-memory and NoC")
+
+    # -- coverage ---------------------------------------------------------------
+    noc_edges = {(p, c) for p, c, _ in (plan.noc.edges if plan.noc else ())}
+    for (p, c) in graph.kk_edges:
+        if (p, c) not in sm_edges and (p, c) not in noc_edges:
+            # Legal only when the design ran without a NoC (relay mode).
+            if plan.noc is not None:
+                problems.append(
+                    f"edge {p}->{c} carried by neither shared memory nor NoC"
+                )
+
+    return problems
+
+
+def check_plan(plan: InterconnectPlan) -> None:
+    """Raise :class:`DesignError` listing every violation, if any."""
+    problems = validate_plan(plan)
+    if problems:
+        raise DesignError(
+            "invalid interconnect plan:\n  - " + "\n  - ".join(problems)
+        )

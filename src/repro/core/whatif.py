@@ -1,0 +1,184 @@
+"""What-if analysis over a designed system.
+
+Architects iterate: *what if this kernel were twice as fast? what if
+that edge carried double the data? what if the bus were faster?* Each
+question perturbs the communication graph or platform and re-runs the
+designer + analytic model. This module packages the loop so a what-if
+is one call returning both the perturbed outcome and the delta against
+the unperturbed design — including whether the *structure* of the
+design changed (a perturbation can flip a shared-memory pair into a NoC
+group or change the duplication choice, which is exactly what the
+architect needs to notice).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import DesignError
+from .analytic import AnalyticModel
+from .commgraph import CommGraph
+from .designer import DesignConfig, design_interconnect
+from .kernel import KernelSpec
+from .plan import InterconnectPlan
+
+
+@dataclass(frozen=True)
+class WhatIfOutcome:
+    """Result of one what-if question."""
+
+    description: str
+    plan: InterconnectPlan
+    kernels_seconds: float
+    baseline_seconds: float
+    #: Perturbed time / reference time (< 1 means the change helps).
+    relative_time: float
+    #: Whether the perturbation changed the design's structure.
+    solution_changed: bool
+    reference_solution: str
+    new_solution: str
+
+    @property
+    def speedup_vs_baseline(self) -> float:
+        """Perturbed proposed-vs-baseline kernel speed-up."""
+        return self.baseline_seconds / self.kernels_seconds
+
+
+class WhatIf:
+    """What-if explorer bound to one application's graph and config."""
+
+    def __init__(
+        self,
+        app: str,
+        graph: CommGraph,
+        config: DesignConfig,
+        host_other_s: float = 0.0,
+    ) -> None:
+        self.app = app
+        self.graph = graph
+        self.config = config
+        self.host_other_s = host_other_s
+        self._reference = self._evaluate(graph, config)
+
+    # -- engine ---------------------------------------------------------
+    def _evaluate(
+        self, graph: CommGraph, config: DesignConfig
+    ) -> Tuple[InterconnectPlan, float, float]:
+        plan = design_interconnect(self.app, graph, config)
+        model = AnalyticModel(graph, config.theta_s_per_byte, self.host_other_s)
+        return (
+            plan,
+            model.proposed(plan).kernels_s,
+            model.baseline().kernels_s,
+        )
+
+    def _outcome(
+        self,
+        description: str,
+        graph: CommGraph,
+        config: Optional[DesignConfig] = None,
+    ) -> WhatIfOutcome:
+        config = config or self.config
+        plan, t, base = self._evaluate(graph, config)
+        ref_plan, ref_t, _ = self._reference
+        return WhatIfOutcome(
+            description=description,
+            plan=plan,
+            kernels_seconds=t,
+            baseline_seconds=base,
+            relative_time=t / ref_t,
+            solution_changed=(
+                plan.solution_label() != ref_plan.solution_label()
+            ),
+            reference_solution=ref_plan.solution_label(),
+            new_solution=plan.solution_label(),
+        )
+
+    # -- reference -------------------------------------------------------
+    @property
+    def reference_plan(self) -> InterconnectPlan:
+        """The unperturbed design."""
+        return self._reference[0]
+
+    @property
+    def reference_seconds(self) -> float:
+        """The unperturbed proposed kernel time."""
+        return self._reference[1]
+
+    # -- questions ---------------------------------------------------------
+    def kernel_speed(self, name: str, factor: float) -> WhatIfOutcome:
+        """What if ``name``'s computation ran ``factor``× faster?"""
+        if factor <= 0:
+            raise DesignError(f"factor must be positive, got {factor}")
+        spec = self.graph.kernel(name)
+        new_spec = dataclasses.replace(
+            spec, tau_cycles=spec.tau_cycles / factor
+        )
+        kernels = {
+            k: (new_spec if k == name else self.graph.kernel(k))
+            for k in self.graph.kernel_names()
+        }
+        graph = CommGraph(
+            kernels=kernels,
+            kk_edges=self.graph.kk_edges,
+            host_in=self.graph.host_in,
+            host_out=self.graph.host_out,
+        )
+        return self._outcome(f"{name} {factor:g}x faster", graph)
+
+    def edge_volume(
+        self, producer: str, consumer: str, factor: float
+    ) -> WhatIfOutcome:
+        """What if the ``producer → consumer`` edge carried ``factor``×
+        the data?"""
+        if factor <= 0:
+            raise DesignError(f"factor must be positive, got {factor}")
+        if self.graph.edge_bytes(producer, consumer) == 0:
+            raise DesignError(f"no edge {producer}->{consumer}")
+        kk = dict(self.graph.kk_edges)
+        kk[(producer, consumer)] = max(
+            1, int(kk[(producer, consumer)] * factor)
+        )
+        graph = CommGraph(
+            kernels=self.graph.kernels,
+            kk_edges=kk,
+            host_in=self.graph.host_in,
+            host_out=self.graph.host_out,
+        )
+        return self._outcome(
+            f"{producer}->{consumer} x{factor:g} bytes", graph
+        )
+
+    def bus_speed(self, factor: float) -> WhatIfOutcome:
+        """What if the bus moved bytes ``factor``× faster?"""
+        if factor <= 0:
+            raise DesignError(f"factor must be positive, got {factor}")
+        config = dataclasses.replace(
+            self.config,
+            theta_s_per_byte=self.config.theta_s_per_byte / factor,
+        )
+        return self._outcome(f"bus {factor:g}x faster", self.graph, config)
+
+    def drop_kernel(self, name: str) -> WhatIfOutcome:
+        """What if ``name`` stayed in software (left ``L_hw``)?
+
+        Its traffic folds back into the host, exactly as Algorithm 1's
+        selection step would produce.
+        """
+        remaining = [k for k in self.graph.kernel_names() if k != name]
+        if len(remaining) == len(self.graph.kernel_names()):
+            raise DesignError(f"unknown kernel {name!r}")
+        if not remaining:
+            raise DesignError("cannot drop the last kernel")
+        graph = self.graph.restricted(remaining)
+        return self._outcome(f"{name} stays in software", graph)
+
+    def sensitivity(self, factor: float = 2.0) -> Dict[str, float]:
+        """Relative time after speeding each kernel up by ``factor`` —
+        a cheap ranking of where HW-optimization effort pays."""
+        return {
+            name: self.kernel_speed(name, factor).relative_time
+            for name in self.graph.kernel_names()
+        }

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class. Subclasses partition failures by subsystem:
+profiling, interconnect design, simulation, and hardware estimation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ProfilingError(ReproError):
+    """Raised by the QUAD-style profiler (bad traces, context misuse)."""
+
+
+class TracerStateError(ProfilingError):
+    """Raised when tracer enter/exit context operations are unbalanced."""
+
+
+class AddressSpaceError(ProfilingError):
+    """Raised on invalid buffer allocations or out-of-range accesses."""
+
+
+class DesignError(ReproError):
+    """Raised by the interconnect design algorithm."""
+
+
+class MappingError(DesignError):
+    """Raised when the adaptive mapping function receives an infeasible
+    communication/interconnect combination (e.g. ``{K1, M2}``)."""
+
+
+class PlacementError(DesignError):
+    """Raised when kernels/memories cannot be placed on the mesh."""
+
+
+class ResourceBudgetError(DesignError):
+    """Raised when a design step would exceed the FPGA device capacity."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event simulator."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while components still wait."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid model or system configuration parameters."""

@@ -1,0 +1,27 @@
+"""Design-space exploration on top of the interconnect designer.
+
+* :mod:`~repro.explore.metrics` — structural metrics of a communication
+  graph (via networkx) and a cheap solution predictor, useful for
+  triaging applications before running the full designer;
+* :mod:`~repro.explore.pareto` — enumerate designer configurations,
+  evaluate each as a (execution-time, resource) point, and extract the
+  Pareto-optimal set.
+"""
+
+from .metrics import GraphMetrics, graph_metrics, predict_solution, to_networkx
+from .pareto import DesignPoint, enumerate_design_points, pareto_front
+from .portfolio import PortfolioEntry, assess, portfolio_summary, render_portfolio
+
+__all__ = [
+    "GraphMetrics",
+    "graph_metrics",
+    "predict_solution",
+    "to_networkx",
+    "DesignPoint",
+    "enumerate_design_points",
+    "pareto_front",
+    "PortfolioEntry",
+    "assess",
+    "portfolio_summary",
+    "render_portfolio",
+]

@@ -1,0 +1,96 @@
+"""Structural metrics of communication graphs.
+
+The designer's decisions are driven by local structure (exclusive
+pairs, fan-in/fan-out); these metrics summarize that structure globally
+so users can triage a portfolio of applications — e.g. "this graph is a
+chain, expect shared memories" vs "this is all-to-all, expect a full
+NoC" — without running Algorithm 1. The predictor is validated against
+the actual designer in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..core.commgraph import CommGraph
+from ..core.sharing import find_sharing_pairs
+
+
+def to_networkx(graph: CommGraph) -> nx.DiGraph:
+    """Export the kernel-to-kernel graph as a weighted ``nx.DiGraph``.
+
+    Node attributes carry the Eq. 1 host volumes; edge weights are
+    ``D_ij`` in bytes.
+    """
+    g = nx.DiGraph()
+    for name in graph.kernel_names():
+        g.add_node(
+            name,
+            d_h_in=graph.d_h_in(name),
+            d_h_out=graph.d_h_out(name),
+            tau_cycles=graph.kernel(name).tau_cycles,
+        )
+    for (p, c), b in graph.kk_edges.items():
+        g.add_edge(p, c, bytes=b)
+    return g
+
+
+@dataclass(frozen=True, slots=True)
+class GraphMetrics:
+    """Summary statistics of one communication graph."""
+
+    n_kernels: int
+    n_edges: int
+    density: float
+    #: Exclusive producer→consumer pairs (shared-memory candidates).
+    exclusive_pairs: int
+    #: Weakly connected components of the kernel-to-kernel graph.
+    components: int
+    #: Whether the kernel graph contains a directed cycle (iterative
+    #: applications like the fluid solver).
+    cyclic: bool
+    #: Fraction of total traffic that is kernel-to-kernel (vs host).
+    kk_traffic_share: float
+
+
+def graph_metrics(graph: CommGraph) -> GraphMetrics:
+    """Compute :class:`GraphMetrics` for a communication graph."""
+    g = to_networkx(graph)
+    n = g.number_of_nodes()
+    m = g.number_of_edges()
+    density = nx.density(g) if n > 1 else 0.0
+    kk = 2 * sum(b for b in graph.kk_edges.values())
+    host = sum(graph.d_h_in(k) + graph.d_h_out(k) for k in graph.kernel_names())
+    total = kk + host
+    return GraphMetrics(
+        n_kernels=n,
+        n_edges=m,
+        density=density,
+        exclusive_pairs=len(find_sharing_pairs(graph)),
+        components=nx.number_weakly_connected_components(g),
+        cyclic=not nx.is_directed_acyclic_graph(g),
+        kk_traffic_share=kk / total if total else 0.0,
+    )
+
+
+def predict_solution(graph: CommGraph) -> str:
+    """Cheap prediction of the Table IV "Solution" column.
+
+    Mirrors the designer's structure without running placement or
+    pipelining: exclusive pairs become SM; any residual edge forces a
+    NoC. (The "P" component depends on capability flags and Δ terms, so
+    it is not predicted here.)
+    """
+    metrics = graph_metrics(graph)
+    pairs = find_sharing_pairs(graph)
+    residual = len(graph.kk_edges) - len(pairs)
+    parts = []
+    if residual > 0:
+        parts.append("NoC")
+    if pairs:
+        parts.append("SM")
+    if not parts:
+        return "Bus"
+    return ", ".join(parts) if metrics.n_edges else "Bus"

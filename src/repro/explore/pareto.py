@@ -1,0 +1,116 @@
+"""Pareto exploration over designer configurations.
+
+The designer's feature toggles (sharing, NoC, duplication, pipelining,
+adaptive mapping) span a small configuration lattice; each point costs
+differently in execution time (analytic model) and area (synthesis
+estimate). :func:`enumerate_design_points` evaluates the meaningful
+subset of that lattice and :func:`pareto_front` extracts the points a
+rational designer would ever pick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+from ..core.analytic import AnalyticModel
+from ..core.commgraph import CommGraph
+from ..core.designer import DesignConfig, design_interconnect
+from ..core.plan import InterconnectPlan
+from ..hw.synthesis import estimate_system
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated designer configuration."""
+
+    label: str
+    kernels_seconds: float
+    application_seconds: float
+    luts: int
+    regs: int
+    plan: InterconnectPlan
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance on (time, LUTs): at least as good on both,
+        strictly better on one."""
+        at_least = (
+            self.kernels_seconds <= other.kernels_seconds
+            and self.luts <= other.luts
+        )
+        strictly = (
+            self.kernels_seconds < other.kernels_seconds
+            or self.luts < other.luts
+        )
+        return at_least and strictly
+
+
+#: (label, config-overrides) — the meaningful corner cases of the lattice.
+VARIANTS: Tuple[Tuple[str, dict], ...] = (
+    ("bus-only", dict(
+        enable_sharing=False, enable_noc=False,
+        enable_duplication=False, enable_pipelining=False,
+    )),
+    ("sm-only", dict(
+        enable_noc=False, enable_duplication=False, enable_pipelining=False,
+    )),
+    ("noc-only", dict(
+        enable_sharing=False, enable_adaptive_mapping=False,
+    )),
+    ("noc-adaptive", dict(enable_sharing=False)),
+    ("hybrid-no-parallel", dict(
+        enable_duplication=False, enable_pipelining=False,
+    )),
+    ("hybrid-full", dict()),
+)
+
+
+def enumerate_design_points(
+    app: str,
+    graph: CommGraph,
+    base_config: DesignConfig,
+    host_other_s: float,
+    variants: Sequence[Tuple[str, dict]] = VARIANTS,
+) -> List[DesignPoint]:
+    """Design and evaluate every configuration variant."""
+    model = AnalyticModel(graph, base_config.theta_s_per_byte, host_other_s)
+    points = []
+    for label, overrides in variants:
+        config = replace(base_config, **overrides)
+        plan = design_interconnect(f"{app}:{label}", graph, config)
+        times = model.proposed(plan)
+        est = estimate_system(
+            label,
+            [plan.graph.kernel(k).resources for k in plan.graph.kernel_names()],
+            plan.component_counts(),
+        )
+        points.append(
+            DesignPoint(
+                label=label,
+                kernels_seconds=times.kernels_s,
+                application_seconds=times.application_s,
+                luts=est.total.luts,
+                regs=est.total.regs,
+                plan=plan,
+            )
+        )
+    return points
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset, sorted fastest-first.
+
+    Duplicate (time, LUTs) coordinates keep only the first point (stable
+    in input order), so the front is minimal.
+    """
+    front: List[DesignPoint] = []
+    for p in points:
+        if any(q.dominates(p) for q in points):
+            continue
+        if any(
+            (q.kernels_seconds, q.luts) == (p.kernels_seconds, p.luts)
+            for q in front
+        ):
+            continue
+        front.append(p)
+    return sorted(front, key=lambda p: (p.kernels_seconds, p.luts))

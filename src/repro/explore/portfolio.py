@@ -1,0 +1,99 @@
+"""Portfolio analysis: which applications pay for a custom interconnect?
+
+Given a set of calibrated applications, rank them by the speed-up the
+hybrid interconnect can deliver *before* running the full designer. The
+bound comes straight from the paper's model: the interconnect can hide
+at most the kernel-to-kernel share ``s`` of the communication time, so
+
+    speedup ≤ (1 + ρ) / (1 + ρ − ρ·s)
+
+with ``ρ`` the baseline communication/computation ratio. Duplication
+and pipelining can push past the bound's comm-only part, which is why
+the bound is quoted per application next to the designed outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.analytic import AnalyticModel
+from ..core.commgraph import CommGraph
+from ..errors import ConfigurationError
+from .metrics import graph_metrics, predict_solution
+
+
+@dataclass(frozen=True)
+class PortfolioEntry:
+    """Pre-design assessment of one application."""
+
+    app: str
+    comm_comp_ratio: float
+    kk_traffic_share: float
+    predicted_solution: str
+    #: Upper bound on kernels speed-up from hiding kernel traffic only.
+    comm_speedup_bound: float
+
+    @property
+    def worth_designing(self) -> bool:
+        """Heuristic gate: is a custom interconnect plausibly worth it?
+
+        At least 15 % of baseline time must be removable by hiding
+        kernel-to-kernel traffic.
+        """
+        return self.comm_speedup_bound >= 1.15
+
+
+def assess(
+    app: str,
+    graph: CommGraph,
+    theta_s_per_byte: float,
+) -> PortfolioEntry:
+    """Assess one calibrated application without running the designer."""
+    model = AnalyticModel(graph, theta_s_per_byte, host_other_s=0.0)
+    base = model.baseline()
+    rho = base.comm_comp_ratio
+    s = graph_metrics(graph).kk_traffic_share
+    denom = 1.0 + rho - rho * s
+    if denom <= 0:
+        raise ConfigurationError(f"{app}: degenerate bound denominator")
+    return PortfolioEntry(
+        app=app,
+        comm_comp_ratio=rho,
+        kk_traffic_share=s,
+        predicted_solution=predict_solution(graph),
+        comm_speedup_bound=(1.0 + rho) / denom,
+    )
+
+
+def rank_portfolio(
+    entries: Sequence[PortfolioEntry],
+) -> List[PortfolioEntry]:
+    """Sort by the speed-up bound, best candidate first."""
+    return sorted(entries, key=lambda e: (-e.comm_speedup_bound, e.app))
+
+
+def render_portfolio(entries: Sequence[PortfolioEntry]) -> str:
+    """Fixed-width portfolio table."""
+    rows = rank_portfolio(entries)
+    lines = [
+        f"{'app':<10}{'comm/comp':>10}{'kk share':>10}"
+        f"{'bound':>8}{'worth it':>10}  solution",
+        "-" * 62,
+    ]
+    for e in rows:
+        lines.append(
+            f"{e.app:<10}{e.comm_comp_ratio:>10.2f}{e.kk_traffic_share:>9.1%}"
+            f"{e.comm_speedup_bound:>7.2f}x"
+            f"{'yes' if e.worth_designing else 'no':>10}  {e.predicted_solution}"
+        )
+    return "\n".join(lines)
+
+
+def portfolio_summary(
+    graphs: Dict[str, CommGraph], theta_s_per_byte: float
+) -> List[PortfolioEntry]:
+    """Assess a whole dictionary of applications."""
+    return rank_portfolio(
+        [assess(app, g, theta_s_per_byte) for app, g in graphs.items()]
+    )

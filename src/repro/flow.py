@@ -1,0 +1,194 @@
+"""End-to-end experiment flow: profile → design → estimate → simulate.
+
+:func:`run_experiment` reproduces the paper's full methodology for one
+application:
+
+1. execute the instrumented application and extract the QUAD-style
+   communication profile;
+2. calibrate the platform quantities (see :mod:`repro.apps.calibration`);
+3. run Algorithm 1 to design the custom interconnect, plus the paper's
+   NoC-only comparison design;
+4. evaluate analytically (Eq. 2 + Δ model) and by discrete-event
+   simulation (contention included);
+5. estimate resources (Table IV) and energy (Fig. 9).
+
+:func:`run_all` does this for all four applications and is what the
+benchmark harness calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .apps import fit_application, get_application
+from .apps.calibration import FittedApplication
+from .apps.registry import APP_NAMES
+from .core.analytic import AnalyticModel, SpeedupPair, SystemTimes
+from .core.designer import DesignConfig, design_interconnect
+from .core.plan import InterconnectPlan
+from .hw.energy import EnergyModel, EnergyReport, compare_energy
+from .hw.synthesis import SynthesisEstimate, estimate_baseline, estimate_system
+from .sim.systems import (
+    SimulatedTimes,
+    SystemParams,
+    simulate_baseline,
+    simulate_proposed,
+    simulate_software,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything the benches need for one application."""
+
+    name: str
+    fitted: FittedApplication
+    plan: InterconnectPlan
+    noc_only_plan: InterconnectPlan
+    # Analytic timings.
+    analytic_software: SystemTimes
+    analytic_baseline: SystemTimes
+    analytic_proposed: SystemTimes
+    # Simulated timings (None when simulation was skipped).
+    sim_software: Optional[SimulatedTimes]
+    sim_baseline: Optional[SimulatedTimes]
+    sim_proposed: Optional[SimulatedTimes]
+    # Synthesis estimates (Table IV columns).
+    synth_baseline: SynthesisEstimate
+    synth_proposed: SynthesisEstimate
+    synth_noc_only: SynthesisEstimate
+    # Energy comparison (Fig. 9).
+    energy: EnergyReport
+
+    # -- speed-up accessors ---------------------------------------------------
+    @property
+    def baseline_vs_sw(self) -> SpeedupPair:
+        """Fig. 4 bars."""
+        return AnalyticModel.compare(self.analytic_software, self.analytic_baseline)
+
+    @property
+    def proposed_vs_sw(self) -> SpeedupPair:
+        """Table III columns 2–3."""
+        return AnalyticModel.compare(self.analytic_software, self.analytic_proposed)
+
+    @property
+    def proposed_vs_baseline(self) -> SpeedupPair:
+        """Table III columns 4–5."""
+        return AnalyticModel.compare(self.analytic_baseline, self.analytic_proposed)
+
+    @property
+    def comm_comp_ratio(self) -> float:
+        """Fig. 4's baseline communication/computation ratio."""
+        return self.analytic_baseline.comm_comp_ratio
+
+
+def run_experiment(
+    name: str,
+    scale: int = 1,
+    seed: int = 2014,
+    params: SystemParams = SystemParams(),
+    energy_model: EnergyModel = EnergyModel(),
+    simulate: bool = True,
+) -> ExperimentResult:
+    """Full paper methodology for one application."""
+    app = get_application(name, scale=scale, seed=seed)
+    theta = params.theta_s_per_byte()
+    fitted = fit_application(app, theta)
+
+    config = DesignConfig(
+        theta_s_per_byte=theta,
+        stream_overhead_s=fitted.stream_overhead_s,
+    )
+    plan = design_interconnect(name, fitted.graph, config)
+    noc_only_plan = design_interconnect(
+        f"{name}-noc-only", fitted.graph, config.noc_only()
+    )
+
+    model = AnalyticModel(fitted.graph, theta, fitted.host_other_s)
+    t_sw = model.software()
+    t_base = model.baseline()
+    t_prop = model.proposed(plan)
+
+    sim_sw = sim_base = sim_prop = None
+    if simulate:
+        sim_sw = simulate_software(fitted.graph, fitted.host_other_s)
+        sim_base = simulate_baseline(fitted.graph, fitted.host_other_s, params)
+        sim_prop = simulate_proposed(plan, fitted.host_other_s, params)
+
+    original_costs = [
+        fitted.graph.kernel(k).resources for k in fitted.graph.kernel_names()
+    ]
+    synth_base = estimate_baseline(original_costs)
+    synth_prop = estimate_system(
+        "proposed",
+        [plan.graph.kernel(k).resources for k in plan.graph.kernel_names()],
+        plan.component_counts(),
+    )
+    synth_noc = estimate_system(
+        "noc_only",
+        [
+            noc_only_plan.graph.kernel(k).resources
+            for k in noc_only_plan.graph.kernel_names()
+        ],
+        noc_only_plan.component_counts(),
+    )
+
+    energy = compare_energy(
+        name,
+        energy_model,
+        baseline_resources=synth_base.total,
+        proposed_resources=synth_prop.total,
+        baseline_time_s=t_base.application_s,
+        proposed_time_s=t_prop.application_s,
+    )
+
+    return ExperimentResult(
+        name=name,
+        fitted=fitted,
+        plan=plan,
+        noc_only_plan=noc_only_plan,
+        analytic_software=t_sw,
+        analytic_baseline=t_base,
+        analytic_proposed=t_prop,
+        sim_software=sim_sw,
+        sim_baseline=sim_base,
+        sim_proposed=sim_prop,
+        synth_baseline=synth_base,
+        synth_proposed=synth_prop,
+        synth_noc_only=synth_noc,
+        energy=energy,
+    )
+
+
+def to_deployment(result: ExperimentResult) -> "AppDeployment":
+    """Adapt an experiment result for the reconfiguration scheduler.
+
+    The reconfigurable module is everything application-specific —
+    kernels plus the custom interconnect; the platform base and the bus
+    are static and shared across applications.
+    """
+    from .reconfig.scheduler import AppDeployment
+
+    est = result.synth_proposed
+    return AppDeployment(
+        name=result.name,
+        module=est.kernels + est.custom_interconnect,
+        exec_seconds=result.analytic_proposed.application_s,
+    )
+
+
+def run_all(
+    scale: int = 1,
+    seed: int = 2014,
+    params: SystemParams = SystemParams(),
+    simulate: bool = True,
+    names: Tuple[str, ...] = APP_NAMES,
+) -> Dict[str, ExperimentResult]:
+    """Run every application; keyed by name, evaluation order."""
+    return {
+        name: run_experiment(
+            name, scale=scale, seed=seed, params=params, simulate=simulate
+        )
+        for name in names
+    }

@@ -1,0 +1,32 @@
+"""DWARV-like high-level-synthesis estimation (the paper's ref. [38]).
+
+The paper generates its kernels with the DWARV C-to-VHDL compiler; this
+package substitutes the *estimation* side of such a tool: given a
+loop-nest description of a kernel (a small dataflow IR), it predicts the
+kernel's computation latency (``τ`` in cycles) and its LUT/register
+footprint, the two quantities the interconnect designer consumes.
+
+The default reproduction flow uses calibrated values (fitted to the
+paper's published numbers — see DESIGN.md §6); the HLS estimator is the
+path a *new* application takes when no measured platform numbers exist:
+
+    ir = Loop(trip=4096, body=Block([(Op.MUL, 2), (Op.ADD, 2)]), pipelined=True)
+    tau, resources = estimate_kernel(KernelIR("mac", ir))
+"""
+
+from .ir import Block, KernelIR, Loop, Op
+from .latency import OP_LATENCY, OP_RESOURCES, OpCost
+from .estimate import HlsEstimate, estimate_kernel, estimate_kernel_spec
+
+__all__ = [
+    "Op",
+    "Block",
+    "Loop",
+    "KernelIR",
+    "OpCost",
+    "OP_LATENCY",
+    "OP_RESOURCES",
+    "HlsEstimate",
+    "estimate_kernel",
+    "estimate_kernel_spec",
+]

@@ -1,0 +1,143 @@
+"""Latency and area estimation over the kernel IR.
+
+Scheduling model (deliberately DWARV-simple):
+
+* a straight-line block issues one operation per cycle per allocated
+  unit of its kind; its latency is the *serial* sum of operation
+  latencies divided by the allocation (list scheduling bound), at least
+  the longest single operation;
+* a non-pipelined loop costs ``trip × body``;
+* a pipelined loop costs ``depth + (trip − 1) × II`` where depth is the
+  body latency and the initiation interval is the declared ``ii``
+  stretched by memory-port pressure (two BRAM ports per local memory:
+  more than two accesses per iteration serialize);
+* unrolling divides effective trips and multiplies operator instances.
+
+Area allocates one operator instance per kind per (unrolled) loop body
+— the time-multiplexed allocation HLS tools default to — plus a control
+FSM proportional to the structure size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.kernel import KernelSpec
+from ..errors import ConfigurationError
+from ..hw.resources import ResourceCost
+from ..units import HOST_CLOCK, KERNEL_CLOCK
+from .ir import Block, KernelIR, Loop, Op
+from .latency import OP_LATENCY, OP_RESOURCES
+
+#: Dual-ported BRAM: memory operations per cycle per local memory.
+MEMORY_PORTS = 2
+#: Control FSM area per loop / per op-kind present.
+FSM_PER_LOOP = ResourceCost(45, 60)
+FSM_PER_OPKIND = ResourceCost(12, 18)
+#: How much faster the 400 MHz host executes one IR op, amortized
+#: (superscalar issue vs abstract op counts).
+HOST_OPS_PER_CYCLE = 1.2
+
+
+@dataclass(frozen=True)
+class HlsEstimate:
+    """The estimator's output for one kernel."""
+
+    name: str
+    tau_cycles: float
+    resources: ResourceCost
+    #: Estimated software cycles on the 400 MHz host (same IR).
+    sw_cycles: float
+
+    @property
+    def hw_speedup(self) -> float:
+        """Predicted kernel-compute speed-up over software."""
+        tau_s = KERNEL_CLOCK.cycles_to_seconds(self.tau_cycles)
+        sw_s = HOST_CLOCK.cycles_to_seconds(self.sw_cycles)
+        if tau_s <= 0:
+            raise ConfigurationError(f"kernel {self.name}: zero latency")
+        return sw_s / tau_s
+
+
+def _memory_pressure_ii(body: Block, ii: int) -> int:
+    """Stretch the initiation interval by BRAM-port pressure."""
+    mem_ops = sum(c for op, c in body.ops if op in (Op.LOAD, Op.STORE))
+    return max(ii, math.ceil(mem_ops / MEMORY_PORTS)) if mem_ops else ii
+
+
+def _block_latency(block: Block) -> float:
+    """Latency of one execution of a block (cycles)."""
+    latency = 0.0
+    for op, count in block.ops:
+        latency += OP_LATENCY[op] * count
+    for loop in block.loops:
+        latency += _loop_latency(loop)
+    return latency
+
+
+def _loop_latency(loop: Loop) -> float:
+    trips = math.ceil(loop.trip / loop.unroll)
+    depth = _block_latency(loop.body) * loop.unroll if loop.unroll > 1 else (
+        _block_latency(loop.body)
+    )
+    if trips == 0 or depth == 0:
+        return 0.0
+    if loop.pipelined:
+        ii = _memory_pressure_ii(loop.body, loop.ii) * loop.unroll
+        # Unrolled pipelined loops issue `unroll` iterations per II
+        # window; pressure already folded in above.
+        return depth + (trips - 1) * ii
+    return trips * depth
+
+
+def _block_area(block: Block) -> ResourceCost:
+    """Operator + control area of a block (time-multiplexed units)."""
+    area = ResourceCost.zero()
+    kinds = {op for op, c in block.ops if c > 0}
+    for op in kinds:
+        area = area + OP_RESOURCES[op]
+    area = area + FSM_PER_OPKIND * len(kinds)
+    for loop in block.loops:
+        body = _block_area(loop.body)
+        area = area + body * loop.unroll + FSM_PER_LOOP
+    return area
+
+
+def estimate_kernel(ir: KernelIR) -> HlsEstimate:
+    """Estimate τ (kernel cycles), area, and software time for a kernel."""
+    tau = ir.overhead_cycles + _block_latency(ir.body)
+    area = _block_area(ir.body) + FSM_PER_LOOP  # top-level controller
+    # Software model: every op costs ~1 issue slot on the host plus the
+    # op's own latency amortized by out-of-order overlap.
+    sw = ir.body.work() / HOST_OPS_PER_CYCLE
+    heavy = sum(
+        ir.body.op_total(op) * (OP_LATENCY[op] - 1)
+        for op in (Op.DIV, Op.FDIV, Op.SQRT)
+    )
+    sw += heavy  # long-latency ops do not hide well on the host either
+    return HlsEstimate(
+        name=ir.name,
+        tau_cycles=float(tau),
+        resources=area,
+        sw_cycles=float(sw),
+    )
+
+
+def estimate_kernel_spec(
+    ir: KernelIR,
+    parallelizable: bool = False,
+    streams_host_io: bool = False,
+    streams_kernel_input: bool = False,
+) -> KernelSpec:
+    """Estimate and package directly as a designer-ready KernelSpec."""
+    est = estimate_kernel(ir)
+    return KernelSpec(
+        name=ir.name,
+        tau_cycles=est.tau_cycles,
+        sw_cycles=est.sw_cycles,
+        parallelizable=parallelizable,
+        streams_host_io=streams_host_io,
+        streams_kernel_input=streams_kernel_input,
+        resources=est.resources,
+    )

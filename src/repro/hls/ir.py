@@ -1,0 +1,125 @@
+"""A small loop-nest IR for kernel estimation.
+
+The IR deliberately models only what latency/area estimation needs:
+operation *counts* per loop body (not dependencies — the estimator uses
+an initiation-interval abstraction instead) and the loop structure
+(trip counts, pipelining, unrolling). This matches the granularity at
+which HLS reports are typically read.
+
+Example — an 8×8 inverse DCT as two matrix multiplies::
+
+    body = Block([(Op.MUL, 8), (Op.ADD, 7), (Op.LOAD, 8), (Op.STORE, 1)])
+    row_pass = Loop(trip=64, body=body, pipelined=True)
+    kernel = KernelIR("j_rev_dct", Block.of_loops(row_pass, row_pass))
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+from ..errors import ConfigurationError
+
+
+class Op(enum.Enum):
+    """Operation kinds the latency/resource tables know about."""
+
+    ADD = "add"            # integer add/sub
+    MUL = "mul"            # integer multiply
+    DIV = "div"            # integer divide
+    FADD = "fadd"          # floating add/sub
+    FMUL = "fmul"          # floating multiply
+    FDIV = "fdiv"          # floating divide
+    SQRT = "sqrt"
+    CMP = "cmp"            # compare / select
+    LOGIC = "logic"        # bitwise ops, shifts
+    LOAD = "load"          # local-memory read
+    STORE = "store"        # local-memory write
+
+
+#: (operation, count-per-execution) pairs.
+OpCount = Tuple[Op, int]
+
+
+@dataclass(frozen=True)
+class Block:
+    """Straight-line code: operation counts plus nested loops."""
+
+    ops: Tuple[OpCount, ...] = ()
+    loops: Tuple["Loop", ...] = ()
+
+    def __init__(
+        self,
+        ops: Union[List[OpCount], Tuple[OpCount, ...]] = (),
+        loops: Union[List["Loop"], Tuple["Loop", ...]] = (),
+    ) -> None:
+        object.__setattr__(self, "ops", tuple(ops))
+        object.__setattr__(self, "loops", tuple(loops))
+        for op, count in self.ops:
+            if not isinstance(op, Op):
+                raise ConfigurationError(f"not an Op: {op!r}")
+            if count < 0:
+                raise ConfigurationError(f"negative count for {op}")
+
+    @classmethod
+    def of_loops(cls, *loops: "Loop") -> "Block":
+        """A block that is just a sequence of loops."""
+        return cls((), tuple(loops))
+
+    def op_total(self, op: Op) -> int:
+        """Total executions of ``op`` including all nested loops."""
+        total = sum(c for o, c in self.ops if o is op)
+        for loop in self.loops:
+            total += loop.trip * loop.body.op_total(op)
+        return total
+
+    def work(self) -> int:
+        """Total operation executions (any kind), loops expanded."""
+        total = sum(c for _, c in self.ops)
+        for loop in self.loops:
+            total += loop.trip * loop.body.work()
+        return total
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop over a body.
+
+    ``pipelined`` loops overlap iterations at the given initiation
+    interval (DWARV-style inner-loop pipelining); ``unroll`` replicates
+    the body's operator instances (area for speed).
+    """
+
+    trip: int
+    body: Block
+    pipelined: bool = False
+    ii: int = 1
+    unroll: int = 1
+
+    def __post_init__(self) -> None:
+        if self.trip < 0:
+            raise ConfigurationError(f"negative trip count {self.trip}")
+        if self.ii < 1:
+            raise ConfigurationError(f"initiation interval must be >= 1")
+        if self.unroll < 1:
+            raise ConfigurationError(f"unroll factor must be >= 1")
+        if self.unroll > max(self.trip, 1):
+            raise ConfigurationError("unroll exceeds trip count")
+
+
+@dataclass(frozen=True)
+class KernelIR:
+    """A named kernel: its top-level block plus interface overhead."""
+
+    name: str
+    body: Block
+    #: Fixed start/done handshake cycles per invocation.
+    overhead_cycles: int = 8
+    field_notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("kernel IR needs a name")
+        if self.overhead_cycles < 0:
+            raise ConfigurationError("negative overhead")

@@ -1,0 +1,210 @@
+"""Loop-nest IR descriptions of the paper's application kernels.
+
+These model, at HLS-report granularity, what DWARV would synthesize for
+each kernel of the four applications (per-pixel/per-block operation
+counts from the actual algorithms in :mod:`repro.apps`). They exist to
+*cross-validate* the calibration: the fitted ``τ`` values come from the
+paper's published ratios, the HLS estimates come from first principles,
+and the two must order the kernels the same way and agree on relative
+magnitude within a small factor (see ``bench_hls_crosscheck``).
+
+Trip counts are parameterized by the same workload sizes the profiled
+applications use at ``scale=1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from .ir import Block, KernelIR, Loop, Op
+
+#: Default workload sizes, matching repro.apps at scale=1.
+CANNY_PIXELS = 96 * 96
+JPEG_BLOCKS = 96
+KLT_PIXELS = 128 * 128
+KLT_FEATURES = 48
+KLT_WINDOW = 9 * 9
+KLT_ITERS = 6
+FLUID_CELLS = 64 * 64
+FLUID_RELAX = 20
+FLUID_STEPS = 2
+
+
+def canny_kernels() -> List[KernelIR]:
+    """The four Canny stages (per-pixel stencils, row-streamable)."""
+    return [
+        KernelIR(
+            "gaussian_smooth",
+            Block.of_loops(Loop(
+                trip=CANNY_PIXELS,
+                body=Block([(Op.LOAD, 5), (Op.MUL, 5), (Op.ADD, 4),
+                            (Op.STORE, 1)]),
+                pipelined=True, ii=3,  # 5 taps over 2 BRAM ports
+            )),
+        ),
+        KernelIR(
+            "sobel_gradient",
+            Block.of_loops(Loop(
+                trip=CANNY_PIXELS,
+                body=Block([(Op.LOAD, 6), (Op.ADD, 10), (Op.MUL, 2),
+                            (Op.SQRT, 1), (Op.CMP, 4), (Op.STORE, 2)]),
+                pipelined=True, ii=4,
+            )),
+        ),
+        KernelIR(
+            "nonmax_suppression",
+            Block.of_loops(Loop(
+                trip=CANNY_PIXELS,
+                body=Block([(Op.LOAD, 3), (Op.CMP, 3), (Op.STORE, 1)]),
+                pipelined=True, ii=2,
+            )),
+        ),
+        KernelIR(
+            "hysteresis",
+            # Connectivity sweeps: a handful of passes over the frame.
+            Block.of_loops(Loop(
+                trip=4,
+                body=Block.of_loops(Loop(
+                    trip=CANNY_PIXELS,
+                    body=Block([(Op.LOAD, 4), (Op.CMP, 3), (Op.LOGIC, 2),
+                                (Op.STORE, 1)]),
+                    pipelined=True, ii=3,
+                )),
+            )),
+        ),
+    ]
+
+
+def jpeg_kernels() -> List[KernelIR]:
+    """The four PowerStone-jpeg functions."""
+    return [
+        KernelIR(
+            "huff_dc_dec",
+            # Serial bit decoding: ~12 bits/block, each a dependent step.
+            Block.of_loops(Loop(
+                trip=JPEG_BLOCKS,
+                body=Block([(Op.LOAD, 2), (Op.LOGIC, 12), (Op.CMP, 12),
+                            (Op.ADD, 2), (Op.STORE, 1)]),
+            )),
+        ),
+        KernelIR(
+            "huff_ac_dec",
+            # ~200 coded bits per block, inherently sequential decode.
+            Block.of_loops(Loop(
+                trip=JPEG_BLOCKS,
+                body=Block([(Op.LOAD, 8), (Op.LOGIC, 200), (Op.CMP, 200),
+                            (Op.ADD, 40), (Op.STORE, 16)]),
+            )),
+        ),
+        KernelIR(
+            "dquantz_lum",
+            Block.of_loops(Loop(
+                trip=JPEG_BLOCKS * 64,
+                body=Block([(Op.LOAD, 2), (Op.MUL, 1), (Op.STORE, 1)]),
+                pipelined=True, ii=2,
+            )),
+        ),
+        KernelIR(
+            "j_rev_dct",
+            # Two 8x8 matrix-multiply passes: 16 MACs per coefficient.
+            Block.of_loops(Loop(
+                trip=JPEG_BLOCKS * 64,
+                body=Block([(Op.LOAD, 3), (Op.MUL, 16), (Op.ADD, 15),
+                            (Op.STORE, 1)]),
+                pipelined=True, ii=2,
+            )),
+        ),
+    ]
+
+
+def klt_kernels() -> List[KernelIR]:
+    """The two KLT stages."""
+    return [
+        KernelIR(
+            "compute_gradients",
+            Block.of_loops(Loop(
+                trip=KLT_PIXELS,
+                body=Block([(Op.LOAD, 4), (Op.FADD, 2), (Op.FMUL, 2),
+                            (Op.STORE, 2)]),
+                pipelined=True, ii=3,
+            )),
+        ),
+        KernelIR(
+            "track_features",
+            # Per feature, per LK iteration, per window pixel: bilinear
+            # samples + structure-tensor MACs + the 2x2 solve.
+            Block.of_loops(Loop(
+                trip=KLT_FEATURES * KLT_ITERS,
+                body=Block(
+                    [(Op.FDIV, 2), (Op.FADD, 8)],
+                    [Loop(
+                        trip=KLT_WINDOW,
+                        body=Block([(Op.LOAD, 8), (Op.FMUL, 10),
+                                    (Op.FADD, 9)]),
+                        pipelined=True, ii=4,
+                    )],
+                ),
+            )),
+        ),
+    ]
+
+
+def fluid_kernels() -> List[KernelIR]:
+    """The three stable-fluid stages (per step; steps folded in)."""
+    per_step_cells = FLUID_CELLS
+    return [
+        KernelIR(
+            "diffuse",
+            Block.of_loops(Loop(
+                trip=FLUID_STEPS * 3 * FLUID_RELAX,  # 3 fields
+                body=Block.of_loops(Loop(
+                    trip=per_step_cells,
+                    body=Block([(Op.LOAD, 5), (Op.FADD, 4), (Op.FMUL, 1),
+                                (Op.FDIV, 0), (Op.STORE, 1)]),
+                    pipelined=True, ii=3,
+                )),
+            )),
+        ),
+        KernelIR(
+            "project",
+            Block.of_loops(Loop(
+                trip=FLUID_STEPS * 2 * (FLUID_RELAX + 2),  # 2 projections
+                body=Block.of_loops(Loop(
+                    trip=per_step_cells,
+                    body=Block([(Op.LOAD, 5), (Op.FADD, 4), (Op.FMUL, 1),
+                                (Op.STORE, 1)]),
+                    pipelined=True, ii=3,
+                )),
+            )),
+        ),
+        KernelIR(
+            "advect",
+            Block.of_loops(Loop(
+                trip=FLUID_STEPS * 3,  # u, v, density
+                body=Block.of_loops(Loop(
+                    trip=per_step_cells,
+                    body=Block([(Op.LOAD, 6), (Op.FMUL, 8), (Op.FADD, 7),
+                                (Op.CMP, 4), (Op.STORE, 1)]),
+                    pipelined=True, ii=4,
+                )),
+            )),
+        ),
+    ]
+
+
+APP_KERNEL_IRS = {
+    "canny": canny_kernels,
+    "jpeg": jpeg_kernels,
+    "klt": klt_kernels,
+    "fluid": fluid_kernels,
+}
+
+
+def kernel_irs_for(app: str) -> Dict[str, KernelIR]:
+    """IRs of one paper application, keyed by kernel name."""
+    try:
+        factory = APP_KERNEL_IRS[app]
+    except KeyError:
+        raise ConfigurationError(f"no kernel IRs for {app!r}") from None
+    return {ir.name: ir for ir in factory()}

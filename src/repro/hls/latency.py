@@ -1,0 +1,60 @@
+"""Operator latency and area tables (Virtex-5 class, 100 MHz fabric).
+
+Latencies are in fabric cycles; areas in LUT/FF pairs per operator
+*instance* (32-bit datapaths). Values are representative of Virtex-5
+synthesis results for the common operator cores (DSP48-mapped multiplies
+cost few LUTs but we fold the DSP into an LUT-equivalent figure so the
+designer's single-resource budget stays usable). As with every non-paper
+constant, these are calibration knobs: the estimator's job is right
+*scaling* between kernels, not absolute timing closure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..hw.resources import ResourceCost
+from .ir import Op
+
+
+@dataclass(frozen=True, slots=True)
+class OpCost:
+    """Latency and area of one operator kind."""
+
+    latency_cycles: int
+    area: ResourceCost
+
+
+OP_LATENCY: Dict[Op, int] = {
+    Op.ADD: 1,
+    Op.MUL: 3,
+    Op.DIV: 18,
+    Op.FADD: 4,
+    Op.FMUL: 5,
+    Op.FDIV: 24,
+    Op.SQRT: 20,
+    Op.CMP: 1,
+    Op.LOGIC: 1,
+    Op.LOAD: 2,
+    Op.STORE: 1,
+}
+
+OP_RESOURCES: Dict[Op, ResourceCost] = {
+    Op.ADD: ResourceCost(32, 32),
+    Op.MUL: ResourceCost(120, 96),     # DSP-backed, LUT-equivalent
+    Op.DIV: ResourceCost(650, 520),
+    Op.FADD: ResourceCost(360, 310),
+    Op.FMUL: ResourceCost(420, 330),
+    Op.FDIV: ResourceCost(880, 720),
+    Op.SQRT: ResourceCost(540, 460),
+    Op.CMP: ResourceCost(24, 16),
+    Op.LOGIC: ResourceCost(16, 8),
+    Op.LOAD: ResourceCost(40, 30),     # address gen + port mux share
+    Op.STORE: ResourceCost(36, 28),
+}
+
+
+def op_cost(op: Op) -> OpCost:
+    """Joined latency/area record for an operator kind."""
+    return OpCost(OP_LATENCY[op], OP_RESOURCES[op])

@@ -1,0 +1,37 @@
+"""FPGA hardware models: resources (Table II/IV), frequency, energy.
+
+The paper synthesizes on a Xilinx xc5vfx130t with ISE 13.2 and reports
+LUT/register utilization per interconnect component (Table II) and per
+whole system (Table IV), plus XPower-based energy (Fig. 9). This package
+replaces synthesis and power analysis with calibrated additive models:
+component costs are taken directly from the paper's Table II; whole-system
+estimates sum a platform base, the kernel footprints and the interconnect
+bill of materials.
+"""
+
+from .device import Device, XC5VFX130T
+from .resources import (
+    COMPONENT_LIBRARY,
+    ComponentKind,
+    ComponentSpec,
+    ResourceCost,
+)
+from .frequency import achievable_frequency, check_timing
+from .synthesis import SynthesisEstimate, estimate_baseline, estimate_system
+from .energy import EnergyModel, EnergyReport
+
+__all__ = [
+    "Device",
+    "XC5VFX130T",
+    "ResourceCost",
+    "ComponentKind",
+    "ComponentSpec",
+    "COMPONENT_LIBRARY",
+    "achievable_frequency",
+    "check_timing",
+    "SynthesisEstimate",
+    "estimate_system",
+    "estimate_baseline",
+    "EnergyModel",
+    "EnergyReport",
+]

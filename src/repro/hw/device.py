@@ -1,0 +1,60 @@
+"""FPGA device capacity model.
+
+Capacity is what gates duplication ("if ... resource is available") and
+NoC growth in Algorithm 1, so the designer needs a device to check
+against. The paper's board is the Xilinx ML510 with an xc5vfx130t.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, ResourceBudgetError
+from .resources import ResourceCost
+
+
+@dataclass(frozen=True, slots=True)
+class Device:
+    """An FPGA device with LUT/register/BRAM capacities."""
+
+    name: str
+    luts: int
+    regs: int
+    bram_bits: int
+
+    def __post_init__(self) -> None:
+        if min(self.luts, self.regs, self.bram_bits) <= 0:
+            raise ConfigurationError(f"device {self.name!r} has non-positive capacity")
+
+    def fits(self, cost: ResourceCost, utilization_cap: float = 1.0) -> bool:
+        """Whether ``cost`` fits within ``utilization_cap`` of capacity.
+
+        Real designs never route at 100 % utilization; callers typically
+        pass 0.8–0.9.
+        """
+        if not (0.0 < utilization_cap <= 1.0):
+            raise ConfigurationError(
+                f"utilization_cap must be in (0, 1], got {utilization_cap}"
+            )
+        return (
+            cost.luts <= self.luts * utilization_cap
+            and cost.regs <= self.regs * utilization_cap
+        )
+
+    def require(self, cost: ResourceCost, utilization_cap: float = 1.0) -> None:
+        """Raise :class:`ResourceBudgetError` when ``cost`` does not fit."""
+        if not self.fits(cost, utilization_cap):
+            raise ResourceBudgetError(
+                f"{cost.luts} LUTs / {cost.regs} regs exceed "
+                f"{utilization_cap:.0%} of device {self.name} "
+                f"({self.luts} LUTs / {self.regs} regs)"
+            )
+
+    def utilization(self, cost: ResourceCost) -> float:
+        """Max of LUT and register utilization fractions."""
+        return max(cost.luts / self.luts, cost.regs / self.regs)
+
+
+#: Virtex-5 FX130T (ML510 board): 81 920 6-input LUTs and flip-flops,
+#: 298 × 36 Kb block RAMs.
+XC5VFX130T = Device("xc5vfx130t", luts=81920, regs=81920, bram_bits=298 * 36 * 1024)

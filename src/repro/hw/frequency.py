@@ -1,0 +1,54 @@
+"""Achievable-frequency model for assembled systems.
+
+A synthesized system can run no faster than its slowest component; the
+paper's kernels run at 100 MHz, which every Table II component meets (the
+router's 150 MHz is the binding constraint on the interconnect side).
+These helpers compute the binding constraint and validate clock choices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .resources import COMPONENT_LIBRARY, ComponentKind
+
+
+def achievable_frequency(kinds: Iterable[ComponentKind]) -> Optional[float]:
+    """Max clock (Hz) at which all listed components close timing.
+
+    Returns ``None`` when the list contains no frequency-limited
+    component (e.g. only combinational crossbars).
+    """
+    fmaxes = [
+        COMPONENT_LIBRARY[k].fmax_hz
+        for k in kinds
+        if COMPONENT_LIBRARY[k].fmax_hz is not None
+    ]
+    return min(fmaxes) if fmaxes else None
+
+
+def binding_component(kinds: Iterable[ComponentKind]) -> Optional[Tuple[ComponentKind, float]]:
+    """The component that limits the clock, with its fmax (Hz)."""
+    best: Optional[Tuple[ComponentKind, float]] = None
+    for k in set(kinds):
+        fmax = COMPONENT_LIBRARY[k].fmax_hz
+        if fmax is None:
+            continue
+        if best is None or fmax < best[1]:
+            best = (k, fmax)
+    return best
+
+
+def check_timing(kinds: Iterable[ComponentKind], clock_hz: float) -> None:
+    """Raise when ``clock_hz`` exceeds the slowest component's fmax."""
+    if clock_hz <= 0:
+        raise ConfigurationError(f"clock must be positive, got {clock_hz}")
+    limit = achievable_frequency(kinds)
+    if limit is not None and clock_hz > limit:
+        binding = binding_component(kinds)
+        assert binding is not None
+        raise ConfigurationError(
+            f"requested clock {clock_hz / 1e6:.1f} MHz exceeds fmax "
+            f"{limit / 1e6:.1f} MHz of component {binding[0].value}"
+        )

@@ -1,0 +1,137 @@
+"""FPGA resource costs — the paper's Table II component library.
+
+Table II of the paper (xc5vfx130t, ISE 13.2):
+
+=====================  ==========  ==========  ==============
+Component              LUTs        Registers   Max frequency
+=====================  ==========  ==========  ==============
+Bus (PLB)              1048        188         345.8 MHz
+Crossbar (2×2)         201         200         N/A (combinational)
+NoC router             309         353         150 MHz
+NA for HW accelerator  396         426         422.5 MHz
+NA for local memory    60          114         874.2 MHz
+=====================  ==========  ==========  ==============
+
+Two components the paper uses but does not tabulate get estimated costs,
+documented here so downstream numbers are reproducible:
+
+* ``MUX`` — the multiplexer inserted when a BRAM local memory has more
+  accessors than its two ports (Section V-B, JPEG's duplicated
+  ``huff_ac_dec`` kernels). Estimated at 80 LUTs / 60 registers — a
+  32-bit wide 3:1 mux with registered select, sized from comparable
+  Virtex-5 primitives.
+* ``NOC_GLUE`` — the NoC clock/reset/configuration infrastructure that
+  appears once per NoC instance. Estimated at 489 LUTs / 453 registers,
+  back-solved from the paper's own Table IV: KLT's NoC-only system minus
+  its baseline minus 4 routers and 4 adapters leaves exactly this glue.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from ..units import mhz
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceCost:
+    """An FPGA area cost in LUTs and registers (non-negative)."""
+
+    luts: int
+    regs: int
+
+    def __post_init__(self) -> None:
+        if self.luts < 0 or self.regs < 0:
+            raise ConfigurationError(
+                f"resource cost must be non-negative, got {self.luts}/{self.regs}"
+            )
+
+    def __add__(self, other: "ResourceCost") -> "ResourceCost":
+        return ResourceCost(self.luts + other.luts, self.regs + other.regs)
+
+    def __mul__(self, count: int) -> "ResourceCost":
+        if count < 0:
+            raise ConfigurationError(f"cannot multiply cost by negative {count}")
+        return ResourceCost(self.luts * count, self.regs * count)
+
+    __rmul__ = __mul__
+
+    def __sub__(self, other: "ResourceCost") -> "ResourceCost":
+        return ResourceCost(self.luts - other.luts, self.regs - other.regs)
+
+    @staticmethod
+    def zero() -> "ResourceCost":
+        """The additive identity."""
+        return ResourceCost(0, 0)
+
+
+class ComponentKind(enum.Enum):
+    """Interconnect component types of the proposed architecture."""
+
+    BUS = "bus"
+    CROSSBAR = "crossbar"
+    ROUTER = "noc_router"
+    NA_KERNEL = "na_hw_accelerator"
+    NA_MEMORY = "na_local_memory"
+    MUX = "mux"
+    NOC_GLUE = "noc_glue"
+
+
+@dataclass(frozen=True, slots=True)
+class ComponentSpec:
+    """Cost and timing of one interconnect component."""
+
+    kind: ComponentKind
+    cost: ResourceCost
+    #: Maximum achievable clock in Hz; ``None`` for purely combinational
+    #: components (the crossbar, which "does not introduce any
+    #: communication overhead").
+    fmax_hz: Optional[float]
+    #: Where the number comes from ("Table II" or an estimate note).
+    provenance: str
+
+
+#: The component library (see module docstring for provenance).
+COMPONENT_LIBRARY: Dict[ComponentKind, ComponentSpec] = {
+    ComponentKind.BUS: ComponentSpec(
+        ComponentKind.BUS, ResourceCost(1048, 188), mhz(345.8), "Table II"
+    ),
+    ComponentKind.CROSSBAR: ComponentSpec(
+        ComponentKind.CROSSBAR, ResourceCost(201, 200), None, "Table II"
+    ),
+    ComponentKind.ROUTER: ComponentSpec(
+        ComponentKind.ROUTER, ResourceCost(309, 353), mhz(150.0), "Table II"
+    ),
+    ComponentKind.NA_KERNEL: ComponentSpec(
+        ComponentKind.NA_KERNEL, ResourceCost(396, 426), mhz(422.5), "Table II"
+    ),
+    ComponentKind.NA_MEMORY: ComponentSpec(
+        ComponentKind.NA_MEMORY, ResourceCost(60, 114), mhz(874.2), "Table II"
+    ),
+    ComponentKind.MUX: ComponentSpec(
+        ComponentKind.MUX,
+        ResourceCost(80, 60),
+        None,
+        "estimate: 32-bit 3:1 BRAM-port mux (not tabulated in the paper)",
+    ),
+    ComponentKind.NOC_GLUE: ComponentSpec(
+        ComponentKind.NOC_GLUE,
+        ResourceCost(489, 453),
+        mhz(150.0),
+        "estimate: back-solved from Table IV (KLT NoC-only column)",
+    ),
+}
+
+
+def component_cost(kind: ComponentKind) -> ResourceCost:
+    """Cost of one component instance from the library."""
+    return COMPONENT_LIBRARY[kind].cost
+
+
+#: Cost of the four routers the paper compares against the shared-memory
+#: solution ("HW resources usage for four routers is 5× larger than the
+#: HW resources usage for shared local memory solution").
+FOUR_ROUTER_COST = component_cost(ComponentKind.ROUTER) * 4

@@ -1,0 +1,128 @@
+"""Whole-system resource estimation (the paper's Table IV).
+
+A synthesized accelerator system is modelled additively::
+
+    total = platform_base + bus + Σ kernel footprints + interconnect BOM
+
+``platform_base`` covers everything Table IV's baseline column contains
+beyond the bus and the kernels: the host interface, SDRAM controller,
+UART/timer/interrupt and assorted glue, which the paper's ML510 reference
+design instantiates for every system variant. Its value is a calibration
+constant chosen below the smallest baseline in Table IV (KLT).
+
+The estimator is intentionally decoupled from :mod:`repro.core.plan` — it
+consumes a plain ``{ComponentKind: count}`` mapping so the dependency
+points one way (core → hw).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+from ..errors import ConfigurationError
+from .resources import COMPONENT_LIBRARY, ComponentKind, ResourceCost
+
+#: Host interface + memory controller + I/O glue present in every system.
+PLATFORM_BASE = ResourceCost(2200, 2800)
+
+
+@dataclass(frozen=True, slots=True)
+class SynthesisEstimate:
+    """Resource estimate of one assembled system."""
+
+    #: System label ("baseline", "proposed", "noc_only", ...).
+    label: str
+    base: ResourceCost
+    kernels: ResourceCost
+    interconnect: ResourceCost
+    #: Per component-kind interconnect breakdown (for reports/Fig. 8).
+    breakdown: Mapping[ComponentKind, Tuple[int, ResourceCost]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def total(self) -> ResourceCost:
+        """Base + kernels + interconnect."""
+        return self.base + self.kernels + self.interconnect
+
+    @property
+    def custom_interconnect(self) -> ResourceCost:
+        """The custom interconnect only: everything beyond the bus.
+
+        Every system variant keeps the pre-existing PLB for host
+        communication, so Fig. 8's "resources used for interconnect"
+        counts the components Algorithm 1 *adds* (crossbars, routers,
+        adapters, muxes, NoC glue), not the bus.
+        """
+        bus = self.breakdown.get(ComponentKind.BUS)
+        if bus is None:
+            return self.interconnect
+        return self.interconnect - bus[1]
+
+    @property
+    def interconnect_over_kernels(self) -> float:
+        """Fig. 8's metric: custom-interconnect LUTs / kernel LUTs.
+
+        Raises when there are no kernel resources to normalize by.
+        """
+        if self.kernels.luts <= 0:
+            raise ConfigurationError(
+                f"system {self.label!r} has no kernel resources to normalize by"
+            )
+        return self.custom_interconnect.luts / self.kernels.luts
+
+
+def _sum_kernel_costs(kernel_costs: Iterable[ResourceCost]) -> ResourceCost:
+    total = ResourceCost.zero()
+    for cost in kernel_costs:
+        total = total + cost
+    return total
+
+
+def interconnect_cost(
+    counts: Mapping[ComponentKind, int],
+) -> Tuple[ResourceCost, Dict[ComponentKind, Tuple[int, ResourceCost]]]:
+    """Total cost and per-kind breakdown of an interconnect BOM."""
+    total = ResourceCost.zero()
+    breakdown: Dict[ComponentKind, Tuple[int, ResourceCost]] = {}
+    for kind, count in counts.items():
+        if count < 0:
+            raise ConfigurationError(f"negative count for {kind}: {count}")
+        if count == 0:
+            continue
+        cost = COMPONENT_LIBRARY[kind].cost * count
+        breakdown[kind] = (count, cost)
+        total = total + cost
+    return total, breakdown
+
+
+def estimate_system(
+    label: str,
+    kernel_costs: Iterable[ResourceCost],
+    component_counts: Mapping[ComponentKind, int],
+    base: ResourceCost = PLATFORM_BASE,
+) -> SynthesisEstimate:
+    """Estimate a full system from its kernels and interconnect BOM.
+
+    ``component_counts`` must include the bus when the system has one
+    (every system in the paper keeps the PLB for host communication).
+    """
+    total_ic, breakdown = interconnect_cost(component_counts)
+    return SynthesisEstimate(
+        label=label,
+        base=base,
+        kernels=_sum_kernel_costs(kernel_costs),
+        interconnect=total_ic,
+        breakdown=breakdown,
+    )
+
+
+def estimate_baseline(
+    kernel_costs: Iterable[ResourceCost],
+    base: ResourceCost = PLATFORM_BASE,
+) -> SynthesisEstimate:
+    """The bus-only baseline system: base + bus + kernels."""
+    return estimate_system(
+        "baseline", kernel_costs, {ComponentKind.BUS: 1}, base=base
+    )

@@ -1,0 +1,39 @@
+"""QUAD-style quantitative data-communication profiling.
+
+This package substitutes the QUAD toolset the paper uses (a Pin-based
+dynamic binary instrumentation tool over C programs). Applications are
+written against :class:`~repro.profiling.memory.TrackedBuffer` objects;
+every load and store is recorded by a :class:`~repro.profiling.tracer.Tracer`
+with exact byte intervals, and :class:`~repro.profiling.quad.QuadAnalyzer`
+derives the same output QUAD produces: the amount of data transferred
+between each producer function and consumer function, together with the
+number of Unique Memory Addresses (UMAs) involved in the transfer.
+"""
+
+from .intervals import IntervalMap, IntervalSet
+from .memory import AddressSpace, TrackedBuffer
+from .tracer import Tracer, trace_context
+from .quad import CommunicationProfile, ProfileEdge, FunctionStats, QuadAnalyzer
+from .hotspot import HotspotReport, rank_functions, select_hw_candidates
+from .report import render_profile_graph, render_profile_table
+from .phases import PhaseProfiler, PhaseSlice
+
+__all__ = [
+    "IntervalMap",
+    "IntervalSet",
+    "AddressSpace",
+    "TrackedBuffer",
+    "Tracer",
+    "trace_context",
+    "CommunicationProfile",
+    "ProfileEdge",
+    "FunctionStats",
+    "QuadAnalyzer",
+    "HotspotReport",
+    "rank_functions",
+    "select_hw_candidates",
+    "render_profile_graph",
+    "render_profile_table",
+    "PhaseProfiler",
+    "PhaseSlice",
+]

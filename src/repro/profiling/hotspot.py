@@ -1,0 +1,95 @@
+"""Hotspot ranking — selecting ``L_hw`` (Algorithm 1, line 1).
+
+The paper selects "the most computationally intensive functions suitable
+to implement on HW". QUAD's companion profiling gives per-function
+execution weight; our tracer records an abstract *work* counter instead
+(operation counts charged by the application code). The ranker orders
+functions by work and filters by a HW-suitability predicate supplied by
+the application (some functions — I/O, control glue — are not
+synthesizable, mirroring DWARV's restrictions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..errors import ProfilingError
+from .quad import CommunicationProfile
+
+
+@dataclass(frozen=True, slots=True)
+class HotspotReport:
+    """Ranked compute-intensity view of a profile."""
+
+    #: (function, work, share-of-total-work) heaviest first.
+    ranking: Tuple[Tuple[str, float, float], ...]
+    total_work: float
+
+    def top(self, k: int) -> Tuple[str, ...]:
+        """Names of the ``k`` heaviest functions."""
+        return tuple(name for name, _, _ in self.ranking[:k])
+
+    def share(self, name: str) -> float:
+        """Fraction of total work spent in ``name`` (0 when absent)."""
+        for fn, _, s in self.ranking:
+            if fn == name:
+                return s
+        return 0.0
+
+
+def rank_functions(
+    profile: CommunicationProfile,
+    exclude: Sequence[str] = (),
+) -> HotspotReport:
+    """Rank profiled functions by recorded compute work.
+
+    ``exclude`` removes pseudo-functions (the entry context, host glue)
+    from the ranking.
+    """
+    banned = set(exclude) | {profile.entry_name}
+    rows = [
+        (f.name, f.work)
+        for f in profile.functions
+        if f.name not in banned and f.work > 0
+    ]
+    rows.sort(key=lambda r: (-r[1], r[0]))
+    total = sum(w for _, w in rows)
+    if total <= 0:
+        return HotspotReport(ranking=(), total_work=0.0)
+    ranking = tuple((name, work, work / total) for name, work in rows)
+    return HotspotReport(ranking=ranking, total_work=total)
+
+
+def select_hw_candidates(
+    profile: CommunicationProfile,
+    suitable: Optional[Callable[[str], bool]] = None,
+    max_kernels: Optional[int] = None,
+    min_work_share: float = 0.0,
+    exclude: Sequence[str] = (),
+) -> Tuple[str, ...]:
+    """Select the ``L_hw`` list: hottest HW-suitable functions.
+
+    Parameters
+    ----------
+    suitable:
+        Predicate deciding HW implementability (default: everything).
+    max_kernels:
+        Cap on kernel count (FPGA area is finite); ``None`` = no cap.
+    min_work_share:
+        Drop functions below this fraction of total work — accelerating
+        a 0.1 % function is never worth a kernel.
+    """
+    if min_work_share < 0 or min_work_share > 1:
+        raise ProfilingError(f"min_work_share must be in [0, 1], got {min_work_share}")
+    report = rank_functions(profile, exclude=exclude)
+    out = []
+    for name, _work, share in report.ranking:
+        if share < min_work_share:
+            break  # ranking is sorted, the rest are lighter
+        if suitable is not None and not suitable(name):
+            continue
+        out.append(name)
+        if max_kernels is not None and len(out) >= max_kernels:
+            break
+    return tuple(out)

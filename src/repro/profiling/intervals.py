@@ -1,0 +1,180 @@
+"""Interval containers used by the memory tracer.
+
+QUAD tracks producers *per byte address*. Tracking a dictionary entry per
+byte would make profiling a few-megabyte working set unusably slow in
+Python, so the tracer stores maximal half-open intervals instead: an
+:class:`IntervalMap` maps ``[lo, hi)`` address ranges to the function that
+last wrote them, and an :class:`IntervalSet` maintains the union of ranges
+a consumer has read from a given producer (its UMA count is the measure of
+that union). Both structures are exact — they produce byte-identical
+results to the naive per-byte implementation, which the test suite checks
+against a reference model.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import ProfilingError
+
+
+def _check_range(lo: int, hi: int) -> None:
+    if lo < 0 or hi < lo:
+        raise ProfilingError(f"invalid interval [{lo}, {hi})")
+
+
+class IntervalMap:
+    """Maps half-open integer intervals to values, last write wins.
+
+    Internally keeps two parallel sorted lists of starts/ends plus a value
+    list; intervals never overlap and adjacent intervals with equal values
+    are coalesced, so memory stays proportional to the number of distinct
+    producer regions rather than the number of accesses.
+    """
+
+    __slots__ = ("_starts", "_ends", "_values")
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+        self._values: List[object] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, object]]:
+        return iter(zip(self._starts, self._ends, self._values))
+
+    def total_length(self) -> int:
+        """Total number of addresses covered by the map."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    def assign(self, lo: int, hi: int, value: object) -> None:
+        """Set ``[lo, hi)`` to ``value``, overwriting prior assignments."""
+        _check_range(lo, hi)
+        if lo == hi:
+            return
+        starts, ends, values = self._starts, self._ends, self._values
+
+        # Find the window of existing intervals that overlap or touch.
+        i = bisect_left(ends, lo)  # first interval with end >= lo
+        j = bisect_right(starts, hi)  # first interval with start > hi
+
+        # Fragments of overlapped intervals that survive on each side.
+        prefix: Optional[Tuple[int, int, object]] = None
+        suffix: Optional[Tuple[int, int, object]] = None
+        if i < j:
+            if starts[i] < lo:
+                prefix = (starts[i], lo, values[i])
+            if ends[j - 1] > hi:
+                suffix = (hi, ends[j - 1], values[j - 1])
+
+        new_items: List[Tuple[int, int, object]] = []
+        if prefix is not None:
+            if prefix[2] == value:
+                lo = prefix[0]
+            else:
+                new_items.append(prefix)
+        new_items.append((lo, hi, value))
+        if suffix is not None:
+            if suffix[2] == value:
+                s, e, v = new_items[-1]
+                new_items[-1] = (s, suffix[1], v)
+            else:
+                new_items.append(suffix)
+
+        starts[i:j] = [it[0] for it in new_items]
+        ends[i:j] = [it[1] for it in new_items]
+        values[i:j] = [it[2] for it in new_items]
+        self._coalesce_around(i, i + len(new_items))
+
+    def _coalesce_around(self, lo_idx: int, hi_idx: int) -> None:
+        """Merge equal-valued touching neighbours in ``[lo_idx-1, hi_idx]``."""
+        starts, ends, values = self._starts, self._ends, self._values
+        i = max(lo_idx - 1, 0)
+        while i < min(hi_idx + 1, len(starts)) - 1:
+            if ends[i] == starts[i + 1] and values[i] == values[i + 1]:
+                ends[i] = ends[i + 1]
+                del starts[i + 1], ends[i + 1], values[i + 1]
+                hi_idx -= 1
+            else:
+                i += 1
+
+    def query(self, lo: int, hi: int) -> List[Tuple[int, int, object]]:
+        """Return the assigned sub-intervals overlapping ``[lo, hi)``.
+
+        Each returned triple ``(s, e, v)`` is clipped to the query range.
+        Unassigned gaps are omitted — callers treat gaps as "no producer".
+        """
+        _check_range(lo, hi)
+        if lo == hi or not self._starts:
+            return []
+        starts, ends, values = self._starts, self._ends, self._values
+        i = bisect_right(ends, lo)  # first interval with end > lo
+        out: List[Tuple[int, int, object]] = []
+        while i < len(starts) and starts[i] < hi:
+            out.append((max(starts[i], lo), min(ends[i], hi), values[i]))
+            i += 1
+        return out
+
+    def value_at(self, addr: int) -> Optional[object]:
+        """Value covering a single address, or ``None`` when unassigned."""
+        hits = self.query(addr, addr + 1)
+        return hits[0][2] if hits else None
+
+
+class IntervalSet:
+    """A set of integers stored as maximal disjoint half-open intervals.
+
+    Used for UMA accounting: ``add`` unions a new range in, ``measure``
+    returns the exact number of distinct addresses accumulated.
+    """
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(zip(self._starts, self._ends))
+
+    def add(self, lo: int, hi: int) -> None:
+        """Union ``[lo, hi)`` into the set."""
+        _check_range(lo, hi)
+        if lo == hi:
+            return
+        starts, ends = self._starts, self._ends
+        # Intervals touching [lo, hi) get merged (hence bisect on ends>=lo
+        # and starts<=hi with equality included via left/right choice).
+        i = bisect_left(ends, lo)
+        j = bisect_right(starts, hi)
+        if i < j:
+            lo = min(lo, starts[i])
+            hi = max(hi, ends[j - 1])
+        starts[i:j] = [lo]
+        ends[i:j] = [hi]
+
+    def measure(self) -> int:
+        """Number of distinct addresses in the set."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    def contains(self, addr: int) -> bool:
+        """Whether a single address is in the set."""
+        i = bisect_right(self._starts, addr)
+        return i > 0 and self._ends[i - 1] > addr
+
+    def intersect_length(self, lo: int, hi: int) -> int:
+        """Number of addresses of ``[lo, hi)`` present in the set."""
+        _check_range(lo, hi)
+        starts, ends = self._starts, self._ends
+        i = bisect_right(ends, lo)
+        total = 0
+        while i < len(starts) and starts[i] < hi:
+            total += min(ends[i], hi) - max(starts[i], lo)
+            i += 1
+        return total

@@ -1,0 +1,180 @@
+"""Tracked address space and buffers.
+
+Applications under profiling allocate their working arrays from an
+:class:`AddressSpace`; the resulting :class:`TrackedBuffer` objects carry a
+NumPy payload plus a base address in a flat byte-addressed space. Every
+``load``/``store`` call both moves real data and reports the exact byte
+interval to the attached :class:`~repro.profiling.tracer.Tracer`, which is
+how producer→consumer byte counts and UMA counts are derived.
+
+Granularity note: accesses are recorded in *bytes* (QUAD's unit), but the
+buffer API is element-oriented — offsets and lengths are in elements of
+the buffer dtype and converted internally using the dtype item size.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AddressSpaceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .tracer import Tracer
+
+
+class TrackedBuffer:
+    """A named, address-mapped NumPy array whose accesses are traced.
+
+    Instances are created through :meth:`AddressSpace.alloc`. The raw
+    array is reachable as :attr:`data` for *untracked* scratch access
+    (e.g. test assertions); application code should use :meth:`load`,
+    :meth:`store` and :meth:`store_full` so that the communication
+    profile stays faithful.
+    """
+
+    __slots__ = ("name", "base", "data", "_space")
+
+    def __init__(self, name: str, base: int, data: np.ndarray, space: "AddressSpace"):
+        self.name = name
+        self.base = base
+        self.data = data
+        self._space = space
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return self.data.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size in bytes."""
+        return self.data.nbytes
+
+    def __len__(self) -> int:
+        return self.data.size
+
+    def address_range(self, start: int = 0, count: Optional[int] = None) -> Tuple[int, int]:
+        """Byte address interval ``[lo, hi)`` of an element slice."""
+        if count is None:
+            count = self.data.size - start
+        if start < 0 or count < 0 or start + count > self.data.size:
+            raise AddressSpaceError(
+                f"slice [{start}, {start + count}) out of range for buffer "
+                f"{self.name!r} of {self.data.size} elements"
+            )
+        lo = self.base + start * self.itemsize
+        return lo, lo + count * self.itemsize
+
+    # -- traced access -----------------------------------------------------
+    def load(self, start: int = 0, count: Optional[int] = None) -> np.ndarray:
+        """Read ``count`` elements starting at ``start`` (traced).
+
+        Returns a read-only view; mutating it would bypass tracing, so the
+        view is marked non-writeable.
+        """
+        lo, hi = self.address_range(start, count)
+        self._space.tracer.record_load(lo, hi)
+        n = (hi - lo) // self.itemsize
+        view = self.data.reshape(-1)[start : start + n]
+        view = view.view()
+        view.flags.writeable = False
+        return view
+
+    def store(self, values: np.ndarray, start: int = 0) -> None:
+        """Write ``values`` at element offset ``start`` (traced)."""
+        values = np.asarray(values, dtype=self.data.dtype).reshape(-1)
+        lo, hi = self.address_range(start, values.size)
+        self.data.reshape(-1)[start : start + values.size] = values
+        self._space.tracer.record_store(lo, hi)
+
+    def store_full(self, values: np.ndarray) -> None:
+        """Replace the whole payload (traced); shape must match."""
+        values = np.asarray(values, dtype=self.data.dtype)
+        if values.size != self.data.size:
+            raise AddressSpaceError(
+                f"store_full size mismatch on {self.name!r}: "
+                f"{values.size} != {self.data.size}"
+            )
+        self.data.reshape(-1)[:] = values.reshape(-1)
+        lo, hi = self.address_range(0, self.data.size)
+        self._space.tracer.record_store(lo, hi)
+
+    def load_full(self) -> np.ndarray:
+        """Read the whole payload (traced), shaped like the buffer."""
+        flat = self.load(0, self.data.size)
+        return flat.reshape(self.data.shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TrackedBuffer({self.name!r}, base=0x{self.base:x}, "
+            f"shape={self.data.shape}, dtype={self.data.dtype})"
+        )
+
+
+class AddressSpace:
+    """Flat byte-addressed allocator for :class:`TrackedBuffer` objects.
+
+    Buffers are laid out sequentially with an alignment pad, mimicking the
+    single virtual address space QUAD observes. The space owns the tracer
+    used by all buffers it allocates.
+    """
+
+    DEFAULT_ALIGN = 64
+
+    def __init__(self, tracer: "Tracer", align: int = DEFAULT_ALIGN) -> None:
+        if align <= 0 or (align & (align - 1)) != 0:
+            raise AddressSpaceError(f"alignment must be a power of two, got {align}")
+        self.tracer = tracer
+        self.align = align
+        self._next = 0
+        self._buffers: dict[str, TrackedBuffer] = {}
+
+    def alloc(self, name: str, shape, dtype=np.float64) -> TrackedBuffer:
+        """Allocate a zero-initialised tracked buffer.
+
+        Names must be unique within the space; they appear in profile
+        reports so collisions would make reports ambiguous.
+        """
+        if name in self._buffers:
+            raise AddressSpaceError(f"buffer name {name!r} already allocated")
+        data = np.zeros(shape, dtype=dtype)
+        base = self._next
+        buf = TrackedBuffer(name, base, data, self)
+        pad = (-data.nbytes) % self.align
+        self._next = base + data.nbytes + pad
+        self._buffers[name] = buf
+        return buf
+
+    def alloc_like(self, name: str, array: np.ndarray) -> TrackedBuffer:
+        """Allocate a buffer with the shape/dtype of ``array`` and copy it
+        in *untraced* (used to stage initial inputs before tracing starts)."""
+        buf = self.alloc(name, array.shape, array.dtype)
+        buf.data[...] = array
+        return buf
+
+    def get(self, name: str) -> TrackedBuffer:
+        """Look up a previously allocated buffer by name."""
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise AddressSpaceError(f"no buffer named {name!r}") from None
+
+    @property
+    def buffers(self) -> Tuple[TrackedBuffer, ...]:
+        """All allocated buffers, in allocation order."""
+        return tuple(self._buffers.values())
+
+    @property
+    def bytes_allocated(self) -> int:
+        """High-water mark of the allocator in bytes (including padding)."""
+        return self._next
+
+    def owner_of(self, addr: int) -> Optional[TrackedBuffer]:
+        """Buffer containing byte address ``addr``, or ``None``."""
+        for buf in self._buffers.values():
+            if buf.base <= addr < buf.base + buf.nbytes:
+                return buf
+        return None

@@ -1,0 +1,140 @@
+"""Phase-aware profiling.
+
+Iterative applications (the fluid solver, video pipelines) repeat a
+communication pattern every step. QUAD-style whole-run profiles sum
+over all steps; for interconnect design it matters whether the pattern
+is *stable* — a custom interconnect is synthesized once, so traffic
+that only exists in one phase still needs wires in every phase.
+
+:class:`PhaseProfiler` slices a tracer's producer→consumer byte counters
+at phase boundaries (cheap deltas of the cumulative counters) and
+reports per-phase communication, the stable core (edges present in
+every phase) and phase-only outliers. UMA counts are inherently
+whole-run (a union over addresses) and are not sliced.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import ProfilingError
+from .tracer import Tracer
+
+Edge = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class PhaseSlice:
+    """Traffic observed during one phase."""
+
+    name: str
+    index: int
+    edge_bytes: Dict[Edge, int]
+
+    def total_bytes(self) -> int:
+        """Traffic of this phase."""
+        return sum(self.edge_bytes.values())
+
+
+class PhaseProfiler:
+    """Slices a tracer's edge counters into named phases."""
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+        self._slices: List[PhaseSlice] = []
+        self._open = False
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Record one phase; nesting is not supported (phases tile the
+        run linearly, like solver time steps)."""
+        if self._open:
+            raise ProfilingError("phases cannot nest")
+        self._open = True
+        before = {k: b for k, (b, _) in self.tracer.edges().items()}
+        try:
+            yield
+        finally:
+            self._open = False
+            after = {k: b for k, (b, _) in self.tracer.edges().items()}
+            delta = {
+                k: after[k] - before.get(k, 0)
+                for k in after
+                if after[k] - before.get(k, 0) > 0
+            }
+            self._slices.append(
+                PhaseSlice(name=name, index=len(self._slices), edge_bytes=delta)
+            )
+
+    @property
+    def slices(self) -> Tuple[PhaseSlice, ...]:
+        """All recorded phases, in order."""
+        return tuple(self._slices)
+
+    def slices_named(self, name: str) -> Tuple[PhaseSlice, ...]:
+        """The phases with a given name (e.g. every "step")."""
+        return tuple(s for s in self._slices if s.name == name)
+
+    def stable_edges(self) -> Dict[Edge, Tuple[int, int]]:
+        """Edges present in *every* phase, with (min, max) per-phase bytes.
+
+        These are the flows a statically synthesized interconnect must
+        serve continuously.
+        """
+        if not self._slices:
+            return {}
+        common = set(self._slices[0].edge_bytes)
+        for s in self._slices[1:]:
+            common &= set(s.edge_bytes)
+        return {
+            e: (
+                min(s.edge_bytes[e] for s in self._slices),
+                max(s.edge_bytes[e] for s in self._slices),
+            )
+            for e in common
+        }
+
+    def phase_only_edges(self) -> Dict[Edge, Tuple[int, ...]]:
+        """Edges absent from at least one phase → phase indices seen in."""
+        seen: Dict[Edge, List[int]] = {}
+        for s in self._slices:
+            for e in s.edge_bytes:
+                seen.setdefault(e, []).append(s.index)
+        n = len(self._slices)
+        return {
+            e: tuple(idx) for e, idx in seen.items() if len(idx) < n
+        }
+
+    def union_edge_bytes(self) -> Dict[Edge, int]:
+        """Total bytes per edge across all recorded phases.
+
+        This is what a statically synthesized interconnect must be
+        designed for: the union of every phase's traffic. Feed it to
+        :meth:`repro.core.commgraph.CommGraph` construction (or compare
+        against the whole-run profile, which it matches when all
+        traffic happened inside phases).
+        """
+        out: Dict[Edge, int] = {}
+        for s in self._slices:
+            for e, b in s.edge_bytes.items():
+                out[e] = out.get(e, 0) + b
+        return out
+
+    def is_stationary(self, tolerance: float = 0.25) -> bool:
+        """Whether same-named phases repeat the same traffic pattern.
+
+        True when every stable edge's per-phase byte counts stay within
+        ``tolerance`` (relative) of each other and no edge is
+        phase-only. A stationary pattern means designing from any one
+        phase (or the whole-run profile) yields the same interconnect.
+        """
+        if len(self._slices) < 2:
+            return True
+        if self.phase_only_edges():
+            return False
+        for lo, hi in self.stable_edges().values():
+            if hi > 0 and (hi - lo) / hi > tolerance:
+                return False
+        return True

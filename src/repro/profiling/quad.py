@@ -1,0 +1,200 @@
+"""QUAD-style analysis: turn a tracer's raw state into a communication
+profile.
+
+The profile is the immutable artifact the rest of the library consumes:
+a set of :class:`ProfileEdge` records (producer, consumer, bytes, UMAs)
+plus per-function statistics, mirroring the quantitative data-usage graph
+QUAD emits (the paper's Fig. 5 is such a graph for the JPEG decoder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ProfilingError
+from .tracer import Tracer
+
+
+@dataclass(frozen=True, slots=True)
+class ProfileEdge:
+    """One producer→consumer communication record.
+
+    ``bytes`` is the total amount of data transferred (a byte read twice
+    counts twice, exactly as QUAD counts); ``umas`` is the number of
+    unique memory addresses involved.
+    """
+
+    producer: str
+    consumer: str
+    bytes: int
+    umas: int
+
+    def __post_init__(self) -> None:
+        if self.bytes < 0 or self.umas < 0:
+            raise ProfilingError(f"negative counts on edge {self}")
+        if self.umas > self.bytes:
+            raise ProfilingError(
+                f"UMAs ({self.umas}) cannot exceed transferred bytes "
+                f"({self.bytes}) on {self.producer}->{self.consumer}"
+            )
+
+    @property
+    def reuse_factor(self) -> float:
+        """How often each produced byte is re-read: ``bytes / UMAs``.
+
+        1.0 means pure streaming (every address read once); higher
+        values mean the consumer revisits the producer's data — a
+        signal that a shared local memory (zero-copy access) is extra
+        valuable for this edge, beyond the transfer-time saving.
+        """
+        if self.umas == 0:
+            return 0.0
+        return self.bytes / self.umas
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionStats:
+    """Per-function aggregates from the trace."""
+
+    name: str
+    calls: int
+    bytes_loaded: int
+    bytes_stored: int
+    work: float
+
+
+class CommunicationProfile:
+    """Immutable quantitative data-communication profile of one run."""
+
+    def __init__(
+        self,
+        edges: Iterable[ProfileEdge],
+        functions: Iterable[FunctionStats],
+        entry_name: str = Tracer.ENTRY,
+    ) -> None:
+        self._edges: Dict[Tuple[str, str], ProfileEdge] = {}
+        for e in edges:
+            key = (e.producer, e.consumer)
+            if key in self._edges:
+                raise ProfilingError(f"duplicate edge {key} in profile")
+            self._edges[key] = e
+        self._functions: Dict[str, FunctionStats] = {f.name: f for f in functions}
+        self.entry_name = entry_name
+
+    # -- basic access ------------------------------------------------------
+    @property
+    def edges(self) -> Tuple[ProfileEdge, ...]:
+        """All edges, heaviest first (stable order for reports)."""
+        return tuple(
+            sorted(
+                self._edges.values(),
+                key=lambda e: (-e.bytes, e.producer, e.consumer),
+            )
+        )
+
+    @property
+    def functions(self) -> Tuple[FunctionStats, ...]:
+        """Per-function statistics in first-seen order."""
+        return tuple(self._functions.values())
+
+    def function(self, name: str) -> FunctionStats:
+        """Stats of one function."""
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise ProfilingError(f"no function {name!r} in profile") from None
+
+    def edge(self, producer: str, consumer: str) -> Optional[ProfileEdge]:
+        """The edge between two functions, or ``None``."""
+        return self._edges.get((producer, consumer))
+
+    def bytes_between(self, producer: str, consumer: str) -> int:
+        """Bytes transferred producer→consumer (0 when no edge)."""
+        e = self._edges.get((producer, consumer))
+        return e.bytes if e else 0
+
+    def producers_of(self, consumer: str) -> Tuple[str, ...]:
+        """Functions that feed ``consumer``, heaviest first."""
+        return tuple(e.producer for e in self.edges if e.consumer == consumer)
+
+    def consumers_of(self, producer: str) -> Tuple[str, ...]:
+        """Functions that consume ``producer``'s output, heaviest first."""
+        return tuple(e.consumer for e in self.edges if e.producer == producer)
+
+    def total_bytes(self) -> int:
+        """Total inter-function traffic observed."""
+        return sum(e.bytes for e in self._edges.values())
+
+    # -- aggregation ---------------------------------------------------------
+    def collapse(self, groups: Mapping[str, str]) -> "CommunicationProfile":
+        """Merge functions into named groups and re-aggregate edges.
+
+        ``groups`` maps original function name → group name; unmapped
+        functions keep their own name. Self-edges created by grouping are
+        dropped (intra-group traffic is local, matching the tracer's
+        convention). UMA counts are summed, which upper-bounds the true
+        union; exact group UMAs would require re-tracing, and no consumer
+        of this method relies on UMA exactness after collapsing.
+        """
+        agg_bytes: Dict[Tuple[str, str], int] = {}
+        agg_umas: Dict[Tuple[str, str], int] = {}
+        for e in self._edges.values():
+            p = groups.get(e.producer, e.producer)
+            c = groups.get(e.consumer, e.consumer)
+            if p == c:
+                continue
+            agg_bytes[(p, c)] = agg_bytes.get((p, c), 0) + e.bytes
+            agg_umas[(p, c)] = agg_umas.get((p, c), 0) + e.umas
+
+        fn_agg: Dict[str, list] = {}
+        for f in self._functions.values():
+            g = groups.get(f.name, f.name)
+            slot = fn_agg.setdefault(g, [0, 0, 0, 0.0])
+            slot[0] += f.calls
+            slot[1] += f.bytes_loaded
+            slot[2] += f.bytes_stored
+            slot[3] += f.work
+
+        entry_group = groups.get(self.entry_name, self.entry_name)
+        return CommunicationProfile(
+            (
+                ProfileEdge(p, c, b, min(agg_umas[(p, c)], b))
+                for (p, c), b in agg_bytes.items()
+            ),
+            (
+                FunctionStats(name, *map(int, vals[:3]), vals[3])
+                for name, vals in fn_agg.items()
+            ),
+            entry_name=entry_group,
+        )
+
+    def restricted_to(self, names: Sequence[str], other: str) -> "CommunicationProfile":
+        """Collapse everything outside ``names`` into the pseudo-function
+        ``other`` — e.g. fold all non-kernel functions into "host"."""
+        keep = set(names)
+        groups = {
+            f.name: other for f in self._functions.values() if f.name not in keep
+        }
+        if self.entry_name not in keep:
+            groups[self.entry_name] = other
+        return self.collapse(groups)
+
+
+class QuadAnalyzer:
+    """Builds :class:`CommunicationProfile` objects from a tracer."""
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+
+    def profile(self) -> CommunicationProfile:
+        """Snapshot the tracer state into an immutable profile."""
+        edges = [
+            ProfileEdge(p, c, b, u)
+            for (p, c), (b, u) in self.tracer.edges().items()
+        ]
+        functions = []
+        for name in self.tracer.function_names():
+            calls, loaded, stored, work = self.tracer.function_counters(name)
+            functions.append(FunctionStats(name, calls, loaded, stored, work))
+        return CommunicationProfile(edges, functions, entry_name=Tracer.ENTRY)

@@ -1,0 +1,84 @@
+"""Textual rendering of communication profiles (the paper's Fig. 5).
+
+QUAD emits the profile as a graph of functions with byte-annotated edges;
+these helpers render the same information as an ASCII adjacency listing
+and as a table, which is what the Fig. 5 bench prints.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .quad import CommunicationProfile
+
+
+def _fmt_bytes(n: int) -> str:
+    """Human-oriented byte count (exact below 10 KiB, rounded above)."""
+    if n < 10 * 1024:
+        return f"{n} B"
+    if n < 10 * 1024 * 1024:
+        return f"{n / 1024:.1f} KiB"
+    return f"{n / (1024 * 1024):.2f} MiB"
+
+
+def render_profile_table(
+    profile: CommunicationProfile,
+    limit: Optional[int] = None,
+) -> str:
+    """Render edges as a fixed-width table, heaviest first."""
+    rows = profile.edges[:limit] if limit else profile.edges
+    if not rows:
+        return "(no inter-function communication observed)"
+    pw = max(len("producer"), *(len(e.producer) for e in rows))
+    cw = max(len("consumer"), *(len(e.consumer) for e in rows))
+    lines = [
+        f"{'producer':<{pw}}  {'consumer':<{cw}}  {'bytes':>12}  {'UMAs':>10}",
+        f"{'-' * pw}  {'-' * cw}  {'-' * 12}  {'-' * 10}",
+    ]
+    for e in rows:
+        lines.append(
+            f"{e.producer:<{pw}}  {e.consumer:<{cw}}  {e.bytes:>12}  {e.umas:>10}"
+        )
+    return "\n".join(lines)
+
+
+def render_profile_graph(
+    profile: CommunicationProfile,
+    focus: Sequence[str] = (),
+) -> str:
+    """Render the profile as an adjacency listing.
+
+    ``focus`` optionally restricts the producers shown (the Fig. 5 bench
+    focuses on the host plus the four JPEG kernels). Edge annotations show
+    bytes and UMA counts just like QUAD's graph labels.
+    """
+    producers = list(dict.fromkeys(e.producer for e in profile.edges))
+    if focus:
+        wanted = set(focus)
+        producers = [p for p in producers if p in wanted]
+    lines = []
+    for p in producers:
+        lines.append(p)
+        outs = [e for e in profile.edges if e.producer == p]
+        for i, e in enumerate(outs):
+            elbow = "`--" if i == len(outs) - 1 else "|--"
+            lines.append(
+                f"  {elbow}> {e.consumer}   [{_fmt_bytes(e.bytes)}, {e.umas} UMAs]"
+            )
+    return "\n".join(lines) if lines else "(empty profile)"
+
+
+def render_dot(profile: CommunicationProfile, name: str = "quad") -> str:
+    """Render the profile as a Graphviz ``dot`` digraph string.
+
+    Handy for users who want to *see* the Fig. 5 graph; the library never
+    shells out to graphviz itself.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for e in profile.edges:
+        lines.append(
+            f'  "{e.producer}" -> "{e.consumer}" '
+            f'[label="{e.bytes} B / {e.umas} UMA"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""The memory-access tracer at the heart of the QUAD substitute.
+
+The tracer maintains, exactly:
+
+* ``last_writer``: an :class:`~repro.profiling.intervals.IntervalMap` from
+  byte address to the function that most recently stored there;
+* per ``(producer, consumer)`` pair, the number of bytes the consumer
+  loaded that the producer had stored (QUAD's "data transfer" count);
+* per pair, an :class:`~repro.profiling.intervals.IntervalSet` of the
+  distinct addresses involved (QUAD's UMA count);
+* per function, total load/store bytes and an abstract *work* counter the
+  hotspot ranker uses in place of wall-clock samples.
+
+Function attribution uses an explicit context stack: application task
+functions run inside ``with tracer.context("name"):`` (or the
+:func:`trace_context` decorator). Loads issued before any producer wrote
+an address are attributed to the distinguished :data:`Tracer.ENTRY`
+producer — in a C program under QUAD those bytes come from ``main``/input
+staging, and the flow layer maps :data:`Tracer.ENTRY` to the host.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, TypeVar
+
+from ..errors import TracerStateError
+from .intervals import IntervalMap, IntervalSet
+
+F = TypeVar("F", bound=Callable)
+
+
+@dataclass
+class _FunctionCounters:
+    """Mutable per-function aggregates."""
+
+    calls: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+    work: float = 0.0
+
+
+@dataclass
+class _EdgeCounters:
+    """Mutable per-(producer, consumer) aggregates."""
+
+    bytes: int = 0
+    umas: IntervalSet = field(default_factory=IntervalSet)
+
+
+class Tracer:
+    """Records memory accesses and attributes them to function contexts."""
+
+    #: Producer name for data that existed before any traced store
+    #: (program inputs); the flow layer treats it as host-produced.
+    ENTRY = "__entry__"
+
+    def __init__(self) -> None:
+        self._stack: List[str] = []
+        self._last_writer = IntervalMap()
+        self._edges: Dict[Tuple[str, str], _EdgeCounters] = {}
+        self._functions: Dict[str, _FunctionCounters] = {}
+        self.enabled = True
+
+    # -- context management --------------------------------------------
+    @property
+    def current(self) -> str:
+        """Innermost active function context (``ENTRY`` outside any)."""
+        return self._stack[-1] if self._stack else self.ENTRY
+
+    @contextlib.contextmanager
+    def context(self, name: str) -> Iterator[None]:
+        """Attribute accesses inside the block to function ``name``."""
+        if not name or name == self.ENTRY:
+            raise TracerStateError(f"invalid context name {name!r}")
+        self._stack.append(name)
+        self._functions.setdefault(name, _FunctionCounters()).calls += 1
+        try:
+            yield
+        finally:
+            popped = self._stack.pop()
+            if popped != name:  # pragma: no cover - defensive
+                raise TracerStateError(
+                    f"unbalanced tracer contexts: popped {popped!r}, "
+                    f"expected {name!r}"
+                )
+
+    @contextlib.contextmanager
+    def paused(self) -> Iterator[None]:
+        """Temporarily stop recording (for setup/verification code)."""
+        prev, self.enabled = self.enabled, False
+        try:
+            yield
+        finally:
+            self.enabled = prev
+
+    # -- recording -------------------------------------------------------
+    def record_load(self, lo: int, hi: int) -> None:
+        """A load of byte interval ``[lo, hi)`` by the current context."""
+        if not self.enabled or lo >= hi:
+            return
+        consumer = self.current
+        counters = self._functions.setdefault(consumer, _FunctionCounters())
+        counters.bytes_loaded += hi - lo
+
+        cursor = lo
+        for seg_lo, seg_hi, producer in self._last_writer.query(lo, hi):
+            if cursor < seg_lo:  # gap: never-written bytes -> ENTRY
+                self._credit(self.ENTRY, consumer, cursor, seg_lo)
+            self._credit(str(producer), consumer, seg_lo, seg_hi)
+            cursor = seg_hi
+        if cursor < hi:
+            self._credit(self.ENTRY, consumer, cursor, hi)
+
+    def record_store(self, lo: int, hi: int) -> None:
+        """A store of byte interval ``[lo, hi)`` by the current context."""
+        if not self.enabled or lo >= hi:
+            return
+        producer = self.current
+        counters = self._functions.setdefault(producer, _FunctionCounters())
+        counters.bytes_stored += hi - lo
+        self._last_writer.assign(lo, hi, producer)
+
+    def add_work(self, amount: float) -> None:
+        """Charge abstract compute work to the current context.
+
+        Applications call this with an operation count (e.g. multiply-
+        accumulates performed); the hotspot ranker uses it the way QUAD's
+        companion profiler uses execution-time samples.
+        """
+        if not self.enabled or amount <= 0:
+            return
+        self._functions.setdefault(self.current, _FunctionCounters()).work += amount
+
+    def _credit(self, producer: str, consumer: str, lo: int, hi: int) -> None:
+        if lo >= hi or producer == consumer:
+            # QUAD reports *inter*-function communication; self-loops
+            # (a function re-reading its own output) are local traffic.
+            return
+        edge = self._edges.setdefault((producer, consumer), _EdgeCounters())
+        edge.bytes += hi - lo
+        edge.umas.add(lo, hi)
+
+    # -- inspection --------------------------------------------------------
+    def edge_bytes(self, producer: str, consumer: str) -> int:
+        """Bytes transferred from ``producer`` to ``consumer`` so far."""
+        edge = self._edges.get((producer, consumer))
+        return edge.bytes if edge else 0
+
+    def edge_umas(self, producer: str, consumer: str) -> int:
+        """Unique memory addresses used in the transfer so far."""
+        edge = self._edges.get((producer, consumer))
+        return edge.umas.measure() if edge else 0
+
+    def edges(self) -> Dict[Tuple[str, str], Tuple[int, int]]:
+        """All edges as ``{(producer, consumer): (bytes, umas)}``."""
+        return {k: (e.bytes, e.umas.measure()) for k, e in self._edges.items()}
+
+    def function_names(self) -> Tuple[str, ...]:
+        """Names of every function observed, in first-seen order."""
+        return tuple(self._functions)
+
+    def function_counters(self, name: str) -> Tuple[int, int, int, float]:
+        """``(calls, bytes_loaded, bytes_stored, work)`` for a function."""
+        c = self._functions.get(name, _FunctionCounters())
+        return (c.calls, c.bytes_loaded, c.bytes_stored, c.work)
+
+    def last_writer_of(self, addr: int) -> Optional[str]:
+        """Function that last wrote byte ``addr`` (``None`` if never)."""
+        value = self._last_writer.value_at(addr)
+        return None if value is None else str(value)
+
+
+def trace_context(tracer: Tracer, name: Optional[str] = None) -> Callable[[F], F]:
+    """Decorator running the wrapped function inside a tracer context.
+
+    >>> tracer = Tracer()
+    >>> @trace_context(tracer)
+    ... def smooth(buf_in, buf_out): ...
+    """
+
+    def decorate(func: F) -> F:
+        ctx_name = name or func.__name__
+
+        def wrapper(*args, **kwargs):
+            with tracer.context(ctx_name):
+                return func(*args, **kwargs)
+
+        wrapper.__name__ = func.__name__
+        wrapper.__doc__ = func.__doc__
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -1,0 +1,42 @@
+"""Runtime reconfigurability — the paper's stated future work.
+
+The conclusion of the paper: "Runtime reconfigurability is the next
+step in our work such that each application can dispose of its best
+interconnect infrastructure leading to faster execution and less
+overall energy consumption."
+
+This package implements that step on top of the designer:
+
+* :mod:`~repro.reconfig.bitstream` — partial-bitstream size and ICAP
+  reconfiguration-time models (Virtex-5 class);
+* :mod:`~repro.reconfig.region` — reconfigurable-region sizing against
+  the device;
+* :mod:`~repro.reconfig.scheduler` — given several applications (each
+  with its own designed interconnect) and a workload mix, decide
+  between hosting all systems **statically side by side** versus
+  **time-multiplexing one reconfigurable region** (paying ICAP time per
+  application switch), or a hybrid that keeps the hottest applications
+  resident.
+"""
+
+from .bitstream import BitstreamModel, IcapModel
+from .region import ReconfigurableRegion, region_for
+from .scheduler import (
+    AppDeployment,
+    DeploymentPlan,
+    ReconfigurationScheduler,
+    Strategy,
+    WorkloadMix,
+)
+
+__all__ = [
+    "BitstreamModel",
+    "IcapModel",
+    "ReconfigurableRegion",
+    "region_for",
+    "AppDeployment",
+    "WorkloadMix",
+    "Strategy",
+    "DeploymentPlan",
+    "ReconfigurationScheduler",
+]

@@ -1,0 +1,59 @@
+"""Partial bitstream and ICAP reconfiguration models.
+
+Virtex-5 partial reconfiguration loads frames through the ICAP: 32 bits
+per cycle at 100 MHz, i.e. 400 MB/s of raw configuration bandwidth.
+Partial bitstream size scales with the reconfigurable region's area; on
+Virtex-5, one CLB column frame-set is ~41 frames × 41 words, and a CLB
+holds 8 LUT/FF pairs, which works out to roughly 90–110 configuration
+bytes per LUT of region area. We model::
+
+    bitstream_bytes = overhead + bytes_per_lut · region_luts
+    reconfig_time   = bitstream_bytes / icap_bytes_per_second
+
+The constants are calibration knobs, not silicon ground truth — what
+the scheduler experiments need is the correct *scaling*: reconfiguration
+time proportional to region size, in the millisecond range for
+kernel-scale regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..hw.resources import ResourceCost
+
+
+@dataclass(frozen=True, slots=True)
+class BitstreamModel:
+    """Partial-bitstream size as a function of region area."""
+
+    bytes_per_lut: float = 100.0
+    overhead_bytes: int = 4096  # headers, pad frames, CRC
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_lut <= 0 or self.overhead_bytes < 0:
+            raise ConfigurationError("invalid bitstream model constants")
+
+    def size_bytes(self, region: ResourceCost) -> int:
+        """Partial bitstream size for a region of the given area."""
+        return self.overhead_bytes + int(self.bytes_per_lut * region.luts)
+
+
+@dataclass(frozen=True, slots=True)
+class IcapModel:
+    """ICAP throughput (32-bit @ 100 MHz on Virtex-5 → 400 MB/s)."""
+
+    bytes_per_second: float = 400e6
+    #: Fixed software/driver overhead per reconfiguration.
+    setup_seconds: float = 200e-6
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_second <= 0 or self.setup_seconds < 0:
+            raise ConfigurationError("invalid ICAP model constants")
+
+    def reconfig_seconds(self, bitstream_bytes: int) -> float:
+        """Wall-clock time of one partial reconfiguration."""
+        if bitstream_bytes < 0:
+            raise ConfigurationError("negative bitstream size")
+        return self.setup_seconds + bitstream_bytes / self.bytes_per_second

@@ -1,0 +1,69 @@
+"""Reconfigurable region sizing.
+
+A reconfigurable region must be rectangular-ish and over-provisioned
+relative to the largest module it will host (placement/routing inside a
+constrained region is less efficient than in free fabric); the
+``slack`` factor models that. The *static* part of every deployment
+(host interface, bus, platform I/O) never reconfigures and is excluded
+from the region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import ConfigurationError, ResourceBudgetError
+from ..hw.device import Device
+from ..hw.resources import ResourceCost
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigurableRegion:
+    """A region of fabric that can be partially reconfigured."""
+
+    name: str
+    area: ResourceCost
+
+    def fits_module(self, module: ResourceCost) -> bool:
+        """Whether a module can be placed into this region."""
+        return module.luts <= self.area.luts and module.regs <= self.area.regs
+
+
+def region_for(
+    modules: Iterable[ResourceCost],
+    slack: float = 1.2,
+    name: str = "pr0",
+) -> ReconfigurableRegion:
+    """Size one region to host each of ``modules`` (one at a time).
+
+    The region must cover the *largest* module in each dimension, padded
+    by ``slack`` for the constrained-placement overhead.
+    """
+    if slack < 1.0:
+        raise ConfigurationError(f"slack must be >= 1.0, got {slack}")
+    modules = list(modules)
+    if not modules:
+        raise ConfigurationError("no modules to size a region for")
+    luts = max(m.luts for m in modules)
+    regs = max(m.regs for m in modules)
+    return ReconfigurableRegion(
+        name=name,
+        area=ResourceCost(int(luts * slack), int(regs * slack)),
+    )
+
+
+def check_region_fits_device(
+    region: ReconfigurableRegion,
+    static_cost: ResourceCost,
+    device: Device,
+    utilization_cap: float = 0.85,
+) -> None:
+    """Raise when static logic + the region overflow the device."""
+    total = static_cost + region.area
+    if not device.fits(total, utilization_cap):
+        raise ResourceBudgetError(
+            f"region {region.name!r} ({region.area.luts} LUTs) plus static "
+            f"logic ({static_cost.luts} LUTs) exceeds "
+            f"{utilization_cap:.0%} of {device.name}"
+        )

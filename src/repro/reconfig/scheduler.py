@@ -1,0 +1,279 @@
+"""Deployment strategies for multiple applications on one FPGA.
+
+Given several applications, each with its designed interconnect and
+per-invocation execution time, and a workload mix (the order in which
+the host invokes them), the scheduler evaluates three strategies:
+
+* ``STATIC_ALL`` — instantiate every application's kernels+interconnect
+  side by side. Zero switching cost, maximum area; infeasible when the
+  device is too small.
+* ``RECONFIG_SINGLE`` — one reconfigurable region sized for the largest
+  application; every switch to a *different* application pays an ICAP
+  partial reconfiguration of the region.
+* ``HYBRID_PINNED`` — greedily pin the applications that cause the most
+  reconfiguration time (switch frequency × region cost) into dedicated
+  static slots while the device has room; the rest share one region.
+
+The figure of merit is total makespan over the mix; resources and
+feasibility are reported alongside so callers can walk the trade-off.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..hw.device import Device, XC5VFX130T
+from ..hw.resources import ResourceCost
+from .bitstream import BitstreamModel, IcapModel
+from .region import ReconfigurableRegion, region_for
+
+
+@dataclass(frozen=True, slots=True)
+class AppDeployment:
+    """One application as the scheduler sees it."""
+
+    name: str
+    #: Reconfigurable module cost: kernels + custom interconnect
+    #: (the static platform base and bus are shared and excluded).
+    module: ResourceCost
+    #: Execution time of one invocation on its designed system.
+    exec_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.exec_seconds <= 0:
+            raise ConfigurationError(
+                f"{self.name}: execution time must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A sequence of application invocations."""
+
+    sequence: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sequence:
+            raise ConfigurationError("empty workload mix")
+
+    @classmethod
+    def round_robin(cls, names: Sequence[str], rounds: int) -> "WorkloadMix":
+        """``rounds`` passes over ``names`` in order."""
+        if rounds < 1:
+            raise ConfigurationError("rounds must be >= 1")
+        return cls(tuple(names) * rounds)
+
+    @classmethod
+    def bursty(cls, bursts: Sequence[Tuple[str, int]]) -> "WorkloadMix":
+        """Runs of repeated invocations: ``[("jpeg", 10), ("canny", 3)]``."""
+        seq: List[str] = []
+        for name, count in bursts:
+            if count < 1:
+                raise ConfigurationError(f"burst of {count} for {name!r}")
+            seq.extend([name] * count)
+        return cls(tuple(seq))
+
+    def switches(self) -> Tuple[Tuple[str, str], ...]:
+        """Consecutive pairs that change application."""
+        return tuple(
+            (a, b)
+            for a, b in zip(self.sequence, self.sequence[1:])
+            if a != b
+        )
+
+    def counts(self) -> Dict[str, int]:
+        """Invocations per application."""
+        out: Dict[str, int] = {}
+        for name in self.sequence:
+            out[name] = out.get(name, 0) + 1
+        return out
+
+
+class Strategy(enum.Enum):
+    """Deployment strategies the scheduler evaluates."""
+
+    STATIC_ALL = "static_all"
+    RECONFIG_SINGLE = "reconfig_single"
+    HYBRID_PINNED = "hybrid_pinned"
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """Evaluation of one strategy on one workload mix."""
+
+    strategy: Strategy
+    feasible: bool
+    resources: ResourceCost
+    compute_seconds: float
+    reconfig_seconds: float
+    reconfig_count: int
+    pinned: Tuple[str, ...] = ()
+    notes: str = ""
+
+    @property
+    def total_seconds(self) -> float:
+        """Makespan: computation plus reconfiguration overhead."""
+        return self.compute_seconds + self.reconfig_seconds
+
+
+class ReconfigurationScheduler:
+    """Evaluates deployment strategies for a set of applications."""
+
+    def __init__(
+        self,
+        apps: Sequence[AppDeployment],
+        static_cost: ResourceCost,
+        device: Device = XC5VFX130T,
+        bitstream: BitstreamModel = BitstreamModel(),
+        icap: IcapModel = IcapModel(),
+        utilization_cap: float = 0.85,
+        region_slack: float = 1.2,
+    ) -> None:
+        if not apps:
+            raise ConfigurationError("no applications to schedule")
+        names = [a.name for a in apps]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate application names")
+        self.apps: Mapping[str, AppDeployment] = {a.name: a for a in apps}
+        self.static_cost = static_cost
+        self.device = device
+        self.bitstream = bitstream
+        self.icap = icap
+        self.utilization_cap = utilization_cap
+        self.region_slack = region_slack
+
+    # -- helpers ---------------------------------------------------------
+    def _compute_seconds(self, mix: WorkloadMix) -> float:
+        total = 0.0
+        for name in mix.sequence:
+            if name not in self.apps:
+                raise ConfigurationError(f"mix references unknown app {name!r}")
+            total += self.apps[name].exec_seconds
+        return total
+
+    def _region_reconfig_seconds(self, region: ReconfigurableRegion) -> float:
+        return self.icap.reconfig_seconds(self.bitstream.size_bytes(region.area))
+
+    def _feasible(self, resources: ResourceCost) -> bool:
+        return self.device.fits(resources, self.utilization_cap)
+
+    # -- strategies ------------------------------------------------------
+    def evaluate_static(self, mix: WorkloadMix) -> DeploymentPlan:
+        """All applications resident simultaneously."""
+        total = self.static_cost
+        for app in self.apps.values():
+            total = total + app.module
+        return DeploymentPlan(
+            strategy=Strategy.STATIC_ALL,
+            feasible=self._feasible(total),
+            resources=total,
+            compute_seconds=self._compute_seconds(mix),
+            reconfig_seconds=0.0,
+            reconfig_count=0,
+            notes="all systems side by side; zero switching cost",
+        )
+
+    def evaluate_reconfig(self, mix: WorkloadMix) -> DeploymentPlan:
+        """One shared region, reconfigured on every application change.
+
+        The first invocation also loads the region (one reconfiguration).
+        """
+        region = region_for(
+            (a.module for a in self.apps.values()), slack=self.region_slack
+        )
+        per_switch = self._region_reconfig_seconds(region)
+        count = len(mix.switches()) + 1  # + initial load
+        total = self.static_cost + region.area
+        return DeploymentPlan(
+            strategy=Strategy.RECONFIG_SINGLE,
+            feasible=self._feasible(total),
+            resources=total,
+            compute_seconds=self._compute_seconds(mix),
+            reconfig_seconds=per_switch * count,
+            reconfig_count=count,
+            notes=f"region {region.area.luts} LUTs, "
+            f"{per_switch * 1e3:.2f} ms per reconfiguration",
+        )
+
+    def evaluate_hybrid(self, mix: WorkloadMix) -> DeploymentPlan:
+        """Pin the most reconfiguration-hungry apps, multiplex the rest."""
+        switches = mix.switches()
+        # Reconfiguration pressure: how many region loads an app causes.
+        loads: Dict[str, int] = {name: 0 for name in self.apps}
+        loads[mix.sequence[0]] += 1
+        for _, to in switches:
+            loads[to] += 1
+
+        # Greedy pinning: biggest (loads × module size) first, while the
+        # static budget holds and at least two apps stay unpinned (a
+        # region shared by one app needs no reconfiguration anyway).
+        order = sorted(
+            self.apps.values(),
+            key=lambda a: (-loads[a.name] * max(a.module.luts, 1), a.name),
+        )
+        pinned: List[str] = []
+        static = self.static_cost
+        remaining = set(self.apps)
+        for app in order:
+            if len(remaining) <= 1:
+                break
+            candidate_static = static + app.module
+            rest = [self.apps[n].module for n in remaining if n != app.name]
+            region = region_for(rest, slack=self.region_slack)
+            if self._feasible(candidate_static + region.area):
+                pinned.append(app.name)
+                static = candidate_static
+                remaining.discard(app.name)
+
+        if remaining:
+            region = region_for(
+                [self.apps[n].module for n in remaining],
+                slack=self.region_slack,
+            )
+            region_area = region.area
+            per_switch = self._region_reconfig_seconds(region)
+        else:  # pragma: no cover - remaining kept non-empty above
+            region_area = ResourceCost.zero()
+            per_switch = 0.0
+
+        # Count region loads: only transitions *into* an unpinned app
+        # that differs from the region's current occupant.
+        count = 0
+        occupant = None
+        for name in mix.sequence:
+            if name in remaining and name != occupant:
+                count += 1
+                occupant = name
+
+        total = static + region_area
+        return DeploymentPlan(
+            strategy=Strategy.HYBRID_PINNED,
+            feasible=self._feasible(total),
+            resources=total,
+            compute_seconds=self._compute_seconds(mix),
+            reconfig_seconds=per_switch * count,
+            reconfig_count=count,
+            pinned=tuple(pinned),
+            notes=f"pinned {pinned or 'none'}; region {region_area.luts} LUTs",
+        )
+
+    # -- entry points ----------------------------------------------------
+    def evaluate(self, mix: WorkloadMix) -> Dict[Strategy, DeploymentPlan]:
+        """All three strategies on one mix."""
+        return {
+            Strategy.STATIC_ALL: self.evaluate_static(mix),
+            Strategy.RECONFIG_SINGLE: self.evaluate_reconfig(mix),
+            Strategy.HYBRID_PINNED: self.evaluate_hybrid(mix),
+        }
+
+    def best(self, mix: WorkloadMix) -> DeploymentPlan:
+        """Fastest *feasible* strategy (ties: fewer resources)."""
+        plans = [p for p in self.evaluate(mix).values() if p.feasible]
+        if not plans:
+            raise ConfigurationError(
+                "no feasible deployment strategy on this device"
+            )
+        return min(plans, key=lambda p: (p.total_seconds, p.resources.luts))

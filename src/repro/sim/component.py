@@ -1,0 +1,36 @@
+"""Base class for simulated hardware components.
+
+Components carry a name, a clock domain and an optional activity trace.
+The trace is a plain list of ``(time_s, label)`` tuples — cheap to record
+and easy to assert on in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..units import Clock
+from .engine import Engine
+
+
+class Component:
+    """A named, clocked participant in the simulation."""
+
+    def __init__(self, engine: Engine, name: str, clock: Clock, trace: bool = False):
+        self.engine = engine
+        self.name = name
+        self.clock = clock
+        self.tracing = trace
+        self.trace: List[Tuple[float, str]] = []
+
+    def cycles(self, n: float) -> float:
+        """Convert ``n`` cycles of this component's clock to seconds."""
+        return self.clock.cycles_to_seconds(n)
+
+    def log(self, label: str) -> None:
+        """Record an activity marker when tracing is enabled."""
+        if self.tracing:
+            self.trace.append((self.engine.now, label))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,46 @@
+"""DMA engine: bulk host↔local-memory transfers over the bus.
+
+FPGA accelerator platforms move kernel data with a DMA block rather than
+processor loads; the model wraps bus transfers with a fixed descriptor
+setup latency per transfer, charged at the host clock (the host writes
+the descriptor registers).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..units import HOST_CLOCK, Clock
+from .bus import PlbBus
+from .component import Component
+from .engine import Engine
+
+
+class DmaEngine(Component):
+    """Descriptor-based DMA in front of the system bus."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        bus: PlbBus,
+        setup_cycles: int = 40,
+        clock: Clock = HOST_CLOCK,
+        name: str = "dma",
+        trace: bool = False,
+    ) -> None:
+        super().__init__(engine, name, clock, trace=trace)
+        if setup_cycles < 0:
+            raise ConfigurationError("setup_cycles must be >= 0")
+        self.bus = bus
+        self.setup_cycles = setup_cycles
+        self.transfers = 0
+
+    def transfer(self, nbytes: int, requester: str = "dma"):
+        """Process generator: descriptor setup then the bus transfer."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative DMA size {nbytes}")
+        if nbytes == 0:
+            return
+        yield self.cycles(self.setup_cycles)
+        self.log(f"dma {nbytes}B for {requester}")
+        yield from self.bus.transfer(nbytes, requester=requester)
+        self.transfers += 1

@@ -1,0 +1,303 @@
+"""A compact discrete-event simulation engine.
+
+The engine provides exactly the primitives the system models need:
+
+* :class:`Event` — one-shot triggerable with callbacks and a value;
+* :class:`Process` — a generator-based coroutine. Yield a number to wait
+  that many *seconds* of simulated time, an :class:`Event` (including
+  another process) to wait for it, or :class:`AllOf` to join several;
+* :class:`Resource` — capacity-limited FIFO resource (the bus, BRAM
+  ports);
+* :class:`WrrResource` — a single-capacity resource whose waiters are
+  served in weighted round-robin order per requester class. This models
+  the paper's NoC router arbitration (Heisswolf et al.'s WRR scheduler).
+
+Determinism: simultaneous events fire in schedule order (a monotonically
+increasing sequence number breaks time ties), so identical inputs always
+produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Callable, Dict, Generator, Iterable, List, Optional, Tuple
+
+from ..errors import DeadlockError, SimulationError
+
+
+class Event:
+    """A one-shot event that processes can wait on."""
+
+    __slots__ = ("engine", "callbacks", "triggered", "value")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: object = None
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event now; waiters resume at the current time."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        for cb in self.callbacks:
+            self.engine.schedule(0.0, lambda cb=cb: cb(self))
+        self.callbacks.clear()
+        return self
+
+    def wait(self, callback: Callable[["Event"], None]) -> None:
+        """Register a callback; fires immediately if already triggered."""
+        if self.triggered:
+            self.engine.schedule(0.0, lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+
+class AllOf(Event):
+    """An event that triggers once every child event has triggered."""
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        events = list(events)
+        self._remaining = len(events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in events:
+            ev.wait(self._child_done)
+
+    def _child_done(self, _ev: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0 and not self.triggered:
+            self.succeed()
+
+
+ProcessGenerator = Generator[object, object, object]
+
+
+class Process(Event):
+    """A coroutine driven by the engine; completes as an event.
+
+    The generator's return value becomes the event value.
+    """
+
+    __slots__ = ("_gen", "name")
+
+    def __init__(self, engine: "Engine", gen: ProcessGenerator, name: str = "") -> None:
+        super().__init__(engine)
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        engine._active += 1
+        engine.schedule(0.0, lambda: self._step(None))
+
+    def _step(self, send_value: object) -> None:
+        try:
+            target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.engine._active -= 1
+            self.succeed(stop.value)
+            return
+        except Exception:
+            self.engine._active -= 1
+            raise
+        if isinstance(target, (int, float)):
+            if target < 0:
+                self.engine._active -= 1
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {target}"
+                )
+            self.engine.schedule(float(target), lambda: self._step(None))
+        elif isinstance(target, Event):
+            target.wait(lambda ev: self._step(ev.value))
+        elif isinstance(target, (tuple, list)):
+            AllOf(self.engine, target).wait(lambda ev: self._step(ev.value))
+        else:
+            self.engine._active -= 1
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {type(target).__name__}"
+            )
+
+
+class Engine:
+    """The event loop: a priority queue over (time, seq, thunk)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = count()
+        self._active = 0  # processes started but not finished
+
+    def schedule(self, delay: float, thunk: Callable[[], None]) -> None:
+        """Run ``thunk`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), thunk))
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def process(self, gen: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, gen, name=name)
+
+    def timeout(self, delay: float) -> Event:
+        """An event that triggers after ``delay`` seconds."""
+        ev = Event(self)
+        self.schedule(delay, lambda: ev.succeed())
+        return ev
+
+    def run(self, until: Optional[float] = None, check_deadlock: bool = True) -> float:
+        """Drain the event queue; returns the final simulation time.
+
+        With ``check_deadlock`` (default) the engine raises when the
+        queue empties while processes are still alive — i.e. somebody is
+        waiting on an event nobody will ever trigger.
+        """
+        while self._queue:
+            t, _seq, thunk = heapq.heappop(self._queue)
+            if until is not None and t > until:
+                heapq.heappush(self._queue, (t, _seq, thunk))
+                self.now = until
+                return self.now
+            if t < self.now - 1e-18:  # pragma: no cover - defensive
+                raise SimulationError("time went backwards")
+            self.now = t
+            thunk()
+        if check_deadlock and self._active > 0:
+            raise DeadlockError(
+                f"{self._active} process(es) still waiting with an empty "
+                "event queue"
+            )
+        return self.now
+
+
+class Resource:
+    """Capacity-limited resource with FIFO granting.
+
+    Usage inside a process::
+
+        yield resource.request()
+        try: ...
+        finally: resource.release()
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: List[Event] = []
+        # Utilization accounting (single-capacity resources only).
+        self._busy_since: Optional[float] = None
+        self.busy_time = 0.0
+        self.grants = 0
+
+    def request(self, key: object = None) -> Event:
+        """Event that triggers when the resource is granted."""
+        ev = Event(self.engine)
+        if self._in_use < self.capacity:
+            self._grant(ev)
+        else:
+            self._enqueue(ev, key)
+        return ev
+
+    def _enqueue(self, ev: Event, key: object) -> None:
+        self._waiters.append(ev)
+
+    def _dequeue(self) -> Optional[Event]:
+        return self._waiters.pop(0) if self._waiters else None
+
+    def _grant(self, ev: Event) -> None:
+        self._in_use += 1
+        self.grants += 1
+        if self._in_use == 1:
+            self._busy_since = self.engine.now
+        ev.succeed()
+
+    def release(self) -> None:
+        """Return one unit of capacity; grants the next waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self.busy_time += self.engine.now - self._busy_since
+            self._busy_since = None
+        nxt = self._dequeue()
+        if nxt is not None:
+            self._grant(nxt)
+
+    def utilization(self, total_time: float) -> float:
+        """Fraction of ``total_time`` the resource was busy."""
+        if total_time <= 0:
+            return 0.0
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.engine.now - self._busy_since
+        return min(busy / total_time, 1.0)
+
+
+class WrrResource(Resource):
+    """Single resource with weighted-round-robin service per key.
+
+    Waiters carry a *key* (e.g. the router input port). When the resource
+    frees up, the scheduler walks the keys round-robin, serving up to
+    ``weight[key]`` consecutive waiters of a key before moving on —
+    the arbitration policy of the paper's NoC routers.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        weights: Optional[Dict[object, int]] = None,
+        default_weight: int = 1,
+        name: str = "wrr",
+    ) -> None:
+        super().__init__(engine, capacity=1, name=name)
+        if default_weight < 1:
+            raise SimulationError("default_weight must be >= 1")
+        self.weights = dict(weights or {})
+        self.default_weight = default_weight
+        self._queues: Dict[object, List[Event]] = {}
+        self._rr_order: List[object] = []
+        self._current_key: Optional[object] = None
+        self._served_in_turn = 0
+
+    def _enqueue(self, ev: Event, key: object) -> None:
+        if key not in self._queues:
+            self._queues[key] = []
+            self._rr_order.append(key)
+        self._queues[key].append(ev)
+
+    def _weight_of(self, key: object) -> int:
+        return self.weights.get(key, self.default_weight)
+
+    def _dequeue(self) -> Optional[Event]:
+        live = [k for k in self._rr_order if self._queues.get(k)]
+        if not live:
+            return None
+        key = self._current_key
+        if (
+            key is not None
+            and self._queues.get(key)
+            and self._served_in_turn < self._weight_of(key)
+        ):
+            pass  # continue this key's turn
+        else:
+            # Advance round-robin to the next key with waiters.
+            if key in live:
+                start = (live.index(key) + 1) % len(live)
+            else:
+                start = 0
+            key = live[start]
+            self._current_key = key
+            self._served_in_turn = 0
+        self._served_in_turn += 1
+        return self._queues[key].pop(0)

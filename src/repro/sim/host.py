@@ -1,0 +1,37 @@
+"""Host processor model.
+
+The host runs the non-accelerated application parts, stages kernel input
+data and collects results. Computation on the host is modelled as pure
+delay (its internals are irrelevant to the interconnect study); what
+matters is that host-mediated data movement serializes on the bus.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..units import HOST_CLOCK, Clock
+from .component import Component
+from .engine import Engine
+
+
+class HostProcessor(Component):
+    """The PowerPC-like host: software delay + orchestration."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        clock: Clock = HOST_CLOCK,
+        name: str = "host",
+        trace: bool = False,
+    ) -> None:
+        super().__init__(engine, name, clock, trace=trace)
+        self.software_seconds = 0.0
+
+    def run_software(self, seconds: float):
+        """Process generator: execute host-resident code for ``seconds``."""
+        if seconds < 0:
+            raise ConfigurationError(f"negative software time {seconds}")
+        self.log(f"software {seconds:.6f}s")
+        self.software_seconds += seconds
+        if seconds > 0:
+            yield seconds

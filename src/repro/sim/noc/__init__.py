@@ -1,0 +1,29 @@
+"""2-D mesh NoC with XY routing and weighted-round-robin arbitration.
+
+Models the NoC the paper adapts from Heisswolf et al. ("A scalable NoC
+router design providing QoS support using weighted round robin
+scheduling"): a mesh of 5-port routers; packets follow dimension-ordered
+XY routes; contended links are granted in weighted round-robin order per
+input; kernels and local memories attach through network adapters that
+charge a packetization latency.
+"""
+
+from .packet import Packet
+from .routing import adjacent, xy_route
+from .router import Link
+from .mesh import NocMesh, NocParams
+from .adapter import AdapterParams
+from .qos import apply_qos_weights, flow_link_loads, weights_from_loads
+
+__all__ = [
+    "Packet",
+    "xy_route",
+    "adjacent",
+    "Link",
+    "NocMesh",
+    "NocParams",
+    "AdapterParams",
+    "flow_link_loads",
+    "weights_from_loads",
+    "apply_qos_weights",
+]

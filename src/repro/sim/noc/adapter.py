@@ -1,0 +1,25 @@
+"""Network adapter parameters.
+
+The paper develops two adapters (Table II): one for HW accelerators
+(396 LUTs / 426 regs) and a lighter one for local memories (60 / 114).
+Functionally both packetize/depacketize; the model charges a fixed
+per-packet latency on injection (kernel NA) and ejection (memory NA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class AdapterParams:
+    """Per-packet latencies of the two adapter types (in NoC cycles)."""
+
+    kernel_inject_cycles: int = 4
+    memory_eject_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kernel_inject_cycles < 0 or self.memory_eject_cycles < 0:
+            raise ConfigurationError("adapter latencies must be >= 0")

@@ -1,0 +1,89 @@
+"""Static NoC load analysis of an interconnect plan.
+
+Before simulating, the planned flows already determine each link's
+offered load under the placement and routing: the classic *channel
+load* analysis. The maximum channel load bounds the NoC's sustainable
+throughput; comparing the static prediction against the simulator's
+measured per-link traffic validates both (the test suite does exactly
+that — the two must agree byte-for-byte, since routing is deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ...core.plan import InterconnectPlan, memory_node
+from ...errors import ConfigurationError
+from .routing import torus_xy_route, xy_route
+
+Coord = Tuple[int, int]
+LinkKey = Tuple[Coord, Coord]
+
+
+@dataclass(frozen=True)
+class NocLoadReport:
+    """Channel-load summary of one plan's NoC."""
+
+    #: Planned bytes per directed link.
+    link_loads: Dict[LinkKey, int]
+    total_flow_bytes: int
+    #: Σ bytes × hops — what the links collectively carry.
+    byte_hops: int
+
+    @property
+    def max_channel_load(self) -> int:
+        """The hottest link's bytes (the throughput bottleneck)."""
+        return max(self.link_loads.values(), default=0)
+
+    @property
+    def average_hops(self) -> float:
+        """Mean hop count weighted by flow bytes."""
+        if self.total_flow_bytes == 0:
+            return 0.0
+        return self.byte_hops / self.total_flow_bytes
+
+    @property
+    def load_balance(self) -> float:
+        """Mean/max link load in (0, 1]; 1.0 = perfectly balanced."""
+        if not self.link_loads or self.max_channel_load == 0:
+            return 1.0
+        mean = sum(self.link_loads.values()) / len(self.link_loads)
+        return mean / self.max_channel_load
+
+    def serialization_bound_s(
+        self, link_width_bytes: int, clock_hz: float
+    ) -> float:
+        """Lower bound on NoC drain time from the hottest link.
+
+        No schedule can finish faster than the bottleneck link takes to
+        serialize its offered bytes.
+        """
+        if link_width_bytes <= 0 or clock_hz <= 0:
+            raise ConfigurationError("invalid link width or clock")
+        cycles = -(-self.max_channel_load // link_width_bytes)
+        return cycles / clock_hz
+
+
+def analyze_noc_load(plan: InterconnectPlan) -> Optional[NocLoadReport]:
+    """Compute the channel-load report (``None`` when there is no NoC)."""
+    if plan.noc is None:
+        return None
+    placement = plan.noc.placement
+    loads: Dict[LinkKey, int] = {}
+    total = 0
+    byte_hops = 0
+    for producer, consumer, nbytes in plan.noc.edges:
+        src = placement.positions[producer]
+        dst = placement.positions[memory_node(consumer)]
+        if placement.torus:
+            path = torus_xy_route(src, dst, placement.width, placement.height)
+        else:
+            path = xy_route(src, dst)
+        total += nbytes
+        byte_hops += nbytes * len(path)
+        for link in path:
+            loads[link] = loads.get(link, 0) + nbytes
+    return NocLoadReport(
+        link_loads=loads, total_flow_bytes=total, byte_hops=byte_hops
+    )

@@ -1,0 +1,26 @@
+"""NoC packets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ...errors import ConfigurationError
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """One data packet travelling source → destination on the mesh."""
+
+    pid: int
+    src: Coord
+    dst: Coord
+    nbytes: int
+    #: Label of the logical flow (producer->consumer), for stats.
+    flow: str = ""
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ConfigurationError(f"packet {self.pid} has no payload")

@@ -1,0 +1,91 @@
+"""Physical units and conversion helpers.
+
+The paper's platform runs the host at 400 MHz and the kernels at 100 MHz;
+time quantities inside the simulator are kept in *kernel-clock cycles*
+(integers where possible) and converted to seconds only at the reporting
+boundary. Keeping a single canonical clock avoids the classic
+mixed-frequency bookkeeping bugs when host and kernel activity interleave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+
+#: Bytes per kilobyte/megabyte (binary, as used for BRAM sizing).
+KIB = 1024
+MIB = 1024 * 1024
+
+#: Default clock frequencies from the paper's experimental setup (Hz).
+HOST_FREQ_HZ = 400_000_000  # PowerPC 440 on the ML510
+KERNEL_FREQ_HZ = 100_000_000  # DWARV-generated kernels
+
+
+@dataclass(frozen=True, slots=True)
+class Clock:
+    """A clock domain expressed by its frequency in Hz.
+
+    Provides exact cycle/second conversions and guards against the
+    zero/negative frequencies that would silently corrupt timing math.
+    """
+
+    freq_hz: float
+    name: str = "clk"
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise ConfigurationError(
+                f"clock {self.name!r} must have a positive frequency, "
+                f"got {self.freq_hz!r}"
+            )
+
+    @property
+    def period_s(self) -> float:
+        """Duration of one cycle in seconds."""
+        return 1.0 / self.freq_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count in this domain to seconds."""
+        return cycles / self.freq_hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert seconds to (possibly fractional) cycles."""
+        return seconds * self.freq_hz
+
+    def rescale(self, cycles: float, other: "Clock") -> float:
+        """Express ``cycles`` of this clock in cycles of ``other``."""
+        return cycles * other.freq_hz / self.freq_hz
+
+
+#: Canonical clocks used throughout the reproduction.
+HOST_CLOCK = Clock(HOST_FREQ_HZ, "host@400MHz")
+KERNEL_CLOCK = Clock(KERNEL_FREQ_HZ, "kernel@100MHz")
+
+
+def mhz(value: float) -> float:
+    """Convert MHz to Hz (readability helper for component tables)."""
+    return value * 1e6
+
+
+def as_megabytes(num_bytes: int) -> float:
+    """Bytes to MiB as a float (for reports)."""
+    return num_bytes / MIB
+
+
+def speedup(reference: float, improved: float) -> float:
+    """Return ``reference / improved`` guarding against division by zero.
+
+    ``reference`` is the slower/original time; values > 1 mean the
+    improved configuration is faster, matching the paper's convention.
+    """
+    if improved <= 0:
+        raise ConfigurationError(f"improved time must be positive, got {improved!r}")
+    return reference / improved
+
+
+def percent_saving(reference: float, improved: float) -> float:
+    """Percentage reduction of ``improved`` relative to ``reference``."""
+    if reference <= 0:
+        raise ConfigurationError(f"reference must be positive, got {reference!r}")
+    return 100.0 * (reference - improved) / reference

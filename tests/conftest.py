@@ -1,0 +1,45 @@
+"""Shared fixtures.
+
+The expensive fixtures (profiled applications, full experiment results)
+are session-scoped: the applications are deterministic (fixed seeds), so
+sharing one profile across tests changes nothing but the runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import fit_application, get_application
+from repro.apps.registry import APP_NAMES
+from repro.flow import run_all, run_experiment
+from repro.sim.systems import SystemParams
+
+
+@pytest.fixture(scope="session")
+def system_params():
+    return SystemParams()
+
+
+@pytest.fixture(scope="session")
+def theta(system_params):
+    return system_params.theta_s_per_byte()
+
+
+@pytest.fixture(scope="session")
+def fitted_apps(theta):
+    """Calibrated graphs for all four applications."""
+    return {
+        name: fit_application(get_application(name), theta)
+        for name in APP_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def all_results():
+    """Full experiment results (analytic + simulated) for all apps."""
+    return run_all()
+
+
+@pytest.fixture(scope="session")
+def jpeg_result(all_results):
+    return all_results["jpeg"]

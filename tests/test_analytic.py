@@ -1,0 +1,161 @@
+"""Tests for the analytical performance model (Eq. 2 and Δ terms)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AnalyticModel,
+    CommGraph,
+    DesignConfig,
+    KernelSpec,
+    design_interconnect,
+)
+from repro.errors import ConfigurationError
+from repro.units import HOST_CLOCK, KERNEL_CLOCK
+
+THETA = 2e-9
+
+
+def two_kernel_graph(kk=10_000, h_in=5_000, h_out=5_000):
+    ks = {
+        "p": KernelSpec("p", 100_000.0, 1_600_000.0),
+        "c": KernelSpec("c", 50_000.0, 800_000.0),
+    }
+    return CommGraph(
+        kernels=ks,
+        kk_edges={("p", "c"): kk} if kk else {},
+        host_in={"p": h_in},
+        host_out={"c": h_out},
+    )
+
+
+class TestEquationTwo:
+    def test_baseline_matches_formula(self):
+        g = two_kernel_graph()
+        m = AnalyticModel(g, THETA, host_other_s=0.0)
+        base = m.baseline()
+        tau = KERNEL_CLOCK.cycles_to_seconds(150_000.0)
+        # traffic = h_in + h_out + 2*kk = 5000 + 5000 + 20000
+        comm = 30_000 * THETA
+        assert base.computation_s == pytest.approx(tau)
+        assert base.communication_s == pytest.approx(comm)
+        assert base.kernels_s == pytest.approx(tau + comm)
+
+    def test_software_times(self):
+        g = two_kernel_graph()
+        m = AnalyticModel(g, THETA, host_other_s=0.5)
+        sw = m.software()
+        assert sw.kernels_s == pytest.approx(
+            HOST_CLOCK.cycles_to_seconds(2_400_000.0)
+        )
+        assert sw.application_s == pytest.approx(sw.kernels_s + 0.5)
+
+    def test_comm_comp_ratio(self):
+        g = two_kernel_graph()
+        m = AnalyticModel(g, THETA, 0.0)
+        base = m.baseline()
+        assert base.comm_comp_ratio == pytest.approx(
+            base.communication_s / base.computation_s
+        )
+
+    def test_invalid_params_rejected(self):
+        g = two_kernel_graph()
+        with pytest.raises(ConfigurationError):
+            AnalyticModel(g, 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            AnalyticModel(g, THETA, -1.0)
+
+
+class TestDeltas:
+    def mk_plan(self, g, **cfg):
+        config = DesignConfig(theta_s_per_byte=THETA, stream_overhead_s=0.0, **cfg)
+        return design_interconnect("t", g, config)
+
+    def test_delta_c_for_shared_pair(self):
+        g = two_kernel_graph(kk=10_000)
+        plan = self.mk_plan(g)
+        m = AnalyticModel(g, THETA, 0.0)
+        # p->c is an exclusive pair => shared memory, delta_c = 2 D theta.
+        assert len(plan.sharing) == 1
+        assert m.delta_c(plan) == pytest.approx(2 * 10_000 * THETA)
+        assert m.delta_n(plan) == 0.0
+
+    def test_delta_n_for_noc_edges(self):
+        g = two_kernel_graph(kk=10_000)
+        plan = self.mk_plan(g, enable_sharing=False)
+        m = AnalyticModel(g, THETA, 0.0)
+        assert m.delta_c(plan) == 0.0
+        assert m.delta_n(plan) == pytest.approx(2 * 10_000 * THETA)
+
+    def test_savings_identical_sm_vs_noc(self):
+        """Both interconnect styles hide the same traffic analytically."""
+        g = two_kernel_graph(kk=10_000)
+        m = AnalyticModel(g, THETA, 0.0)
+        p_sm = self.mk_plan(g)
+        p_noc = self.mk_plan(g, enable_sharing=False)
+        assert m.proposed(p_sm).kernels_s == pytest.approx(
+            m.proposed(p_noc).kernels_s
+        )
+
+    def test_proposed_never_exceeds_baseline(self):
+        g = two_kernel_graph()
+        plan = self.mk_plan(g)
+        m = AnalyticModel(g, THETA, 0.0)
+        assert m.proposed(plan).kernels_s <= m.baseline().kernels_s
+
+    def test_communication_floor_zero(self):
+        # Absurd traffic hiding cannot produce negative communication.
+        g = two_kernel_graph(kk=10**9, h_in=0, h_out=0)
+        plan = self.mk_plan(g)
+        m = AnalyticModel(g, THETA, 0.0)
+        assert m.proposed(plan).communication_s >= 0.0
+
+    def test_computation_floor_half(self):
+        g = two_kernel_graph()
+        plan = self.mk_plan(g)
+        m = AnalyticModel(g, THETA, 0.0)
+        base = m.baseline()
+        assert m.proposed(plan).computation_s >= base.computation_s / 2 - 1e-15
+
+
+class TestSpeedups:
+    def test_speedup_directions(self):
+        g = two_kernel_graph()
+        m = AnalyticModel(g, THETA, host_other_s=0.001)
+        plan = design_interconnect(
+            "t", g, DesignConfig(theta_s_per_byte=THETA, stream_overhead_s=0.0)
+        )
+        vs_base = m.proposed_vs_baseline(plan)
+        assert vs_base.application >= 1.0
+        assert vs_base.kernels >= 1.0
+        # Application speed-up is diluted by host-resident time.
+        assert vs_base.application <= vs_base.kernels + 1e-12
+
+    def test_compare_is_ratio(self):
+        g = two_kernel_graph()
+        m = AnalyticModel(g, THETA, 0.0)
+        pair = AnalyticModel.compare(m.software(), m.baseline())
+        assert pair.kernels == pytest.approx(
+            m.software().kernels_s / m.baseline().kernels_s
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    kk=st.integers(0, 10**6),
+    h_in=st.integers(0, 10**6),
+    h_out=st.integers(0, 10**6),
+    other_ms=st.floats(0, 10),
+)
+def test_proposed_bounded_by_baseline_and_positive(kk, h_in, h_out, other_ms):
+    g = two_kernel_graph(kk=kk, h_in=h_in, h_out=h_out)
+    m = AnalyticModel(g, THETA, host_other_s=other_ms / 1000.0)
+    plan = design_interconnect(
+        "t", g, DesignConfig(theta_s_per_byte=THETA, stream_overhead_s=0.0)
+    )
+    prop, base = m.proposed(plan), m.baseline()
+    assert 0 < prop.kernels_s <= base.kernels_s + 1e-15
+    assert prop.application_s <= base.application_s + 1e-15

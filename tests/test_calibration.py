@@ -1,0 +1,123 @@
+"""Tests for the calibration fit (DESIGN.md §6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import TARGETS, fit_application, get_application
+from repro.apps.calibration import CalibrationTargets, _proportional_split
+from repro.apps.registry import APP_NAMES
+from repro.core.analytic import AnalyticModel
+from repro.errors import ConfigurationError
+from repro.hw.resources import ComponentKind, component_cost
+from repro.hw.synthesis import PLATFORM_BASE
+
+
+class TestProportionalSplit:
+    def test_conserves_total(self):
+        out = _proportional_split(100, {"a": 1.0, "b": 2.0, "c": 4.0})
+        assert sum(out.values()) == 100
+
+    def test_ordering(self):
+        out = _proportional_split(100, {"a": 1.0, "b": 9.0})
+        assert out["b"] > out["a"]
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _proportional_split(10, {"a": 0.0})
+
+    def test_remainder_to_heaviest(self):
+        out = _proportional_split(10, {"a": 1.0, "b": 1.0, "c": 1.0})
+        assert sum(out.values()) == 10
+        assert max(out.values()) - min(out.values()) <= 1
+
+
+class TestTargetsTable:
+    def test_all_apps_present(self):
+        assert set(TARGETS) == set(APP_NAMES)
+
+    def test_jpeg_ratio_is_published_value(self):
+        assert TARGETS["jpeg"].comm_comp_ratio == pytest.approx(3.63)
+
+    def test_average_ratio_matches_paper(self):
+        """The paper: 'the ratio is about 2.09x' on average."""
+        avg = sum(t.comm_comp_ratio for t in TARGETS.values()) / len(TARGETS)
+        assert avg == pytest.approx(2.09, abs=0.02)
+
+    def test_sigma_values_are_table3_ratios(self):
+        t = TARGETS["klt"]
+        assert t.baseline_app_speedup == pytest.approx(3.72 / 1.26)
+        assert t.baseline_kernel_speedup == pytest.approx(6.58 / 1.55)
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CalibrationTargets("x", 0.0, 2.0, 2.0, 100, 100)
+        with pytest.raises(ConfigurationError):
+            CalibrationTargets("x", 1.0, 1.0, 2.0, 100, 100)
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+class TestFitReproducesTargets:
+    def test_baseline_ratio_exact(self, name, fitted_apps):
+        f = fitted_apps[name]
+        model = AnalyticModel(f.graph, f.theta_s_per_byte, f.host_other_s)
+        assert model.baseline().comm_comp_ratio == pytest.approx(
+            TARGETS[name].comm_comp_ratio, rel=1e-6
+        )
+
+    def test_baseline_speedups_exact(self, name, fitted_apps):
+        f = fitted_apps[name]
+        model = AnalyticModel(f.graph, f.theta_s_per_byte, f.host_other_s)
+        pair = model.baseline_vs_software()
+        assert pair.kernels == pytest.approx(
+            TARGETS[name].baseline_kernel_speedup, rel=1e-6
+        )
+        assert pair.application == pytest.approx(
+            TARGETS[name].baseline_app_speedup, rel=1e-3
+        )
+
+    def test_baseline_resources_match_table4(self, name, fitted_apps):
+        f = fitted_apps[name]
+        kernels = sum(
+            f.graph.kernel(k).resources.luts for k in f.graph.kernel_names()
+        )
+        total = (
+            kernels + PLATFORM_BASE.luts + component_cost(ComponentKind.BUS).luts
+        )
+        assert total == TARGETS[name].baseline_luts
+
+    def test_tau_split_proportional_to_work(self, name, fitted_apps):
+        f = fitted_apps[name]
+        profile = f.app.profile()
+        taus = {k: f.graph.kernel(k).tau_cycles for k in f.graph.kernel_names()}
+        works = {k: profile.function(k).work for k in taus}
+        # Ratios of tau must match ratios of work.
+        ks = list(taus)
+        for a, b in zip(ks, ks[1:]):
+            assert taus[a] / taus[b] == pytest.approx(
+                works[a] / works[b], rel=1e-6
+            )
+
+    def test_host_other_nonnegative(self, name, fitted_apps):
+        assert fitted_apps[name].host_other_s >= 0.0
+
+    def test_traits_propagated(self, name, fitted_apps):
+        f = fitted_apps[name]
+        traits = f.app.kernel_traits()
+        for k in f.graph.kernel_names():
+            spec = f.graph.kernel(k)
+            assert spec.parallelizable == traits[k].parallelizable
+            assert spec.streams_host_io == traits[k].streams_host_io
+
+
+class TestFitErrors:
+    def test_unknown_app_without_targets(self, theta):
+        class Fake(get_application("canny").__class__):
+            name = "mystery"
+
+        with pytest.raises(ConfigurationError):
+            fit_application(Fake(), theta)
+
+    def test_invalid_theta(self):
+        with pytest.raises(ConfigurationError):
+            fit_application(get_application("canny"), 0.0)

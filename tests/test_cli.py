@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["design", "doom"])
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["design", "jpeg", "--no-sharing", "--noc-only"]
+        )
+        assert args.no_sharing and args.noc_only
+
+
+class TestCommands:
+    def test_apps_lists_all(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("canny", "jpeg", "klt", "fluid"):
+            assert name in out
+
+    def test_profile_graph(self, capsys):
+        assert main(["profile", "klt"]) == 0
+        out = capsys.readouterr().out
+        assert "compute_gradients" in out
+        assert "UMAs" in out
+
+    def test_profile_table(self, capsys):
+        assert main(["profile", "klt", "--table"]) == 0
+        out = capsys.readouterr().out
+        assert "producer" in out
+
+    def test_design_default(self, capsys):
+        assert main(["design", "jpeg"]) == 0
+        out = capsys.readouterr().out
+        assert "duplicated kernels : huff_ac_dec" in out
+        assert "solution" in out
+
+    def test_design_no_sharing(self, capsys):
+        assert main(["design", "jpeg", "--no-sharing"]) == 0
+        out = capsys.readouterr().out
+        assert "shared memory" not in out
+
+    def test_design_noc_only(self, capsys):
+        assert main(["design", "klt", "--noc-only"]) == 0
+        out = capsys.readouterr().out
+        assert "mesh" in out  # klt normally has no NoC at all
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "klt"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline (makespan" in out
+        assert "simulated speed-up" in out
+
+    def test_pareto(self, capsys):
+        assert main(["pareto", "jpeg"]) == 0
+        out = capsys.readouterr().out
+        assert "bus-only" in out
+        assert "Pareto-optimal" in out
+        assert "*" in out
+
+    def test_reconfig_default_device(self, capsys):
+        assert main(["reconfig"]) == 0
+        out = capsys.readouterr().out
+        assert "static_all" in out
+        assert "best: static_all" in out  # xc5vfx130t fits everything
+
+    def test_reconfig_small_device(self, capsys):
+        assert main(["reconfig", "--device-luts", "36000",
+                     "--device-regs", "50000"]) == 0
+        out = capsys.readouterr().out
+        assert "N/A" in out  # static no longer fits
+        assert "best:" in out
+
+    def test_portfolio(self, capsys):
+        assert main(["portfolio"]) == 0
+        out = capsys.readouterr().out
+        assert "jpeg" in out and "bound" in out
+        # jpeg tops the ranking (first app row after the header).
+        rows = [l for l in out.splitlines() if l and not l.startswith(("app", "-"))]
+        assert rows[0].startswith("jpeg")
+
+    def test_report_markdown(self, capsys, tmp_path):
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--markdown", "--output", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Reproduced evaluation")
+        assert "## Table IV" in out
+        assert out_file.read_text().startswith("# Reproduced evaluation")
+
+    def test_report_contains_all_sections(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Fig. 4", "Table II", "Fig. 5", "Fig. 6",
+                       "Table III", "Table IV", "Fig. 8", "Fig. 9"):
+            assert marker in out

@@ -1,0 +1,141 @@
+"""Tests for the communication graph (Eq. 1 quantities and structure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CommGraph, KernelSpec
+from repro.errors import DesignError
+from repro.profiling import CommunicationProfile, FunctionStats, ProfileEdge
+
+
+def spec(name, tau=1000.0, sw=8000.0, **kw):
+    return KernelSpec(name, tau, sw, **kw)
+
+
+@pytest.fixture()
+def graph():
+    ks = [spec("a"), spec("b"), spec("c")]
+    return CommGraph(
+        kernels={k.name: k for k in ks},
+        kk_edges={("a", "b"): 100, ("b", "c"): 50, ("a", "c"): 25},
+        host_in={"a": 200, "c": 10},
+        host_out={"c": 300},
+    )
+
+
+class TestValidation:
+    def test_unknown_edge_kernel_rejected(self):
+        with pytest.raises(DesignError):
+            CommGraph(kernels={"a": spec("a")}, kk_edges={("a", "zz"): 5})
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(DesignError):
+            CommGraph(kernels={"a": spec("a")}, kk_edges={("a", "a"): 5})
+
+    def test_zero_weight_edge_rejected(self):
+        with pytest.raises(DesignError):
+            CommGraph(
+                kernels={"a": spec("a"), "b": spec("b")},
+                kk_edges={("a", "b"): 0},
+            )
+
+    def test_unknown_host_flow_rejected(self):
+        with pytest.raises(DesignError):
+            CommGraph(kernels={"a": spec("a")}, host_in={"zz": 5})
+
+
+class TestEquationOneQuantities:
+    def test_d_quantities(self, graph):
+        assert graph.d_h_in("a") == 200
+        assert graph.d_k_in("a") == 0
+        assert graph.d_k_out("a") == 125
+        assert graph.d_h_out("a") == 0
+        assert graph.d_in("a") == 200
+        assert graph.d_out("a") == 125
+        assert graph.d_k_in("c") == 75
+        assert graph.d_in("c") == 85
+        assert graph.d_out("c") == 300
+
+    def test_total_traffic_counts_kk_twice(self, graph):
+        # Eq. 2's sum counts each kernel-kernel edge once as output and
+        # once as input: H(510) + 2*K(175) = 860.
+        assert graph.total_kernel_traffic() == 860
+
+    def test_unknown_kernel_raises(self, graph):
+        with pytest.raises(DesignError):
+            graph.d_in("zz")
+
+
+class TestStructure:
+    def test_producers_consumers_sorted_by_weight(self, graph):
+        assert graph.consumers_of("a") == ("b", "c")
+        assert graph.producers_of("c") == ("b", "a")
+
+    def test_edges_by_weight_deterministic(self, graph):
+        assert graph.edges_by_weight() == (
+            ("a", "b", 100),
+            ("b", "c", 50),
+            ("a", "c", 25),
+        )
+
+    def test_invocation_order_topological(self, graph):
+        order = graph.invocation_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_invocation_order_breaks_cycles(self):
+        ks = [spec("x"), spec("y")]
+        g = CommGraph(
+            kernels={k.name: k for k in ks},
+            kk_edges={("x", "y"): 10, ("y", "x"): 10},
+        )
+        order = g.invocation_order()
+        assert sorted(order) == ["x", "y"]
+
+    def test_invocation_order_complete(self, graph):
+        assert sorted(graph.invocation_order()) == ["a", "b", "c"]
+
+
+class TestTransformations:
+    def test_without_edge(self, graph):
+        g2 = graph.without_edge("a", "b")
+        assert g2.edge_bytes("a", "b") == 0
+        assert g2.edge_bytes("b", "c") == 50
+        # Original untouched.
+        assert graph.edge_bytes("a", "b") == 100
+
+    def test_without_missing_edge_raises(self, graph):
+        with pytest.raises(DesignError):
+            graph.without_edge("c", "a")
+
+    def test_restricted_redirects_to_host(self, graph):
+        g2 = graph.restricted(["a", "b"])
+        # b->c became b->host, a->c became a->host.
+        assert g2.d_h_out("b") == 50
+        assert g2.d_h_out("a") == 25
+        assert g2.edge_bytes("a", "b") == 100
+        assert sorted(g2.kernel_names()) == ["a", "b"]
+
+    def test_restricted_unknown_kernel_raises(self, graph):
+        with pytest.raises(DesignError):
+            graph.restricted(["a", "zz"])
+
+
+class TestFromProfile:
+    def test_from_profile_folds_non_kernels(self):
+        profile = CommunicationProfile(
+            [
+                ProfileEdge("__entry__", "k1", 64, 64),
+                ProfileEdge("setup", "k1", 32, 32),
+                ProfileEdge("k1", "k2", 128, 128),
+                ProfileEdge("k2", "render", 16, 16),
+            ],
+            [
+                FunctionStats(n, 1, 0, 0, 1.0)
+                for n in ("__entry__", "setup", "k1", "k2", "render")
+            ],
+        )
+        g = CommGraph.from_profile(profile, [spec("k1"), spec("k2")])
+        assert g.d_h_in("k1") == 96  # entry + setup both fold into host
+        assert g.edge_bytes("k1", "k2") == 128
+        assert g.d_h_out("k2") == 16

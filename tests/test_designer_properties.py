@@ -1,0 +1,201 @@
+"""Property-based fuzzing of Algorithm 1 and the simulator.
+
+Random communication graphs (random topology, traffic, capability
+flags) are pushed through the designer, the analytic model and the
+discrete-event simulator; the invariants below must hold for *every*
+graph, not just the paper's four applications:
+
+* Table I consistency: senders on the NoC, receivers' memories
+  reachable, host-touched memories on the bus;
+* every kernel-to-kernel edge is carried by exactly one mechanism
+  (shared memory, NoC, or host relay);
+* the bill of materials is consistent with the plan topology;
+* the proposed system is never slower than the baseline (analytic);
+* the simulator terminates (no deadlock) and agrees directionally.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CommGraph, DesignConfig, KernelSpec, design_interconnect
+from repro.core.analytic import AnalyticModel
+from repro.core.plan import memory_node
+from repro.core.topology import KernelAttach, MemoryAttach, ReceiveClass, SendClass
+from repro.hw.resources import ComponentKind, ResourceCost
+from repro.sim.systems import SystemParams, simulate_baseline, simulate_proposed
+
+PARAMS = SystemParams()
+THETA = PARAMS.theta_s_per_byte()
+
+
+@st.composite
+def comm_graphs(draw):
+    n = draw(st.integers(2, 6))
+    names = [f"k{i}" for i in range(n)]
+    kernels = {}
+    for name in names:
+        kernels[name] = KernelSpec(
+            name,
+            tau_cycles=draw(st.integers(1_000, 500_000)),
+            sw_cycles=draw(st.integers(10_000, 5_000_000)),
+            parallelizable=draw(st.booleans()),
+            streams_host_io=draw(st.booleans()),
+            streams_kernel_input=draw(st.booleans()),
+            resources=ResourceCost(
+                draw(st.integers(100, 3000)), draw(st.integers(100, 3000))
+            ),
+        )
+    kk = {}
+    for i in range(n):
+        for j in range(n):
+            if i != j and draw(st.booleans()):
+                kk[(names[i], names[j])] = draw(st.integers(1, 200_000))
+    host_in = {
+        name: draw(st.integers(0, 100_000))
+        for name in names
+        if draw(st.booleans())
+    }
+    host_out = {
+        name: draw(st.integers(0, 100_000))
+        for name in names
+        if draw(st.booleans())
+    }
+    return CommGraph(
+        kernels=kernels,
+        kk_edges=kk,
+        host_in={k: v for k, v in host_in.items() if v},
+        host_out={k: v for k, v in host_out.items() if v},
+    )
+
+
+def design(graph, **kw):
+    config = DesignConfig(
+        theta_s_per_byte=THETA, stream_overhead_s=5e-6, **kw
+    )
+    return design_interconnect("fuzz", graph, config)
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=comm_graphs())
+def test_every_edge_carried_exactly_once(graph):
+    plan = design(graph)
+    sm = {(l.producer, l.consumer) for l in plan.sharing}
+    noc = {(p, c) for p, c, _ in plan.noc.edges} if plan.noc else set()
+    assert sm.isdisjoint(noc)
+    # sm + noc must cover the post-duplication graph's edges entirely
+    # (relay edges only appear when the NoC is disabled).
+    assert sm | noc == set(plan.graph.kk_edges)
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=comm_graphs())
+def test_mapping_invariants(graph):
+    plan = design(graph)
+    residual_senders = {p for p, _, _ in (plan.noc.edges if plan.noc else ())}
+    residual_receivers = {c for _, c, _ in (plan.noc.edges if plan.noc else ())}
+    for name, m in plan.mappings.items():
+        # Infeasible combination never produced.
+        assert not (
+            m.attach_kernel is KernelAttach.K1
+            and m.attach_memory is MemoryAttach.M2
+        )
+        if name in residual_senders:
+            assert m.on_noc
+        if name in residual_receivers:
+            assert m.memory_on_noc
+        # A kernel with host traffic keeps its memory bus-reachable,
+        # unless the host reaches it through a sharing crossbar.
+        has_host = plan.graph.d_h_in(name) + plan.graph.d_h_out(name) > 0
+        link = plan.shared_with(name)
+        if has_host and link is None:
+            assert m.attach_memory in (MemoryAttach.M1, MemoryAttach.M3)
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=comm_graphs())
+def test_bom_matches_topology(graph):
+    plan = design(graph)
+    counts = plan.component_counts()
+    assert counts[ComponentKind.BUS] == 1
+    if plan.noc is None:
+        assert ComponentKind.ROUTER not in counts
+        assert ComponentKind.NOC_GLUE not in counts
+    else:
+        assert counts[ComponentKind.ROUTER] == plan.noc.router_count
+        assert counts[ComponentKind.ROUTER] == len(
+            plan.noc.placement.positions
+        )
+        assert counts[ComponentKind.NA_KERNEL] == len(plan.noc.kernel_nodes)
+        assert counts[ComponentKind.NA_MEMORY] == len(plan.noc.memory_nodes)
+        assert counts[ComponentKind.NOC_GLUE] == 1
+        # Every NoC node has a router position; memories use mem: names.
+        for k in plan.noc.kernel_nodes:
+            assert k in plan.noc.placement.positions
+        for k in plan.noc.memory_nodes:
+            assert memory_node(k) in plan.noc.placement.positions
+    assert counts.get(ComponentKind.CROSSBAR, 0) == sum(
+        1 for l in plan.sharing if l.crossbar
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=comm_graphs())
+def test_classification_consistent_with_original_graph(graph):
+    plan = design(graph, enable_sharing=False)
+    # Without sharing the residual graph IS the (post-dup) graph, so the
+    # stored classification must match direct reclassification.
+    g = plan.graph
+    for name, m in plan.mappings.items():
+        expect_r = (
+            ReceiveClass.R3
+            if g.d_k_in(name) and g.d_h_in(name)
+            else ReceiveClass.R1
+            if g.d_k_in(name)
+            else ReceiveClass.R2
+        )
+        expect_s = (
+            SendClass.S3
+            if g.d_k_out(name) and g.d_h_out(name)
+            else SendClass.S1
+            if g.d_k_out(name)
+            else SendClass.S2
+        )
+        assert m.receive is expect_r
+        assert m.send is expect_s
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=comm_graphs())
+def test_analytic_proposed_never_slower(graph):
+    plan = design(graph)
+    model = AnalyticModel(graph, THETA, host_other_s=0.0)
+    assert model.proposed(plan).kernels_s <= model.baseline().kernels_s + 1e-15
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=comm_graphs())
+def test_simulator_terminates_and_is_sane(graph):
+    """No deadlocks, positive makespan, traffic conservation."""
+    plan = design(graph)
+    base = simulate_baseline(graph, 0.0, PARAMS)
+    prop = simulate_proposed(plan, 0.0, PARAMS)
+    assert base.kernels_s > 0
+    assert prop.kernels_s > 0
+    # NoC moved exactly the bytes of the NoC-carried edges.
+    expected_noc = sum(b for _, _, b in (plan.noc.edges if plan.noc else ()))
+    assert prop.noc_bytes == expected_noc
+    # The proposed system is at worst marginally slower than baseline
+    # (pipelined segments add per-transaction overheads).
+    assert prop.kernels_s <= base.kernels_s * 1.10 + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=comm_graphs())
+def test_noc_only_uses_at_least_as_many_resources(graph):
+    adaptive = design(graph)
+    noc_only = design(graph, enable_sharing=False, enable_adaptive_mapping=False)
+    ra = adaptive.noc.router_count if adaptive.noc else 0
+    rn = noc_only.noc.router_count if noc_only.noc else 0
+    assert ra <= rn

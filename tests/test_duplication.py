@@ -1,0 +1,162 @@
+"""Tests for kernel duplication (Δ_dp) and its graph transformation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CommGraph, KernelSpec, apply_duplication, decide_duplications
+from repro.core.duplication import delta_dp_seconds, split_bytes
+from repro.hw.device import Device
+from repro.hw.resources import ResourceCost
+from repro.units import KERNEL_CLOCK
+
+
+def mk_graph(parallelizable=("b",), res_luts=1000):
+    ks = {
+        n: KernelSpec(
+            n,
+            tau_cycles=tau,
+            sw_cycles=tau * 8,
+            parallelizable=(n in parallelizable),
+            resources=ResourceCost(res_luts, res_luts),
+        )
+        for n, tau in (("a", 1000.0), ("b", 5000.0), ("c", 2000.0))
+    }
+    return CommGraph(
+        kernels=ks,
+        kk_edges={("a", "b"): 101, ("b", "c"): 50},
+        host_in={"a": 200, "b": 33},
+        host_out={"c": 60},
+    )
+
+
+class TestDeltaDp:
+    def test_formula(self):
+        tau_s = KERNEL_CLOCK.cycles_to_seconds(5000.0)
+        assert delta_dp_seconds(5000.0, 0.0) == pytest.approx(tau_s / 2)
+        assert delta_dp_seconds(5000.0, tau_s) == pytest.approx(-tau_s / 2)
+
+    def test_split_bytes_conserves(self):
+        for n in (0, 1, 2, 101, 4096):
+            a, b = split_bytes(n)
+            assert a + b == n
+            assert abs(a - b) <= 1
+
+
+class TestApplyDuplication:
+    def test_kernel_replaced_by_two_halves(self):
+        g = apply_duplication(mk_graph(), "b")
+        names = g.kernel_names()
+        assert "b" not in names
+        assert "b#0" in names and "b#1" in names
+        assert g.kernel("b#0").tau_cycles == 2500.0
+        assert g.kernel("b#0").sw_cycles == 20000.0
+
+    def test_edges_split_and_conserved(self):
+        g0 = mk_graph()
+        g = apply_duplication(g0, "b")
+        assert g.edge_bytes("a", "b#0") + g.edge_bytes("a", "b#1") == 101
+        assert g.edge_bytes("b#0", "c") + g.edge_bytes("b#1", "c") == 50
+        assert g.total_kernel_traffic() == g0.total_kernel_traffic()
+
+    def test_host_flows_split(self):
+        g = apply_duplication(mk_graph(), "b")
+        assert g.d_h_in("b#0") + g.d_h_in("b#1") == 33
+
+    def test_untouched_kernels_preserved(self):
+        g = apply_duplication(mk_graph(), "b")
+        assert g.d_h_in("a") == 200
+        assert g.d_h_out("c") == 60
+
+    def test_copies_keep_full_footprint(self):
+        g = apply_duplication(mk_graph(), "b")
+        assert g.kernel("b#0").resources.luts == 1000
+
+
+class TestDecideDuplications:
+    BIG = Device("big", 10**6, 10**6, 10**6)
+    TINY = Device("tiny", 4000, 4000, 10**6)
+
+    def test_duplicates_hottest_parallelizable(self):
+        g, decisions = decide_duplications(
+            mk_graph(), self.BIG, overhead_s=0.0,
+            committed_cost=ResourceCost(0, 0),
+        )
+        applied = [d for d in decisions if d.applied]
+        assert [d.kernel for d in applied] == ["b"]
+        assert "b#0" in g.kernel_names()
+
+    def test_non_parallelizable_skipped(self):
+        g, decisions = decide_duplications(
+            mk_graph(parallelizable=()), self.BIG, overhead_s=0.0,
+            committed_cost=ResourceCost(0, 0),
+        )
+        assert all(not d.applied for d in decisions)
+        assert g.kernel_names() == ("a", "b", "c")
+
+    def test_negative_delta_skipped(self):
+        huge_overhead = 1.0  # one second >> tau/2
+        _, decisions = decide_duplications(
+            mk_graph(), self.BIG, overhead_s=huge_overhead,
+            committed_cost=ResourceCost(0, 0),
+        )
+        b = next(d for d in decisions if d.kernel == "b")
+        assert not b.applied
+        assert b.reason == "delta_dp <= 0"
+
+    def test_resource_budget_blocks(self):
+        _, decisions = decide_duplications(
+            mk_graph(), self.TINY, overhead_s=0.0,
+            committed_cost=ResourceCost(3000, 3000),
+        )
+        b = next(d for d in decisions if d.kernel == "b")
+        assert not b.applied
+        assert "resources" in b.reason
+
+    def test_max_duplications_budget(self):
+        g, decisions = decide_duplications(
+            mk_graph(parallelizable=("a", "b", "c")),
+            self.BIG,
+            overhead_s=0.0,
+            committed_cost=ResourceCost(0, 0),
+            max_duplications=1,
+        )
+        assert sum(d.applied for d in decisions) == 1
+        # The hottest (b) wins the budget.
+        assert next(d for d in decisions if d.applied).kernel == "b"
+
+    def test_multiple_duplications_allowed(self):
+        g, decisions = decide_duplications(
+            mk_graph(parallelizable=("a", "b", "c")),
+            self.BIG,
+            overhead_s=0.0,
+            committed_cost=ResourceCost(0, 0),
+            max_duplications=3,
+        )
+        assert sum(d.applied for d in decisions) == 3
+        assert len(g.kernel_names()) == 6
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    e1=st.integers(1, 10**6),
+    e2=st.integers(1, 10**6),
+    h=st.integers(0, 10**6),
+)
+def test_duplication_conserves_traffic(e1, e2, h):
+    ks = {
+        "x": KernelSpec("x", 10.0, 10.0, parallelizable=True),
+        "y": KernelSpec("y", 10.0, 10.0),
+        "z": KernelSpec("z", 10.0, 10.0),
+    }
+    g = CommGraph(
+        kernels=ks,
+        kk_edges={("y", "x"): e1, ("x", "z"): e2},
+        host_in={"x": h},
+    )
+    g2 = apply_duplication(g, "x")
+    assert g2.total_kernel_traffic() == g.total_kernel_traffic()
+    assert g2.d_k_in("x#0") + g2.d_k_in("x#1") == e1
+    assert g2.d_k_out("x#0") + g2.d_k_out("x#1") == e2

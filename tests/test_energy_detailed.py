@@ -1,0 +1,81 @@
+"""Tests for the activity-based energy refinement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.energy import EnergyModel, compare_energy, compare_energy_simulated
+from repro.hw.resources import ResourceCost
+
+
+class TestTransferEnergy:
+    def test_linear_in_activity(self):
+        m = EnergyModel(j_per_bus_byte=1e-9, j_per_noc_byte_hop=1e-10)
+        assert m.transfer_energy_j(1000, 0) == pytest.approx(1e-6)
+        assert m.transfer_energy_j(0, 1000) == pytest.approx(1e-7)
+        assert m.transfer_energy_j(1000, 1000) == pytest.approx(1.1e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel().transfer_energy_j(-1, 0)
+        with pytest.raises(ConfigurationError):
+            EnergyModel(j_per_bus_byte=-1.0)
+
+    def test_detailed_is_base_plus_transfer(self):
+        m = EnergyModel()
+        r = ResourceCost(10_000, 10_000)
+        base = m.energy_j(r, 0.01)
+        total = m.energy_detailed_j(r, 0.01, 100_000, 50_000)
+        assert total == pytest.approx(base + m.transfer_energy_j(100_000, 50_000))
+
+    def test_transfer_term_is_small(self):
+        """The refinement must not break the near-identical-power story:
+        moving a typical run's bytes costs single-digit percent of the
+        resource-time energy."""
+        m = EnergyModel()
+        r = ResourceCost(12_000, 12_000)
+        run_s = 1e-3
+        base = m.energy_j(r, run_s)
+        transfer = m.transfer_energy_j(100_000, 50_000)
+        assert transfer < 0.05 * base
+
+
+class TestSimulatedComparison:
+    def test_widens_gap_for_bus_heavy_baseline(self, all_results):
+        r = all_results["jpeg"]
+        m = EnergyModel()
+        plain = compare_energy(
+            "jpeg", m,
+            r.synth_baseline.total, r.synth_proposed.total,
+            r.sim_baseline.application_s, r.sim_proposed.application_s,
+        )
+        detailed = compare_energy_simulated(
+            "jpeg", m,
+            r.synth_baseline.total, r.synth_proposed.total,
+            r.sim_baseline, r.sim_proposed,
+        )
+        # The baseline moves every kernel byte over the bus twice, so
+        # adding activity energy can only help the proposed system.
+        assert detailed.normalized_energy <= plain.normalized_energy + 1e-12
+
+    def test_all_apps_still_save(self, all_results):
+        m = EnergyModel()
+        for name, r in all_results.items():
+            rep = compare_energy_simulated(
+                name, m,
+                r.synth_baseline.total, r.synth_proposed.total,
+                r.sim_baseline, r.sim_proposed,
+            )
+            assert rep.saving_percent > 0, name
+
+    def test_simulators_populate_activity(self, all_results):
+        for r in all_results.values():
+            assert r.sim_baseline.extras["bus_bytes"] > 0
+            if r.plan.noc is not None:
+                assert r.sim_proposed.extras["noc_byte_hops"] > 0
+            # Proposed moves strictly fewer bytes over the bus.
+            assert (
+                r.sim_proposed.extras["bus_bytes"]
+                < r.sim_baseline.extras["bus_bytes"]
+            )

@@ -1,0 +1,269 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import AllOf, Engine, Resource, WrrResource
+
+
+class TestEventsAndProcesses:
+    def test_timeout_advances_time(self):
+        eng = Engine()
+        log = []
+
+        def proc():
+            yield 1.5
+            log.append(eng.now)
+            yield 0.5
+            log.append(eng.now)
+
+        eng.process(proc())
+        eng.run()
+        assert log == [1.5, 2.0]
+
+    def test_process_return_value(self):
+        eng = Engine()
+
+        def proc():
+            yield 1.0
+            return "done"
+
+        p = eng.process(proc())
+        eng.run()
+        assert p.triggered
+        assert p.value == "done"
+
+    def test_wait_on_event(self):
+        eng = Engine()
+        ev = eng.event()
+        log = []
+
+        def waiter():
+            value = yield ev
+            log.append((eng.now, value))
+
+        def trigger():
+            yield 3.0
+            ev.succeed("payload")
+
+        eng.process(waiter())
+        eng.process(trigger())
+        eng.run()
+        assert log == [(3.0, "payload")]
+
+    def test_wait_on_already_triggered_event(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed(42)
+        log = []
+
+        def waiter():
+            v = yield ev
+            log.append(v)
+
+        eng.process(waiter())
+        eng.run()
+        assert log == [42]
+
+    def test_allof_joins(self):
+        eng = Engine()
+        done_at = []
+
+        def worker(d):
+            yield d
+
+        def joiner():
+            ps = [eng.process(worker(d)) for d in (1.0, 3.0, 2.0)]
+            yield ps  # list -> AllOf
+            done_at.append(eng.now)
+
+        eng.process(joiner())
+        eng.run()
+        assert done_at == [3.0]
+
+    def test_allof_empty_triggers_immediately(self):
+        eng = Engine()
+        ev = AllOf(eng, [])
+        assert ev.triggered
+
+    def test_double_trigger_rejected(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+
+        def proc():
+            yield -1.0
+
+        eng.process(proc())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_bad_yield_type_rejected(self):
+        eng = Engine()
+
+        def proc():
+            yield "nope"
+
+        eng.process(proc())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_deadlock_detected(self):
+        eng = Engine()
+        ev = eng.event()  # nobody triggers it
+
+        def proc():
+            yield ev
+
+        eng.process(proc())
+        with pytest.raises(DeadlockError):
+            eng.run()
+
+    def test_run_until(self):
+        eng = Engine()
+
+        def proc():
+            yield 10.0
+
+        eng.process(proc())
+        assert eng.run(until=3.0, check_deadlock=False) == 3.0
+
+    def test_determinism_of_ties(self):
+        """Events scheduled at the same instant fire in schedule order."""
+        eng = Engine()
+        order = []
+
+        def p(tag):
+            yield 1.0
+            order.append(tag)
+
+        for tag in "abc":
+            eng.process(p(tag))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestResource:
+    def test_fifo_granting(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        order = []
+
+        def user(tag, hold):
+            yield res.request()
+            order.append((tag, eng.now))
+            yield hold
+            res.release()
+
+        def spawn():
+            eng.process(user("a", 2.0))
+            yield 0.1
+            eng.process(user("b", 1.0))
+            yield 0.1
+            eng.process(user("c", 1.0))
+
+        eng.process(spawn())
+        eng.run()
+        assert [t for t, _ in order] == ["a", "b", "c"]
+        assert order[1][1] == pytest.approx(2.0)
+        assert order[2][1] == pytest.approx(3.0)
+
+    def test_capacity_two_parallel(self):
+        eng = Engine()
+        res = Resource(eng, capacity=2)
+        done = []
+
+        def user(tag):
+            yield res.request()
+            yield 1.0
+            res.release()
+            done.append((tag, eng.now))
+
+        for t in "ab":
+            eng.process(user(t))
+        eng.run()
+        assert all(at == pytest.approx(1.0) for _, at in done)
+
+    def test_release_idle_rejected(self):
+        eng = Engine()
+        res = Resource(eng)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_busy_time_accounting(self):
+        eng = Engine()
+        res = Resource(eng)
+
+        def user():
+            yield res.request()
+            yield 2.0
+            res.release()
+            yield 3.0
+            yield res.request()
+            yield 1.0
+            res.release()
+
+        eng.process(user())
+        eng.run()
+        assert res.busy_time == pytest.approx(3.0)
+        assert res.utilization(6.0) == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Engine(), capacity=0)
+
+
+class TestWrrResource:
+    def _contend(self, weights, arrivals, holds=1.0):
+        """Queue many requests from several keys, return grant order."""
+        eng = Engine()
+        res = WrrResource(eng, weights=weights)
+        order = []
+
+        def user(key, idx):
+            yield res.request(key=key)
+            order.append((key, idx))
+            yield holds
+            res.release()
+
+        def spawn():
+            # Occupy the resource so all contenders genuinely queue.
+            yield res.request(key="warm")
+            for key, count in arrivals:
+                for i in range(count):
+                    eng.process(user(key, i))
+            yield 0.5
+            res.release()
+
+        eng.process(spawn())
+        eng.run()
+        return order
+
+    def test_round_robin_with_equal_weights(self):
+        order = self._contend(None, [("A", 3), ("B", 3)])
+        keys = [k for k, _ in order]
+        assert keys == ["A", "B", "A", "B", "A", "B"]
+
+    def test_weighted_service(self):
+        order = self._contend({"A": 2, "B": 1}, [("A", 4), ("B", 2)])
+        keys = [k for k, _ in order]
+        assert keys == ["A", "A", "B", "A", "A", "B"]
+
+    def test_fifo_within_key(self):
+        order = self._contend(None, [("A", 3)])
+        assert [i for _, i in order] == [0, 1, 2]
+
+    def test_idle_keys_skipped(self):
+        order = self._contend({"A": 1, "B": 1}, [("A", 2)])
+        assert [k for k, _ in order] == ["A", "A"]
+
+    def test_invalid_weight(self):
+        with pytest.raises(SimulationError):
+            WrrResource(Engine(), default_weight=0)

@@ -1,0 +1,131 @@
+"""Fault-injection tests: exceptions inside simulated processes.
+
+The component models guard their resources with try/finally; these
+tests verify a crashing process neither corrupts resource state nor
+silently disappears.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.bus import PlbBus
+from repro.sim.engine import Engine, Resource
+from repro.sim.memory import Bram
+
+
+class Boom(RuntimeError):
+    pass
+
+
+class TestProcessExceptions:
+    def test_exception_propagates_from_run(self):
+        eng = Engine()
+
+        def proc():
+            yield 1.0
+            raise Boom("mid-simulation")
+
+        eng.process(proc())
+        with pytest.raises(Boom):
+            eng.run()
+
+    def test_exception_before_first_yield(self):
+        eng = Engine()
+
+        def proc():
+            raise Boom("immediately")
+            yield  # pragma: no cover
+
+        eng.process(proc())
+        with pytest.raises(Boom):
+            eng.run()
+
+    def test_resource_released_via_finally_pattern(self):
+        eng = Engine()
+        res = Resource(eng)
+
+        def crasher():
+            yield res.request()
+            try:
+                yield 1.0
+                raise Boom()
+            finally:
+                res.release()
+
+        def survivor():
+            yield res.request()
+            res.release()
+            return "done"
+
+        eng.process(crasher())
+        p = eng.process(survivor())
+        with pytest.raises(Boom):
+            eng.run()
+        # Drain the rest of the queue: the survivor still completes.
+        eng.run()
+        assert p.triggered
+        assert p.value == "done"
+
+    def test_bus_transfer_releases_on_component_error(self):
+        """A failing BRAM access mid-schedule must not wedge the bus."""
+        eng = Engine()
+        bus = PlbBus(eng)
+        mem = Bram(eng, "m", size_bytes=64)
+
+        def bad():
+            yield from bus.transfer(128, requester="bad")
+            # Oversized access raises inside the generator.
+            yield from mem.access(1000, accessor="bad")
+
+        def good():
+            yield from bus.transfer(128, requester="good")
+            return "ok"
+
+        eng.process(bad())
+        p = eng.process(good())
+        with pytest.raises(ConfigurationError):
+            eng.run()
+        eng.run()
+        assert p.value == "ok"
+        assert bus._resource._in_use == 0
+
+
+class TestHlsKernelIrs:
+    def test_all_apps_have_irs_matching_kernel_names(self, fitted_apps):
+        from repro.hls.kernels import kernel_irs_for
+
+        for name, fitted in fitted_apps.items():
+            irs = kernel_irs_for(name)
+            originals = {
+                k.split("#")[0] for k in fitted.graph.kernel_names()
+            }
+            assert set(irs) == originals, name
+
+    def test_unknown_app_rejected(self):
+        from repro.hls.kernels import kernel_irs_for
+
+        with pytest.raises(ConfigurationError):
+            kernel_irs_for("doom3")
+
+    def test_estimates_are_positive_and_finite(self):
+        from repro.hls import estimate_kernel
+        from repro.hls.kernels import APP_KERNEL_IRS
+
+        for factory in APP_KERNEL_IRS.values():
+            for ir in factory():
+                est = estimate_kernel(ir)
+                assert est.tau_cycles > 0
+                assert est.sw_cycles > 0
+                assert est.resources.luts > 0
+
+    def test_jpeg_ac_is_hottest_ir(self):
+        from repro.hls import estimate_kernel
+        from repro.hls.kernels import kernel_irs_for
+
+        ests = {
+            name: estimate_kernel(ir).tau_cycles
+            for name, ir in kernel_irs_for("jpeg").items()
+        }
+        assert max(ests, key=ests.get) == "huff_ac_dec"

@@ -1,0 +1,80 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation that executes; these tests keep them green.
+Each runs in a temporary working directory (some write artifacts) with
+argv pinned, and key output markers are asserted so a silently broken
+example cannot pass.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, monkeypatch, tmp_path, capsys, argv=()):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart_default(self, monkeypatch, tmp_path, capsys):
+        out = run_example("quickstart.py", monkeypatch, tmp_path, capsys)
+        assert "designed interconnect for 'jpeg'" in out
+        assert "speed-up vs baseline" in out
+
+    def test_quickstart_other_app(self, monkeypatch, tmp_path, capsys):
+        out = run_example(
+            "quickstart.py", monkeypatch, tmp_path, capsys, argv=["klt"]
+        )
+        assert "designed interconnect for 'klt'" in out
+
+    def test_jpeg_walkthrough(self, monkeypatch, tmp_path, capsys):
+        out = run_example("jpeg_walkthrough.py", monkeypatch, tmp_path, capsys)
+        assert "hotspot ranking" in out
+        assert "adaptive mapping" in out
+        assert "paper: 3.08x / 2.87x" in out
+
+    def test_custom_application(self, monkeypatch, tmp_path, capsys):
+        out = run_example(
+            "custom_application.py", monkeypatch, tmp_path, capsys
+        )
+        assert "Interconnect plan for 'sdr'" in out
+        assert "simulated:" in out
+
+    def test_design_space_sweep(self, monkeypatch, tmp_path, capsys):
+        out = run_example(
+            "design_space_sweep.py", monkeypatch, tmp_path, capsys
+        )
+        assert "bus cost sweep" in out
+        assert "streaming overhead sweep" in out
+
+    def test_runtime_reconfiguration(self, monkeypatch, tmp_path, capsys):
+        out = run_example(
+            "runtime_reconfiguration.py", monkeypatch, tmp_path, capsys
+        )
+        assert "=> best: static_all" in out
+        assert "=> best: hybrid_pinned" in out
+
+    def test_hls_design(self, monkeypatch, tmp_path, capsys):
+        out = run_example("hls_design.py", monkeypatch, tmp_path, capsys)
+        assert "HLS estimates:" in out
+        assert "disparity_search" in out
+        assert "simulated vs baseline" in out
+
+    def test_parameter_sweep(self, monkeypatch, tmp_path, capsys):
+        out = run_example("parameter_sweep.py", monkeypatch, tmp_path, capsys)
+        assert (tmp_path / "sweep_results.csv").exists()
+        assert "static NoC channel-load analysis" in out
+
+    def test_what_if(self, monkeypatch, tmp_path, capsys):
+        out = run_example("what_if.py", monkeypatch, tmp_path, capsys)
+        assert "sensitivity" in out
+        assert "bus 8x faster" in out

@@ -1,0 +1,184 @@
+"""Tests for the design-space exploration extension."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core import CommGraph, DesignConfig, KernelSpec
+from repro.explore import (
+    DesignPoint,
+    enumerate_design_points,
+    graph_metrics,
+    pareto_front,
+    predict_solution,
+    to_networkx,
+)
+
+THETA = 1.3e-9
+
+
+def chain(n=3, kk=10_000):
+    ks = {f"k{i}": KernelSpec(f"k{i}", 10_000.0, 100_000.0) for i in range(n)}
+    edges = {(f"k{i}", f"k{i+1}"): kk for i in range(n - 1)}
+    return CommGraph(
+        kernels=ks, kk_edges=edges,
+        host_in={"k0": 5_000}, host_out={f"k{n-1}": 5_000},
+    )
+
+
+def all_to_all(n=3, kk=10_000):
+    ks = {f"k{i}": KernelSpec(f"k{i}", 10_000.0, 100_000.0) for i in range(n)}
+    edges = {
+        (f"k{i}", f"k{j}"): kk
+        for i in range(n) for j in range(n) if i != j
+    }
+    return CommGraph(kernels=ks, kk_edges=edges, host_in={"k0": 1_000})
+
+
+class TestToNetworkx:
+    def test_nodes_and_edges(self):
+        g = to_networkx(chain(3))
+        assert set(g.nodes) == {"k0", "k1", "k2"}
+        assert g["k0"]["k1"]["bytes"] == 10_000
+        assert g.nodes["k0"]["d_h_in"] == 5_000
+
+    def test_digraph_directionality(self):
+        g = to_networkx(chain(2))
+        assert g.has_edge("k0", "k1")
+        assert not g.has_edge("k1", "k0")
+
+
+class TestMetrics:
+    def test_chain_metrics(self):
+        m = graph_metrics(chain(4))
+        assert m.n_kernels == 4
+        assert m.n_edges == 3
+        assert not m.cyclic
+        assert m.components == 1
+        assert m.exclusive_pairs >= 1
+
+    def test_all_to_all_metrics(self):
+        m = graph_metrics(all_to_all(3))
+        assert m.density == pytest.approx(1.0)
+        assert m.cyclic
+        assert m.exclusive_pairs == 0
+
+    def test_kk_traffic_share(self):
+        g = chain(2, kk=10_000)  # kk counted twice = 20k; host = 10k
+        m = graph_metrics(g)
+        assert m.kk_traffic_share == pytest.approx(20_000 / 30_000)
+
+    def test_disconnected_components(self):
+        ks = {n: KernelSpec(n, 1.0, 1.0) for n in ("a", "b", "c", "d")}
+        g = CommGraph(
+            kernels=ks, kk_edges={("a", "b"): 5, ("c", "d"): 5},
+        )
+        assert graph_metrics(g).components == 2
+
+    def test_isolated_graph(self):
+        ks = {"a": KernelSpec("a", 1.0, 1.0)}
+        g = CommGraph(kernels=ks, host_in={"a": 10})
+        m = graph_metrics(g)
+        assert m.kk_traffic_share == 0.0
+        assert m.n_edges == 0
+
+
+class TestPredictSolution:
+    def test_pair_predicts_sm(self):
+        assert predict_solution(chain(2)) == "SM"
+
+    def test_all_to_all_predicts_noc(self):
+        assert predict_solution(all_to_all(3)) == "NoC"
+
+    def test_chain_predicts_hybrid(self):
+        # A 4-chain shares one pair and keeps residual edges.
+        assert predict_solution(chain(4)) == "NoC, SM"
+
+    def test_isolated_predicts_bus(self):
+        ks = {"a": KernelSpec("a", 1.0, 1.0)}
+        g = CommGraph(kernels=ks, host_in={"a": 10})
+        assert predict_solution(g) == "Bus"
+
+    def test_predictor_matches_designer_on_paper_apps(self, fitted_apps):
+        """The cheap predictor agrees with Algorithm 1's NoC/SM split."""
+        from repro.core.designer import design_interconnect
+
+        for name, f in fitted_apps.items():
+            predicted = predict_solution(f.graph)
+            config = DesignConfig(
+                theta_s_per_byte=f.theta_s_per_byte,
+                stream_overhead_s=f.stream_overhead_s,
+                enable_duplication=False,  # predictor ignores P
+                enable_pipelining=False,
+            )
+            plan = design_interconnect(name, f.graph, config)
+            assert plan.solution_label() == predicted, name
+
+
+class TestPareto:
+    def mk_config(self):
+        return DesignConfig(theta_s_per_byte=THETA, stream_overhead_s=0.0)
+
+    def test_enumerates_all_variants(self):
+        points = enumerate_design_points(
+            "t", chain(4), self.mk_config(), host_other_s=0.0
+        )
+        labels = {p.label for p in points}
+        assert "bus-only" in labels
+        assert "hybrid-full" in labels
+        assert len(points) == 6
+
+    def test_bus_only_cheapest_hybrid_fastest(self):
+        points = enumerate_design_points(
+            "t", chain(4), self.mk_config(), host_other_s=0.0
+        )
+        by_label = {p.label: p for p in points}
+        assert by_label["bus-only"].luts == min(p.luts for p in points)
+        assert by_label["hybrid-full"].kernels_seconds == min(
+            p.kernels_seconds for p in points
+        )
+
+    def test_front_is_nondominated(self):
+        points = enumerate_design_points(
+            "t", chain(4), self.mk_config(), host_other_s=0.0
+        )
+        front = pareto_front(points)
+        assert front  # never empty
+        for p in front:
+            assert not any(q.dominates(p) for q in points)
+
+    def test_front_sorted_and_tradeoff_monotone(self):
+        points = enumerate_design_points(
+            "t", chain(4), self.mk_config(), host_other_s=0.0
+        )
+        front = pareto_front(points)
+        times = [p.kernels_seconds for p in front]
+        luts = [p.luts for p in front]
+        assert times == sorted(times)
+        # Along the front, buying speed costs area.
+        assert luts == sorted(luts, reverse=True)
+
+    def test_adaptive_mapping_dominates_noc_only(self):
+        """noc-adaptive is never worse than noc-only on both axes."""
+        points = enumerate_design_points(
+            "t", chain(4), self.mk_config(), host_other_s=0.0
+        )
+        by_label = {p.label: p for p in points}
+        adaptive, plain = by_label["noc-adaptive"], by_label["noc-only"]
+        assert adaptive.kernels_seconds <= plain.kernels_seconds + 1e-15
+        assert adaptive.luts <= plain.luts
+
+    def test_dominates_semantics(self):
+        a = DesignPoint("a", 1.0, 1.0, 100, 100, None)
+        b = DesignPoint("b", 2.0, 2.0, 200, 200, None)
+        c = DesignPoint("c", 1.0, 1.0, 100, 100, None)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(c)  # equal points do not dominate
+
+    def test_duplicate_coordinates_collapse(self):
+        a = DesignPoint("a", 1.0, 1.0, 100, 100, None)
+        c = DesignPoint("c", 1.0, 1.0, 100, 100, None)
+        front = pareto_front([a, c])
+        assert len(front) == 1

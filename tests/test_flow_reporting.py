@@ -1,0 +1,92 @@
+"""Tests for the end-to-end flow and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow import run_experiment
+from repro.reporting import (
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_simulation_crosscheck,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+
+class TestRunExperiment:
+    def test_skipping_simulation(self):
+        r = run_experiment("klt", simulate=False)
+        assert r.sim_baseline is None
+        assert r.sim_proposed is None
+        assert r.analytic_baseline.kernels_s > 0
+
+    def test_result_is_self_consistent(self, jpeg_result):
+        r = jpeg_result
+        # Speed-up accessors agree with the stored timings.
+        assert r.proposed_vs_baseline.kernels == pytest.approx(
+            r.analytic_baseline.kernels_s / r.analytic_proposed.kernels_s
+        )
+        # Energy report used the same times.
+        assert r.energy.baseline_energy_j / r.energy.baseline_power_w == (
+            pytest.approx(r.analytic_baseline.application_s)
+        )
+
+    def test_noc_only_plan_differs(self, jpeg_result):
+        assert jpeg_result.noc_only_plan.sharing == ()
+        assert jpeg_result.noc_only_plan.noc.router_count > (
+            jpeg_result.plan.noc.router_count
+        )
+
+    def test_deterministic_across_runs(self):
+        r1 = run_experiment("klt", simulate=False)
+        r2 = run_experiment("klt", simulate=False)
+        assert r1.analytic_proposed.kernels_s == r2.analytic_proposed.kernels_s
+        assert r1.synth_proposed.total == r2.synth_proposed.total
+
+
+class TestRendering:
+    def test_fig4_mentions_all_apps_and_average(self, all_results):
+        text = render_fig4(all_results)
+        for name in ("canny", "jpeg", "klt", "fluid", "average"):
+            assert name in text
+
+    def test_table2_contains_paper_rows(self):
+        text = render_table2()
+        assert "1048/188" in text  # bus
+        assert "309/353" in text  # router
+        assert "345.8MHz" in text
+        assert "N/A" in text  # crossbar fmax
+
+    def test_fig5_shows_jpeg_kernels(self, jpeg_result):
+        text = render_fig5(jpeg_result)
+        for fn in ("huff_dc_dec", "huff_ac_dec", "dquantz_lum", "j_rev_dct"):
+            assert fn in text
+        assert "host" in text
+
+    def test_fig6_describes_plan(self, jpeg_result):
+        text = render_fig6(jpeg_result)
+        assert "duplicated kernels : huff_ac_dec" in text
+        assert "dquantz_lum -> j_rev_dct" in text
+
+    def test_table3_and_fig7_identical(self, all_results):
+        assert render_table3(all_results) == render_fig7(all_results)
+
+    def test_table4_has_solution_column(self, all_results):
+        text = render_table4(all_results)
+        assert "NoC, SM, P" in text
+        assert "SM" in text
+
+    def test_fig8_and_fig9_render(self, all_results):
+        assert "interconnect/kernels" in render_fig8(all_results)
+        assert "normalized energy" in render_fig9(all_results)
+
+    def test_crosscheck_renders_all_apps(self, all_results):
+        text = render_simulation_crosscheck(all_results)
+        for name in all_results:
+            assert name in text

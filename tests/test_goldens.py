@@ -1,0 +1,83 @@
+"""Golden regression tests for the four paper applications.
+
+``tests/goldens/design_digests.json`` pins the structural design
+decisions (solution, BOM, sharing pairs, mappings, NoC membership) and
+the headline resource/traffic numbers. Everything in the pipeline is
+deterministic, so any diff here means a behaviour change — if the
+change is intentional, regenerate the goldens with the snippet in this
+module's docstring::
+
+    python - <<'PY'
+    # see tests/goldens/README for the regeneration script
+    PY
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.apps.registry import APP_NAMES
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "goldens" / "design_digests.json"
+
+
+def plan_digest(plan):
+    """The structural digest pinned by the golden file."""
+    return {
+        "solution": plan.solution_label(),
+        "components": {
+            k.value: v
+            for k, v in sorted(
+                plan.component_counts().items(), key=lambda kv: kv[0].value
+            )
+        },
+        "sharing": sorted(
+            [l.producer, l.consumer, l.bytes, l.crossbar] for l in plan.sharing
+        ),
+        "duplicated": sorted(d.kernel for d in plan.duplications if d.applied),
+        "mappings": {
+            name: [
+                m.receive.name, m.send.name,
+                m.attach_kernel.name, m.attach_memory.name,
+            ]
+            for name, m in sorted(plan.mappings.items())
+        },
+        "noc_kernels": sorted(plan.noc.kernel_nodes) if plan.noc else [],
+        "noc_memories": sorted(plan.noc.memory_nodes) if plan.noc else [],
+        "mux_kernels": sorted(plan.mux_kernels()),
+    }
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+class TestGoldenDigests:
+    def test_plan_structure(self, name, goldens, all_results):
+        got = plan_digest(all_results[name].plan)
+        want = goldens[name]["plan"]
+        # json round-trips lists, so normalize tuples.
+        assert json.loads(json.dumps(got)) == want
+
+    def test_resource_totals(self, name, goldens, all_results):
+        r = all_results[name]
+        assert r.synth_baseline.total.luts == goldens[name]["baseline_luts"]
+        assert r.synth_proposed.total.luts == goldens[name]["proposed_luts"]
+        assert r.synth_noc_only.total.luts == goldens[name]["noc_only_luts"]
+
+    def test_profiled_traffic(self, name, goldens, all_results):
+        assert (
+            all_results[name].fitted.graph.total_kernel_traffic()
+            == goldens[name]["traffic_bytes"]
+        )
+
+    def test_noc_only_router_count(self, name, goldens, all_results):
+        assert (
+            all_results[name].noc_only_plan.noc.router_count
+            == goldens[name]["noc_only_routers"]
+        )

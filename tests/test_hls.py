@@ -1,0 +1,170 @@
+"""Tests for the DWARV-like HLS estimator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hls import (
+    Block,
+    KernelIR,
+    Loop,
+    Op,
+    estimate_kernel,
+    estimate_kernel_spec,
+)
+from repro.hls.estimate import _block_latency, _loop_latency
+from repro.hls.latency import OP_LATENCY
+
+
+def mac_body(loads=2):
+    return Block([(Op.LOAD, loads), (Op.MUL, 1), (Op.ADD, 1), (Op.STORE, 1)])
+
+
+class TestIrValidation:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Block([(Op.ADD, -1)])
+
+    def test_non_op_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Block([("add", 1)])
+
+    def test_bad_loop_params(self):
+        with pytest.raises(ConfigurationError):
+            Loop(trip=-1, body=Block())
+        with pytest.raises(ConfigurationError):
+            Loop(trip=4, body=Block(), ii=0)
+        with pytest.raises(ConfigurationError):
+            Loop(trip=4, body=Block(), unroll=8)
+
+    def test_kernel_needs_name(self):
+        with pytest.raises(ConfigurationError):
+            KernelIR("", Block())
+
+    def test_op_totals_expand_loops(self):
+        inner = Loop(trip=8, body=Block([(Op.MUL, 2)]))
+        outer = Loop(trip=4, body=Block([(Op.ADD, 1)], [inner]))
+        top = Block.of_loops(outer)
+        assert top.op_total(Op.MUL) == 4 * 8 * 2
+        assert top.op_total(Op.ADD) == 4
+        assert top.work() == 64 + 4
+
+
+class TestLatencyModel:
+    def test_straightline_sums_latencies(self):
+        block = Block([(Op.ADD, 3), (Op.MUL, 2)])
+        assert _block_latency(block) == 3 * 1 + 2 * 3
+
+    def test_sequential_loop_multiplies(self):
+        loop = Loop(trip=10, body=mac_body())
+        body = _block_latency(mac_body())
+        assert _loop_latency(loop) == 10 * body
+
+    def test_pipelined_loop_ii(self):
+        loop = Loop(trip=100, body=mac_body(loads=1), pipelined=True)
+        body = _block_latency(mac_body(loads=1))
+        # II=1: one load + one store fit the two BRAM ports: depth + 99.
+        assert _loop_latency(loop) == body + 99
+
+    def test_memory_pressure_stretches_ii(self):
+        loop = Loop(trip=100, body=mac_body(loads=4), pipelined=True)
+        body = _block_latency(mac_body(loads=4))
+        # 4 loads + 1 store = 5 mem ops over 2 ports: II = 3.
+        assert _loop_latency(loop) == body + 99 * 3
+
+    def test_pipelining_beats_sequential(self):
+        seq = Loop(trip=256, body=mac_body())
+        pipe = Loop(trip=256, body=mac_body(), pipelined=True)
+        assert _loop_latency(pipe) < 0.3 * _loop_latency(seq)
+
+    def test_unroll_halves_trips(self):
+        base = Loop(trip=256, body=mac_body())
+        unrolled = Loop(trip=256, body=mac_body(), unroll=2)
+        # Sequential unroll does not change total work-latency.
+        assert _loop_latency(unrolled) == pytest.approx(_loop_latency(base))
+        pipe = Loop(trip=256, body=mac_body(loads=1), pipelined=True)
+        pipe2 = Loop(trip=256, body=mac_body(loads=1), pipelined=True, unroll=2)
+        assert _loop_latency(pipe2) <= _loop_latency(pipe) * 1.1
+
+
+class TestEstimates:
+    def kernel(self, **loop_kw):
+        return KernelIR(
+            "mac", Block.of_loops(Loop(trip=1024, body=mac_body(), **loop_kw))
+        )
+
+    def test_overhead_included(self):
+        est = estimate_kernel(self.kernel())
+        body = _loop_latency(Loop(trip=1024, body=mac_body()))
+        assert est.tau_cycles == 8 + body
+
+    def test_area_grows_with_unroll(self):
+        a1 = estimate_kernel(self.kernel()).resources
+        a2 = estimate_kernel(self.kernel(unroll=4)).resources
+        assert a2.luts > a1.luts
+
+    def test_pipelined_kernel_shows_hw_speedup(self):
+        # A wide floating-point body: many ops per iteration at II=1.
+        body = Block([
+            (Op.FMUL, 4), (Op.FADD, 4), (Op.LOAD, 1), (Op.STORE, 1),
+        ])
+        ir = KernelIR(
+            "wide", Block.of_loops(Loop(trip=4096, body=body, pipelined=True))
+        )
+        est = estimate_kernel(ir)
+        # 100 MHz pipelined datapath issuing 10 ops/cycle vs the 400 MHz
+        # host issuing ~1.2: the kernel wins despite the clock handicap.
+        assert est.hw_speedup > 1.5
+
+    def test_sequential_kernel_slower_than_host(self):
+        est = estimate_kernel(self.kernel())
+        # Unpipelined at 100 MHz cannot beat a 400 MHz processor.
+        assert est.hw_speedup < 1.0
+
+    def test_spec_packaging(self):
+        spec = estimate_kernel_spec(
+            self.kernel(pipelined=True),
+            parallelizable=True,
+            streams_host_io=True,
+        )
+        assert spec.name == "mac"
+        assert spec.parallelizable
+        assert spec.streams_host_io
+        assert spec.tau_cycles > 0
+        assert spec.resources.luts > 0
+
+    def test_division_heavy_kernel_costs_more(self):
+        divs = KernelIR(
+            "divs", Block.of_loops(Loop(trip=100, body=Block([(Op.FDIV, 1)])))
+        )
+        adds = KernelIR(
+            "adds", Block.of_loops(Loop(trip=100, body=Block([(Op.FADD, 1)])))
+        )
+        e_div, e_add = estimate_kernel(divs), estimate_kernel(adds)
+        assert e_div.tau_cycles > 3 * e_add.tau_cycles
+        assert e_div.resources.luts > e_add.resources.luts
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    trip=st.integers(1, 10_000),
+    muls=st.integers(0, 8),
+    adds=st.integers(0, 8),
+    loads=st.integers(0, 6),
+)
+def test_pipelined_never_slower_than_sequential(trip, muls, adds, loads):
+    body = Block([(Op.MUL, muls), (Op.ADD, adds), (Op.LOAD, loads)])
+    seq = Loop(trip=trip, body=body)
+    pipe = Loop(trip=trip, body=body, pipelined=True)
+    assert _loop_latency(pipe) <= _loop_latency(seq) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(trip=st.integers(0, 1000), count=st.integers(0, 10))
+def test_latency_monotone_in_work(trip, count):
+    small = Loop(trip=trip, body=Block([(Op.ADD, count)]))
+    big = Loop(trip=trip, body=Block([(Op.ADD, count + 1)]))
+    assert _loop_latency(big) >= _loop_latency(small)

@@ -1,0 +1,80 @@
+"""Tests for hotspot ranking and L_hw selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.profiling import (
+    CommunicationProfile,
+    FunctionStats,
+    rank_functions,
+    select_hw_candidates,
+)
+
+
+def profile_with_work(work_map):
+    fns = [FunctionStats(n, 1, 0, 0, w) for n, w in work_map.items()]
+    return CommunicationProfile([], fns)
+
+
+class TestRanking:
+    def test_orders_by_work_descending(self):
+        p = profile_with_work({"a": 1.0, "b": 5.0, "c": 3.0})
+        r = rank_functions(p)
+        assert [n for n, _, _ in r.ranking] == ["b", "c", "a"]
+
+    def test_shares_sum_to_one(self):
+        p = profile_with_work({"a": 1.0, "b": 3.0})
+        r = rank_functions(p)
+        assert sum(s for _, _, s in r.ranking) == pytest.approx(1.0)
+        assert r.share("b") == pytest.approx(0.75)
+
+    def test_zero_work_functions_dropped(self):
+        p = profile_with_work({"a": 0.0, "b": 2.0})
+        r = rank_functions(p)
+        assert r.top(5) == ("b",)
+
+    def test_entry_excluded(self):
+        p = CommunicationProfile(
+            [], [FunctionStats("__entry__", 1, 0, 0, 99.0),
+                 FunctionStats("f", 1, 0, 0, 1.0)]
+        )
+        r = rank_functions(p)
+        assert r.top(5) == ("f",)
+
+    def test_empty_profile(self):
+        r = rank_functions(profile_with_work({}))
+        assert r.ranking == ()
+        assert r.total_work == 0.0
+        assert r.share("x") == 0.0
+
+    def test_deterministic_tie_break_by_name(self):
+        p = profile_with_work({"z": 2.0, "a": 2.0})
+        r = rank_functions(p)
+        assert [n for n, _, _ in r.ranking] == ["a", "z"]
+
+
+class TestSelection:
+    def test_respects_suitability_predicate(self):
+        p = profile_with_work({"hot_io": 10.0, "hot_calc": 5.0})
+        sel = select_hw_candidates(p, suitable=lambda n: "io" not in n)
+        assert sel == ("hot_calc",)
+
+    def test_max_kernels_cap(self):
+        p = profile_with_work({"a": 4.0, "b": 3.0, "c": 2.0, "d": 1.0})
+        assert select_hw_candidates(p, max_kernels=2) == ("a", "b")
+
+    def test_min_work_share_cutoff(self):
+        p = profile_with_work({"a": 98.0, "b": 1.0, "c": 1.0})
+        sel = select_hw_candidates(p, min_work_share=0.05)
+        assert sel == ("a",)
+
+    def test_invalid_share_rejected(self):
+        p = profile_with_work({"a": 1.0})
+        with pytest.raises(ProfilingError):
+            select_hw_candidates(p, min_work_share=1.5)
+
+    def test_excludes_names(self):
+        p = profile_with_work({"a": 3.0, "b": 1.0})
+        assert select_hw_candidates(p, exclude=["a"]) == ("b",)

@@ -1,0 +1,186 @@
+"""Tests for the hardware models: resources, device, frequency,
+synthesis, energy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ResourceBudgetError
+from repro.hw import (
+    COMPONENT_LIBRARY,
+    ComponentKind,
+    Device,
+    ResourceCost,
+    XC5VFX130T,
+    achievable_frequency,
+    check_timing,
+    estimate_baseline,
+    estimate_system,
+)
+from repro.hw.energy import EnergyModel, compare_energy
+from repro.hw.frequency import binding_component
+from repro.hw.resources import FOUR_ROUTER_COST, component_cost
+from repro.hw.synthesis import PLATFORM_BASE, interconnect_cost
+from repro.units import mhz
+
+
+class TestResourceCost:
+    def test_add_and_mul(self):
+        a = ResourceCost(10, 20)
+        assert a + ResourceCost(1, 2) == ResourceCost(11, 22)
+        assert a * 3 == ResourceCost(30, 60)
+        assert 3 * a == ResourceCost(30, 60)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResourceCost(-1, 0)
+        with pytest.raises(ConfigurationError):
+            ResourceCost(1, 1) * -2
+        with pytest.raises(ConfigurationError):
+            ResourceCost(1, 1) - ResourceCost(2, 0)
+
+    def test_zero_identity(self):
+        a = ResourceCost(5, 6)
+        assert a + ResourceCost.zero() == a
+
+
+class TestComponentLibrary:
+    def test_table2_values_verbatim(self):
+        """The paper's Table II, row by row."""
+        assert component_cost(ComponentKind.BUS) == ResourceCost(1048, 188)
+        assert component_cost(ComponentKind.CROSSBAR) == ResourceCost(201, 200)
+        assert component_cost(ComponentKind.ROUTER) == ResourceCost(309, 353)
+        assert component_cost(ComponentKind.NA_KERNEL) == ResourceCost(396, 426)
+        assert component_cost(ComponentKind.NA_MEMORY) == ResourceCost(60, 114)
+
+    def test_table2_frequencies(self):
+        assert COMPONENT_LIBRARY[ComponentKind.BUS].fmax_hz == mhz(345.8)
+        assert COMPONENT_LIBRARY[ComponentKind.ROUTER].fmax_hz == mhz(150.0)
+        assert COMPONENT_LIBRARY[ComponentKind.CROSSBAR].fmax_hz is None
+
+    def test_four_routers_vs_shared_memory_claim(self):
+        """Section IV-B: four routers cost ~5x the crossbar solution."""
+        crossbar = component_cost(ComponentKind.CROSSBAR)
+        ratio = FOUR_ROUTER_COST.luts / crossbar.luts
+        assert 4.0 < ratio < 8.0
+
+
+class TestDevice:
+    def test_fits_and_require(self):
+        dev = Device("d", 1000, 1000, 1000)
+        assert dev.fits(ResourceCost(900, 900))
+        assert not dev.fits(ResourceCost(900, 900), utilization_cap=0.5)
+        with pytest.raises(ResourceBudgetError):
+            dev.require(ResourceCost(1100, 0))
+
+    def test_utilization(self):
+        dev = Device("d", 1000, 2000, 1)
+        assert dev.utilization(ResourceCost(500, 500)) == pytest.approx(0.5)
+
+    def test_invalid_cap(self):
+        with pytest.raises(ConfigurationError):
+            XC5VFX130T.fits(ResourceCost(1, 1), utilization_cap=0.0)
+
+    def test_paper_device_capacity(self):
+        assert XC5VFX130T.luts == 81920
+
+
+class TestFrequency:
+    def test_router_binds_noc_systems(self):
+        kinds = [ComponentKind.BUS, ComponentKind.ROUTER, ComponentKind.NA_KERNEL]
+        assert achievable_frequency(kinds) == mhz(150.0)
+        assert binding_component(kinds)[0] is ComponentKind.ROUTER
+
+    def test_combinational_only_unbounded(self):
+        assert achievable_frequency([ComponentKind.CROSSBAR]) is None
+
+    def test_kernel_clock_passes_timing(self):
+        check_timing(list(ComponentKind), 100e6)
+
+    def test_overclocking_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_timing([ComponentKind.ROUTER], mhz(200.0))
+        with pytest.raises(ConfigurationError):
+            check_timing([ComponentKind.ROUTER], 0)
+
+
+class TestSynthesis:
+    def test_baseline_is_base_plus_bus_plus_kernels(self):
+        est = estimate_baseline([ResourceCost(100, 200), ResourceCost(50, 60)])
+        expected = PLATFORM_BASE + component_cost(ComponentKind.BUS) + ResourceCost(
+            150, 260
+        )
+        assert est.total == expected
+
+    def test_interconnect_cost_breakdown(self):
+        total, breakdown = interconnect_cost(
+            {ComponentKind.ROUTER: 4, ComponentKind.CROSSBAR: 1}
+        )
+        assert total == component_cost(ComponentKind.ROUTER) * 4 + component_cost(
+            ComponentKind.CROSSBAR
+        )
+        assert breakdown[ComponentKind.ROUTER][0] == 4
+
+    def test_zero_counts_skipped(self):
+        total, breakdown = interconnect_cost({ComponentKind.ROUTER: 0})
+        assert total == ResourceCost.zero()
+        assert breakdown == {}
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            interconnect_cost({ComponentKind.ROUTER: -1})
+
+    def test_custom_interconnect_excludes_bus(self):
+        est = estimate_system(
+            "s",
+            [ResourceCost(100, 100)],
+            {ComponentKind.BUS: 1, ComponentKind.CROSSBAR: 1},
+        )
+        assert est.custom_interconnect == component_cost(ComponentKind.CROSSBAR)
+
+    def test_ratio_requires_kernels(self):
+        est = estimate_system("s", [], {ComponentKind.BUS: 1})
+        with pytest.raises(ConfigurationError):
+            _ = est.interconnect_over_kernels
+
+
+class TestEnergy:
+    def test_power_affine(self):
+        m = EnergyModel(p_static_w=1.0, w_per_lut=1e-3, w_per_reg=1e-3)
+        assert m.power_w(ResourceCost(100, 200)) == pytest.approx(1.3)
+
+    def test_energy_product(self):
+        m = EnergyModel()
+        r = ResourceCost(1000, 1000)
+        assert m.energy_j(r, 2.0) == pytest.approx(2.0 * m.power_w(r))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel().energy_j(ResourceCost(1, 1), -1.0)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(p_static_w=-1.0)
+
+    def test_compare_energy_report(self):
+        m = EnergyModel()
+        rep = compare_energy(
+            "app", m,
+            baseline_resources=ResourceCost(10_000, 10_000),
+            proposed_resources=ResourceCost(12_000, 12_000),
+            baseline_time_s=1.0,
+            proposed_time_s=0.4,
+        )
+        assert rep.proposed_power_w > rep.baseline_power_w
+        assert rep.normalized_energy < 0.5
+        assert rep.saving_percent == pytest.approx(
+            100 * (1 - rep.normalized_energy)
+        )
+
+    def test_power_increase_is_minor(self):
+        """The paper: power is 'almost identical, with a minor increase'.
+        A few thousand extra LUTs must move power by only a few percent."""
+        m = EnergyModel()
+        base = m.power_w(ResourceCost(12_000, 12_000))
+        ours = m.power_w(ResourceCost(21_000, 21_000))
+        assert (ours - base) / base < 0.10

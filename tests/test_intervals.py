@@ -1,0 +1,248 @@
+"""Unit + property tests for the interval containers.
+
+The property tests drive the interval structures against a naive
+per-address dictionary/set reference model — the structures must be
+*byte-identical* to per-address tracking, which is the exactness claim
+the profiler's correctness rests on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProfilingError
+from repro.profiling.intervals import IntervalMap, IntervalSet
+
+# ---------------------------------------------------------------------------
+# IntervalMap unit tests
+# ---------------------------------------------------------------------------
+
+
+class TestIntervalMapBasics:
+    def test_empty_map_queries_empty(self):
+        m = IntervalMap()
+        assert m.query(0, 100) == []
+        assert len(m) == 0
+        assert m.total_length() == 0
+
+    def test_single_assign_and_query(self):
+        m = IntervalMap()
+        m.assign(10, 20, "a")
+        assert m.query(0, 100) == [(10, 20, "a")]
+        assert m.total_length() == 10
+
+    def test_query_clips_to_range(self):
+        m = IntervalMap()
+        m.assign(10, 20, "a")
+        assert m.query(15, 17) == [(15, 17, "a")]
+        assert m.query(5, 12) == [(10, 12, "a")]
+        assert m.query(18, 25) == [(18, 20, "a")]
+
+    def test_overwrite_middle_splits(self):
+        m = IntervalMap()
+        m.assign(0, 10, "a")
+        m.assign(3, 5, "b")
+        assert m.query(0, 10) == [(0, 3, "a"), (3, 5, "b"), (5, 10, "a")]
+
+    def test_overwrite_whole(self):
+        m = IntervalMap()
+        m.assign(0, 10, "a")
+        m.assign(0, 10, "b")
+        assert m.query(0, 10) == [(0, 10, "b")]
+        assert len(m) == 1
+
+    def test_adjacent_same_value_coalesces(self):
+        m = IntervalMap()
+        m.assign(0, 5, "a")
+        m.assign(5, 10, "a")
+        assert len(m) == 1
+        assert m.query(0, 10) == [(0, 10, "a")]
+
+    def test_adjacent_different_value_stays_split(self):
+        m = IntervalMap()
+        m.assign(0, 5, "a")
+        m.assign(5, 10, "b")
+        assert len(m) == 2
+
+    def test_empty_assign_is_noop(self):
+        m = IntervalMap()
+        m.assign(5, 5, "a")
+        assert len(m) == 0
+
+    def test_value_at(self):
+        m = IntervalMap()
+        m.assign(0, 4, "a")
+        assert m.value_at(0) == "a"
+        assert m.value_at(3) == "a"
+        assert m.value_at(4) is None
+
+    def test_negative_interval_rejected(self):
+        m = IntervalMap()
+        with pytest.raises(ProfilingError):
+            m.assign(5, 3, "a")
+        with pytest.raises(ProfilingError):
+            m.assign(-1, 3, "a")
+        with pytest.raises(ProfilingError):
+            m.query(5, 3)
+
+    def test_overwrite_spanning_multiple(self):
+        m = IntervalMap()
+        m.assign(0, 3, "a")
+        m.assign(5, 8, "b")
+        m.assign(10, 12, "c")
+        m.assign(2, 11, "x")
+        assert m.query(0, 12) == [(0, 2, "a"), (2, 11, "x"), (11, 12, "c")]
+
+    def test_gap_between_assignments_stays_gap(self):
+        m = IntervalMap()
+        m.assign(0, 2, "a")
+        m.assign(8, 10, "b")
+        assert m.query(0, 10) == [(0, 2, "a"), (8, 10, "b")]
+
+    def test_iteration_order_sorted(self):
+        m = IntervalMap()
+        m.assign(20, 30, "b")
+        m.assign(0, 10, "a")
+        assert [s for s, _, _ in m] == [0, 20]
+
+
+# ---------------------------------------------------------------------------
+# IntervalSet unit tests
+# ---------------------------------------------------------------------------
+
+
+class TestIntervalSetBasics:
+    def test_empty(self):
+        s = IntervalSet()
+        assert s.measure() == 0
+        assert not s.contains(0)
+
+    def test_single_add(self):
+        s = IntervalSet()
+        s.add(3, 7)
+        assert s.measure() == 4
+        assert s.contains(3) and s.contains(6)
+        assert not s.contains(7)
+
+    def test_touching_intervals_merge(self):
+        s = IntervalSet()
+        s.add(0, 5)
+        s.add(5, 10)
+        assert len(s) == 1
+        assert s.measure() == 10
+
+    def test_overlapping_adds_union(self):
+        s = IntervalSet()
+        s.add(0, 6)
+        s.add(4, 10)
+        assert s.measure() == 10
+
+    def test_disjoint_adds(self):
+        s = IntervalSet()
+        s.add(0, 2)
+        s.add(10, 12)
+        assert len(s) == 2
+        assert s.measure() == 4
+
+    def test_add_spanning_existing(self):
+        s = IntervalSet()
+        s.add(2, 4)
+        s.add(8, 9)
+        s.add(0, 20)
+        assert len(s) == 1
+        assert s.measure() == 20
+
+    def test_empty_add_noop(self):
+        s = IntervalSet()
+        s.add(4, 4)
+        assert s.measure() == 0
+
+    def test_intersect_length(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(20, 30)
+        assert s.intersect_length(5, 25) == 10
+        assert s.intersect_length(10, 20) == 0
+        assert s.intersect_length(0, 40) == 20
+
+    def test_invalid_range_rejected(self):
+        s = IntervalSet()
+        with pytest.raises(ProfilingError):
+            s.add(3, 1)
+
+
+# ---------------------------------------------------------------------------
+# Property tests against naive reference models
+# ---------------------------------------------------------------------------
+
+_ops_map = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=40),
+        st.sampled_from(["a", "b", "c", "d"]),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_ops_map, qlo=st.integers(0, 200), qlen=st.integers(0, 60))
+def test_interval_map_matches_per_byte_reference(ops, qlo, qlen):
+    m = IntervalMap()
+    ref = {}
+    for lo, length, value in ops:
+        m.assign(lo, lo + length, value)
+        for addr in range(lo, lo + length):
+            ref[addr] = value
+    # Query result flattened per address equals the reference dict.
+    got = {}
+    for s, e, v in m.query(qlo, qlo + qlen):
+        for addr in range(s, e):
+            got[addr] = v
+    expected = {a: v for a, v in ref.items() if qlo <= a < qlo + qlen}
+    assert got == expected
+    # Structural invariants: sorted, disjoint, coalesced.
+    items = list(m)
+    for (s1, e1, v1), (s2, e2, v2) in zip(items, items[1:]):
+        assert s1 < e1 <= s2 < e2
+        assert not (e1 == s2 and v1 == v2), "uncoalesced neighbours"
+    assert m.total_length() == len(ref)
+
+
+_ops_set = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=150),
+        st.integers(min_value=0, max_value=30),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_ops_set, probe=st.integers(0, 160))
+def test_interval_set_matches_set_reference(ops, probe):
+    s = IntervalSet()
+    ref = set()
+    for lo, length in ops:
+        s.add(lo, lo + length)
+        ref.update(range(lo, lo + length))
+    assert s.measure() == len(ref)
+    assert s.contains(probe) == (probe in ref)
+    # Intervals stay maximal and disjoint.
+    items = list(s)
+    for (s1, e1), (s2, e2) in zip(items, items[1:]):
+        assert s1 < e1 < s2 < e2
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=_ops_set, lo=st.integers(0, 150), length=st.integers(0, 40))
+def test_interval_set_intersect_matches_reference(ops, lo, length):
+    s = IntervalSet()
+    ref = set()
+    for alo, alen in ops:
+        s.add(alo, alo + alen)
+        ref.update(range(alo, alo + alen))
+    expected = len(ref & set(range(lo, lo + length)))
+    assert s.intersect_length(lo, lo + length) == expected

@@ -1,0 +1,128 @@
+"""Tests for the tracked address space and buffers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressSpaceError
+from repro.profiling import AddressSpace, Tracer
+
+
+@pytest.fixture()
+def space():
+    return AddressSpace(Tracer())
+
+
+class TestAllocation:
+    def test_alloc_zero_initialised(self, space):
+        buf = space.alloc("a", (4, 4), np.float32)
+        assert buf.data.shape == (4, 4)
+        assert np.all(buf.data == 0)
+
+    def test_duplicate_name_rejected(self, space):
+        space.alloc("a", (4,))
+        with pytest.raises(AddressSpaceError):
+            space.alloc("a", (8,))
+
+    def test_buffers_do_not_overlap(self, space):
+        bufs = [space.alloc(f"b{i}", (17,), np.uint8) for i in range(5)]
+        ranges = sorted((b.base, b.base + b.nbytes) for b in bufs)
+        for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+            assert hi1 <= lo2
+
+    def test_alignment(self):
+        space = AddressSpace(Tracer(), align=64)
+        a = space.alloc("a", (3,), np.uint8)
+        b = space.alloc("b", (3,), np.uint8)
+        assert a.base % 64 == 0
+        assert b.base % 64 == 0
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(AddressSpaceError):
+            AddressSpace(Tracer(), align=48)
+
+    def test_alloc_like_copies_without_tracing(self):
+        tracer = Tracer()
+        space = AddressSpace(tracer)
+        src = np.arange(6, dtype=np.int16)
+        buf = space.alloc_like("a", src)
+        assert np.array_equal(buf.data, src)
+        assert tracer.edges() == {}
+
+    def test_get_and_owner_of(self, space):
+        buf = space.alloc("a", (8,), np.uint8)
+        assert space.get("a") is buf
+        assert space.owner_of(buf.base + 3) is buf
+        assert space.owner_of(10**9) is None
+        with pytest.raises(AddressSpaceError):
+            space.get("missing")
+
+
+class TestTracedAccess:
+    def test_store_then_load_moves_data(self, space):
+        buf = space.alloc("a", (10,), np.float64)
+        buf.store(np.arange(10.0))
+        out = buf.load()
+        assert np.array_equal(out, np.arange(10.0))
+
+    def test_load_view_is_readonly(self, space):
+        buf = space.alloc("a", (4,), np.float64)
+        view = buf.load()
+        with pytest.raises(ValueError):
+            view[0] = 1.0
+
+    def test_partial_store_and_load(self, space):
+        buf = space.alloc("a", (10,), np.int32)
+        buf.store(np.array([7, 8]), start=4)
+        assert list(buf.load(4, 2)) == [7, 8]
+
+    def test_out_of_range_rejected(self, space):
+        buf = space.alloc("a", (10,), np.int32)
+        with pytest.raises(AddressSpaceError):
+            buf.load(8, 5)
+        with pytest.raises(AddressSpaceError):
+            buf.store(np.zeros(4), start=8)
+
+    def test_store_full_shape_mismatch_rejected(self, space):
+        buf = space.alloc("a", (4, 4))
+        with pytest.raises(AddressSpaceError):
+            buf.store_full(np.zeros((3, 3)))
+
+    def test_address_range_uses_itemsize(self, space):
+        buf = space.alloc("a", (10,), np.int32)
+        lo, hi = buf.address_range(2, 3)
+        assert lo == buf.base + 8
+        assert hi == buf.base + 20
+
+    def test_tracer_sees_byte_intervals(self):
+        tracer = Tracer()
+        space = AddressSpace(tracer)
+        a = space.alloc("a", (8,), np.float64)  # 64 bytes
+        with tracer.context("writer"):
+            a.store_full(np.ones(8))
+        with tracer.context("reader"):
+            a.load_full()
+        assert tracer.edge_bytes("writer", "reader") == 64
+        assert tracer.edge_umas("writer", "reader") == 64
+
+    def test_cross_buffer_attribution_separate(self):
+        tracer = Tracer()
+        space = AddressSpace(tracer)
+        a = space.alloc("a", (4,), np.uint8)
+        b = space.alloc("b", (4,), np.uint8)
+        with tracer.context("w"):
+            a.store_full(np.ones(4, dtype=np.uint8))
+        with tracer.context("r"):
+            b.load_full()  # untouched buffer -> entry-produced
+        assert tracer.edge_bytes("w", "r") == 0
+        assert tracer.edge_bytes(Tracer.ENTRY, "r") == 4
+
+    def test_load_full_preserves_shape(self, space):
+        buf = space.alloc("a", (3, 5), np.float32)
+        assert buf.load_full().shape == (3, 5)
+
+    def test_bytes_allocated_monotonic(self, space):
+        before = space.bytes_allocated
+        space.alloc("a", (100,), np.float64)
+        assert space.bytes_allocated >= before + 800

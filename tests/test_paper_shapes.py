@@ -1,0 +1,211 @@
+"""Integration tests: the paper's published result *shapes*.
+
+These are the acceptance criteria from DESIGN.md §4 — who wins, by
+roughly what factor, where the qualitative crossovers fall. Absolute
+agreement with the paper's board is not expected (our substrate is a
+simulator); each tolerance below brackets the paper's value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.resources import ComponentKind
+from repro.units import percent_saving
+
+#: Paper Table III, verbatim.
+TABLE3 = {
+    "canny": (3.15, 3.88, 1.83, 2.12),
+    "jpeg": (2.33, 2.50, 2.87, 3.08),
+    "klt": (3.72, 6.58, 1.26, 1.55),
+    "fluid": (1.66, 1.68, 1.59, 1.60),
+}
+
+#: Paper Table IV solution column.
+SOLUTIONS = {
+    "canny": "NoC, SM, P",
+    "jpeg": "NoC, SM, P",
+    "klt": "SM",
+    "fluid": "NoC",
+}
+
+
+class TestFig4BaselineShapes:
+    def test_jpeg_baseline_slower_than_software(self, all_results):
+        """The paper's headline anomaly: jpeg baseline loses to SW."""
+        assert all_results["jpeg"].baseline_vs_sw.application < 1.0
+
+    def test_other_apps_baseline_faster_than_software(self, all_results):
+        for name in ("canny", "klt", "fluid"):
+            assert all_results[name].baseline_vs_sw.application > 1.0
+
+    def test_jpeg_ratio_is_3_63(self, all_results):
+        assert all_results["jpeg"].comm_comp_ratio == pytest.approx(3.63, rel=0.01)
+
+    def test_average_ratio_about_2_09(self, all_results):
+        avg = sum(r.comm_comp_ratio for r in all_results.values()) / 4
+        assert avg == pytest.approx(2.09, abs=0.05)
+
+    def test_max_kernel_speedup_about_4_2(self, all_results):
+        best = max(r.baseline_vs_sw.kernels for r in all_results.values())
+        assert best == pytest.approx(4.23, rel=0.05)
+
+    def test_communication_dominates_computation_on_average(self, all_results):
+        """Fig. 4's message: comm time > comp time in the baseline."""
+        avg = sum(r.comm_comp_ratio for r in all_results.values()) / 4
+        assert avg > 1.0
+
+
+class TestTable3Speedups:
+    @pytest.mark.parametrize("name", list(TABLE3))
+    def test_within_15_percent_of_paper(self, all_results, name):
+        paper_app_sw, paper_k_sw, paper_app_b, paper_k_b = TABLE3[name]
+        r = all_results[name]
+        assert r.proposed_vs_sw.application == pytest.approx(paper_app_sw, rel=0.15)
+        assert r.proposed_vs_sw.kernels == pytest.approx(paper_k_sw, rel=0.15)
+        assert r.proposed_vs_baseline.application == pytest.approx(
+            paper_app_b, rel=0.15
+        )
+        assert r.proposed_vs_baseline.kernels == pytest.approx(paper_k_b, rel=0.15)
+
+    def test_jpeg_wins_most_vs_baseline(self, all_results):
+        jpeg = all_results["jpeg"].proposed_vs_baseline.application
+        for name in ("canny", "klt", "fluid"):
+            assert jpeg > all_results[name].proposed_vs_baseline.application
+
+    def test_klt_wins_most_vs_software(self, all_results):
+        klt = all_results["klt"].proposed_vs_sw.kernels
+        for name in ("canny", "jpeg", "fluid"):
+            assert klt > all_results[name].proposed_vs_sw.kernels
+
+    def test_all_apps_beat_baseline(self, all_results):
+        for r in all_results.values():
+            assert r.proposed_vs_baseline.application > 1.0
+            assert r.proposed_vs_baseline.kernels > 1.0
+
+    def test_headline_numbers(self, all_results):
+        """Abstract: 3.72x vs SW and 2.87x vs baseline (both maxima)."""
+        best_sw = max(
+            r.proposed_vs_sw.application for r in all_results.values()
+        )
+        best_base = max(
+            r.proposed_vs_baseline.application for r in all_results.values()
+        )
+        assert best_sw == pytest.approx(3.72, rel=0.10)
+        assert best_base == pytest.approx(2.87, rel=0.15)
+
+
+class TestTable4Resources:
+    @pytest.mark.parametrize("name", list(SOLUTIONS))
+    def test_solution_column(self, all_results, name):
+        assert all_results[name].plan.solution_label() == SOLUTIONS[name]
+
+    def test_ordering_baseline_ours_noconly(self, all_results):
+        for r in all_results.values():
+            assert r.synth_baseline.total.luts <= r.synth_proposed.total.luts
+            assert r.synth_proposed.total.luts <= r.synth_noc_only.total.luts
+
+    def test_klt_adds_exactly_one_crossbar(self, all_results):
+        """Paper: KLT ours-baseline = 200 LUTs (one crossbar + nothing)."""
+        r = all_results["klt"]
+        delta = r.synth_proposed.total.luts - r.synth_baseline.total.luts
+        assert delta == 201  # Table II crossbar
+        counts = r.plan.component_counts()
+        assert counts.get(ComponentKind.ROUTER, 0) == 0
+        assert counts[ComponentKind.CROSSBAR] == 1
+
+    def test_max_lut_saving_vs_noc_only_about_a_third(self, all_results):
+        """Paper: 'saves up to 33.1% LUTs' vs the NoC-only system (KLT)."""
+        savings = {
+            name: percent_saving(
+                r.synth_noc_only.total.luts, r.synth_proposed.total.luts
+            )
+            for name, r in all_results.items()
+        }
+        assert max(savings, key=savings.get) == "klt"
+        assert savings["klt"] == pytest.approx(33.1, abs=4.0)
+
+    def test_fluid_saving_smallest(self, all_results):
+        savings = {
+            name: percent_saving(
+                r.synth_noc_only.total.luts, r.synth_proposed.total.luts
+            )
+            for name, r in all_results.items()
+        }
+        assert min(savings, key=savings.get) == "fluid"
+
+    def test_baseline_column_matches_paper_exactly(self, all_results):
+        paper = {
+            "canny": (9926, 12707),
+            "jpeg": (11755, 11910),
+            "klt": (4721, 5430),
+            "fluid": (19125, 28793),
+        }
+        for name, (luts, regs) in paper.items():
+            total = all_results[name].synth_baseline.total
+            assert (total.luts, total.regs) == (luts, regs)
+
+
+class TestFig8InterconnectRatio:
+    def test_ratio_bounded(self, all_results):
+        """Paper: interconnect uses at most ~40.7% of kernel resources."""
+        worst = max(
+            r.synth_proposed.interconnect_over_kernels
+            for r in all_results.values()
+        )
+        assert worst == pytest.approx(0.407, abs=0.06)
+
+    def test_klt_ratio_smallest(self, all_results):
+        ratios = {
+            n: r.synth_proposed.interconnect_over_kernels
+            for n, r in all_results.items()
+        }
+        assert min(ratios, key=ratios.get) == "klt"
+
+
+class TestFig9Energy:
+    def test_all_apps_save_energy(self, all_results):
+        for r in all_results.values():
+            assert r.energy.saving_percent > 0
+
+    def test_jpeg_saves_most_about_66(self, all_results):
+        savings = {n: r.energy.saving_percent for n, r in all_results.items()}
+        assert max(savings, key=savings.get) == "jpeg"
+        assert savings["jpeg"] == pytest.approx(66.5, abs=3.0)
+
+    def test_power_increase_minor(self, all_results):
+        """Paper: 'the power consumption is almost identical, with a
+        minor increase in our system'."""
+        for r in all_results.values():
+            e = r.energy
+            assert e.proposed_power_w >= e.baseline_power_w
+            assert (e.proposed_power_w - e.baseline_power_w) / e.baseline_power_w < 0.08
+
+
+class TestSimulationAgreement:
+    """The DES and the analytic model must tell the same story."""
+
+    def test_baseline_sim_matches_model(self, all_results):
+        for r in all_results.values():
+            assert r.sim_baseline.kernels_s == pytest.approx(
+                r.analytic_baseline.kernels_s, rel=0.05
+            )
+
+    def test_proposed_sim_within_envelope(self, all_results):
+        for r in all_results.values():
+            assert r.sim_proposed.kernels_s == pytest.approx(
+                r.analytic_proposed.kernels_s, rel=0.5
+            )
+
+    def test_simulated_speedups_same_direction(self, all_results):
+        for r in all_results.values():
+            app, kern = r.sim_proposed.speedup_over(r.sim_baseline)
+            assert app > 1.0
+            assert kern > 1.0
+
+    def test_simulated_jpeg_still_wins(self, all_results):
+        speedups = {
+            n: r.sim_proposed.speedup_over(r.sim_baseline)[1]
+            for n, r in all_results.items()
+        }
+        assert max(speedups, key=speedups.get) == "jpeg"

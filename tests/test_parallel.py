@@ -1,0 +1,132 @@
+"""Tests for pipelining cases 1-2 (Δ_p1 / Δ_p2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CommGraph, KernelSpec, find_pipeline_opportunities
+from repro.core.parallel import (
+    PipelineCase,
+    delta_p1_seconds,
+    delta_p2_seconds,
+    total_pipeline_gain,
+)
+from repro.units import KERNEL_CLOCK
+
+THETA = 1e-8  # 10 ns / byte
+
+
+def sec(cycles):
+    return KERNEL_CLOCK.cycles_to_seconds(cycles)
+
+
+class TestDeltaFormulas:
+    def test_p1_transfer_bound(self):
+        # Small transfers: gain is the transfer halves.
+        tau = 1_000_000.0
+        d = delta_p1_seconds(1000, 2000, tau, THETA, 0.0)
+        assert d == pytest.approx((1000 * THETA + 2000 * THETA) / 2)
+
+    def test_p1_compute_bound(self):
+        # Huge transfers: gain saturates at tau/2 per direction.
+        tau = 100.0
+        d = delta_p1_seconds(10**9, 10**9, tau, THETA, 0.0)
+        assert d == pytest.approx(sec(tau))  # tau/2 + tau/2
+
+    def test_p1_overhead_subtracts(self):
+        base = delta_p1_seconds(1000, 0, 10**6, THETA, 0.0)
+        assert delta_p1_seconds(1000, 0, 10**6, THETA, 1e-6) == pytest.approx(
+            base - 1e-6
+        )
+
+    def test_p2_min_of_taus(self):
+        assert delta_p2_seconds(100.0, 300.0, 0.0) == pytest.approx(sec(50.0))
+        assert delta_p2_seconds(300.0, 100.0, 0.0) == pytest.approx(sec(50.0))
+
+    def test_p2_can_go_negative(self):
+        assert delta_p2_seconds(100.0, 100.0, 1.0) < 0
+
+
+def mk_graph(**traits):
+    """Two-kernel chain with configurable streaming traits."""
+    ks = {
+        "p": KernelSpec(
+            "p", 10_000.0, 80_000.0,
+            streams_host_io=traits.get("p_host", False),
+        ),
+        "c": KernelSpec(
+            "c", 20_000.0, 160_000.0,
+            streams_host_io=traits.get("c_host", False),
+            streams_kernel_input=traits.get("c_stream", False),
+        ),
+    }
+    return CommGraph(
+        kernels=ks,
+        kk_edges={("p", "c"): 50_000},
+        host_in={"p": 100_000},
+        host_out={"c": 100_000},
+    )
+
+
+class TestFindOpportunities:
+    def test_case1_applied_when_capable_and_positive(self):
+        g = mk_graph(p_host=True)
+        decisions = find_pipeline_opportunities(g, (("p", "c"),), THETA, 0.0)
+        case1_p = [
+            d for d in decisions
+            if d.case is PipelineCase.HOST_STREAM and d.kernel == "p"
+        ]
+        assert len(case1_p) == 1
+        assert case1_p[0].applied
+
+    def test_case1_rejected_without_capability(self):
+        g = mk_graph(p_host=False)
+        decisions = find_pipeline_opportunities(g, (("p", "c"),), THETA, 0.0)
+        d = next(
+            d for d in decisions
+            if d.case is PipelineCase.HOST_STREAM and d.kernel == "p"
+        )
+        assert not d.applied
+        assert "cannot stream" in d.reason
+
+    def test_case1_skipped_with_no_host_traffic(self):
+        ks = {
+            "p": KernelSpec("p", 10.0, 10.0, streams_host_io=True),
+            "c": KernelSpec("c", 10.0, 10.0),
+        }
+        g = CommGraph(kernels=ks, kk_edges={("p", "c"): 10})
+        decisions = find_pipeline_opportunities(g, (), THETA, 0.0)
+        assert all(d.case is not PipelineCase.HOST_STREAM for d in decisions)
+
+    def test_case2_applied_on_kept_edge(self):
+        g = mk_graph(c_stream=True)
+        decisions = find_pipeline_opportunities(g, (("p", "c"),), THETA, 0.0)
+        d = next(d for d in decisions if d.case is PipelineCase.KERNEL_STREAM)
+        assert d.applied
+        assert (d.kernel, d.consumer) == ("p", "c")
+        assert d.delta_seconds == pytest.approx(sec(5000.0))
+
+    def test_case2_not_evaluated_on_unkept_edges(self):
+        g = mk_graph(c_stream=True)
+        decisions = find_pipeline_opportunities(g, (), THETA, 0.0)
+        assert all(d.case is not PipelineCase.KERNEL_STREAM for d in decisions)
+
+    def test_case2_rejected_when_consumer_cannot_stream(self):
+        g = mk_graph(c_stream=False)
+        decisions = find_pipeline_opportunities(g, (("p", "c"),), THETA, 0.0)
+        d = next(d for d in decisions if d.case is PipelineCase.KERNEL_STREAM)
+        assert not d.applied
+
+    def test_overhead_kills_marginal_gains(self):
+        g = mk_graph(p_host=True, c_stream=True)
+        decisions = find_pipeline_opportunities(g, (("p", "c"),), THETA, 1.0)
+        assert all(not d.applied for d in decisions)
+
+    def test_total_gain_sums_applied_only(self):
+        g = mk_graph(p_host=True, c_stream=True)
+        decisions = find_pipeline_opportunities(g, (("p", "c"),), THETA, 0.0)
+        total = total_pipeline_gain(decisions)
+        assert total == pytest.approx(
+            sum(d.delta_seconds for d in decisions if d.applied)
+        )
+        assert total > 0

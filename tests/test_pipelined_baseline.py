@@ -1,0 +1,83 @@
+"""Unit tests for the double-buffered (pipelined) baseline variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CommGraph, KernelSpec
+from repro.hw.resources import ResourceCost
+from repro.sim.systems import (
+    SystemParams,
+    simulate_baseline,
+    simulate_pipelined_baseline,
+)
+
+PARAMS = SystemParams()
+
+
+def chain(n=3, h_in=50_000, kk=50_000):
+    ks = {
+        f"k{i}": KernelSpec(
+            f"k{i}", 40_000.0, 400_000.0, resources=ResourceCost(10, 10)
+        )
+        for i in range(n)
+    }
+    edges = {(f"k{i}", f"k{i+1}"): kk for i in range(n - 1)}
+    return CommGraph(
+        kernels=ks,
+        kk_edges=edges,
+        host_in={"k0": h_in},
+        host_out={f"k{n-1}": h_in},
+    )
+
+
+class TestPipelinedBaseline:
+    def test_never_slower_than_sequential(self):
+        g = chain()
+        seq = simulate_baseline(g, 0.0, PARAMS)
+        pipe = simulate_pipelined_baseline(g, 0.0, PARAMS)
+        assert pipe.kernels_s <= seq.kernels_s * 1.001
+
+    def test_overlap_bounded_by_fetch_time(self):
+        """The saving cannot exceed the total input-fetch time."""
+        g = chain()
+        seq = simulate_baseline(g, 0.0, PARAMS)
+        pipe = simulate_pipelined_baseline(g, 0.0, PARAMS)
+        total_fetch = sum(g.d_in(k) for k in g.kernel_names()) * (
+            PARAMS.theta_s_per_byte() * 1.2
+        )
+        assert seq.kernels_s - pipe.kernels_s <= total_fetch
+
+    def test_single_kernel_no_gain(self):
+        """With one kernel there is nothing to prefetch behind."""
+        ks = {"solo": KernelSpec("solo", 40_000.0, 400_000.0)}
+        g = CommGraph(kernels=ks, host_in={"solo": 50_000},
+                      host_out={"solo": 50_000})
+        seq = simulate_baseline(g, 0.0, PARAMS)
+        pipe = simulate_pipelined_baseline(g, 0.0, PARAMS)
+        assert pipe.kernels_s == pytest.approx(seq.kernels_s, rel=0.01)
+
+    def test_moves_same_bytes(self):
+        g = chain()
+        seq = simulate_baseline(g, 0.0, PARAMS)
+        pipe = simulate_pipelined_baseline(g, 0.0, PARAMS)
+        assert pipe.extras["bus_bytes"] == seq.extras["bus_bytes"]
+
+    def test_spans_still_sequential_compute(self):
+        """Prefetch overlaps transfers, not kernel computations."""
+        from repro.sim.timeline import overlap_fraction
+
+        g = chain()
+        pipe = simulate_pipelined_baseline(g, 0.0, PARAMS)
+        assert overlap_fraction(pipe.kernel_spans) == 0.0
+
+    def test_gain_grows_with_fetch_share(self):
+        light = chain(h_in=5_000, kk=5_000)
+        heavy = chain(h_in=200_000, kk=200_000)
+
+        def gain(g):
+            seq = simulate_baseline(g, 0.0, PARAMS)
+            pipe = simulate_pipelined_baseline(g, 0.0, PARAMS)
+            return (seq.kernels_s - pipe.kernels_s) / seq.kernels_s
+
+        assert gain(heavy) > gain(light)

@@ -1,0 +1,59 @@
+"""Tests for plan mesh rendering and the profile reuse-factor metric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.profiling import ProfileEdge
+
+
+class TestMeshRendering:
+    def test_jpeg_mesh_grid(self, jpeg_result):
+        art = jpeg_result.plan.render_mesh()
+        lines = art.splitlines()
+        # 2x2 mesh: two router rows and one link row.
+        assert len(lines) == 3
+        assert lines[0].count("[") == 2
+        assert "|" in lines[1]
+        assert "M:dquantz" in art  # memory label prefix
+
+    def test_no_noc_renders_empty(self, all_results):
+        assert all_results["klt"].plan.render_mesh() == ""
+
+    def test_long_names_truncated(self, jpeg_result):
+        art = jpeg_result.plan.render_mesh()
+        for line in art.splitlines():
+            assert len(line) < 120
+
+    def test_describe_includes_grid(self, jpeg_result):
+        text = jpeg_result.plan.describe()
+        assert "]--[" in text or "]  [" in text
+
+
+class TestReuseFactor:
+    def test_streaming_edge_is_one(self):
+        e = ProfileEdge("a", "b", 100, 100)
+        assert e.reuse_factor == pytest.approx(1.0)
+
+    def test_reread_data_above_one(self):
+        e = ProfileEdge("a", "b", 300, 100)
+        assert e.reuse_factor == pytest.approx(3.0)
+
+    def test_zero_umas(self):
+        e = ProfileEdge("a", "b", 0, 0)
+        assert e.reuse_factor == 0.0
+
+    def test_klt_tracker_rereads_gradients(self, fitted_apps):
+        """Lucas-Kanade samples gradient windows repeatedly, so the
+        gradient edge's reuse factor must exceed pure streaming."""
+        profile = fitted_apps["klt"].app.profile()
+        edge = profile.edge("compute_gradients", "track_features")
+        assert edge is not None
+        assert edge.reuse_factor >= 1.0
+
+    def test_jpeg_pipeline_is_streaming(self, fitted_apps):
+        """The dequantizer reads each coefficient once."""
+        profile = fitted_apps["jpeg"].app.profile()
+        edge = profile.edge("dquantz_lum", "j_rev_dct")
+        assert edge.reuse_factor == pytest.approx(1.0)

@@ -1,0 +1,112 @@
+"""Tests for the portfolio pre-design assessment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CommGraph, KernelSpec
+from repro.explore.portfolio import (
+    PortfolioEntry,
+    assess,
+    portfolio_summary,
+    rank_portfolio,
+    render_portfolio,
+)
+
+THETA = 1.3e-9
+
+
+class TestBoundFormula:
+    def test_no_kernel_traffic_bound_is_one(self):
+        ks = {"a": KernelSpec("a", 10_000.0, 100_000.0)}
+        g = CommGraph(kernels=ks, host_in={"a": 10_000}, host_out={"a": 10_000})
+        entry = assess("solo", g, THETA)
+        assert entry.kk_traffic_share == 0.0
+        assert entry.comm_speedup_bound == pytest.approx(1.0)
+        assert not entry.worth_designing
+
+    def test_all_kernel_traffic_bound_is_one_plus_rho(self):
+        ks = {
+            "a": KernelSpec("a", 10_000.0, 100_000.0),
+            "b": KernelSpec("b", 10_000.0, 100_000.0),
+        }
+        g = CommGraph(kernels=ks, kk_edges={("a", "b"): 100_000})
+        entry = assess("pair", g, THETA)
+        assert entry.kk_traffic_share == pytest.approx(1.0)
+        assert entry.comm_speedup_bound == pytest.approx(
+            1.0 + entry.comm_comp_ratio
+        )
+
+    def test_bound_monotone_in_share(self):
+        def with_host(h):
+            ks = {
+                "a": KernelSpec("a", 10_000.0, 100_000.0),
+                "b": KernelSpec("b", 10_000.0, 100_000.0),
+            }
+            return assess(
+                "x",
+                CommGraph(
+                    kernels=ks,
+                    kk_edges={("a", "b"): 50_000},
+                    host_in={"a": h},
+                ),
+                THETA,
+            )
+
+        assert with_host(1_000).comm_speedup_bound > (
+            with_host(500_000).comm_speedup_bound
+        )
+
+
+class TestPaperPortfolio:
+    @pytest.fixture(scope="class")
+    def entries(self, request):
+        fitted = request.getfixturevalue("fitted_apps")
+        graphs = {name: f.graph for name, f in fitted.items()}
+        theta = next(iter(fitted.values())).theta_s_per_byte
+        return {e.app: e for e in portfolio_summary(graphs, theta)}
+
+    def test_all_paper_apps_worth_designing(self, entries):
+        for e in entries.values():
+            assert e.worth_designing, e.app
+
+    def test_bound_dominates_actual_speedup(self, entries, all_results):
+        """The comm-only bound must not be beaten except by the parallel
+        solutions (duplication/pipelining), which only jpeg and canny
+        use meaningfully."""
+        for name, r in all_results.items():
+            actual = r.proposed_vs_baseline.kernels
+            bound = entries[name].comm_speedup_bound
+            applied_parallel = any(d.applied for d in r.plan.duplications) or any(
+                p.applied for p in r.plan.pipeline
+            )
+            if not applied_parallel:
+                assert actual <= bound + 1e-6, name
+
+    def test_jpeg_ranked_first(self, entries):
+        ranked = rank_portfolio(list(entries.values()))
+        assert ranked[0].app == "jpeg"
+
+    def test_rank_matches_actual_order(self, entries, all_results):
+        ranked = [e.app for e in rank_portfolio(list(entries.values()))]
+        actual = sorted(
+            all_results,
+            key=lambda n: -all_results[n].proposed_vs_baseline.kernels,
+        )
+        # The bound ranks the extremes correctly.
+        assert ranked[0] == actual[0]
+        assert ranked[-1] in actual[-2:]
+
+    def test_render(self, entries):
+        text = render_portfolio(list(entries.values()))
+        assert "jpeg" in text
+        assert "bound" in text
+        assert "yes" in text
+
+
+class TestRanking:
+    def test_stable_order(self):
+        a = PortfolioEntry("a", 1.0, 0.5, "SM", 1.4)
+        b = PortfolioEntry("b", 1.0, 0.5, "SM", 1.4)
+        c = PortfolioEntry("c", 1.0, 0.9, "NoC", 2.0)
+        assert [e.app for e in rank_portfolio([b, c, a])] == ["c", "a", "b"]

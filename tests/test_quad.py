@@ -1,0 +1,120 @@
+"""Tests for the QUAD analyzer and communication profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.profiling import (
+    CommunicationProfile,
+    FunctionStats,
+    ProfileEdge,
+    QuadAnalyzer,
+    Tracer,
+)
+
+
+def make_profile():
+    edges = [
+        ProfileEdge("a", "b", 100, 80),
+        ProfileEdge("b", "c", 50, 50),
+        ProfileEdge("a", "c", 10, 10),
+        ProfileEdge("__entry__", "a", 30, 30),
+    ]
+    fns = [
+        FunctionStats("a", 1, 30, 110, 5.0),
+        FunctionStats("b", 1, 100, 50, 3.0),
+        FunctionStats("c", 2, 60, 0, 2.0),
+    ]
+    return CommunicationProfile(edges, fns)
+
+
+class TestProfileEdge:
+    def test_umas_cannot_exceed_bytes(self):
+        with pytest.raises(ProfilingError):
+            ProfileEdge("a", "b", 10, 11)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProfilingError):
+            ProfileEdge("a", "b", -1, 0)
+
+
+class TestCommunicationProfile:
+    def test_edges_sorted_heaviest_first(self):
+        p = make_profile()
+        assert [e.bytes for e in p.edges] == [100, 50, 30, 10]
+
+    def test_duplicate_edges_rejected(self):
+        with pytest.raises(ProfilingError):
+            CommunicationProfile(
+                [ProfileEdge("a", "b", 1, 1), ProfileEdge("a", "b", 2, 2)], []
+            )
+
+    def test_bytes_between(self):
+        p = make_profile()
+        assert p.bytes_between("a", "b") == 100
+        assert p.bytes_between("b", "a") == 0
+
+    def test_producers_and_consumers(self):
+        p = make_profile()
+        assert p.producers_of("c") == ("b", "a")
+        assert p.consumers_of("a") == ("b", "c")
+
+    def test_total_bytes(self):
+        assert make_profile().total_bytes() == 190
+
+    def test_function_lookup(self):
+        p = make_profile()
+        assert p.function("a").work == 5.0
+        with pytest.raises(ProfilingError):
+            p.function("zzz")
+
+    def test_collapse_merges_and_drops_self_edges(self):
+        p = make_profile()
+        g = p.collapse({"a": "grp", "b": "grp"})
+        # a->b became internal; a->c and b->c merged into grp->c.
+        assert g.bytes_between("grp", "c") == 60
+        assert g.bytes_between("grp", "grp") == 0
+        assert g.function("grp").work == 8.0
+
+    def test_restricted_to_folds_outside_into_host(self):
+        p = make_profile()
+        g = p.restricted_to(["b", "c"], "host")
+        assert g.bytes_between("host", "b") == 100
+        assert g.bytes_between("b", "c") == 50
+        assert g.entry_name == "host"
+
+    def test_restricted_keeps_entry_separate_when_included(self):
+        p = make_profile()
+        g = p.restricted_to(["__entry__", "a"], "host")
+        assert g.bytes_between("__entry__", "a") == 30
+
+
+class TestQuadAnalyzer:
+    def test_snapshot_from_tracer(self):
+        t = Tracer()
+        with t.context("p"):
+            t.record_store(0, 64)
+            t.add_work(9.0)
+        with t.context("c"):
+            t.record_load(0, 64)
+            t.record_load(0, 64)
+        profile = QuadAnalyzer(t).profile()
+        e = profile.edge("p", "c")
+        assert e is not None
+        assert e.bytes == 128
+        assert e.umas == 64
+        assert profile.function("p").work == 9.0
+        assert profile.function("c").bytes_loaded == 128
+
+    def test_snapshot_is_immutable_view(self):
+        t = Tracer()
+        with t.context("p"):
+            t.record_store(0, 8)
+        with t.context("c"):
+            t.record_load(0, 8)
+        profile = QuadAnalyzer(t).profile()
+        with t.context("c"):
+            t.record_load(0, 8)
+        # Original snapshot is unchanged by later tracing.
+        assert profile.edge("p", "c").bytes == 8

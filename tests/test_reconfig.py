@@ -1,0 +1,221 @@
+"""Tests for the runtime-reconfigurability extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ResourceBudgetError
+from repro.flow import to_deployment
+from repro.hw.device import Device
+from repro.hw.resources import ResourceCost
+from repro.reconfig import (
+    AppDeployment,
+    BitstreamModel,
+    IcapModel,
+    ReconfigurationScheduler,
+    Strategy,
+    WorkloadMix,
+    region_for,
+)
+from repro.reconfig.region import check_region_fits_device
+
+STATIC = ResourceCost(3248, 2988)  # platform base + bus
+
+
+def apps(*sizes):
+    return [
+        AppDeployment(f"a{i}", ResourceCost(luts, luts), exec_s)
+        for i, (luts, exec_s) in enumerate(sizes)
+    ]
+
+
+class TestBitstreamAndIcap:
+    def test_size_scales_with_area(self):
+        m = BitstreamModel()
+        small = m.size_bytes(ResourceCost(1000, 1000))
+        big = m.size_bytes(ResourceCost(10_000, 10_000))
+        assert big > 5 * small
+
+    def test_reconfig_time_millisecond_scale(self):
+        m = BitstreamModel()
+        icap = IcapModel()
+        t = icap.reconfig_seconds(m.size_bytes(ResourceCost(10_000, 10_000)))
+        assert 0.5e-3 < t < 20e-3
+
+    def test_invalid_constants(self):
+        with pytest.raises(ConfigurationError):
+            BitstreamModel(bytes_per_lut=0)
+        with pytest.raises(ConfigurationError):
+            IcapModel(bytes_per_second=0)
+        with pytest.raises(ConfigurationError):
+            IcapModel().reconfig_seconds(-5)
+
+
+class TestRegion:
+    def test_sized_for_largest_module(self):
+        region = region_for(
+            [ResourceCost(100, 400), ResourceCost(300, 200)], slack=1.0
+        )
+        assert region.area == ResourceCost(300, 400)
+
+    def test_slack_applied(self):
+        region = region_for([ResourceCost(100, 100)], slack=1.5)
+        assert region.area == ResourceCost(150, 150)
+
+    def test_fits_module(self):
+        region = region_for([ResourceCost(100, 100)], slack=1.2)
+        assert region.fits_module(ResourceCost(100, 100))
+        assert not region.fits_module(ResourceCost(200, 100))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            region_for([])
+        with pytest.raises(ConfigurationError):
+            region_for([ResourceCost(1, 1)], slack=0.9)
+
+    def test_device_check(self):
+        tiny = Device("tiny", 1000, 1000, 1)
+        region = region_for([ResourceCost(900, 900)], slack=1.0)
+        with pytest.raises(ResourceBudgetError):
+            check_region_fits_device(region, ResourceCost(500, 500), tiny)
+
+
+class TestWorkloadMix:
+    def test_round_robin(self):
+        mix = WorkloadMix.round_robin(["a", "b"], rounds=3)
+        assert mix.sequence == ("a", "b", "a", "b", "a", "b")
+        assert len(mix.switches()) == 5
+
+    def test_bursty(self):
+        mix = WorkloadMix.bursty([("a", 3), ("b", 2)])
+        assert mix.sequence == ("a", "a", "a", "b", "b")
+        assert len(mix.switches()) == 1
+
+    def test_counts(self):
+        mix = WorkloadMix.bursty([("a", 3), ("b", 2), ("a", 1)])
+        assert mix.counts() == {"a": 4, "b": 2}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadMix(())
+        with pytest.raises(ConfigurationError):
+            WorkloadMix.bursty([("a", 0)])
+
+
+class TestScheduler:
+    BIG = Device("big", 10**6, 10**6, 1)
+    SMALL = Device("small", 16_000, 16_000, 1)
+
+    def test_static_sums_modules(self):
+        sched = ReconfigurationScheduler(
+            apps((5000, 0.01), (4000, 0.02)), STATIC, device=self.BIG
+        )
+        mix = WorkloadMix.round_robin(["a0", "a1"], 2)
+        plan = sched.evaluate_static(mix)
+        assert plan.resources.luts == STATIC.luts + 9000
+        assert plan.reconfig_seconds == 0.0
+        assert plan.compute_seconds == pytest.approx(0.06)
+
+    def test_reconfig_counts_switches_plus_initial(self):
+        sched = ReconfigurationScheduler(
+            apps((5000, 0.01), (4000, 0.02)), STATIC, device=self.BIG
+        )
+        mix = WorkloadMix.round_robin(["a0", "a1"], 3)  # 5 switches
+        plan = sched.evaluate_reconfig(mix)
+        assert plan.reconfig_count == 6
+        assert plan.reconfig_seconds > 0
+
+    def test_bursty_mix_reconfigures_less(self):
+        sched = ReconfigurationScheduler(
+            apps((5000, 0.01), (4000, 0.02)), STATIC, device=self.BIG
+        )
+        alternating = WorkloadMix.round_robin(["a0", "a1"], 6)
+        bursty = WorkloadMix.bursty([("a0", 6), ("a1", 6)])
+        t_alt = sched.evaluate_reconfig(alternating)
+        t_burst = sched.evaluate_reconfig(bursty)
+        assert t_burst.reconfig_seconds < t_alt.reconfig_seconds
+        assert t_burst.compute_seconds == pytest.approx(t_alt.compute_seconds)
+
+    def test_static_infeasible_on_small_device(self):
+        sched = ReconfigurationScheduler(
+            apps((8000, 0.01), (8000, 0.01)), STATIC, device=self.SMALL
+        )
+        mix = WorkloadMix.round_robin(["a0", "a1"], 2)
+        assert not sched.evaluate_static(mix).feasible
+        assert sched.evaluate_reconfig(mix).feasible
+
+    def test_best_prefers_static_when_it_fits(self):
+        """With room to spare, zero switch cost wins."""
+        sched = ReconfigurationScheduler(
+            apps((5000, 0.001), (4000, 0.001)), STATIC, device=self.BIG
+        )
+        mix = WorkloadMix.round_robin(["a0", "a1"], 50)
+        assert sched.best(mix).strategy is Strategy.STATIC_ALL
+
+    def test_best_falls_back_to_reconfig_when_tight(self):
+        sched = ReconfigurationScheduler(
+            apps((8000, 0.05), (8000, 0.05)), STATIC, device=self.SMALL
+        )
+        mix = WorkloadMix.bursty([("a0", 10), ("a1", 10)])
+        best = sched.best(mix)
+        assert best.strategy in (Strategy.RECONFIG_SINGLE, Strategy.HYBRID_PINNED)
+        assert best.feasible
+
+    def test_hybrid_pins_hottest(self):
+        # Three apps, device fits static + one pinned + a region for two.
+        dev = Device("mid", 26_000, 26_000, 1)
+        sched = ReconfigurationScheduler(
+            apps((9000, 0.01), (6000, 0.01), (6000, 0.01)),
+            STATIC,
+            device=dev,
+        )
+        # a0 switched into most often.
+        mix = WorkloadMix(
+            ("a0", "a1", "a0", "a2", "a0", "a1", "a0", "a2", "a0")
+        )
+        plan = sched.evaluate_hybrid(mix)
+        assert plan.feasible
+        assert "a0" in plan.pinned
+        # Pinning the hot app beats reconfiguring everything.
+        assert plan.reconfig_seconds < sched.evaluate_reconfig(mix).reconfig_seconds
+
+    def test_no_feasible_strategy_raises(self):
+        nano = Device("nano", 4000, 4000, 1)
+        sched = ReconfigurationScheduler(
+            apps((8000, 0.01), (9000, 0.01)), STATIC, device=nano
+        )
+        with pytest.raises(ConfigurationError):
+            sched.best(WorkloadMix.round_robin(["a0", "a1"], 2))
+
+    def test_unknown_app_in_mix_rejected(self):
+        sched = ReconfigurationScheduler(
+            apps((1000, 0.01)), STATIC, device=self.BIG
+        )
+        with pytest.raises(ConfigurationError):
+            sched.evaluate_static(WorkloadMix(("ghost",)))
+
+    def test_duplicate_apps_rejected(self):
+        a = AppDeployment("x", ResourceCost(1, 1), 0.1)
+        with pytest.raises(ConfigurationError):
+            ReconfigurationScheduler([a, a], STATIC)
+
+
+class TestFlowAdapter:
+    def test_to_deployment_from_experiment(self, all_results):
+        dep = to_deployment(all_results["klt"])
+        assert dep.name == "klt"
+        # KLT's module: kernels + one crossbar.
+        est = all_results["klt"].synth_proposed
+        assert dep.module == est.kernels + est.custom_interconnect
+        assert dep.exec_seconds > 0
+
+    def test_paper_apps_schedulable(self, all_results):
+        deployments = [to_deployment(r) for r in all_results.values()]
+        sched = ReconfigurationScheduler(deployments, STATIC)
+        mix = WorkloadMix.round_robin([d.name for d in deployments], 4)
+        plans = sched.evaluate(mix)
+        assert all(p.feasible for p in plans.values())  # xc5vfx130t is big
+        best = sched.best(mix)
+        assert best.total_seconds <= min(
+            p.total_seconds for p in plans.values() if p.feasible
+        ) + 1e-12

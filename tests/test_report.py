@@ -1,0 +1,74 @@
+"""Tests for profile report rendering."""
+
+from __future__ import annotations
+
+from repro.profiling import (
+    CommunicationProfile,
+    FunctionStats,
+    ProfileEdge,
+    render_profile_graph,
+    render_profile_table,
+)
+from repro.profiling.report import render_dot
+
+
+def sample():
+    return CommunicationProfile(
+        [
+            ProfileEdge("host", "dec", 2048, 2000),
+            ProfileEdge("dec", "idct", 8192, 8192),
+            ProfileEdge("idct", "host", 4096, 4096),
+        ],
+        [FunctionStats(n, 1, 0, 0, 1.0) for n in ("host", "dec", "idct")],
+    )
+
+
+def test_table_contains_all_edges():
+    text = render_profile_table(sample())
+    assert "producer" in text
+    assert "dec" in text and "idct" in text
+    assert "8192" in text
+
+
+def test_table_limit():
+    text = render_profile_table(sample(), limit=1)
+    assert "8192" in text  # heaviest kept
+    assert "2048" not in text
+
+
+def test_table_empty():
+    empty = CommunicationProfile([], [])
+    assert "no inter-function" in render_profile_table(empty)
+
+
+def test_graph_adjacency_lists_consumers():
+    text = render_profile_graph(sample())
+    assert "dec" in text
+    assert "-> idct" in text
+    assert "UMAs" in text
+
+
+def test_graph_focus_filters_producers():
+    text = render_profile_graph(sample(), focus=["dec"])
+    assert text.startswith("dec")
+    assert "host\n" not in text
+
+
+def test_graph_empty():
+    empty = CommunicationProfile([], [])
+    assert "empty" in render_profile_graph(empty)
+
+
+def test_dot_output_is_valid_digraph():
+    dot = render_dot(sample(), name="g")
+    assert dot.startswith("digraph g {")
+    assert dot.rstrip().endswith("}")
+    assert '"dec" -> "idct"' in dot
+
+
+def test_byte_formatting_scales():
+    big = CommunicationProfile(
+        [ProfileEdge("a", "b", 50 * 1024 * 1024, 1024)],
+        [FunctionStats("a", 1, 0, 0, 1.0)],
+    )
+    assert "MiB" in render_profile_graph(big)

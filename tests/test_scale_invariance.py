@@ -1,0 +1,96 @@
+"""Scale robustness: design decisions must not depend on input size.
+
+The interconnect is synthesized once and then used for every input the
+application ever processes, so the *structure* the designer derives —
+which pairs share memory, who sits on the NoC, which kernel is
+duplicated — must be identical whether the profile came from a small or
+a large input. (Byte volumes scale; decisions must not.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import fit_application, get_application
+from repro.apps.registry import APP_NAMES
+from repro.core import DesignConfig, design_interconnect
+from repro.sim.systems import SystemParams
+
+THETA = SystemParams().theta_s_per_byte()
+
+
+def plan_at_scale(name: str, scale: int):
+    fitted = fit_application(get_application(name, scale=scale), THETA)
+    config = DesignConfig(
+        theta_s_per_byte=THETA, stream_overhead_s=fitted.stream_overhead_s
+    )
+    return fitted, design_interconnect(name, fitted.graph, config)
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+class TestScaleInvariance:
+    def test_solution_label_stable(self, name):
+        _, p1 = plan_at_scale(name, 1)
+        _, p2 = plan_at_scale(name, 2)
+        assert p1.solution_label() == p2.solution_label()
+
+    def test_sharing_pairs_stable(self, name):
+        _, p1 = plan_at_scale(name, 1)
+        _, p2 = plan_at_scale(name, 2)
+        assert {(l.producer, l.consumer) for l in p1.sharing} == {
+            (l.producer, l.consumer) for l in p2.sharing
+        }
+
+    def test_noc_membership_stable(self, name):
+        _, p1 = plan_at_scale(name, 1)
+        _, p2 = plan_at_scale(name, 2)
+        k1 = set(p1.noc.kernel_nodes) if p1.noc else set()
+        k2 = set(p2.noc.kernel_nodes) if p2.noc else set()
+        assert k1 == k2
+        m1 = set(p1.noc.memory_nodes) if p1.noc else set()
+        m2 = set(p2.noc.memory_nodes) if p2.noc else set()
+        assert m1 == m2
+
+    def test_duplication_choice_stable(self, name):
+        _, p1 = plan_at_scale(name, 1)
+        _, p2 = plan_at_scale(name, 2)
+        assert [d.kernel for d in p1.duplications if d.applied] == [
+            d.kernel for d in p2.duplications if d.applied
+        ]
+
+    def test_traffic_grows_with_scale(self, name):
+        f1, _ = plan_at_scale(name, 1)
+        f2, _ = plan_at_scale(name, 2)
+        assert f2.graph.total_kernel_traffic() > 1.5 * f1.graph.total_kernel_traffic()
+
+    def test_calibrated_ratio_unchanged(self, name):
+        """Calibration targets hold at any scale (ratios, not volumes)."""
+        from repro.core.analytic import AnalyticModel
+
+        f2, _ = plan_at_scale(name, 2)
+        model = AnalyticModel(f2.graph, THETA, f2.host_other_s)
+        from repro.apps.calibration import TARGETS
+
+        assert model.baseline().comm_comp_ratio == pytest.approx(
+            TARGETS[name].comm_comp_ratio, rel=1e-6
+        )
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_different_seed_same_structure(self, name):
+        """Random input data must not change the design either."""
+        f_a = fit_application(get_application(name, seed=2014), THETA)
+        f_b = fit_application(get_application(name, seed=999), THETA)
+        config_a = DesignConfig(
+            theta_s_per_byte=THETA, stream_overhead_s=f_a.stream_overhead_s
+        )
+        config_b = DesignConfig(
+            theta_s_per_byte=THETA, stream_overhead_s=f_b.stream_overhead_s
+        )
+        p_a = design_interconnect(name, f_a.graph, config_a)
+        p_b = design_interconnect(name, f_b.graph, config_b)
+        assert p_a.solution_label() == p_b.solution_label()
+        assert {(l.producer, l.consumer) for l in p_a.sharing} == {
+            (l.producer, l.consumer) for l in p_b.sharing
+        }

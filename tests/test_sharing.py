@@ -1,0 +1,127 @@
+"""Tests for the shared-local-memory solution (Alg. 1 lines 8-13)."""
+
+from __future__ import annotations
+
+from repro.core import CommGraph, KernelSpec, find_sharing_pairs
+from repro.core.sharing import is_exclusive_pair, residual_graph
+
+
+def mk(names, kk, host_in=None, host_out=None):
+    ks = {n: KernelSpec(n, 10.0, 10.0) for n in names}
+    return CommGraph(
+        kernels=ks, kk_edges=kk, host_in=host_in or {}, host_out=host_out or {}
+    )
+
+
+class TestExclusivePair:
+    def test_simple_exclusive_pair(self):
+        g = mk(["p", "c"], {("p", "c"): 100})
+        assert is_exclusive_pair(g, "p", "c")
+
+    def test_producer_with_two_consumers_not_exclusive(self):
+        g = mk(["p", "c", "d"], {("p", "c"): 100, ("p", "d"): 10})
+        assert not is_exclusive_pair(g, "p", "c")
+
+    def test_consumer_with_two_producers_not_exclusive(self):
+        g = mk(["p", "q", "c"], {("p", "c"): 100, ("q", "c"): 10})
+        assert not is_exclusive_pair(g, "p", "c")
+
+    def test_missing_edge_not_exclusive(self):
+        g = mk(["p", "c"], {})
+        assert not is_exclusive_pair(g, "p", "c")
+
+    def test_host_traffic_does_not_break_exclusivity(self):
+        # The condition is about D^K only (the paper's jpeg pair: the
+        # consumer also reads host data).
+        g = mk(
+            ["p", "c"],
+            {("p", "c"): 100},
+            host_in={"c": 500},
+            host_out={"c": 500},
+        )
+        assert is_exclusive_pair(g, "p", "c")
+
+
+class TestFindSharingPairs:
+    def test_single_pair_found(self):
+        g = mk(["p", "c"], {("p", "c"): 100})
+        links = find_sharing_pairs(g)
+        assert len(links) == 1
+        assert (links[0].producer, links[0].consumer) == ("p", "c")
+        assert links[0].bytes == 100
+
+    def test_crossbar_iff_consumer_has_host_traffic(self):
+        g1 = mk(["p", "c"], {("p", "c"): 100}, host_in={"c": 10})
+        assert find_sharing_pairs(g1)[0].crossbar
+        g2 = mk(["p", "c"], {("p", "c"): 100}, host_in={"p": 10})
+        assert not find_sharing_pairs(g2)[0].crossbar
+
+    def test_chain_pairs_only_once_per_kernel(self):
+        # a->b->c is two exclusive edges but b cannot share twice;
+        # the heaviest edge wins.
+        g = mk(["a", "b", "c"], {("a", "b"): 50, ("b", "c"): 100})
+        links = find_sharing_pairs(g)
+        assert len(links) == 1
+        assert (links[0].producer, links[0].consumer) == ("b", "c")
+
+    def test_two_disjoint_pairs(self):
+        g = mk(
+            ["a", "b", "c", "d"],
+            {("a", "b"): 10, ("c", "d"): 20},
+        )
+        links = find_sharing_pairs(g)
+        assert {(l.producer, l.consumer) for l in links} == {("a", "b"), ("c", "d")}
+
+    def test_fan_out_graph_has_no_pairs(self):
+        g = mk(
+            ["a", "b", "c"],
+            {("a", "b"): 10, ("a", "c"): 10},
+        )
+        assert find_sharing_pairs(g) == ()
+
+    def test_deterministic_order(self):
+        g = mk(
+            ["a", "b", "c", "d"],
+            {("a", "b"): 10, ("c", "d"): 10},
+        )
+        l1 = find_sharing_pairs(g)
+        l2 = find_sharing_pairs(g)
+        assert l1 == l2
+
+    def test_delta_c_formula(self):
+        g = mk(["p", "c"], {("p", "c"): 100})
+        link = find_sharing_pairs(g)[0]
+        theta = 2e-9
+        assert link.delta_c_seconds(theta) == 2 * 100 * theta
+
+
+class TestResidualGraph:
+    def test_satisfied_edges_removed(self):
+        g = mk(
+            ["a", "b", "c"],
+            {("a", "b"): 100, ("b", "c"): 5, ("a", "c"): 5},
+        )
+        links = find_sharing_pairs(g)
+        assert links == ()  # a sends to two consumers; b receives one but sends too
+
+        g2 = mk(["p", "c", "x"], {("p", "c"): 100, ("x", "p"): 7})
+        links = find_sharing_pairs(g2)
+        assert len(links) == 1
+        res = residual_graph(g2, links)
+        assert res.edge_bytes("p", "c") == 0
+        assert res.edge_bytes("x", "p") == 7
+
+    def test_jpeg_shape(self):
+        """The paper's jpeg structure: dq->idct shared, the rest on NoC."""
+        g = mk(
+            ["dc", "ac", "dq", "idct"],
+            {("dc", "dq"): 10, ("ac", "dq"): 100, ("dq", "idct"): 120},
+            host_in={"dc": 5, "ac": 20, "dq": 1, "idct": 1},
+            host_out={"idct": 60},
+        )
+        links = find_sharing_pairs(g)
+        assert len(links) == 1
+        assert (links[0].producer, links[0].consumer) == ("dq", "idct")
+        assert links[0].crossbar  # idct talks to the host
+        res = residual_graph(g, links)
+        assert set(res.kk_edges) == {("dc", "dq"), ("ac", "dq")}

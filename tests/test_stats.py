@@ -1,0 +1,81 @@
+"""Tests for the simulation statistics collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.stats import SimulationStats, collect_stats
+from repro.sim.systems import SystemParams, simulate_proposed
+
+
+@pytest.fixture(scope="module")
+def jpeg_run(request):
+    all_results = request.getfixturevalue("all_results")
+    r = all_results["jpeg"]
+    components = {}
+    times = simulate_proposed(
+        r.plan, r.fitted.host_other_s, SystemParams(), components_out=components
+    )
+    return times, components
+
+
+class TestCollect:
+    def test_bus_counters_match_component(self, jpeg_run):
+        times, components = jpeg_run
+        stats = collect_stats(times, bus=components["bus"], noc=components["noc"])
+        assert stats.bus_bytes == components["bus"].bytes_moved
+        assert stats.bus_transactions == components["bus"].transactions
+        assert stats.bus_transactions > 0
+
+    def test_noc_counters_match_component(self, jpeg_run):
+        times, components = jpeg_run
+        noc = components["noc"]
+        stats = collect_stats(times, bus=components["bus"], noc=noc)
+        assert stats.noc_bytes == times.noc_bytes
+        assert stats.noc_packets == noc.packets_delivered
+        assert sum(l.bytes_moved for l in stats.links) >= stats.noc_bytes
+
+    def test_busiest_link(self, jpeg_run):
+        times, components = jpeg_run
+        stats = collect_stats(times, noc=components["noc"])
+        busiest = stats.busiest_link
+        assert busiest is not None
+        assert busiest.bytes_moved == max(l.bytes_moved for l in stats.links)
+
+    def test_kernel_busy_matches_spans(self, jpeg_run):
+        times, _ = jpeg_run
+        stats = collect_stats(times)
+        for name, (start, end) in times.kernel_spans.items():
+            assert stats.kernel_busy[name] == pytest.approx(end - start)
+
+    def test_parallelism_above_one_for_duplicated_app(self, jpeg_run):
+        times, _ = jpeg_run
+        stats = collect_stats(times)
+        # jpeg's kernels overlap (duplication + dataflow), but kernels
+        # also idle while waiting for the bus, so just require > 0.
+        assert stats.parallelism() > 0
+
+    def test_render_mentions_key_quantities(self, jpeg_run):
+        times, components = jpeg_run
+        stats = collect_stats(times, bus=components["bus"], noc=components["noc"])
+        text = stats.render()
+        assert "makespan" in text
+        assert "bus" in text
+        assert "busiest link" in text
+        assert "parallelism" in text
+
+    def test_without_components_portable_subset(self, jpeg_run):
+        times, _ = jpeg_run
+        stats = collect_stats(times)
+        assert stats.bus_bytes == 0
+        assert stats.links == ()
+        assert stats.noc_bytes == times.noc_bytes
+
+    def test_zero_makespan_rejected(self):
+        stats = SimulationStats(
+            label="x", makespan_s=0.0, bus_bytes=0, bus_transactions=0,
+            bus_utilization=0.0, noc_bytes=0, noc_packets=0,
+        )
+        with pytest.raises(ConfigurationError):
+            stats.parallelism()

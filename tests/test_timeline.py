@@ -1,0 +1,84 @@
+"""Tests for the simulation timeline/Gantt rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.timeline import overlap_fraction, render_comparison, render_gantt
+
+
+class TestRenderGantt:
+    def test_basic_rendering(self):
+        text = render_gantt({"a": (0.0, 0.5), "b": (0.5, 1.0)}, width=20)
+        lines = text.splitlines()
+        assert lines[0].startswith("a |")
+        assert "#" in lines[0]
+        assert "ms" in lines[-1]
+
+    def test_rows_sorted_by_start(self):
+        text = render_gantt({"late": (0.6, 1.0), "early": (0.0, 0.4)})
+        assert text.index("early") < text.index("late")
+
+    def test_bar_positions_proportional(self):
+        text = render_gantt({"a": (0.0, 0.5), "b": (0.5, 1.0)}, width=20)
+        a_bar = text.splitlines()[0].split("|")[1]
+        b_bar = text.splitlines()[1].split("|")[1]
+        assert a_bar.strip("#") == " " * 10  # first half filled
+        assert b_bar.strip() == "#" * 10  # second half filled
+
+    def test_tiny_span_still_visible(self):
+        text = render_gantt({"blip": (0.5, 0.5000001), "big": (0.0, 1.0)})
+        blip_row = next(l for l in text.splitlines() if l.startswith("blip"))
+        assert "#" in blip_row
+
+    def test_empty(self):
+        assert render_gantt({}) == "(no spans)"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            render_gantt({"a": (1.0, 0.5)})
+        with pytest.raises(ConfigurationError):
+            render_gantt({"a": (0.0, 1.0)}, width=5)
+        with pytest.raises(ConfigurationError):
+            render_gantt({"a": (0.0, 0.0)})
+
+
+class TestOverlapFraction:
+    def test_sequential_is_zero(self):
+        assert overlap_fraction({"a": (0, 1), "b": (1, 2)}) == 0.0
+
+    def test_identical_spans_fully_overlapped(self):
+        assert overlap_fraction({"a": (0, 1), "b": (0, 1)}) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        # a: [0,2), b: [1,3): 2 of 4 busy units are in the overlap window.
+        frac = overlap_fraction({"a": (0, 2), "b": (1, 3)})
+        assert frac == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert overlap_fraction({}) == 0.0
+
+
+class TestSimulatedTimelines:
+    def test_baseline_spans_sequential(self, all_results):
+        base = all_results["jpeg"].sim_baseline
+        assert base.kernel_spans
+        assert overlap_fraction(base.kernel_spans) == 0.0
+
+    def test_proposed_spans_overlap_for_duplicated_apps(self, all_results):
+        prop = all_results["jpeg"].sim_proposed
+        # The two huff_ac_dec copies run concurrently.
+        assert overlap_fraction(prop.kernel_spans) > 0.1
+
+    def test_comparison_renders_both(self, all_results):
+        r = all_results["jpeg"]
+        text = render_comparison(r.sim_baseline, r.sim_proposed)
+        assert "baseline (makespan" in text
+        assert "proposed (makespan" in text
+        assert "huff_ac_dec#0" in text
+
+    def test_all_kernels_have_spans(self, all_results):
+        for r in all_results.values():
+            expected = set(r.plan.graph.kernel_names())
+            assert set(r.sim_proposed.kernel_spans) == expected

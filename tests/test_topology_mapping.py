@@ -1,0 +1,123 @@
+"""Tests for R/S classification and the adaptive mapping (Table I)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    CommGraph,
+    KernelSpec,
+    adaptive_map,
+    classify_receive,
+    classify_send,
+)
+from repro.core.mapping import ADAPTIVE_MAPPING, INFEASIBLE, needs_noc
+from repro.core.topology import (
+    KernelAttach,
+    MemoryAttach,
+    ReceiveClass,
+    SendClass,
+)
+
+
+def graph_for(host_in=0, host_out=0, k_in=0, k_out=0):
+    """A 3-kernel graph where kernel 'k' has the requested flows."""
+    ks = {n: KernelSpec(n, 10.0, 10.0) for n in ("k", "p", "c")}
+    kk = {}
+    if k_in:
+        kk[("p", "k")] = k_in
+    if k_out:
+        kk[("k", "c")] = k_out
+    return CommGraph(
+        kernels=ks,
+        kk_edges=kk,
+        host_in={"k": host_in} if host_in else {},
+        host_out={"k": host_out} if host_out else {},
+    )
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "host_in,k_in,expected",
+        [
+            (0, 10, ReceiveClass.R1),
+            (10, 0, ReceiveClass.R2),
+            (10, 10, ReceiveClass.R3),
+            (0, 0, ReceiveClass.R2),  # degenerate: host-invoked
+        ],
+    )
+    def test_receive(self, host_in, k_in, expected):
+        g = graph_for(host_in=host_in, k_in=k_in)
+        assert classify_receive(g, "k") is expected
+
+    @pytest.mark.parametrize(
+        "host_out,k_out,expected",
+        [
+            (0, 10, SendClass.S1),
+            (10, 0, SendClass.S2),
+            (10, 10, SendClass.S3),
+            (0, 0, SendClass.S2),  # degenerate: host collects
+        ],
+    )
+    def test_send(self, host_out, k_out, expected):
+        g = graph_for(host_out=host_out, k_out=k_out)
+        assert classify_send(g, "k") is expected
+
+
+class TestAdaptiveMapping:
+    def test_table_is_total_over_nine_cases(self):
+        cases = list(itertools.product(ReceiveClass, SendClass))
+        assert len(cases) == 9
+        for r, s in cases:
+            assert (r, s) in ADAPTIVE_MAPPING
+
+    def test_never_produces_infeasible_value(self):
+        for r, s in itertools.product(ReceiveClass, SendClass):
+            assert adaptive_map(r, s) != INFEASIBLE
+
+    # The exact Table I rows, verbatim from the paper.
+    @pytest.mark.parametrize(
+        "r,s,k,m",
+        [
+            (ReceiveClass.R1, SendClass.S1, KernelAttach.K2, MemoryAttach.M2),
+            (ReceiveClass.R1, SendClass.S2, KernelAttach.K1, MemoryAttach.M3),
+            (ReceiveClass.R3, SendClass.S2, KernelAttach.K1, MemoryAttach.M3),
+            (ReceiveClass.R1, SendClass.S3, KernelAttach.K2, MemoryAttach.M3),
+            (ReceiveClass.R3, SendClass.S1, KernelAttach.K2, MemoryAttach.M3),
+            (ReceiveClass.R3, SendClass.S3, KernelAttach.K2, MemoryAttach.M3),
+            (ReceiveClass.R2, SendClass.S1, KernelAttach.K2, MemoryAttach.M1),
+            (ReceiveClass.R2, SendClass.S3, KernelAttach.K2, MemoryAttach.M1),
+            (ReceiveClass.R2, SendClass.S2, KernelAttach.K1, MemoryAttach.M1),
+        ],
+    )
+    def test_table_rows(self, r, s, k, m):
+        assert adaptive_map(r, s) == (k, m)
+
+    def test_senders_always_get_noc_port(self):
+        """S1/S3 (sends to kernels) must imply K2 — output needs a path."""
+        for r in ReceiveClass:
+            for s in (SendClass.S1, SendClass.S3):
+                k, _ = adaptive_map(r, s)
+                assert k is KernelAttach.K2
+
+    def test_receivers_memory_reachable_from_noc(self):
+        """R1/R3 (receives from kernels) must imply M2 or M3."""
+        for r in (ReceiveClass.R1, ReceiveClass.R3):
+            for s in SendClass:
+                _, m = adaptive_map(r, s)
+                assert m in (MemoryAttach.M2, MemoryAttach.M3)
+
+    def test_host_touched_memory_reachable_from_bus(self):
+        """Host input (R2/R3) or output (S2/S3) implies M1 or M3."""
+        for r, s in itertools.product(ReceiveClass, SendClass):
+            if r is ReceiveClass.R1 and s is SendClass.S1:
+                continue  # pure kernel-to-kernel case: bus not needed
+            _, m = adaptive_map(r, s)
+            assert m in (MemoryAttach.M1, MemoryAttach.M3)
+
+    def test_needs_noc(self):
+        assert not needs_noc(ReceiveClass.R2, SendClass.S2)
+        assert needs_noc(ReceiveClass.R1, SendClass.S2)
+        assert needs_noc(ReceiveClass.R2, SendClass.S1)

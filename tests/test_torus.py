@@ -1,0 +1,172 @@
+"""Tests for the torus-topology extension."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CommGraph, DesignConfig, KernelSpec, design_interconnect
+from repro.core.placement import MeshPlacement, place_on_mesh
+from repro.errors import ConfigurationError, DesignError
+from repro.sim.engine import Engine
+from repro.sim.noc import NocMesh, NocParams
+from repro.sim.noc.routing import torus_distance, torus_xy_route, xy_route
+from repro.sim.systems import SystemParams, simulate_proposed
+
+THETA = 1.3e-9
+
+
+class TestTorusRouting:
+    def test_wraparound_is_shorter(self):
+        # (0,0) -> (3,0) on a 4-wide torus: one hop backwards.
+        path = torus_xy_route((0, 0), (3, 0), 4, 4)
+        assert path == [((0, 0), (3, 0))]
+
+    def test_forward_when_shorter(self):
+        path = torus_xy_route((0, 0), (1, 0), 4, 4)
+        assert path == [((0, 0), (1, 0))]
+
+    def test_tie_goes_forward(self):
+        # Distance 2 both ways on a 4-ring: forward wins.
+        path = torus_xy_route((0, 0), (2, 0), 4, 1)
+        assert path[0] == ((0, 0), (1, 0))
+
+    def test_same_node(self):
+        assert torus_xy_route((1, 1), (1, 1), 4, 4) == []
+
+    def test_route_length_is_torus_distance(self):
+        for src in [(0, 0), (3, 1), (2, 3)]:
+            for dst in [(0, 3), (1, 0), (3, 3)]:
+                path = torus_xy_route(src, dst, 4, 4)
+                assert len(path) == torus_distance(src, dst, 4, 4)
+
+    def test_never_longer_than_mesh(self):
+        for src in [(0, 0), (2, 1)]:
+            for dst in [(3, 3), (0, 2)]:
+                assert len(torus_xy_route(src, dst, 4, 4)) <= len(
+                    xy_route(src, dst)
+                )
+
+    def test_out_of_range_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            torus_xy_route((5, 0), (0, 0), 4, 4)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    sx=st.integers(0, 4), sy=st.integers(0, 3),
+    dx=st.integers(0, 4), dy=st.integers(0, 3),
+)
+def test_torus_route_reaches_destination(sx, sy, dx, dy):
+    path = torus_xy_route((sx, sy), (dx, dy), 5, 4)
+    pos = (sx, sy)
+    for a, b in path:
+        assert a == pos
+        # Neighbours on the torus: differ by 1 (mod size) in one dim.
+        ddx = min(abs(a[0] - b[0]), 5 - abs(a[0] - b[0]))
+        ddy = min(abs(a[1] - b[1]), 4 - abs(a[1] - b[1]))
+        assert ddx + ddy == 1
+        pos = b
+    assert pos == (dx, dy)
+    assert len(path) <= (5 // 2) + (4 // 2)
+
+
+class TestTorusMesh:
+    def test_torus_has_more_links(self):
+        mesh = NocMesh(Engine(), NocParams(width=4, height=4))
+        torus = NocMesh(Engine(), NocParams(width=4, height=4, topology="torus"))
+        assert len(torus.links) > len(mesh.links)
+        # 2 directed links per node per dimension on a full torus.
+        assert len(torus.links) == 2 * 2 * 16
+
+    def test_wrap_link_transport(self):
+        engine = Engine()
+        torus = NocMesh(engine, NocParams(width=4, height=1, topology="torus"))
+
+        def proc():
+            yield from torus.send((0, 0), (3, 0), 256)
+
+        engine.process(proc())
+        engine.run()
+        wrap = torus.links[((0, 0), (3, 0))]
+        assert wrap.bytes_moved == 256
+
+    def test_torus_faster_for_corner_traffic(self):
+        params_m = NocParams(width=4, height=4)
+        params_t = NocParams(width=4, height=4, topology="torus")
+        mesh = NocMesh(Engine(), params_m)
+        torus = NocMesh(Engine(), params_t)
+        t_mesh = mesh.transfer_seconds((0, 0), (3, 3), 4096)
+        t_torus = torus.transfer_seconds((0, 0), (3, 3), 4096)
+        assert t_torus < t_mesh
+
+    def test_no_wrap_links_on_two_wide(self):
+        """A 2-ring's wrap link would duplicate the existing one."""
+        torus = NocMesh(Engine(), NocParams(width=2, height=1, topology="torus"))
+        assert len(torus.links) == 2
+
+    def test_invalid_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NocParams(width=2, height=2, topology="hypercube")
+
+
+class TestTorusPlacement:
+    def test_distance_wraps(self):
+        p = MeshPlacement(4, 1, {"a": (0, 0), "b": (3, 0)}, torus=True)
+        assert p.distance("a", "b") == 1
+        q = MeshPlacement(4, 1, {"a": (0, 0), "b": (3, 0)}, torus=False)
+        assert q.distance("a", "b") == 3
+
+    def test_place_on_torus_never_worse(self):
+        nodes = [f"n{i}" for i in range(6)]
+        edges = {("n0", "n5"): 10.0, ("n1", "n4"): 5.0, ("n2", "n3"): 1.0}
+        mesh_p = place_on_mesh(nodes, edges)
+        torus_p = place_on_mesh(nodes, edges, torus=True)
+        assert torus_p.weighted_cost(edges) <= mesh_p.weighted_cost(edges)
+
+
+def fan_graph(n=6):
+    """One producer feeding n-1 consumers (stresses placement)."""
+    ks = {f"k{i}": KernelSpec(f"k{i}", 10_000.0, 100_000.0) for i in range(n)}
+    edges = {(f"k0", f"k{i}"): 20_000 for i in range(1, n)}
+    extra = {(f"k{i}", f"k{(i % (n - 1)) + 1}") for i in range(1, n)}
+    for p, c in extra:
+        if p != c and (p, c) not in edges:
+            edges[(p, c)] = 5_000
+    return CommGraph(kernels=ks, kk_edges=edges, host_in={"k0": 1_000})
+
+
+class TestTorusDesign:
+    def test_designer_produces_torus_plan(self):
+        config = DesignConfig(
+            theta_s_per_byte=THETA, stream_overhead_s=0.0, noc_topology="torus"
+        )
+        plan = design_interconnect("fan", fan_graph(), config)
+        assert plan.noc is not None
+        assert plan.noc.placement.torus
+
+    def test_invalid_topology_rejected(self):
+        with pytest.raises(DesignError):
+            DesignConfig(theta_s_per_byte=THETA, noc_topology="ring")
+
+    def test_torus_simulation_runs(self):
+        config = DesignConfig(
+            theta_s_per_byte=THETA, stream_overhead_s=0.0, noc_topology="torus"
+        )
+        plan = design_interconnect("fan", fan_graph(), config)
+        sim = simulate_proposed(plan, 0.0, SystemParams())
+        assert sim.kernels_s > 0
+        assert sim.noc_bytes == sum(b for _, _, b in plan.noc.edges)
+
+    def test_torus_roundtrips_through_json(self):
+        from repro.io import plan_from_dict, plan_to_dict
+
+        config = DesignConfig(
+            theta_s_per_byte=THETA, stream_overhead_s=0.0, noc_topology="torus"
+        )
+        plan = design_interconnect("fan", fan_graph(), config)
+        back = plan_from_dict(plan_to_dict(plan))
+        assert back.noc.placement.torus

@@ -1,0 +1,196 @@
+"""Tests for the memory tracer and its QUAD semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TracerStateError
+from repro.profiling import Tracer
+
+
+class TestContexts:
+    def test_default_context_is_entry(self):
+        t = Tracer()
+        assert t.current == Tracer.ENTRY
+
+    def test_nested_contexts(self):
+        t = Tracer()
+        with t.context("f"):
+            assert t.current == "f"
+            with t.context("g"):
+                assert t.current == "g"
+            assert t.current == "f"
+        assert t.current == Tracer.ENTRY
+
+    def test_invalid_context_name_rejected(self):
+        t = Tracer()
+        with pytest.raises(TracerStateError):
+            with t.context(""):
+                pass
+        with pytest.raises(TracerStateError):
+            with t.context(Tracer.ENTRY):
+                pass
+
+    def test_calls_counted(self):
+        t = Tracer()
+        for _ in range(3):
+            with t.context("f"):
+                pass
+        calls, *_ = t.function_counters("f")
+        assert calls == 3
+
+
+class TestProducerConsumer:
+    def test_basic_edge(self):
+        t = Tracer()
+        with t.context("producer"):
+            t.record_store(0, 100)
+        with t.context("consumer"):
+            t.record_load(0, 100)
+        assert t.edge_bytes("producer", "consumer") == 100
+        assert t.edge_umas("producer", "consumer") == 100
+
+    def test_unwritten_bytes_attributed_to_entry(self):
+        t = Tracer()
+        with t.context("consumer"):
+            t.record_load(0, 50)
+        assert t.edge_bytes(Tracer.ENTRY, "consumer") == 50
+
+    def test_partial_overlap_splits_attribution(self):
+        t = Tracer()
+        with t.context("p1"):
+            t.record_store(0, 10)
+        with t.context("p2"):
+            t.record_store(10, 20)
+        with t.context("c"):
+            t.record_load(5, 15)
+        assert t.edge_bytes("p1", "c") == 5
+        assert t.edge_bytes("p2", "c") == 5
+
+    def test_gap_in_middle_goes_to_entry(self):
+        t = Tracer()
+        with t.context("p"):
+            t.record_store(0, 4)
+            t.record_store(8, 12)
+        with t.context("c"):
+            t.record_load(0, 12)
+        assert t.edge_bytes("p", "c") == 8
+        assert t.edge_bytes(Tracer.ENTRY, "c") == 4
+
+    def test_self_reads_not_counted(self):
+        t = Tracer()
+        with t.context("f"):
+            t.record_store(0, 10)
+            t.record_load(0, 10)
+        assert t.edge_bytes("f", "f") == 0
+        assert t.edges() == {}
+
+    def test_overwrite_changes_producer(self):
+        t = Tracer()
+        with t.context("p1"):
+            t.record_store(0, 10)
+        with t.context("p2"):
+            t.record_store(0, 10)
+        with t.context("c"):
+            t.record_load(0, 10)
+        assert t.edge_bytes("p1", "c") == 0
+        assert t.edge_bytes("p2", "c") == 10
+
+    def test_repeated_reads_count_bytes_but_not_umas(self):
+        """QUAD: bytes count per transfer, UMAs count unique addresses."""
+        t = Tracer()
+        with t.context("p"):
+            t.record_store(0, 100)
+        with t.context("c"):
+            t.record_load(0, 100)
+            t.record_load(0, 100)
+        assert t.edge_bytes("p", "c") == 200
+        assert t.edge_umas("p", "c") == 100
+
+    def test_last_writer_of(self):
+        t = Tracer()
+        assert t.last_writer_of(5) is None
+        with t.context("p"):
+            t.record_store(0, 10)
+        assert t.last_writer_of(5) == "p"
+
+    def test_pause_suppresses_recording(self):
+        t = Tracer()
+        with t.context("p"):
+            with t.paused():
+                t.record_store(0, 10)
+        with t.context("c"):
+            t.record_load(0, 10)
+        assert t.edge_bytes("p", "c") == 0
+        assert t.edge_bytes(Tracer.ENTRY, "c") == 10
+
+
+class TestCounters:
+    def test_load_store_byte_counters(self):
+        t = Tracer()
+        with t.context("f"):
+            t.record_store(0, 30)
+            t.record_load(100, 110)
+        _, loaded, stored, _ = t.function_counters("f")
+        assert loaded == 10
+        assert stored == 30
+
+    def test_work_charged_to_current_context(self):
+        t = Tracer()
+        with t.context("f"):
+            t.add_work(5.0)
+            t.add_work(2.5)
+        assert t.function_counters("f")[3] == 7.5
+
+    def test_work_ignored_when_nonpositive(self):
+        t = Tracer()
+        with t.context("f"):
+            t.add_work(0.0)
+            t.add_work(-3.0)
+        assert t.function_counters("f")[3] == 0.0
+
+    def test_unknown_function_counters_zero(self):
+        t = Tracer()
+        assert t.function_counters("nope") == (0, 0, 0, 0.0)
+
+
+# A random schedule of stores/loads must match a naive byte-level model.
+_events = st.lists(
+    st.tuples(
+        st.sampled_from(["f", "g", "h"]),
+        st.booleans(),  # True = store
+        st.integers(0, 120),
+        st.integers(0, 30),
+    ),
+    max_size=50,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(events=_events)
+def test_tracer_matches_naive_byte_model(events):
+    t = Tracer()
+    owner = {}  # addr -> function
+    ref_edges = {}
+    for func, is_store, lo, length in events:
+        hi = lo + length
+        with t.context(func):
+            if is_store:
+                t.record_store(lo, hi)
+                for a in range(lo, hi):
+                    owner[a] = func
+            else:
+                t.record_load(lo, hi)
+                for a in range(lo, hi):
+                    p = owner.get(a, Tracer.ENTRY)
+                    if p != func:
+                        key = (p, func)
+                        b, u = ref_edges.get(key, (0, set()))
+                        u = u or set()
+                        u.add(a)
+                        ref_edges[key] = (b + 1, u)
+    got = t.edges()
+    expected = {k: (b, len(u)) for k, (b, u) in ref_edges.items()}
+    assert got == expected

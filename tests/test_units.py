@@ -1,0 +1,60 @@
+"""Tests for units and clock conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    Clock,
+    HOST_CLOCK,
+    KERNEL_CLOCK,
+    as_megabytes,
+    mhz,
+    percent_saving,
+    speedup,
+)
+
+
+class TestClock:
+    def test_roundtrip(self):
+        clk = Clock(100e6)
+        assert clk.seconds_to_cycles(clk.cycles_to_seconds(12345)) == pytest.approx(
+            12345
+        )
+
+    def test_period(self):
+        assert Clock(100e6).period_s == pytest.approx(10e-9)
+
+    def test_rescale(self):
+        # 100 kernel cycles = 400 host cycles.
+        assert KERNEL_CLOCK.rescale(100, HOST_CLOCK) == pytest.approx(400)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ConfigurationError):
+            Clock(0)
+        with pytest.raises(ConfigurationError):
+            Clock(-5)
+
+    def test_paper_frequencies(self):
+        assert HOST_CLOCK.freq_hz == 400e6
+        assert KERNEL_CLOCK.freq_hz == 100e6
+
+
+class TestHelpers:
+    def test_mhz(self):
+        assert mhz(150) == 150e6
+
+    def test_as_megabytes(self):
+        assert as_megabytes(2 * 1024 * 1024) == pytest.approx(2.0)
+
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            speedup(10.0, 0.0)
+
+    def test_percent_saving(self):
+        assert percent_saving(10.0, 4.0) == pytest.approx(60.0)
+        assert percent_saving(10.0, 10.0) == pytest.approx(0.0)
+        with pytest.raises(ConfigurationError):
+            percent_saving(0.0, 1.0)

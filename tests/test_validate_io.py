@@ -1,0 +1,188 @@
+"""Tests for plan validation and JSON serialization."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import CommGraph, DesignConfig, KernelSpec, design_interconnect
+from repro.core.plan import InterconnectPlan, KernelMapping
+from repro.core.sharing import SharedMemoryLink
+from repro.core.topology import KernelAttach, MemoryAttach, ReceiveClass, SendClass
+from repro.core.validate import check_plan, validate_plan
+from repro.errors import ConfigurationError, DesignError
+from repro.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_json,
+    plan_from_dict,
+    plan_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    save_json,
+)
+
+THETA = 1.3e-9
+
+
+def sample_graph():
+    ks = {
+        "p": KernelSpec("p", 10_000.0, 80_000.0, streams_host_io=True),
+        "c": KernelSpec("c", 20_000.0, 160_000.0, parallelizable=True),
+        "d": KernelSpec("d", 5_000.0, 40_000.0),
+    }
+    return CommGraph(
+        kernels=ks,
+        kk_edges={("p", "c"): 1000, ("p", "d"): 500, ("c", "d"): 800},
+        host_in={"p": 2000},
+        host_out={"d": 3000},
+    )
+
+
+def sample_plan():
+    return design_interconnect(
+        "sample", sample_graph(),
+        DesignConfig(theta_s_per_byte=THETA, stream_overhead_s=1e-6),
+    )
+
+
+class TestValidate:
+    def test_designer_plans_are_valid(self, all_results):
+        for r in all_results.values():
+            assert validate_plan(r.plan) == []
+            assert validate_plan(r.noc_only_plan) == []
+            check_plan(r.plan)  # does not raise
+
+    def test_fuzz_style_plan_valid(self):
+        assert validate_plan(sample_plan()) == []
+
+    def test_infeasible_mapping_detected(self):
+        plan = sample_plan()
+        bad = dict(plan.mappings)
+        name = next(iter(bad))
+        bad[name] = KernelMapping(
+            kernel=name,
+            receive=ReceiveClass.R1,
+            send=SendClass.S2,
+            attach_kernel=KernelAttach.K1,
+            attach_memory=MemoryAttach.M2,
+        )
+        broken = dataclasses.replace(plan, mappings=bad)
+        problems = validate_plan(broken)
+        assert any("infeasible" in p for p in problems)
+        with pytest.raises(DesignError):
+            check_plan(broken)
+
+    def test_non_exclusive_sharing_detected(self):
+        plan = sample_plan()
+        # p sends to several consumers, so p->d cannot be a sharing pair.
+        broken = dataclasses.replace(
+            plan,
+            sharing=(SharedMemoryLink("p", "d", 500, crossbar=True),),
+        )
+        problems = validate_plan(broken)
+        assert any("not an exclusive pair" in p for p in problems)
+
+    def test_missing_crossbar_detected(self):
+        ks = {
+            "a": KernelSpec("a", 10.0, 10.0),
+            "b": KernelSpec("b", 10.0, 10.0),
+        }
+        g = CommGraph(kernels=ks, kk_edges={("a", "b"): 100},
+                      host_out={"b": 50})
+        plan = design_interconnect(
+            "x", g, DesignConfig(theta_s_per_byte=THETA)
+        )
+        assert validate_plan(plan) == []
+        broken = dataclasses.replace(
+            plan,
+            sharing=(SharedMemoryLink("a", "b", 100, crossbar=False),),
+        )
+        assert any("no crossbar" in p for p in validate_plan(broken))
+
+    def test_uncovered_edge_detected(self):
+        plan = sample_plan()
+        assert plan.noc is not None
+        chopped = dataclasses.replace(
+            plan.noc, edges=plan.noc.edges[:-1]
+        )
+        broken = dataclasses.replace(plan, noc=chopped)
+        assert any("neither shared memory nor NoC" in p
+                   for p in validate_plan(broken))
+
+
+class TestProfileRoundTrip:
+    def test_roundtrip(self, fitted_apps):
+        profile = fitted_apps["jpeg"].app.profile()
+        data = profile_to_dict(profile)
+        back = profile_from_dict(data)
+        assert {(e.producer, e.consumer, e.bytes, e.umas) for e in back.edges} == {
+            (e.producer, e.consumer, e.bytes, e.umas) for e in profile.edges
+        }
+        assert back.entry_name == profile.entry_name
+        for f in profile.functions:
+            assert back.function(f.name).work == f.work
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            profile_from_dict({"kind": "plan", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ConfigurationError):
+            profile_from_dict({"kind": "profile", "version": 99})
+
+
+class TestGraphRoundTrip:
+    def test_roundtrip(self):
+        g = sample_graph()
+        back = graph_from_dict(graph_to_dict(g))
+        assert back.kk_edges == g.kk_edges
+        assert dict(back.host_in) == dict(g.host_in)
+        for k in g.kernel_names():
+            assert back.kernel(k) == g.kernel(k)
+
+    def test_tampered_graph_rejected_by_constructor(self):
+        data = graph_to_dict(sample_graph())
+        data["kk_edges"][0]["producer"] = "ghost"
+        with pytest.raises(DesignError):
+            graph_from_dict(data)
+
+
+class TestPlanRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        plan = sample_plan()
+        back = plan_from_dict(plan_to_dict(plan))
+        assert back.app == plan.app
+        assert back.sharing == plan.sharing
+        assert back.duplications == plan.duplications
+        assert back.pipeline == plan.pipeline
+        assert back.mappings == dict(plan.mappings)
+        assert back.noc.placement.positions == plan.noc.placement.positions
+        assert back.noc.edges == plan.noc.edges
+        assert back.component_counts() == plan.component_counts()
+        assert back.solution_label() == plan.solution_label()
+
+    def test_roundtripped_plan_validates(self):
+        plan = sample_plan()
+        assert validate_plan(plan_from_dict(plan_to_dict(plan))) == []
+
+    def test_roundtrip_paper_plans(self, all_results):
+        for r in all_results.values():
+            back = plan_from_dict(plan_to_dict(r.plan))
+            assert back.solution_label() == r.plan.solution_label()
+            assert back.component_counts() == r.plan.component_counts()
+
+    def test_plan_without_noc(self, all_results):
+        plan = all_results["klt"].plan
+        back = plan_from_dict(plan_to_dict(plan))
+        assert back.noc is None
+
+
+class TestFileHelpers:
+    def test_save_and_load(self, tmp_path):
+        plan = sample_plan()
+        path = tmp_path / "plan.json"
+        save_json(plan_to_dict(plan), path)
+        back = plan_from_dict(load_json(path))
+        assert back.solution_label() == plan.solution_label()

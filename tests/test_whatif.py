@@ -1,0 +1,138 @@
+"""Tests for the what-if analysis API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CommGraph, DesignConfig, KernelSpec
+from repro.core.whatif import WhatIf
+from repro.errors import DesignError
+
+THETA = 1.3e-9
+
+
+def mk_whatif():
+    ks = {
+        "a": KernelSpec("a", 100_000.0, 1_600_000.0),
+        "b": KernelSpec("b", 50_000.0, 800_000.0),
+        "c": KernelSpec("c", 25_000.0, 400_000.0),
+    }
+    graph = CommGraph(
+        kernels=ks,
+        kk_edges={("a", "b"): 40_000, ("b", "c"): 20_000, ("a", "c"): 5_000},
+        host_in={"a": 30_000},
+        host_out={"c": 20_000},
+    )
+    config = DesignConfig(theta_s_per_byte=THETA, stream_overhead_s=0.0)
+    return WhatIf("t", graph, config)
+
+
+class TestKernelSpeed:
+    def test_faster_kernel_reduces_time(self):
+        w = mk_whatif()
+        out = w.kernel_speed("a", 2.0)
+        assert out.relative_time < 1.0
+        assert out.kernels_seconds < w.reference_seconds
+
+    def test_slower_kernel_increases_time(self):
+        w = mk_whatif()
+        out = w.kernel_speed("a", 0.5)
+        assert out.relative_time > 1.0
+
+    def test_invalid_factor(self):
+        with pytest.raises(DesignError):
+            mk_whatif().kernel_speed("a", 0.0)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(DesignError):
+            mk_whatif().kernel_speed("zz", 2.0)
+
+    def test_reference_untouched(self):
+        w = mk_whatif()
+        before = w.reference_seconds
+        w.kernel_speed("a", 4.0)
+        assert w.reference_seconds == before
+
+
+class TestEdgeVolume:
+    def test_bigger_edge_costs_nothing_when_hidden(self):
+        """Kernel-to-kernel traffic is hidden by the custom
+        interconnect, so growing a covered edge barely moves the
+        analytic proposed time (it still inflates the baseline)."""
+        w = mk_whatif()
+        out = w.edge_volume("a", "b", 4.0)
+        assert out.relative_time == pytest.approx(1.0, abs=0.05)
+        assert out.baseline_seconds > w._reference[2]
+
+    def test_missing_edge_rejected(self):
+        with pytest.raises(DesignError):
+            mk_whatif().edge_volume("c", "a", 2.0)
+
+
+class TestBusSpeed:
+    def test_faster_bus_shrinks_proposed_time(self):
+        w = mk_whatif()
+        out = w.bus_speed(4.0)
+        assert out.relative_time < 1.0
+
+    def test_faster_bus_shrinks_advantage(self):
+        w = mk_whatif()
+        out = w.bus_speed(10.0)
+        ref_speedup = (
+            w._reference[2] / w.reference_seconds
+        )
+        assert out.speedup_vs_baseline < ref_speedup
+
+
+class TestDropKernel:
+    def test_drop_folds_traffic_to_host(self):
+        w = mk_whatif()
+        out = w.drop_kernel("b")
+        assert "b" not in out.plan.graph.kernel_names()
+        # a->b and b->c became host traffic; a->c remains kernel-kernel.
+        assert out.plan.graph.edge_bytes("a", "c") == 5_000
+
+    def test_drop_can_change_solution(self):
+        w = mk_whatif()
+        out = w.drop_kernel("b")
+        # With only the exclusive a->c pair left, the NoC disappears.
+        assert out.new_solution != out.reference_solution
+        assert out.solution_changed
+
+    def test_cannot_drop_unknown_or_last(self):
+        w = mk_whatif()
+        with pytest.raises(DesignError):
+            w.drop_kernel("zz")
+        ks = {"solo": KernelSpec("solo", 10.0, 10.0)}
+        solo = WhatIf(
+            "s",
+            CommGraph(kernels=ks, host_in={"solo": 10}),
+            DesignConfig(theta_s_per_byte=THETA),
+        )
+        with pytest.raises(DesignError):
+            solo.drop_kernel("solo")
+
+
+class TestSensitivity:
+    def test_ranks_biggest_kernel_first(self):
+        w = mk_whatif()
+        sens = w.sensitivity(2.0)
+        # Speeding up the largest kernel helps most (lowest ratio).
+        assert min(sens, key=sens.get) == "a"
+        assert all(v <= 1.0 + 1e-9 for v in sens.values())
+
+    def test_paper_app_sensitivity(self, all_results):
+        r = all_results["jpeg"]
+        w = WhatIf(
+            "jpeg",
+            r.fitted.graph,
+            DesignConfig(
+                theta_s_per_byte=r.fitted.theta_s_per_byte,
+                stream_overhead_s=r.fitted.stream_overhead_s,
+            ),
+            host_other_s=r.fitted.host_other_s,
+        )
+        sens = w.sensitivity(2.0)
+        # The duplicated hot kernel dominates jpeg's sensitivity.
+        hottest = min(sens, key=sens.get)
+        assert hottest.startswith("huff_ac_dec")
