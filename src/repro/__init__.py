@@ -17,6 +17,9 @@ Public API tour
 * The paper's applications: :func:`~repro.apps.get_application`.
 * The end-to-end flow: :func:`~repro.flow.run_experiment`,
   :func:`~repro.flow.run_all`.
+* High-volume execution: :class:`~repro.service.DesignService` and
+  :class:`~repro.service.DesignJob` (cached, parallel, coalescing);
+  :func:`~repro.sweep.run_sweep` runs parameter grids through it.
 
 Quickstart::
 
@@ -31,6 +34,7 @@ from .errors import (
     DesignError,
     ProfilingError,
     ReproError,
+    ServiceError,
     SimulationError,
 )
 from .core import (
@@ -42,7 +46,8 @@ from .core import (
     design_interconnect,
 )
 from .apps import get_application
-from .flow import ExperimentResult, run_all, run_experiment
+from .flow import ExperimentResult, result_summary, run_all, run_experiment
+from .service import DesignJob, DesignService
 
 __version__ = "1.0.0"
 
@@ -52,6 +57,7 @@ __all__ = [
     "DesignError",
     "SimulationError",
     "ConfigurationError",
+    "ServiceError",
     "KernelSpec",
     "CommGraph",
     "DesignConfig",
@@ -62,5 +68,8 @@ __all__ = [
     "run_experiment",
     "run_all",
     "ExperimentResult",
+    "result_summary",
+    "DesignJob",
+    "DesignService",
     "__version__",
 ]

@@ -9,6 +9,8 @@
 * ``report`` — regenerate every paper table/figure in one go;
 * ``simulate <app>`` — run the discrete-event simulation and show the
   baseline-vs-proposed Gantt comparison;
+* ``sweep`` — evaluate a parameter grid through the design service
+  (``--jobs`` workers, ``--cache-dir`` result reuse, ``--stats``);
 * ``apps`` — list the available applications.
 """
 
@@ -76,6 +78,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", type=str, default=None,
                    help="also write the report to this file")
     sub.add_parser("apps", help="list available applications")
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a parameter sweep through the design service (CSV out)",
+    )
+    p.add_argument("--apps", type=str, default=",".join(APP_NAMES),
+                   help="comma-separated applications (default: all)")
+    p.add_argument("--scales", type=str, default="1",
+                   help="comma-separated workload scales")
+    p.add_argument("--param", action="append", default=[], metavar="NAME=V1,V2",
+                   help="SystemParams field to sweep (repeatable)")
+    p.add_argument("--simulate", action="store_true",
+                   help="also run discrete-event simulation per point")
+    p.add_argument("--seed", type=int, default=2014, help="workload RNG seed")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel worker processes (1 = in-process serial)")
+    p.add_argument("--cache-dir", type=str, default=None,
+                   help="persist results here and reuse them across runs")
+    p.add_argument("--stats", action="store_true",
+                   help="print service metrics (cache hit ratio, latency)")
+    p.add_argument("--output", type=str, default=None,
+                   help="write the CSV here instead of stdout")
 
     p = sub.add_parser("pareto", help="time/area Pareto front of designer configs")
     _add_app_argument(p)
@@ -181,6 +205,54 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_param_value(text: str):
+    """Best-effort scalar parsing for ``--param`` values."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .service import DesignService
+    from .sweep import SweepGrid, run_sweep, to_csv
+
+    param_grid = {}
+    for spec in args.param:
+        name, sep, values = spec.partition("=")
+        if not sep or not values:
+            raise ConfigurationError(
+                f"--param expects NAME=V1,V2,... got {spec!r}"
+            )
+        param_grid[name] = [_parse_param_value(v) for v in values.split(",")]
+    grid = SweepGrid(
+        apps=[a for a in args.apps.split(",") if a],
+        scales=[int(s) for s in args.scales.split(",") if s],
+        param_grid=param_grid,
+        simulate=args.simulate,
+        seed=args.seed,
+    )
+    service = DesignService(jobs=args.jobs, cache_dir=args.cache_dir)
+    points = run_sweep(grid, service=service)
+    text = to_csv(points, args.output)
+    if args.output is None:
+        # CSV on stdout; keep metrics off it so piping stays clean.
+        print(text, end="")
+        if args.stats:
+            print(service.render_stats(), file=sys.stderr)
+    else:
+        print(f"wrote {len(points)} sweep points to {args.output}")
+        if args.stats:
+            print(service.render_stats())
+    return 0
+
+
 def cmd_apps(_args: argparse.Namespace) -> int:
     for name in APP_NAMES:
         app = get_application(name)
@@ -261,6 +333,7 @@ _COMMANDS = {
     "design": cmd_design,
     "simulate": cmd_simulate,
     "report": cmd_report,
+    "sweep": cmd_sweep,
     "apps": cmd_apps,
     "pareto": cmd_pareto,
     "reconfig": cmd_reconfig,

@@ -51,3 +51,32 @@ class DeadlockError(SimulationError):
 
 class ConfigurationError(ReproError):
     """Raised for invalid model or system configuration parameters."""
+
+
+class ServiceError(ReproError):
+    """Raised by the design-service layer (:mod:`repro.service`)."""
+
+
+class CacheError(ServiceError):
+    """Raised on unusable result-cache state (bad directory, corrupt
+    entry that cannot even be discarded)."""
+
+
+class JobExecutionError(ServiceError):
+    """A design job failed after exhausting its retry budget.
+
+    Carries enough context for callers to report or re-submit:
+    ``fingerprint`` of the failing job, the number of ``attempts`` made,
+    and the ``last_error`` message from the final attempt.
+    """
+
+    def __init__(self, message: str, *, fingerprint: str = "",
+                 attempts: int = 0, last_error: str = "") -> None:
+        super().__init__(message)
+        self.fingerprint = fingerprint
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class JobTimeoutError(JobExecutionError):
+    """A design job exceeded the executor's per-job timeout."""

@@ -18,8 +18,8 @@ benchmark harness calls.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from .apps import fit_application, get_application
 from .apps.calibration import FittedApplication
@@ -27,6 +27,7 @@ from .apps.registry import APP_NAMES
 from .core.analytic import AnalyticModel, SpeedupPair, SystemTimes
 from .core.designer import DesignConfig, design_interconnect
 from .core.plan import InterconnectPlan
+from .errors import ConfigurationError
 from .hw.energy import EnergyModel, EnergyReport, compare_energy
 from .hw.synthesis import SynthesisEstimate, estimate_baseline, estimate_system
 from .sim.systems import (
@@ -36,6 +37,20 @@ from .sim.systems import (
     simulate_proposed,
     simulate_software,
 )
+
+#: :class:`DesignConfig` fields callers may override per experiment.
+#: ``theta_s_per_byte`` and ``stream_overhead_s`` are excluded — they
+#: are calibrated from the platform/application, not free knobs.
+DESIGN_TOGGLE_FIELDS = frozenset({
+    "enable_duplication",
+    "enable_sharing",
+    "enable_noc",
+    "enable_adaptive_mapping",
+    "enable_pipelining",
+    "noc_topology",
+    "utilization_cap",
+    "max_duplications",
+})
 
 
 @dataclass(frozen=True)
@@ -90,8 +105,14 @@ def run_experiment(
     params: SystemParams = SystemParams(),
     energy_model: EnergyModel = EnergyModel(),
     simulate: bool = True,
+    design_overrides: Optional[Mapping[str, Any]] = None,
 ) -> ExperimentResult:
-    """Full paper methodology for one application."""
+    """Full paper methodology for one application.
+
+    ``design_overrides`` optionally replaces :class:`DesignConfig`
+    toggles (any field in :data:`DESIGN_TOGGLE_FIELDS`); the calibrated
+    ``θ`` and stream overhead are never overridable.
+    """
     app = get_application(name, scale=scale, seed=seed)
     theta = params.theta_s_per_byte()
     fitted = fit_application(app, theta)
@@ -100,6 +121,14 @@ def run_experiment(
         theta_s_per_byte=theta,
         stream_overhead_s=fitted.stream_overhead_s,
     )
+    if design_overrides:
+        unknown = set(design_overrides) - DESIGN_TOGGLE_FIELDS
+        if unknown:
+            raise ConfigurationError(
+                f"unknown design toggles: {sorted(unknown)} "
+                f"(allowed: {sorted(DESIGN_TOGGLE_FIELDS)})"
+            )
+        config = replace(config, **dict(design_overrides))
     plan = design_interconnect(name, fitted.graph, config)
     noc_only_plan = design_interconnect(
         f"{name}-noc-only", fitted.graph, config.noc_only()
@@ -159,6 +188,51 @@ def run_experiment(
         synth_noc_only=synth_noc,
         energy=energy,
     )
+
+
+#: Canonical column order of :func:`result_summary` — consumers that
+#: rebuild rows from JSON (where key order is lost) re-impose this so
+#: CSV output is byte-stable across fresh, cached, and pooled execution.
+SUMMARY_FIELDS = (
+    "solution",
+    "baseline_kernels_ms",
+    "proposed_kernels_ms",
+    "speedup_app",
+    "speedup_kernels",
+    "comm_comp_ratio",
+    "proposed_luts",
+    "noc_only_luts",
+    "energy_saving_pct",
+    "sim_speedup_app",
+    "sim_speedup_kernels",
+)
+
+
+def result_summary(result: ExperimentResult) -> Dict[str, Any]:
+    """Flatten an :class:`ExperimentResult` into one JSON/CSV-safe dict.
+
+    This is the shared summary shape: :meth:`repro.sweep.SweepPoint.record`
+    appends it to the grid coordinates, and the service layer caches it
+    as the canonical job result (a full :class:`ExperimentResult` does
+    not survive a JSON round-trip; this summary does, bit-exactly).
+    """
+    r = result
+    row: Dict[str, Any] = {
+        "solution": r.plan.solution_label(),
+        "baseline_kernels_ms": r.analytic_baseline.kernels_s * 1e3,
+        "proposed_kernels_ms": r.analytic_proposed.kernels_s * 1e3,
+        "speedup_app": r.proposed_vs_baseline.application,
+        "speedup_kernels": r.proposed_vs_baseline.kernels,
+        "comm_comp_ratio": r.analytic_baseline.comm_comp_ratio,
+        "proposed_luts": r.synth_proposed.total.luts,
+        "noc_only_luts": r.synth_noc_only.total.luts,
+        "energy_saving_pct": r.energy.saving_percent,
+    }
+    if r.sim_proposed is not None and r.sim_baseline is not None:
+        app_s, kern_s = r.sim_proposed.speedup_over(r.sim_baseline)
+        row["sim_speedup_app"] = app_s
+        row["sim_speedup_kernels"] = kern_s
+    return row
 
 
 def to_deployment(result: ExperimentResult) -> "AppDeployment":

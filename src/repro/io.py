@@ -49,6 +49,27 @@ def _check_version(data: Dict[str, Any], kind: str) -> None:
         )
 
 
+def validate_document(data: Dict[str, Any], kind: str) -> None:
+    """Check a serialized artifact's ``kind``/``version`` envelope.
+
+    Raises :class:`~repro.errors.ConfigurationError` on mismatch — the
+    service cache uses this to invalidate stale on-disk entries when
+    :data:`FORMAT_VERSION` moves.
+    """
+    _check_version(data, kind)
+
+
+def canonical_json(data: Dict[str, Any]) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace).
+
+    This is the byte stream content-addressed fingerprints hash over, so
+    it must stay stable across Python versions and dict insertion order.
+    """
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
 # -- profiles ---------------------------------------------------------------
 
 

@@ -1,0 +1,36 @@
+"""Design-service layer: cached, parallel experiment execution.
+
+Turns the one-shot :func:`repro.flow.run_experiment` flow into a
+throughput-oriented engine for high-volume studies:
+
+* :class:`DesignJob` — immutable, content-addressed job spec;
+* :class:`ResultCache` — two-tier (LRU + on-disk JSON) result cache;
+* :class:`JobRunner` / :class:`ExecutorConfig` — parallel execution
+  with timeout, retry, and serial fallback;
+* :class:`MetricsRegistry` — counters and latency percentiles;
+* :class:`DesignService` — the facade (``submit`` / ``submit_many`` /
+  ``stats``) that :func:`repro.sweep.run_sweep` and the ``repro sweep``
+  CLI execute through.
+"""
+
+from .api import DesignService, JobResult
+from .cache import CacheStats, ResultCache
+from .executor import ExecutorConfig, JobOutcome, JobRunner, execute_job, run_job_summary
+from .jobs import DesignJob, job_for_point
+from .metrics import MetricsRegistry, percentile
+
+__all__ = [
+    "CacheStats",
+    "DesignJob",
+    "DesignService",
+    "ExecutorConfig",
+    "JobOutcome",
+    "JobResult",
+    "JobRunner",
+    "MetricsRegistry",
+    "ResultCache",
+    "execute_job",
+    "job_for_point",
+    "percentile",
+    "run_job_summary",
+]

@@ -1,0 +1,159 @@
+"""The design-service facade: cached, coalesced, parallel job execution.
+
+:class:`DesignService` is the throughput-oriented front door to the
+experiment flow. Callers describe work as immutable
+:class:`~repro.service.jobs.DesignJob` specs; the service
+
+* answers repeated jobs from the two-tier result cache,
+* coalesces duplicate jobs inside one ``submit_many`` batch so each
+  distinct fingerprint is computed exactly once,
+* fans the remaining distinct jobs out over the parallel
+  :class:`~repro.service.executor.JobRunner`,
+* and keeps counters/latency metrics for ``stats()``.
+
+The unit of result is the flat :func:`repro.flow.result_summary` dict;
+serial in-process execution additionally carries the full
+:class:`~repro.flow.ExperimentResult` through (``JobResult.result``)
+for callers — like the default sweep path — that want the rich object.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..errors import JobExecutionError
+from ..flow import ExperimentResult
+from .cache import ResultCache
+from .executor import ExecutorConfig, JobRunner
+from .jobs import DesignJob
+from .metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """One job's outcome as served to the caller."""
+
+    job: DesignJob
+    fingerprint: str
+    summary: Dict[str, Any]
+    #: Served from the result cache (no computation this call).
+    cached: bool = False
+    #: Deduplicated against an identical job earlier in the same batch.
+    coalesced: bool = False
+    attempts: int = 0
+    duration_s: float = 0.0
+    #: Full result object; ``None`` for cached/pool-computed jobs.
+    result: Optional[ExperimentResult] = None
+
+
+class DesignService:
+    """Facade tying jobs, cache, executor, and metrics together."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        cache_dir: Optional[Union[str, pathlib.Path]] = None,
+        executor_config: Optional[ExecutorConfig] = None,
+        runner: Optional[Callable[[DesignJob], Dict[str, Any]]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if executor_config is None:
+            executor_config = ExecutorConfig(jobs=jobs)
+        self.cache = cache if cache is not None else ResultCache(cache_dir=cache_dir)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._runner = JobRunner(executor_config, runner=runner)
+
+    def submit(self, job: DesignJob) -> JobResult:
+        """Execute (or serve from cache) one job."""
+        return self.submit_many([job])[0]
+
+    def submit_many(self, jobs: Sequence[DesignJob]) -> List[JobResult]:
+        """Execute a batch; output order matches input order.
+
+        Duplicate jobs (same fingerprint) are computed once; cache hits
+        are served without touching the executor. Raises
+        :class:`~repro.errors.JobExecutionError` if any job exhausts its
+        retry budget.
+        """
+        jobs = list(jobs)
+        self.metrics.incr("jobs_submitted", len(jobs))
+        fingerprints = [job.fingerprint() for job in jobs]
+
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        to_run: List[int] = []  # index of the first occurrence per fingerprint
+        first_seen: Dict[str, int] = {}
+        for i, (job, fp) in enumerate(zip(jobs, fingerprints)):
+            if fp in first_seen:
+                self.metrics.incr("jobs_coalesced")
+                continue  # resolved after the batch from the first occurrence
+            cached = self.cache.get(fp)
+            if cached is not None:
+                results[i] = JobResult(
+                    job=job, fingerprint=fp, summary=cached, cached=True
+                )
+                first_seen[fp] = i
+                continue
+            first_seen[fp] = i
+            to_run.append(i)
+
+        try:
+            outcomes = self._runner.run([jobs[i] for i in to_run])
+        except JobExecutionError:
+            self.metrics.incr("jobs_failed")
+            raise
+        if self._runner.last_mode == "serial" and to_run:
+            self.metrics.incr("serial_batches")
+
+        for i, outcome in zip(to_run, outcomes):
+            fp = fingerprints[i]
+            self.cache.put(fp, outcome.summary)
+            self.metrics.incr("jobs_completed")
+            self.metrics.incr("job_attempts", outcome.attempts)
+            self.metrics.observe("job_latency", outcome.duration_s)
+            results[i] = JobResult(
+                job=jobs[i],
+                fingerprint=fp,
+                summary=outcome.summary,
+                attempts=outcome.attempts,
+                duration_s=outcome.duration_s,
+                result=outcome.result,
+            )
+
+        # Resolve coalesced duplicates from their representative.
+        for i, fp in enumerate(fingerprints):
+            if results[i] is None:
+                rep = results[first_seen[fp]]
+                assert rep is not None
+                results[i] = JobResult(
+                    job=jobs[i],
+                    fingerprint=fp,
+                    summary=rep.summary,
+                    cached=rep.cached,
+                    coalesced=True,
+                    result=rep.result,
+                )
+        return [r for r in results if r is not None]
+
+    # -- observability -----------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Structured snapshot: metrics registry + cache accounting."""
+        snap = self.metrics.snapshot()
+        snap["cache"] = self.cache.stats.as_dict()
+        snap["last_mode"] = self._runner.last_mode
+        return snap
+
+    def render_stats(self) -> str:
+        """Text snapshot for CLI ``--stats`` output."""
+        cache = self.cache.stats
+        extra = (
+            ("cache_hits", cache.hits),
+            ("cache_misses", cache.misses),
+            ("cache_evictions", cache.evictions),
+            ("cache_invalidations", cache.invalidations),
+            ("cache_hit_ratio", cache.hit_ratio),
+            ("execution_mode", self._runner.last_mode),
+        )
+        return self.metrics.render(extra)

@@ -1,0 +1,156 @@
+"""Two-tier result cache keyed by job fingerprint.
+
+Tier 1 is an in-process LRU (bounded, eviction-counted); tier 2 is an
+optional on-disk JSON store (one ``<fingerprint>.json`` file per entry,
+written through :func:`repro.io.save_json` so entries carry the standard
+``kind``/``version`` envelope). Disk entries from an older
+:data:`repro.io.FORMAT_VERSION` — or corrupt/mismatched files — are
+treated as misses, counted as invalidations, and deleted.
+
+The cached value is the flat :func:`repro.flow.result_summary` dict: it
+round-trips through JSON bit-exactly (floats included), which is what
+lets a cache-served sweep produce byte-identical CSV to a fresh run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
+
+from .. import io as reproio
+from ..errors import CacheError
+
+#: Document kind stamped into on-disk cache entries.
+RESULT_KIND = "design-result"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for one :class:`ResultCache`."""
+
+    hits_memory: int = 0
+    hits_disk: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.hits_memory + self.hits_disk
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits / lookups; 0.0 before any lookup."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits_memory": self.hits_memory,
+            "hits_disk": self.hits_disk,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+class ResultCache:
+    """LRU memory tier over an optional JSON directory tier."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        cache_dir: Optional[Union[str, pathlib.Path]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise CacheError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.cache_dir: Optional[pathlib.Path] = None
+        if cache_dir is not None:
+            self.cache_dir = pathlib.Path(cache_dir)
+            try:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise CacheError(
+                    f"cannot create cache directory {self.cache_dir}: {exc}"
+                ) from exc
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _disk_path(self, fingerprint: str) -> pathlib.Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{fingerprint}.json"
+
+    def _load_disk(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """Read one disk entry; invalidate anything unusable."""
+        if self.cache_dir is None:
+            return None
+        path = self._disk_path(fingerprint)
+        if not path.exists():
+            return None
+        try:
+            doc = reproio.load_json(path)
+            reproio.validate_document(doc, RESULT_KIND)
+            if doc.get("fingerprint") != fingerprint:
+                raise CacheError(f"fingerprint mismatch in {path.name}")
+            return doc["summary"]
+        except Exception:
+            # Stale format version, truncated write, hand-edited file —
+            # all the same to us: drop it and recompute.
+            self.stats.invalidations += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """Look up a result summary; ``None`` on miss."""
+        if fingerprint in self._memory:
+            self._memory.move_to_end(fingerprint)
+            self.stats.hits_memory += 1
+            return self._memory[fingerprint]
+        summary = self._load_disk(fingerprint)
+        if summary is not None:
+            self.stats.hits_disk += 1
+            self._remember(fingerprint, summary)
+            return summary
+        self.stats.misses += 1
+        return None
+
+    def put(self, fingerprint: str, summary: Dict[str, Any]) -> None:
+        """Store a result summary in both tiers."""
+        self.stats.stores += 1
+        self._remember(fingerprint, summary)
+        if self.cache_dir is not None:
+            reproio.save_json(
+                {
+                    "kind": RESULT_KIND,
+                    "version": reproio.FORMAT_VERSION,
+                    "fingerprint": fingerprint,
+                    "summary": summary,
+                },
+                self._disk_path(fingerprint),
+            )
+
+    def _remember(self, fingerprint: str, summary: Dict[str, Any]) -> None:
+        self._memory[fingerprint] = summary
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier (disk entries survive)."""
+        self._memory.clear()

@@ -1,0 +1,204 @@
+"""Parallel job execution with timeout, retry, and serial fallback.
+
+The profile→design→simulate pipeline is CPU-bound pure Python, so
+process-level parallelism is the only kind that helps; :class:`JobRunner`
+drives a :class:`concurrent.futures.ProcessPoolExecutor` when more than
+one worker is requested and the platform can actually fork one, and
+degrades gracefully to in-process serial execution otherwise (no pool
+support, single worker, or an injected runner that cannot be pickled).
+
+Failure policy: each job gets ``1 + retries`` attempts with exponential
+backoff between rounds; a job that exhausts its budget raises
+:class:`~repro.errors.JobExecutionError` (or the
+:class:`~repro.errors.JobTimeoutError` subclass when the last attempt
+exceeded the per-job timeout). Timeouts are enforced only in pool mode —
+a serial in-process attempt cannot be preempted.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import JobExecutionError, JobTimeoutError
+from ..flow import ExperimentResult, result_summary, run_experiment
+from .jobs import DesignJob
+
+
+def execute_job(job: DesignJob) -> Tuple[ExperimentResult, Dict[str, Any]]:
+    """Run one job in-process; returns the full result and its summary."""
+    result = run_experiment(
+        job.app,
+        scale=job.scale,
+        seed=job.seed,
+        params=job.params,
+        simulate=job.simulate,
+        design_overrides=job.design_overrides or None,
+    )
+    return result, result_summary(result)
+
+
+def run_job_summary(job: DesignJob) -> Dict[str, Any]:
+    """Pool-friendly entry point: summary only (JSON/pickle-safe)."""
+    return execute_job(job)[1]
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Knobs of the job runner."""
+
+    jobs: int = 1
+    #: Per-job wall-clock limit, pool mode only; ``None`` disables.
+    timeout_s: Optional[float] = None
+    #: Re-attempts after the first failure (total attempts = retries + 1).
+    retries: int = 2
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    force_serial: bool = False
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        return self.backoff_s * (self.backoff_factor ** (attempt - 1))
+
+
+@dataclass
+class JobOutcome:
+    """What one successfully executed job produced."""
+
+    job: DesignJob
+    summary: Dict[str, Any]
+    #: Full result, only available from in-process (serial) execution.
+    result: Optional[ExperimentResult]
+    attempts: int
+    duration_s: float
+
+
+class JobRunner:
+    """Executes batches of :class:`DesignJob`, parallel when possible."""
+
+    def __init__(
+        self,
+        config: ExecutorConfig = ExecutorConfig(),
+        runner: Optional[Callable[[DesignJob], Dict[str, Any]]] = None,
+    ) -> None:
+        self.config = config
+        self._runner = runner
+        #: "parallel" or "serial" — how the last batch actually ran.
+        self.last_mode: str = "serial"
+
+    def run(self, jobs: Sequence[DesignJob]) -> List[JobOutcome]:
+        """Execute all jobs; preserves input order in the output."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        pool = self._make_pool()
+        if pool is None:
+            self.last_mode = "serial"
+            return [self._run_serial(job) for job in jobs]
+        self.last_mode = "parallel"
+        try:
+            return self._run_pool(pool, jobs)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- serial -----------------------------------------------------------
+    def _make_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self.config.jobs <= 1 or self.config.force_serial:
+            return None
+        if self._runner is not None and not _is_picklable(self._runner):
+            return None
+        try:
+            return ProcessPoolExecutor(max_workers=self.config.jobs)
+        except (OSError, ValueError, NotImplementedError, ImportError):
+            return None
+
+    def _run_serial(self, job: DesignJob) -> JobOutcome:
+        last_error = ""
+        for attempt in range(1, self.config.retries + 2):
+            start = time.perf_counter()
+            try:
+                if self._runner is not None:
+                    summary = self._runner(job)
+                    result = None
+                else:
+                    result, summary = execute_job(job)
+                return JobOutcome(
+                    job=job,
+                    summary=summary,
+                    result=result,
+                    attempts=attempt,
+                    duration_s=time.perf_counter() - start,
+                )
+            except Exception as exc:
+                last_error = str(exc) or type(exc).__name__
+                if attempt <= self.config.retries:
+                    time.sleep(self.config.backoff_for(attempt))
+        raise JobExecutionError(
+            f"job {job.app} failed after {self.config.retries + 1} attempts: "
+            f"{last_error}",
+            fingerprint=job.fingerprint(),
+            attempts=self.config.retries + 1,
+            last_error=last_error,
+        )
+
+    # -- parallel ---------------------------------------------------------
+    def _run_pool(
+        self, pool: ProcessPoolExecutor, jobs: List[DesignJob]
+    ) -> List[JobOutcome]:
+        func = self._runner if self._runner is not None else run_job_summary
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+        attempts = [0] * len(jobs)
+        pending = list(range(len(jobs)))
+        while pending:
+            futures = {}
+            starts = {}
+            for i in pending:
+                attempts[i] += 1
+                starts[i] = time.perf_counter()
+                futures[i] = pool.submit(func, jobs[i])
+            failed: List[Tuple[int, str, bool]] = []
+            for i in pending:
+                try:
+                    summary = futures[i].result(timeout=self.config.timeout_s)
+                    outcomes[i] = JobOutcome(
+                        job=jobs[i],
+                        summary=summary,
+                        result=None,
+                        attempts=attempts[i],
+                        duration_s=time.perf_counter() - starts[i],
+                    )
+                except FutureTimeout:
+                    futures[i].cancel()
+                    failed.append(
+                        (i, f"timed out after {self.config.timeout_s}s", True)
+                    )
+                except Exception as exc:
+                    failed.append((i, str(exc) or type(exc).__name__, False))
+            pending = []
+            for i, message, timed_out in failed:
+                if attempts[i] > self.config.retries:
+                    cls = JobTimeoutError if timed_out else JobExecutionError
+                    raise cls(
+                        f"job {jobs[i].app} failed after {attempts[i]} "
+                        f"attempts: {message}",
+                        fingerprint=jobs[i].fingerprint(),
+                        attempts=attempts[i],
+                        last_error=message,
+                    )
+                pending.append(i)
+            if pending:
+                time.sleep(self.config.backoff_for(max(attempts[i] for i in pending)))
+        return [o for o in outcomes if o is not None]
+
+
+def _is_picklable(obj: Any) -> bool:
+    import pickle
+
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False

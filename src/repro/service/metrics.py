@@ -1,0 +1,82 @@
+"""Lightweight counters/timers for the design service.
+
+No external metrics stack: a registry of named monotonic counters and
+named timers (observation lists), with nearest-rank percentiles and a
+plain-text snapshot renderer for ``repro sweep --stats``-style output.
+Everything is in-process and deterministic — timers record whatever the
+caller observed, the registry never reads the clock itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class MetricsRegistry:
+    """Named counters and latency timers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._timers: Dict[str, List[float]] = {}
+
+    # -- counters -----------------------------------------------------------
+    def incr(self, name: str, by: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + by
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    # -- timers -------------------------------------------------------------
+    def observe(self, name: str, seconds: float) -> None:
+        self._timers.setdefault(name, []).append(seconds)
+
+    def timer_stats(self, name: str) -> Dict[str, float]:
+        obs = self._timers.get(name, [])
+        if not obs:
+            return {"count": 0, "mean_s": 0.0, "p50_s": 0.0, "p95_s": 0.0}
+        return {
+            "count": len(obs),
+            "mean_s": sum(obs) / len(obs),
+            "p50_s": percentile(obs, 50),
+            "p95_s": percentile(obs, 95),
+        }
+
+    # -- snapshots -----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Point-in-time view: all counters plus per-timer stats."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "timers": {
+                name: self.timer_stats(name) for name in sorted(self._timers)
+            },
+        }
+
+    def render(self, extra: Tuple[Tuple[str, Any], ...] = ()) -> str:
+        """Human-readable snapshot; ``extra`` rows are appended verbatim."""
+        lines = ["service metrics"]
+        snap = self.snapshot()
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:<28} {value}")
+        for name, stats in snap["timers"].items():
+            lines.append(
+                f"  {name:<28} n={stats['count']}"
+                f" mean={stats['mean_s'] * 1e3:.2f}ms"
+                f" p50={stats['p50_s'] * 1e3:.2f}ms"
+                f" p95={stats['p95_s'] * 1e3:.2f}ms"
+            )
+        for name, value in extra:
+            if isinstance(value, float):
+                lines.append(f"  {name:<28} {value:.4f}")
+            else:
+                lines.append(f"  {name:<28} {value}")
+        return "\n".join(lines)

@@ -10,6 +10,11 @@ A sweep point varies any of: the application, the workload ``scale``,
 and the :class:`~repro.sim.systems.SystemParams` fields (bus width,
 burst size, NoC link width, transport, QoS). Analytic results are
 always collected; simulation can be switched off for cheap wide grids.
+
+Evaluation is delegated to :class:`repro.service.DesignService`, so
+sweeps get parallel execution (``jobs=N``), cross-run result caching
+(``cache_dir=...``), and duplicate-point coalescing for free; the CSV
+output is byte-identical regardless of worker count or cache state.
 """
 
 from __future__ import annotations
@@ -23,11 +28,16 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from .errors import ConfigurationError
-from .flow import ExperimentResult, run_experiment
+from .flow import SUMMARY_FIELDS, ExperimentResult, result_summary
+
 from .sim.systems import SystemParams
 
 #: Fields a grid may vary (everything else is rejected loudly).
 _SWEEPABLE_PARAMS = {f.name for f in dataclasses.fields(SystemParams)}
+
+#: Declaration-order SystemParams field names — every one is emitted in
+#: each CSV row so rows are self-describing for any grid.
+_PARAM_FIELDS = tuple(f.name for f in dataclasses.fields(SystemParams))
 
 
 @dataclass(frozen=True)
@@ -37,32 +47,42 @@ class SweepPoint:
     app: str
     scale: int
     params: SystemParams
-    result: ExperimentResult
+    #: Full result; ``None`` when the point was served from the service
+    #: cache or computed in a worker process (summary-only transports).
+    result: Optional[ExperimentResult] = None
+    seed: int = 2014
+    #: Flat result summary (:func:`repro.flow.result_summary` shape).
+    summary: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.result is None and self.summary is None:
+            raise ConfigurationError(
+                "a SweepPoint needs a result or a summary"
+            )
 
     def record(self) -> Dict[str, Any]:
-        """Flatten into one CSV-ready row."""
-        r = self.result
+        """Flatten into one CSV-ready row (coordinates + summary)."""
         row: Dict[str, Any] = {
             "app": self.app,
             "scale": self.scale,
-            "bus_width_bytes": self.params.bus_width_bytes,
-            "bus_burst_bytes": self.params.bus_burst_bytes,
-            "noc_link_width_bytes": self.params.noc_link_width_bytes,
-            "noc_transport": self.params.noc_transport,
-            "solution": r.plan.solution_label(),
-            "baseline_kernels_ms": r.analytic_baseline.kernels_s * 1e3,
-            "proposed_kernels_ms": r.analytic_proposed.kernels_s * 1e3,
-            "speedup_app": r.proposed_vs_baseline.application,
-            "speedup_kernels": r.proposed_vs_baseline.kernels,
-            "comm_comp_ratio": r.analytic_baseline.comm_comp_ratio,
-            "proposed_luts": r.synth_proposed.total.luts,
-            "noc_only_luts": r.synth_noc_only.total.luts,
-            "energy_saving_pct": r.energy.saving_percent,
+            "seed": self.seed,
         }
-        if r.sim_proposed is not None and r.sim_baseline is not None:
-            app_s, kern_s = r.sim_proposed.speedup_over(r.sim_baseline)
-            row["sim_speedup_app"] = app_s
-            row["sim_speedup_kernels"] = kern_s
+        for name in _PARAM_FIELDS:
+            row[name] = getattr(self.params, name)
+        summary = (
+            self.summary
+            if self.summary is not None
+            else result_summary(self.result)
+        )
+        # Re-impose the canonical column order: a summary that has been
+        # through a JSON round-trip (cache, worker process) comes back
+        # alphabetized, and CSV headers must not depend on that.
+        for name in SUMMARY_FIELDS:
+            if name in summary:
+                row[name] = summary[name]
+        for name, value in summary.items():
+            if name not in row:
+                row[name] = value
         return row
 
 
@@ -106,27 +126,48 @@ class SweepGrid:
         return n
 
 
-def run_sweep(grid: SweepGrid) -> List[SweepPoint]:
-    """Evaluate every grid point, deterministic order."""
-    out: List[SweepPoint] = []
-    for coord in grid.points():
-        params = SystemParams(**coord["params"])
-        result = run_experiment(
-            coord["app"],
+def run_sweep(
+    grid: SweepGrid,
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, pathlib.Path]] = None,
+    service: Optional["DesignService"] = None,
+) -> List[SweepPoint]:
+    """Evaluate every grid point, deterministic order.
+
+    Execution goes through the design service: ``jobs > 1`` fans points
+    out over worker processes, ``cache_dir`` persists results across
+    runs, and overlapping grids deduplicate automatically. With the
+    defaults (one in-process worker, no disk cache) behaviour matches
+    the historical serial path — including full
+    :attr:`SweepPoint.result` objects on every point.
+    """
+    from .service import DesignService, job_for_point
+
+    if service is None:
+        service = DesignService(jobs=jobs, cache_dir=cache_dir)
+    coords = list(grid.points())
+    specs = [
+        job_for_point(
+            app=coord["app"],
             scale=coord["scale"],
             seed=grid.seed,
-            params=params,
+            params=coord["params"],
             simulate=grid.simulate,
         )
-        out.append(
-            SweepPoint(
-                app=coord["app"],
-                scale=coord["scale"],
-                params=params,
-                result=result,
-            )
+        for coord in coords
+    ]
+    return [
+        SweepPoint(
+            app=coord["app"],
+            scale=coord["scale"],
+            params=jr.job.params,
+            result=jr.result,
+            seed=grid.seed,
+            summary=jr.summary,
         )
-    return out
+        for coord, jr in zip(coords, service.submit_many(specs))
+    ]
 
 
 def to_csv(

@@ -1,0 +1,107 @@
+"""Tests for the parallel job runner: retry, timeout, degradation."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import JobExecutionError, JobTimeoutError
+from repro.service import DesignJob, ExecutorConfig, JobRunner
+
+FAST = ExecutorConfig(retries=2, backoff_s=0.0)
+
+
+def _job(app="klt"):
+    return DesignJob(app, simulate=False)
+
+
+def _sleepy_runner(job):  # module-level: picklable, so the pool is used
+    time.sleep(5.0)
+    return {"solution": "SM"}
+
+
+class TestSerialRetry:
+    def test_flaky_job_retried_until_success(self):
+        calls = []
+
+        def flaky(job):
+            calls.append(job.app)
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+            return {"solution": "SM"}
+
+        runner = JobRunner(FAST, runner=flaky)
+        outcome = runner.run([_job()])[0]
+        assert outcome.attempts == 3
+        assert outcome.summary == {"solution": "SM"}
+        assert len(calls) == 3
+
+    def test_exhausted_retries_raise(self):
+        def always_fails(job):
+            raise RuntimeError("boom")
+
+        runner = JobRunner(FAST, runner=always_fails)
+        with pytest.raises(JobExecutionError) as exc_info:
+            runner.run([_job()])
+        err = exc_info.value
+        assert err.attempts == 3
+        assert err.fingerprint == _job().fingerprint()
+        assert "boom" in err.last_error
+
+    def test_backoff_schedule(self):
+        cfg = ExecutorConfig(backoff_s=0.05, backoff_factor=2.0)
+        assert cfg.backoff_for(1) == pytest.approx(0.05)
+        assert cfg.backoff_for(3) == pytest.approx(0.2)
+
+
+class TestDegradation:
+    def test_unpicklable_runner_forces_serial(self):
+        closure_state = []
+
+        def runner(job):
+            closure_state.append(job.app)
+            return {"solution": "SM"}
+
+        jr = JobRunner(ExecutorConfig(jobs=4, retries=0), runner=runner)
+        outcomes = jr.run([_job(), _job("jpeg")])
+        assert jr.last_mode == "serial"
+        assert [o.summary for o in outcomes] == [{"solution": "SM"}] * 2
+
+    def test_force_serial_flag(self):
+        jr = JobRunner(
+            ExecutorConfig(jobs=4, force_serial=True),
+            runner=lambda job: {"solution": "SM"},
+        )
+        jr.run([_job()])
+        assert jr.last_mode == "serial"
+
+    def test_serial_keeps_full_result(self):
+        outcome = JobRunner(ExecutorConfig()).run([_job()])[0]
+        assert outcome.result is not None
+        assert outcome.result.name == "klt"
+        assert outcome.summary["speedup_kernels"] > 1.0
+
+    def test_empty_batch(self):
+        assert JobRunner(ExecutorConfig()).run([]) == []
+
+
+class TestPool:
+    def test_pool_timeout_raises(self):
+        jr = JobRunner(
+            ExecutorConfig(jobs=2, timeout_s=0.2, retries=0),
+            runner=_sleepy_runner,
+        )
+        with pytest.raises(JobTimeoutError) as exc_info:
+            jr.run([_job()])
+        assert jr.last_mode == "parallel"
+        assert "timed out" in exc_info.value.last_error
+
+    def test_pool_preserves_order(self):
+        jobs = [_job("klt"), _job("jpeg"), _job("canny")]
+        jr = JobRunner(ExecutorConfig(jobs=3))
+        outcomes = jr.run(jobs)
+        assert jr.last_mode == "parallel"
+        assert [o.job.app for o in outcomes] == ["klt", "jpeg", "canny"]
+        # Pool transports summaries only; the rich object stays behind.
+        assert all(o.result is None for o in outcomes)

@@ -1,0 +1,141 @@
+"""End-to-end service tests: coalescing, cached sweeps, CLI, parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.service import DesignJob, DesignService
+from repro.sweep import SweepGrid, run_sweep, to_csv
+
+
+def _grid(**overrides):
+    kwargs = dict(
+        apps=["klt"],
+        param_grid={"bus_width_bytes": [4, 8]},
+        simulate=False,
+    )
+    kwargs.update(overrides)
+    return SweepGrid(**kwargs)
+
+
+class TestSubmitMany:
+    def test_duplicate_jobs_coalesced(self):
+        calls = []
+
+        def runner(job):
+            calls.append(job.fingerprint())
+            return {"solution": "SM"}
+
+        svc = DesignService(runner=runner)
+        job = DesignJob("klt", simulate=False)
+        other = DesignJob("jpeg", simulate=False)
+        results = svc.submit_many([job, job, other, job])
+        assert len(calls) == 2  # one per distinct fingerprint
+        assert [r.coalesced for r in results] == [False, True, False, True]
+        assert results[1].summary == results[0].summary
+        assert svc.metrics.counter("jobs_coalesced") == 2
+        assert svc.metrics.counter("jobs_completed") == 2
+
+    def test_submit_twice_hits_cache(self):
+        svc = DesignService()
+        job = DesignJob("klt", simulate=False)
+        first = svc.submit(job)
+        second = svc.submit(job)
+        assert not first.cached
+        assert second.cached
+        assert second.summary == first.summary
+        assert svc.cache.stats.hit_ratio == 0.5
+
+    def test_failure_counted_and_raised(self):
+        from repro.errors import JobExecutionError
+        from repro.service import ExecutorConfig
+
+        def always_fails(job):
+            raise RuntimeError("boom")
+
+        svc = DesignService(
+            executor_config=ExecutorConfig(retries=0), runner=always_fails
+        )
+        with pytest.raises(JobExecutionError):
+            svc.submit(DesignJob("klt", simulate=False))
+        assert svc.metrics.counter("jobs_failed") == 1
+
+
+class TestSweepParity:
+    def test_parallel_csv_matches_serial(self):
+        grid = _grid(apps=["klt", "canny"])
+        serial = to_csv(run_sweep(grid, jobs=1))
+        parallel = to_csv(run_sweep(grid, jobs=2))
+        assert parallel == serial
+
+    def test_cached_rerun_matches_and_hits(self, tmp_path):
+        grid = _grid()
+        svc1 = DesignService(cache_dir=tmp_path)
+        text1 = to_csv(run_sweep(grid, service=svc1))
+        assert svc1.cache.stats.hit_ratio == 0.0
+
+        svc2 = DesignService(cache_dir=tmp_path)
+        text2 = to_csv(run_sweep(grid, service=svc2))
+        assert text2 == text1
+        assert svc2.cache.stats.hit_ratio == 1.0
+        assert svc2.metrics.counter("jobs_completed") == 0
+
+    def test_default_path_keeps_full_results(self):
+        points = run_sweep(_grid())
+        assert all(p.result is not None for p in points)
+
+    def test_record_is_self_describing(self):
+        rec = run_sweep(_grid())[0].record()
+        assert rec["seed"] == 2014
+        # every SystemParams field is present, not just the varied one
+        for field in ("bus_width_bytes", "bus_burst_bytes",
+                      "dma_setup_cycles", "noc_qos", "noc_transport",
+                      "noc_hop_latency_cycles"):
+            assert field in rec
+
+    def test_stats_render_mentions_cache(self):
+        svc = DesignService()
+        run_sweep(_grid(), service=svc)
+        text = svc.render_stats()
+        assert "cache_hit_ratio" in text
+        assert "jobs_completed" in text
+        assert svc.stats()["cache"]["misses"] == 2
+
+
+class TestCliSweep:
+    ARGS = ["sweep", "--apps", "klt", "--param", "bus_width_bytes=4,8"]
+
+    def test_csv_on_stdout(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert len(lines) == 3  # header + 2 points
+        assert lines[0].startswith("app,scale,seed,")
+
+    def test_stats_go_to_stderr(self, capsys):
+        assert main(self.ARGS + ["--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "cache_hit_ratio" not in captured.out
+        assert "cache_hit_ratio" in captured.err
+
+    def test_output_file(self, tmp_path, capsys):
+        path = tmp_path / "sweep.csv"
+        assert main(self.ARGS + ["--jobs", "2", "--output", str(path)]) == 0
+        assert "wrote 2 sweep points" in capsys.readouterr().out
+        assert path.read_text().count("\n") == 3
+
+    def test_bool_param_parsing(self, capsys):
+        assert main(["sweep", "--apps", "klt",
+                     "--param", "noc_qos=false,true"]) == 0
+        out = capsys.readouterr().out
+        assert ",False," in out and ",True," in out
+
+    def test_bad_param_spec_errors(self, capsys):
+        assert main(["sweep", "--apps", "klt", "--param", "nonsense"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_param_errors(self, capsys):
+        assert main(["sweep", "--apps", "klt",
+                     "--param", "warp_factor=9"]) == 1
+        assert "error:" in capsys.readouterr().err
