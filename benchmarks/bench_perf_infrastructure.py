@@ -9,11 +9,16 @@ show up in CI:
 * the discrete-event engine (events per second under heavy resource
   contention);
 * the mesh NoC transport (bytes per simulated send).
+
+Every bench also streams its wall-clock through the session
+``bench_metrics`` registry (see ``conftest.py``), so one run leaves an
+exportable ``bench_metrics.{json,prom}`` aggregate behind.
 """
 
 from __future__ import annotations
 
 from repro.apps import get_application
+from repro.obs import timed
 from repro.sim.engine import Engine, Resource
 from repro.sim.noc import NocMesh, NocParams
 
@@ -23,8 +28,12 @@ def profile_jpeg_scaled():
     return app.run_profiled(verify=False)
 
 
-def test_perf_profiler_throughput(benchmark):
-    profile = benchmark.pedantic(profile_jpeg_scaled, rounds=3, iterations=1)
+def test_perf_profiler_throughput(benchmark, bench_metrics):
+    def run():
+        with timed(bench_metrics, "bench_profiler_seconds"):
+            return profile_jpeg_scaled()
+
+    profile = benchmark.pedantic(run, rounds=3, iterations=1)
     assert profile.total_bytes() > 0
 
 
@@ -43,8 +52,12 @@ def contention_storm(n_procs: int = 50, rounds: int = 40) -> float:
     return engine.run()
 
 
-def test_perf_engine_contention(benchmark):
-    makespan = benchmark(contention_storm)
+def test_perf_engine_contention(benchmark, bench_metrics):
+    def run():
+        with timed(bench_metrics, "bench_engine_seconds"):
+            return contention_storm()
+
+    makespan = benchmark(run)
     # 50 workers x 40 slots on 2 servers of 1 us each.
     assert makespan > 0.0009
 
@@ -64,6 +77,10 @@ def noc_storm():
     return mesh
 
 
-def test_perf_noc_transport(benchmark):
-    mesh = benchmark(noc_storm)
+def test_perf_noc_transport(benchmark, bench_metrics):
+    def run():
+        with timed(bench_metrics, "bench_noc_seconds"):
+            return noc_storm()
+
+    mesh = benchmark(run)
     assert mesh.bytes_delivered == 8 * 32 * 1024

@@ -25,6 +25,32 @@ def results():
 
 
 @pytest.fixture(scope="session")
+def bench_metrics(request):
+    """Session-wide metrics registry; exported at the end of the run.
+
+    Benches time their hot paths through :func:`repro.obs.timed` into
+    this registry; on teardown the aggregate is written to
+    ``benchmarks/out/bench_metrics.json`` and ``.prom`` so CI can diff
+    infrastructure timings across runs.
+    """
+    from repro.obs.export import write_metrics
+    from repro.service.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+
+    def _export():
+        snap = registry.snapshot()
+        if not any(snap[k] for k in ("counters", "gauges", "timers", "histograms")):
+            return
+        OUT_DIR.mkdir(exist_ok=True)
+        write_metrics(snap, OUT_DIR / "bench_metrics.json")
+        write_metrics(snap, OUT_DIR / "bench_metrics.prom")
+
+    request.addfinalizer(_export)
+    return registry
+
+
+@pytest.fixture(scope="session")
 def system_params():
     return SystemParams()
 

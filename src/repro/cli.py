@@ -6,6 +6,8 @@
   QUAD-style communication profile (Fig. 5 format);
 * ``design <app>`` — run Algorithm 1 and print the interconnect plan
   (Fig. 6 format), with ``--no-sharing`` / ``--noc-only`` etc. toggles;
+* ``explain <app>`` — print the designer's full decision log (why each
+  duplication/sharing/mapping/placement/pipelining choice was made);
 * ``report`` — regenerate every paper table/figure in one go;
 * ``simulate <app>`` — run the discrete-event simulation and show the
   baseline-vs-proposed Gantt comparison;
@@ -67,6 +69,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--noc-only", action="store_true",
                    help="the paper's NoC-only comparison system")
 
+    p = sub.add_parser(
+        "explain",
+        help="print the designer's full Algorithm 1 decision log",
+    )
+    _add_app_argument(p)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable event list instead of prose")
+    p.add_argument("--noc-only", action="store_true",
+                   help="explain the NoC-only comparison design instead")
+    p.add_argument("--scale", type=int, default=1, help="workload scale factor")
+
     p = sub.add_parser("simulate", help="simulate baseline vs proposed with a Gantt chart")
     _add_app_argument(p)
     p.add_argument("--width", type=int, default=60, help="gantt chart width")
@@ -100,6 +113,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print service metrics (cache hit ratio, latency)")
     p.add_argument("--output", type=str, default=None,
                    help="write the CSV here instead of stdout")
+    p.add_argument("--trace-out", type=str, default=None, metavar="PATH",
+                   help="collect spans and write them here "
+                        "(.jsonl = JSONL, else Chrome trace_event JSON)")
+    p.add_argument("--metrics-out", type=str, default=None, metavar="PATH",
+                   help="write the service metrics snapshot here "
+                        "(.prom = Prometheus exposition, else JSON)")
 
     p = sub.add_parser("pareto", help="time/area Pareto front of designer configs")
     _add_app_argument(p)
@@ -149,6 +168,30 @@ def cmd_design(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .obs.provenance import render_provenance
+
+    params = SystemParams()
+    theta = params.theta_s_per_byte()
+    fitted = fit_application(get_application(args.app, scale=args.scale), theta)
+    config = DesignConfig(
+        theta_s_per_byte=theta,
+        stream_overhead_s=fitted.stream_overhead_s,
+    )
+    if args.noc_only:
+        config = config.noc_only()
+    plan = design_interconnect(args.app, fitted.graph, config)
+    if args.json:
+        print(json_mod.dumps(
+            [e.as_dict() for e in plan.provenance], indent=2
+        ))
+    else:
+        print(render_provenance(plan))
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from .sim.stats import collect_stats
     from .sim.systems import simulate_proposed
@@ -171,6 +214,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         times,
         bus=components.get("bus"),
         noc=components.get("noc"),
+        dma=components.get("dma"),
+        engine=components.get("engine"),
     ).render())
     return 0
 
@@ -238,7 +283,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         simulate=args.simulate,
         seed=args.seed,
     )
-    service = DesignService(jobs=args.jobs, cache_dir=args.cache_dir)
+    tracer = None
+    if args.trace_out is not None:
+        from .obs.trace import Tracer
+
+        tracer = Tracer()
+    service = DesignService(
+        jobs=args.jobs, cache_dir=args.cache_dir, tracer=tracer
+    )
     points = run_sweep(grid, service=service)
     text = to_csv(points, args.output)
     if args.output is None:
@@ -250,6 +302,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"wrote {len(points)} sweep points to {args.output}")
         if args.stats:
             print(service.render_stats())
+    if tracer is not None:
+        import pathlib
+
+        trace_path = pathlib.Path(args.trace_out)
+        if trace_path.suffix == ".jsonl":
+            tracer.write_jsonl(trace_path)
+        else:
+            tracer.write_chrome_trace(trace_path)
+        print(f"wrote {len(tracer.events)} spans to {trace_path}",
+              file=sys.stderr)
+    if args.metrics_out is not None:
+        from .obs.export import write_metrics
+
+        out = write_metrics(service.stats(), args.metrics_out)
+        print(f"wrote metrics snapshot to {out}", file=sys.stderr)
     return 0
 
 
@@ -331,6 +398,7 @@ def cmd_portfolio(_args: argparse.Namespace) -> int:
 _COMMANDS = {
     "profile": cmd_profile,
     "design": cmd_design,
+    "explain": cmd_explain,
     "simulate": cmd_simulate,
     "report": cmd_report,
     "sweep": cmd_sweep,

@@ -27,13 +27,16 @@ from ..errors import DesignError
 from ..hw.device import Device, XC5VFX130T
 from ..hw.resources import ComponentKind, ResourceCost, component_cost
 from ..hw.synthesis import PLATFORM_BASE
+from ..obs import provenance as prov
+from ..obs.provenance import ProvenanceLog
+from ..obs.trace import Tracer, active
 from .commgraph import CommGraph
 from .duplication import DuplicationDecision, decide_duplications
-from .mapping import adaptive_map
+from .mapping import adaptive_map, explain_mapping
 from .parallel import PipelineDecision, find_pipeline_opportunities
 from .placement import place_on_mesh
 from .plan import InterconnectPlan, KernelMapping, NocPlan, memory_node
-from .sharing import find_sharing_pairs, residual_graph
+from .sharing import residual_graph, sharing_decisions
 from .topology import (
     KernelAttach,
     MemoryAttach,
@@ -89,12 +92,26 @@ class DesignConfig:
 
 
 class InterconnectDesigner:
-    """Stateful wrapper running Algorithm 1 for one application."""
+    """Stateful wrapper running Algorithm 1 for one application.
 
-    def __init__(self, app: str, graph: CommGraph, config: DesignConfig) -> None:
+    The optional ``tracer`` receives one span per stage plus an instant
+    marker per decision; independently of it, every decision is recorded
+    in a deterministic :class:`~repro.obs.provenance.ProvenanceLog`
+    attached to the resulting plan.
+    """
+
+    def __init__(
+        self,
+        app: str,
+        graph: CommGraph,
+        config: DesignConfig,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.app = app
         self.graph = graph
         self.config = config
+        self.tracer = active(tracer)
+        self.log = ProvenanceLog(self.tracer)
 
     # -- stages ------------------------------------------------------------
     def _committed_cost(self, graph: CommGraph) -> ResourceCost:
@@ -124,18 +141,31 @@ class InterconnectDesigner:
             send = classify_send(residual, name)
             if not self.config.enable_noc:
                 attach = (KernelAttach.K1, MemoryAttach.M1)
+                rule = "NoC disabled => everything on the bus"
             elif self.config.enable_adaptive_mapping:
                 attach = adaptive_map(receive, send)
+                rule = explain_mapping(receive, send)
             else:
                 # NoC-only: maximum attachment — every kernel and every
                 # local memory gets a router (the paper's strawman).
                 attach = (KernelAttach.K2, MemoryAttach.M3)
+                rule = "adaptive mapping disabled => maximum attachment"
             mappings[name] = KernelMapping(
                 kernel=name,
                 receive=receive,
                 send=send,
                 attach_kernel=attach[0],
                 attach_memory=attach[1],
+            )
+            self.log.record(
+                prov.STAGE_CLASSIFY,
+                name,
+                outcome=f"{attach[0].name},{attach[1].name}",
+                receive=receive.name,
+                send=send.name,
+                attach_kernel=attach[0].name,
+                attach_memory=attach[1].name,
+                rule=rule,
             )
         return mappings
 
@@ -166,6 +196,26 @@ class InterconnectDesigner:
         placement = place_on_mesh(
             nodes, edges, torus=self.config.noc_topology == "torus"
         )
+        self.log.record(
+            prov.STAGE_NOC,
+            self.app,
+            outcome="built",
+            width=placement.width,
+            height=placement.height,
+            topology=self.config.noc_topology,
+            routers=len(placement.positions),
+            weighted_cost=placement.weighted_cost(edges),
+        )
+        for node, (x, y) in sorted(placement.positions.items()):
+            self.log.record(prov.STAGE_PLACEMENT, node, outcome="placed", x=x, y=y)
+        for a, b, weight, hops in placement.edge_distances(edges):
+            self.log.record(
+                prov.STAGE_PLACEMENT,
+                f"{a}->{b}",
+                outcome="distance",
+                bytes=int(weight),
+                hops=hops,
+            )
         return NocPlan(
             placement=placement,
             kernel_nodes=tuple(kernel_nodes),
@@ -175,28 +225,118 @@ class InterconnectDesigner:
 
     # -- entry point ----------------------------------------------------------
     def design(self) -> InterconnectPlan:
-        """Run Algorithm 1 and return the plan."""
-        graph, duplications = self._duplicate()
+        """Run Algorithm 1 and return the plan (with full provenance)."""
+        cfg = self.config
+        self.log.record(
+            prov.STAGE_CONFIG,
+            self.app,
+            outcome="info",
+            theta_s_per_byte=cfg.theta_s_per_byte,
+            stream_overhead_s=cfg.stream_overhead_s,
+            enable_duplication=cfg.enable_duplication,
+            enable_sharing=cfg.enable_sharing,
+            enable_noc=cfg.enable_noc,
+            enable_adaptive_mapping=cfg.enable_adaptive_mapping,
+            enable_pipelining=cfg.enable_pipelining,
+            noc_topology=cfg.noc_topology,
+            utilization_cap=cfg.utilization_cap,
+            max_duplications=cfg.max_duplications,
+        )
+        for name in self.graph.kernel_names():
+            spec = self.graph.kernel(name)
+            self.log.record(
+                prov.STAGE_SELECT,
+                name,
+                outcome="accelerated",
+                tau_cycles=spec.tau_cycles,
+                parallelizable=spec.parallelizable,
+                d_k_in=self.graph.d_k_in(name),
+                d_k_out=self.graph.d_k_out(name),
+                d_h_in=self.graph.d_h_in(name),
+                d_h_out=self.graph.d_h_out(name),
+            )
 
-        sharing = find_sharing_pairs(graph) if self.config.enable_sharing else ()
-        residual = residual_graph(graph, sharing)
+        with self.tracer.span("design.duplicate", category="design", app=self.app):
+            graph, duplications = self._duplicate()
+        if not cfg.enable_duplication:
+            self.log.record(
+                prov.STAGE_DUPLICATION, self.app, outcome="disabled",
+                reason="enable_duplication=False",
+            )
+        for d in duplications:
+            self.log.record(
+                prov.STAGE_DUPLICATION,
+                d.kernel,
+                outcome="applied" if d.applied else "rejected",
+                delta_dp_s=d.delta_dp_seconds,
+                reason=d.reason,
+            )
 
-        mappings = self._map_kernels(graph, residual)
-        noc = self._build_noc(mappings, residual)
+        with self.tracer.span("design.sharing", category="design", app=self.app):
+            if cfg.enable_sharing:
+                decisions = sharing_decisions(graph)
+                sharing = tuple(d.link() for d in decisions if d.accepted)
+                for d in decisions:
+                    self.log.record(
+                        prov.STAGE_SHARING,
+                        f"{d.producer}->{d.consumer}",
+                        outcome="applied" if d.accepted else "rejected",
+                        bytes=d.bytes,
+                        crossbar=d.crossbar,
+                        reason=d.reason,
+                    )
+            else:
+                sharing = ()
+                self.log.record(
+                    prov.STAGE_SHARING, self.app, outcome="disabled",
+                    reason="enable_sharing=False",
+                )
+            residual = residual_graph(graph, sharing)
+
+        with self.tracer.span("design.mapping", category="design", app=self.app):
+            mappings = self._map_kernels(graph, residual)
+        with self.tracer.span("design.placement", category="design", app=self.app):
+            noc = self._build_noc(mappings, residual)
+        if noc is None:
+            reason = (
+                "enable_noc=False" if not cfg.enable_noc
+                else "no kernel or memory needs a router"
+            )
+            self.log.record(
+                prov.STAGE_NOC, self.app, outcome="skipped", reason=reason
+            )
 
         pipeline: Tuple[PipelineDecision, ...] = ()
-        if self.config.enable_pipelining:
-            kept: List[Tuple[str, str]] = [
-                (l.producer, l.consumer) for l in sharing
-            ]
-            if noc is not None:
-                kept.extend((p, c) for p, c, _ in noc.edges)
-            pipeline = find_pipeline_opportunities(
-                graph,
-                tuple(kept),
-                self.config.theta_s_per_byte,
-                self.config.stream_overhead_s,
-            )
+        with self.tracer.span("design.pipelining", category="design", app=self.app):
+            if cfg.enable_pipelining:
+                kept: List[Tuple[str, str]] = [
+                    (l.producer, l.consumer) for l in sharing
+                ]
+                if noc is not None:
+                    kept.extend((p, c) for p, c, _ in noc.edges)
+                pipeline = find_pipeline_opportunities(
+                    graph,
+                    tuple(kept),
+                    cfg.theta_s_per_byte,
+                    cfg.stream_overhead_s,
+                )
+                for p in pipeline:
+                    subject = (
+                        f"{p.kernel}->{p.consumer}" if p.consumer else p.kernel
+                    )
+                    self.log.record(
+                        prov.STAGE_PIPELINE,
+                        subject,
+                        outcome="applied" if p.applied else "rejected",
+                        case=p.case.value,
+                        delta_s=p.delta_seconds,
+                        reason=p.reason,
+                    )
+            else:
+                self.log.record(
+                    prov.STAGE_PIPELINE, self.app, outcome="disabled",
+                    reason="enable_pipelining=False",
+                )
 
         return InterconnectPlan(
             app=self.app,
@@ -206,11 +346,15 @@ class InterconnectDesigner:
             mappings=mappings,
             noc=noc,
             pipeline=pipeline,
+            provenance=self.log.events(),
         )
 
 
 def design_interconnect(
-    app: str, graph: CommGraph, config: DesignConfig
+    app: str,
+    graph: CommGraph,
+    config: DesignConfig,
+    tracer: Tracer | None = None,
 ) -> InterconnectPlan:
     """Functional façade over :class:`InterconnectDesigner`."""
-    return InterconnectDesigner(app, graph, config).design()
+    return InterconnectDesigner(app, graph, config, tracer=tracer).design()

@@ -32,6 +32,19 @@ class DuplicationDecision:
     applied: bool
     reason: str
 
+    @property
+    def slack_us(self) -> float:
+        """``Δ_dp`` in microseconds (positive = duplication profitable)."""
+        return self.delta_dp_seconds * 1e6
+
+    def describe(self) -> str:
+        """One human-readable line (provenance / explain rendering)."""
+        verdict = "applied" if self.applied else "rejected"
+        return (
+            f"{self.kernel}: Δ_dp={self.slack_us:+.2f}us {verdict} "
+            f"({self.reason})"
+        )
+
 
 def delta_dp_seconds(tau_cycles: float, overhead_s: float) -> float:
     """``Δ_dp = τ_i/2 − O`` in seconds."""

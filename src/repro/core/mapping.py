@@ -60,3 +60,30 @@ def needs_noc(receive: ReceiveClass, send: SendClass) -> bool:
     """Whether this kernel contributes any NoC component at all."""
     k, m = adaptive_map(receive, send)
     return k is KernelAttach.K2 or m in (MemoryAttach.M2, MemoryAttach.M3)
+
+
+def explain_mapping(receive: ReceiveClass, send: SendClass) -> str:
+    """Spell out which Table I rules produced a kernel's ``{K, M}`` cell.
+
+    The provenance log attaches this to every classification event so
+    ``repro explain`` shows the *why* next to the class assignment.
+    """
+    kernel, memory = adaptive_map(receive, send)
+    reasons = []
+    if send in (SendClass.S1, SendClass.S3):
+        reasons.append(f"sends to kernels ({send.name}) => {kernel.name}")
+    else:
+        reasons.append(f"no kernel output ({send.name}) => {kernel.name}")
+    if receive in (ReceiveClass.R1, ReceiveClass.R3):
+        reasons.append(
+            f"receives from kernels ({receive.name}) => memory on NoC"
+        )
+    host_touch = receive in (ReceiveClass.R2, ReceiveClass.R3) or send in (
+        SendClass.S2,
+        SendClass.S3,
+    )
+    if host_touch:
+        reasons.append(f"host traffic => memory on bus: {memory.name}")
+    else:
+        reasons.append(f"no host traffic => {memory.name}")
+    return "; ".join(reasons)

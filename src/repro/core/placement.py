@@ -68,6 +68,22 @@ class MeshPlacement:
         """Σ weight·distance over the given edges."""
         return sum(w * self.distance(a, b) for (a, b), w in edges.items())
 
+    def edge_distances(
+        self, edges: Mapping[Tuple[str, str], float]
+    ) -> Tuple[Tuple[str, str, float, int], ...]:
+        """Per-edge ``(a, b, weight, hops)`` detail, heaviest edge first.
+
+        The provenance log records one placement event per row so
+        ``repro explain`` can show which flows ended up adjacent and
+        which pay multi-hop routes.
+        """
+        return tuple(
+            (a, b, w, self.distance(a, b))
+            for (a, b), w in sorted(
+                edges.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        )
+
 
 def mesh_dimensions(n_nodes: int) -> Tuple[int, int]:
     """Smallest near-square ``width × height ≥ n`` with ``width ≥ height``."""

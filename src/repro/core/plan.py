@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..hw.resources import ComponentKind
+from ..obs.provenance import ProvenanceEvent
 from .commgraph import CommGraph
 from .duplication import DuplicationDecision
 from .parallel import PipelineDecision
@@ -86,6 +87,12 @@ class InterconnectPlan:
     mappings: Mapping[str, KernelMapping]
     noc: Optional[NocPlan]
     pipeline: Tuple[PipelineDecision, ...]
+    #: The designer's full decision log (see :mod:`repro.obs.provenance`).
+    #: Excluded from equality/serialization: two plans with the same
+    #: structure are the same plan, and golden digests stay stable.
+    provenance: Tuple[ProvenanceEvent, ...] = field(
+        default=(), compare=False, repr=False
+    )
 
     # -- derived structure ---------------------------------------------------
     def kept_edges(self) -> Tuple[Tuple[str, str], ...]:

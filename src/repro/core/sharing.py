@@ -40,6 +40,32 @@ class SharedMemoryLink:
         return 2.0 * self.bytes * theta_s_per_byte
 
 
+@dataclass(frozen=True, slots=True)
+class SharingDecision:
+    """Outcome of the sharing scan for one candidate edge.
+
+    The provenance log records every candidate — including the rejected
+    ones, with the condition they failed — so ``repro explain`` can show
+    why a heavy edge stayed on the NoC.
+    """
+
+    producer: str
+    consumer: str
+    bytes: int
+    accepted: bool
+    crossbar: bool
+    reason: str
+
+    def link(self) -> SharedMemoryLink:
+        """The applied pairing (only valid when ``accepted``)."""
+        return SharedMemoryLink(
+            producer=self.producer,
+            consumer=self.consumer,
+            bytes=self.bytes,
+            crossbar=self.crossbar,
+        )
+
+
 def is_exclusive_pair(graph: CommGraph, producer: str, consumer: str) -> bool:
     """Check the paper's sharing condition for one edge.
 
@@ -55,31 +81,57 @@ def is_exclusive_pair(graph: CommGraph, producer: str, consumer: str) -> bool:
     )
 
 
-def find_sharing_pairs(graph: CommGraph) -> Tuple[SharedMemoryLink, ...]:
-    """All shared-memory pairings Algorithm 1 applies, heaviest first.
+def sharing_decisions(graph: CommGraph) -> Tuple[SharingDecision, ...]:
+    """Replay the sharing scan, recording every candidate's outcome.
 
-    Deterministic: edges are scanned in descending weight (ties broken by
-    name) and each kernel joins at most one pair.
+    This *is* the pairing algorithm — :func:`find_sharing_pairs` filters
+    its accepted decisions — so accepted candidates here always match the
+    applied links exactly. Deterministic: edges are scanned in descending
+    weight (ties broken by name) and each kernel joins at most one pair.
     """
     used: Set[str] = set()
-    links: List[SharedMemoryLink] = []
+    decisions: List[SharingDecision] = []
     for producer, consumer, nbytes in graph.edges_by_weight():
         if producer in used or consumer in used:
+            blocked = [k for k in (producer, consumer) if k in used]
+            decisions.append(
+                SharingDecision(
+                    producer, consumer, nbytes, False, False,
+                    f"kernel already paired: {', '.join(blocked)}",
+                )
+            )
             continue
         if not is_exclusive_pair(graph, producer, consumer):
+            failures = []
+            if graph.d_k_out(producer) != nbytes:
+                failures.append(
+                    f"D^K_{{{producer}}}(out)={graph.d_k_out(producer)}B "
+                    f"!= D_ij"
+                )
+            if graph.d_k_in(consumer) != nbytes:
+                failures.append(
+                    f"D^K_{{{consumer}}}(in)={graph.d_k_in(consumer)}B "
+                    f"!= D_ij"
+                )
+            decisions.append(
+                SharingDecision(
+                    producer, consumer, nbytes, False, False,
+                    "; ".join(failures) or "zero-byte edge",
+                )
+            )
             continue
         crossbar = (graph.d_h_in(consumer) + graph.d_h_out(consumer)) > 0
-        links.append(
-            SharedMemoryLink(
-                producer=producer,
-                consumer=consumer,
-                bytes=nbytes,
-                crossbar=crossbar,
-            )
+        decisions.append(
+            SharingDecision(producer, consumer, nbytes, True, crossbar, "applied")
         )
         used.add(producer)
         used.add(consumer)
-    return tuple(links)
+    return tuple(decisions)
+
+
+def find_sharing_pairs(graph: CommGraph) -> Tuple[SharedMemoryLink, ...]:
+    """All shared-memory pairings Algorithm 1 applies, heaviest first."""
+    return tuple(d.link() for d in sharing_decisions(graph) if d.accepted)
 
 
 def residual_graph(

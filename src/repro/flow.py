@@ -19,7 +19,8 @@ benchmark harness calls.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Mapping, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from .apps import fit_application, get_application
 from .apps.calibration import FittedApplication
@@ -30,6 +31,7 @@ from .core.plan import InterconnectPlan
 from .errors import ConfigurationError
 from .hw.energy import EnergyModel, EnergyReport, compare_energy
 from .hw.synthesis import SynthesisEstimate, estimate_baseline, estimate_system
+from .obs.trace import NULL_TRACER, Tracer, active
 from .sim.systems import (
     SimulatedTimes,
     SystemParams,
@@ -98,6 +100,21 @@ class ExperimentResult:
         return self.analytic_baseline.comm_comp_ratio
 
 
+def _as_tracer(
+    trace: Union[Tracer, str, Path, None]
+) -> Tuple[Tracer, Optional[Path]]:
+    """Normalize :func:`run_experiment`'s ``trace`` argument.
+
+    Returns the tracer to use and, when ``trace`` was a filesystem path,
+    where to write the Chrome trace afterwards.
+    """
+    if trace is None:
+        return NULL_TRACER, None
+    if isinstance(trace, (str, Path)):
+        return Tracer(), Path(trace)
+    return active(trace), None
+
+
 def run_experiment(
     name: str,
     scale: int = 1,
@@ -106,71 +123,97 @@ def run_experiment(
     energy_model: EnergyModel = EnergyModel(),
     simulate: bool = True,
     design_overrides: Optional[Mapping[str, Any]] = None,
+    trace: Union[Tracer, str, Path, None] = None,
 ) -> ExperimentResult:
     """Full paper methodology for one application.
 
     ``design_overrides`` optionally replaces :class:`DesignConfig`
     toggles (any field in :data:`DESIGN_TOGGLE_FIELDS`); the calibrated
     ``θ`` and stream overhead are never overridable.
+
+    ``trace`` opts into observability: pass a
+    :class:`~repro.obs.trace.Tracer` to collect spans, or a path to
+    write a Chrome ``trace_event`` JSON (load it at ``chrome://tracing``
+    or https://ui.perfetto.dev). ``None`` (default) uses the no-op
+    tracer — zero overhead, and outputs are byte-identical either way.
     """
-    app = get_application(name, scale=scale, seed=seed)
-    theta = params.theta_s_per_byte()
-    fitted = fit_application(app, theta)
+    tracer, trace_path = _as_tracer(trace)
 
-    config = DesignConfig(
-        theta_s_per_byte=theta,
-        stream_overhead_s=fitted.stream_overhead_s,
-    )
-    if design_overrides:
-        unknown = set(design_overrides) - DESIGN_TOGGLE_FIELDS
-        if unknown:
-            raise ConfigurationError(
-                f"unknown design toggles: {sorted(unknown)} "
-                f"(allowed: {sorted(DESIGN_TOGGLE_FIELDS)})"
+    with tracer.span("experiment", app=name, scale=scale, seed=seed):
+        with tracer.span("profile", app=name):
+            app = get_application(name, scale=scale, seed=seed)
+            theta = params.theta_s_per_byte()
+        with tracer.span("fit", app=name):
+            fitted = fit_application(app, theta)
+
+        config = DesignConfig(
+            theta_s_per_byte=theta,
+            stream_overhead_s=fitted.stream_overhead_s,
+        )
+        if design_overrides:
+            unknown = set(design_overrides) - DESIGN_TOGGLE_FIELDS
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown design toggles: {sorted(unknown)} "
+                    f"(allowed: {sorted(DESIGN_TOGGLE_FIELDS)})"
+                )
+            config = replace(config, **dict(design_overrides))
+        with tracer.span("design", app=name):
+            plan = design_interconnect(name, fitted.graph, config, tracer=tracer)
+        with tracer.span("design.noc_only", app=name):
+            noc_only_plan = design_interconnect(
+                f"{name}-noc-only", fitted.graph, config.noc_only(), tracer=tracer
             )
-        config = replace(config, **dict(design_overrides))
-    plan = design_interconnect(name, fitted.graph, config)
-    noc_only_plan = design_interconnect(
-        f"{name}-noc-only", fitted.graph, config.noc_only()
-    )
 
-    model = AnalyticModel(fitted.graph, theta, fitted.host_other_s)
-    t_sw = model.software()
-    t_base = model.baseline()
-    t_prop = model.proposed(plan)
+        with tracer.span("analytic", app=name):
+            model = AnalyticModel(fitted.graph, theta, fitted.host_other_s)
+            t_sw = model.software()
+            t_base = model.baseline()
+            t_prop = model.proposed(plan)
 
-    sim_sw = sim_base = sim_prop = None
-    if simulate:
-        sim_sw = simulate_software(fitted.graph, fitted.host_other_s)
-        sim_base = simulate_baseline(fitted.graph, fitted.host_other_s, params)
-        sim_prop = simulate_proposed(plan, fitted.host_other_s, params)
+        sim_sw = sim_base = sim_prop = None
+        if simulate:
+            with tracer.span("simulate", app=name, system="software"):
+                sim_sw = simulate_software(fitted.graph, fitted.host_other_s)
+            with tracer.span("simulate", app=name, system="baseline"):
+                sim_base = simulate_baseline(
+                    fitted.graph, fitted.host_other_s, params
+                )
+            with tracer.span("simulate", app=name, system="proposed"):
+                sim_prop = simulate_proposed(plan, fitted.host_other_s, params)
 
-    original_costs = [
-        fitted.graph.kernel(k).resources for k in fitted.graph.kernel_names()
-    ]
-    synth_base = estimate_baseline(original_costs)
-    synth_prop = estimate_system(
-        "proposed",
-        [plan.graph.kernel(k).resources for k in plan.graph.kernel_names()],
-        plan.component_counts(),
-    )
-    synth_noc = estimate_system(
-        "noc_only",
-        [
-            noc_only_plan.graph.kernel(k).resources
-            for k in noc_only_plan.graph.kernel_names()
-        ],
-        noc_only_plan.component_counts(),
-    )
+        with tracer.span("synthesis", app=name):
+            original_costs = [
+                fitted.graph.kernel(k).resources
+                for k in fitted.graph.kernel_names()
+            ]
+            synth_base = estimate_baseline(original_costs)
+            synth_prop = estimate_system(
+                "proposed",
+                [plan.graph.kernel(k).resources for k in plan.graph.kernel_names()],
+                plan.component_counts(),
+            )
+            synth_noc = estimate_system(
+                "noc_only",
+                [
+                    noc_only_plan.graph.kernel(k).resources
+                    for k in noc_only_plan.graph.kernel_names()
+                ],
+                noc_only_plan.component_counts(),
+            )
 
-    energy = compare_energy(
-        name,
-        energy_model,
-        baseline_resources=synth_base.total,
-        proposed_resources=synth_prop.total,
-        baseline_time_s=t_base.application_s,
-        proposed_time_s=t_prop.application_s,
-    )
+        with tracer.span("energy", app=name):
+            energy = compare_energy(
+                name,
+                energy_model,
+                baseline_resources=synth_base.total,
+                proposed_resources=synth_prop.total,
+                baseline_time_s=t_base.application_s,
+                proposed_time_s=t_prop.application_s,
+            )
+
+    if trace_path is not None:
+        tracer.write_chrome_trace(trace_path)
 
     return ExperimentResult(
         name=name,

@@ -1,0 +1,62 @@
+"""Observability layer: span tracing, design provenance, exporters.
+
+Three deterministic, zero-dependency pieces threaded through the whole
+stack (see DESIGN.md §8):
+
+* :class:`Tracer` / :data:`NULL_TRACER` — nested monotonic-clock spans
+  with JSONL and Chrome ``trace_event`` export; the no-op null tracer is
+  the default everywhere, so disabled instrumentation costs nothing and
+  never perturbs golden outputs;
+* :class:`ProvenanceLog` / :class:`ProvenanceEvent` — every Algorithm 1
+  decision (duplication slack, sharing matches, Table I classes,
+  placement distances, pipelining deltas) recorded as typed events on
+  the plan and rendered by ``repro explain``;
+* :func:`to_prometheus` / :func:`to_json_snapshot` — exporters over the
+  shared :class:`~repro.service.metrics.MetricsRegistry` snapshot schema
+  used by the service, the sweep CLI, simulator statistics and the
+  benchmark harness.
+"""
+
+from .export import PROM_PREFIX, to_json_snapshot, to_prometheus, write_metrics
+from .provenance import (
+    PROV_CATEGORY,
+    STAGE_CLASSIFY,
+    STAGE_CONFIG,
+    STAGE_DUPLICATION,
+    STAGE_NOC,
+    STAGE_ORDER,
+    STAGE_PIPELINE,
+    STAGE_PLACEMENT,
+    STAGE_SELECT,
+    STAGE_SHARING,
+    ProvenanceEvent,
+    ProvenanceLog,
+    render_provenance,
+)
+from .trace import NULL_TRACER, NullTracer, SpanEvent, Tracer, active, timed
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "PROM_PREFIX",
+    "PROV_CATEGORY",
+    "ProvenanceEvent",
+    "ProvenanceLog",
+    "STAGE_CLASSIFY",
+    "STAGE_CONFIG",
+    "STAGE_DUPLICATION",
+    "STAGE_NOC",
+    "STAGE_ORDER",
+    "STAGE_PIPELINE",
+    "STAGE_PLACEMENT",
+    "STAGE_SELECT",
+    "STAGE_SHARING",
+    "SpanEvent",
+    "Tracer",
+    "active",
+    "render_provenance",
+    "timed",
+    "to_json_snapshot",
+    "to_prometheus",
+    "write_metrics",
+]

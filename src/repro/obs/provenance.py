@@ -1,0 +1,220 @@
+"""Design-decision provenance: why Algorithm 1 did what it did.
+
+Every decision the interconnect designer takes — kernel selection, the
+``Δ_dp`` duplication test, shared-local-memory matches (and the edges
+that *failed* the ``D^K_i(out) = D^K_j(in)`` condition), Table I
+``{R,S} → {K,M}`` classifications, mesh placement with per-edge hop
+distances, and the pipelining ``Δ_p1``/``Δ_p2`` tests — is recorded as a
+typed :class:`ProvenanceEvent` and attached to the resulting
+:class:`~repro.core.plan.InterconnectPlan`.
+
+Events are **deterministic**: they carry no clocks, no pids, no
+randomness — only the decision inputs and outcomes, in the exact order
+the designer evaluated them. Two designs of the same graph under the
+same config produce identical event sequences, which the determinism
+tests pin. When a live tracer is attached, each event is additionally
+mirrored as an instant marker on the span timeline.
+
+``repro explain <app>`` renders the log via :func:`render_provenance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .trace import Tracer, active
+
+#: Tracer category provenance instants are filed under.
+PROV_CATEGORY = "design"
+
+# Stage names, in Algorithm 1 order.
+STAGE_CONFIG = "config"
+STAGE_SELECT = "select"
+STAGE_DUPLICATION = "duplication"
+STAGE_SHARING = "sharing"
+STAGE_CLASSIFY = "classify"
+STAGE_PLACEMENT = "placement"
+STAGE_NOC = "noc"
+STAGE_PIPELINE = "pipeline"
+
+#: Render order of the stages (config first, pipeline last).
+STAGE_ORDER = (
+    STAGE_CONFIG,
+    STAGE_SELECT,
+    STAGE_DUPLICATION,
+    STAGE_SHARING,
+    STAGE_CLASSIFY,
+    STAGE_NOC,
+    STAGE_PLACEMENT,
+    STAGE_PIPELINE,
+)
+
+
+@dataclass(frozen=True)
+class ProvenanceEvent:
+    """One typed, deterministic design decision."""
+
+    #: Position in the designer's evaluation order.
+    seq: int
+    #: One of the ``STAGE_*`` constants.
+    stage: str
+    #: The kernel, ``producer->consumer`` edge, or app the event is about.
+    subject: str
+    #: ``applied`` / ``rejected`` / ``info`` / ``disabled`` / ...
+    outcome: str
+    #: Sorted ``(key, value)`` pairs — the decision's inputs and numbers.
+    detail: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def detail_map(self) -> Dict[str, Any]:
+        """The detail pairs as a plain dict."""
+        return dict(self.detail)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (``repro explain --json`` rows)."""
+        return {
+            "seq": self.seq,
+            "stage": self.stage,
+            "subject": self.subject,
+            "outcome": self.outcome,
+            "detail": self.detail_map,
+        }
+
+
+class ProvenanceLog:
+    """Ordered event collector the designer writes into."""
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self._events: List[ProvenanceEvent] = []
+        self._tracer = active(tracer)
+
+    def record(
+        self, stage: str, subject: str, outcome: str = "info", **detail: Any
+    ) -> ProvenanceEvent:
+        """Append one event; mirrors it onto the tracer as an instant."""
+        event = ProvenanceEvent(
+            seq=len(self._events),
+            stage=stage,
+            subject=subject,
+            outcome=outcome,
+            detail=tuple(sorted(detail.items())),
+        )
+        self._events.append(event)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                f"{stage}:{subject}",
+                category=PROV_CATEGORY,
+                outcome=outcome,
+                **detail,
+            )
+        return event
+
+    def events(self) -> Tuple[ProvenanceEvent, ...]:
+        """Everything recorded so far, evaluation order."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def _us(seconds: Any) -> str:
+    return f"{float(seconds) * 1e6:+.2f}us"
+
+
+def _format_event(event: ProvenanceEvent) -> str:
+    """One human-readable line per event (the ``repro explain`` body)."""
+    d = event.detail_map
+    if event.stage == STAGE_CONFIG:
+        toggles = ", ".join(f"{k}={v}" for k, v in sorted(d.items()))
+        return f"{event.subject}: {toggles}"
+    if event.stage == STAGE_SELECT:
+        return (
+            f"{event.subject:<22} tau={d.get('tau_cycles', 0):.0f}cyc "
+            f"K-in/out={d.get('d_k_in', 0)}/{d.get('d_k_out', 0)}B "
+            f"H-in/out={d.get('d_h_in', 0)}/{d.get('d_h_out', 0)}B"
+        )
+    if event.stage == STAGE_DUPLICATION:
+        return (
+            f"{event.subject:<22} {event.outcome:<9} "
+            f"Δ_dp={_us(d.get('delta_dp_s', 0.0))} ({d.get('reason', '')})"
+        )
+    if event.stage == STAGE_SHARING:
+        if event.outcome == "disabled":
+            return f"{event.subject}: {d.get('reason', 'disabled')}"
+        style = "crossbar" if d.get("crossbar") else "direct"
+        tail = style if event.outcome == "applied" else d.get("reason", "")
+        return (
+            f"{event.subject:<22} {event.outcome:<9} "
+            f"D_ij={d.get('bytes', 0)}B ({tail})"
+        )
+    if event.stage == STAGE_CLASSIFY:
+        return (
+            f"{event.subject:<22} {{{d.get('receive')},{d.get('send')}}} -> "
+            f"{{{d.get('attach_kernel')},{d.get('attach_memory')}}}"
+            f"  [{d.get('rule', '')}]"
+        )
+    if event.stage == STAGE_NOC:
+        if event.outcome != "built":
+            return f"{event.subject}: {d.get('reason', event.outcome)}"
+        return (
+            f"{d.get('width')}x{d.get('height')} {d.get('topology', 'mesh')}, "
+            f"{d.get('routers')} routers, weighted cost "
+            f"{d.get('weighted_cost', 0.0):.0f} byte-hops"
+        )
+    if event.stage == STAGE_PLACEMENT:
+        if event.outcome == "placed":
+            return f"router({d.get('x')},{d.get('y')}) <- {event.subject}"
+        return (
+            f"{event.subject:<28} {d.get('bytes', 0)}B x "
+            f"{d.get('hops', 0)} hops"
+        )
+    if event.stage == STAGE_PIPELINE:
+        if event.outcome == "disabled":
+            return f"{event.subject}: {d.get('reason', 'disabled')}"
+        delta = "Δ_p1" if d.get("case") == "case1" else "Δ_p2"
+        return (
+            f"{event.subject:<22} {event.outcome:<9} "
+            f"{delta}={_us(d.get('delta_s', 0.0))} "
+            f"({d.get('reason', '')})"
+        )
+    extras = ", ".join(f"{k}={v}" for k, v in event.detail)
+    return f"{event.subject} {event.outcome} {extras}".rstrip()
+
+
+_STAGE_TITLES = {
+    STAGE_CONFIG: "configuration",
+    STAGE_SELECT: "kernel selection (Algorithm 1, line 1)",
+    STAGE_DUPLICATION: "duplication (lines 2-6, Δ_dp = τ/2 - O)",
+    STAGE_SHARING: "shared local memory (lines 8-13, D^K_i(out) = D^K_j(in))",
+    STAGE_CLASSIFY: "adaptive mapping (line 14, Table I)",
+    STAGE_NOC: "NoC construction",
+    STAGE_PLACEMENT: "mesh placement (Section IV-B)",
+    STAGE_PIPELINE: "pipelining (line 15, Δ_p1/Δ_p2)",
+}
+
+
+def render_provenance(plan: Any) -> str:
+    """Multi-line decision log of a plan (``repro explain`` output).
+
+    ``plan`` is an :class:`~repro.core.plan.InterconnectPlan`; typed
+    loosely to keep this module import-cycle-free.
+    """
+    events: Tuple[ProvenanceEvent, ...] = tuple(plan.provenance)
+    lines = [
+        f"Design provenance for {plan.app!r} — {len(events)} decisions, "
+        f"solution {plan.solution_label()!r}"
+    ]
+    if not events:
+        lines.append(
+            "  (no provenance recorded — plan predates the obs layer)"
+        )
+        return "\n".join(lines)
+    for stage in STAGE_ORDER:
+        staged = [e for e in events if e.stage == stage]
+        if not staged:
+            continue
+        lines.append(f"{_STAGE_TITLES.get(stage, stage)}:")
+        for event in staged:
+            lines.append(f"  [{event.seq:>3}] {_format_event(event)}")
+    return "\n".join(lines)

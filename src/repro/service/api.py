@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..errors import JobExecutionError
 from ..flow import ExperimentResult
+from ..obs.trace import Tracer, active
 from .cache import ResultCache
 from .executor import ExecutorConfig, JobRunner
 from .jobs import DesignJob
@@ -59,12 +60,19 @@ class DesignService:
         executor_config: Optional[ExecutorConfig] = None,
         runner: Optional[Callable[[DesignJob], Dict[str, Any]]] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if executor_config is None:
             executor_config = ExecutorConfig(jobs=jobs)
         self.cache = cache if cache is not None else ResultCache(cache_dir=cache_dir)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._runner = JobRunner(executor_config, runner=runner)
+        self.tracer = active(tracer)
+        self._runner = JobRunner(
+            executor_config,
+            runner=runner,
+            tracer=self.tracer if self.tracer.enabled else None,
+            metrics=self.metrics if self.tracer.enabled else None,
+        )
 
     def submit(self, job: DesignJob) -> JobResult:
         """Execute (or serve from cache) one job."""
@@ -91,6 +99,10 @@ class DesignService:
                 continue  # resolved after the batch from the first occurrence
             cached = self.cache.get(fp)
             if cached is not None:
+                self.tracer.instant(
+                    "cache_hit", category="service",
+                    app=job.app, fingerprint=fp,
+                )
                 results[i] = JobResult(
                     job=job, fingerprint=fp, summary=cached, cached=True
                 )
@@ -100,7 +112,11 @@ class DesignService:
             to_run.append(i)
 
         try:
-            outcomes = self._runner.run([jobs[i] for i in to_run])
+            with self.tracer.span(
+                "submit_many", category="service",
+                batch=len(jobs), distinct=len(to_run),
+            ):
+                outcomes = self._runner.run([jobs[i] for i in to_run])
         except JobExecutionError:
             self.metrics.incr("jobs_failed")
             raise

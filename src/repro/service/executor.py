@@ -25,10 +25,14 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import JobExecutionError, JobTimeoutError
 from ..flow import ExperimentResult, result_summary, run_experiment
+from ..obs.trace import Tracer
 from .jobs import DesignJob
+from .metrics import MetricsRegistry
 
 
-def execute_job(job: DesignJob) -> Tuple[ExperimentResult, Dict[str, Any]]:
+def execute_job(
+    job: DesignJob, tracer: Optional[Tracer] = None
+) -> Tuple[ExperimentResult, Dict[str, Any]]:
     """Run one job in-process; returns the full result and its summary."""
     result = run_experiment(
         job.app,
@@ -37,6 +41,7 @@ def execute_job(job: DesignJob) -> Tuple[ExperimentResult, Dict[str, Any]]:
         params=job.params,
         simulate=job.simulate,
         design_overrides=job.design_overrides or None,
+        trace=tracer,
     )
     return result, result_summary(result)
 
@@ -44,6 +49,29 @@ def execute_job(job: DesignJob) -> Tuple[ExperimentResult, Dict[str, Any]]:
 def run_job_summary(job: DesignJob) -> Dict[str, Any]:
     """Pool-friendly entry point: summary only (JSON/pickle-safe)."""
     return execute_job(job)[1]
+
+
+def run_job_instrumented(job: DesignJob) -> Dict[str, Any]:
+    """Pool entry point shipping observability home with the summary.
+
+    The worker process builds its own tracer and registry (neither can
+    cross the process boundary live), then returns their picklable raw
+    forms: span dicts for :meth:`repro.obs.trace.Tracer.merge` and a
+    registry :meth:`~repro.service.metrics.MetricsRegistry.dump` for
+    :meth:`~repro.service.metrics.MetricsRegistry.merge`.
+    """
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    _result, summary = execute_job(job, tracer=tracer)
+    registry.observe("worker_job_seconds", time.perf_counter() - start,
+                     labels={"app": job.app})
+    registry.incr("worker_jobs", labels={"app": job.app})
+    return {
+        "summary": summary,
+        "spans": tracer.as_dicts(),
+        "metrics": registry.dump(),
+    }
 
 
 @dataclass(frozen=True)
@@ -77,17 +105,37 @@ class JobOutcome:
 
 
 class JobRunner:
-    """Executes batches of :class:`DesignJob`, parallel when possible."""
+    """Executes batches of :class:`DesignJob`, parallel when possible.
+
+    With a ``tracer`` and/or ``metrics`` registry attached, execution is
+    instrumented end to end: serial jobs trace straight into the shared
+    tracer; pool jobs run :func:`run_job_instrumented` in the worker and
+    the runner merges the returned spans/metrics on arrival. Injected
+    custom ``runner`` callables are never wrapped — their payload shape
+    is the caller's contract.
+    """
 
     def __init__(
         self,
         config: ExecutorConfig = ExecutorConfig(),
         runner: Optional[Callable[[DesignJob], Dict[str, Any]]] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config
         self._runner = runner
+        self.tracer = tracer
+        self.metrics = metrics
         #: "parallel" or "serial" — how the last batch actually ran.
         self.last_mode: str = "serial"
+
+    @property
+    def _instrumented(self) -> bool:
+        """Whether default execution should collect spans/metrics."""
+        return self._runner is None and (
+            (self.tracer is not None and self.tracer.enabled)
+            or self.metrics is not None
+        )
 
     def run(self, jobs: Sequence[DesignJob]) -> List[JobOutcome]:
         """Execute all jobs; preserves input order in the output."""
@@ -124,7 +172,16 @@ class JobRunner:
                     summary = self._runner(job)
                     result = None
                 else:
-                    result, summary = execute_job(job)
+                    result, summary = execute_job(job, tracer=self.tracer)
+                    if self.metrics is not None:
+                        self.metrics.observe(
+                            "worker_job_seconds",
+                            time.perf_counter() - start,
+                            labels={"app": job.app},
+                        )
+                        self.metrics.incr(
+                            "worker_jobs", labels={"app": job.app}
+                        )
                 return JobOutcome(
                     job=job,
                     summary=summary,
@@ -148,7 +205,13 @@ class JobRunner:
     def _run_pool(
         self, pool: ProcessPoolExecutor, jobs: List[DesignJob]
     ) -> List[JobOutcome]:
-        func = self._runner if self._runner is not None else run_job_summary
+        instrumented = self._instrumented
+        if self._runner is not None:
+            func = self._runner
+        elif instrumented:
+            func = run_job_instrumented
+        else:
+            func = run_job_summary
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
         attempts = [0] * len(jobs)
         pending = list(range(len(jobs)))
@@ -163,6 +226,8 @@ class JobRunner:
             for i in pending:
                 try:
                     summary = futures[i].result(timeout=self.config.timeout_s)
+                    if instrumented:
+                        summary = self._absorb_payload(summary)
                     outcomes[i] = JobOutcome(
                         job=jobs[i],
                         summary=summary,
@@ -192,6 +257,14 @@ class JobRunner:
             if pending:
                 time.sleep(self.config.backoff_for(max(attempts[i] for i in pending)))
         return [o for o in outcomes if o is not None]
+
+    def _absorb_payload(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Merge a :func:`run_job_instrumented` payload; return the summary."""
+        if self.tracer is not None:
+            self.tracer.merge(payload.get("spans", ()))
+        if self.metrics is not None:
+            self.metrics.merge(payload.get("metrics", {}))
+        return payload["summary"]
 
 
 def _is_picklable(obj: Any) -> bool:

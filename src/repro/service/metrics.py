@@ -1,20 +1,65 @@
-"""Lightweight counters/timers for the design service.
+"""Counters, gauges, timers and histograms for the service and obs layers.
 
-No external metrics stack: a registry of named monotonic counters and
-named timers (observation lists), with nearest-rank percentiles and a
-plain-text snapshot renderer for ``repro sweep --stats``-style output.
-Everything is in-process and deterministic — timers record whatever the
-caller observed, the registry never reads the clock itself.
+No external metrics stack: a registry of named monotonic counters,
+last-value gauges, timers (observation lists) and bucketed histograms,
+with nearest-rank percentiles and a plain-text snapshot renderer for
+``repro sweep --stats``-style output. Everything is in-process and
+deterministic — timers record whatever the caller observed, the registry
+never reads the clock itself (use :func:`repro.obs.timed` for that).
+
+Labels follow the Prometheus convention: a labelled series is keyed by
+``name{k="v",...}`` with label names sorted, so the registry's plain
+string keys are already valid exposition identities
+(:func:`repro.obs.export.to_prometheus` renders them verbatim).
+
+Concurrency: all mutation goes through one :class:`threading.Lock`, so
+callbacks from thread pools (``ProcessPoolExecutor`` delivers results on
+arbitrary threads) cannot lose updates. Worker *processes* keep their own
+registry and ship :meth:`MetricsRegistry.dump` back for
+:meth:`MetricsRegistry.merge` — counters add, timers concatenate, gauges
+take the incoming value (latest wins), histogram buckets add.
+
+Empty-series policy (documented, NaN-free): ``percentile([])`` and every
+stat of an unobserved timer return ``0.0`` with ``count == 0`` — callers
+that must distinguish "no data" from "zero latency" check the count;
+``None``/NaN never appear in snapshots, keeping them JSON/CSV-safe.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Tuple
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: Default histogram bucket upper bounds (seconds) — job latencies.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+)
 
 
-def percentile(values: List[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (``q`` in [0, 100])."""
+def metric_key(name: str, labels: Optional[Mapping[str, Any]] = None) -> str:
+    """Series key: ``name`` or ``name{k="v",...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values``.
+
+    Edge-case policy:
+
+    * ``q`` must lie in ``[0, 100]`` — anything else raises
+      :class:`~repro.errors.ConfigurationError`;
+    * ``q=0`` returns the minimum, ``q=100`` the maximum;
+    * an empty input returns ``0.0`` (never ``NaN``/``None``) — the
+      companion ``count`` field is how callers detect "no data".
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile q must be in [0, 100], got {q}")
     if not values:
         return 0.0
     ordered = sorted(values)
@@ -23,43 +68,193 @@ def percentile(values: List[float], q: float) -> float:
 
 
 class MetricsRegistry:
-    """Named counters and latency timers."""
+    """Named counters, gauges, latency timers and histograms."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
         self._timers: Dict[str, List[float]] = {}
+        #: key -> {"bounds": tuple, "counts": per-bucket list (+overflow),
+        #:         "sum": float, "count": int}
+        self._hists: Dict[str, Dict[str, Any]] = {}
 
     # -- counters -----------------------------------------------------------
-    def incr(self, name: str, by: int = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + by
+    def incr(
+        self, name: str, by: int = 1,
+        labels: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        key = metric_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + by
 
-    def counter(self, name: str) -> int:
-        return self._counters.get(name, 0)
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, Any]] = None
+    ) -> int:
+        return self._counters.get(metric_key(name, labels), 0)
+
+    # -- gauges -------------------------------------------------------------
+    def gauge(
+        self, name: str, value: float,
+        labels: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Set a last-value-wins measurement (utilization, queue depth)."""
+        key = metric_key(name, labels)
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def gauge_value(
+        self, name: str, labels: Optional[Mapping[str, Any]] = None
+    ) -> float:
+        return self._gauges.get(metric_key(name, labels), 0.0)
 
     # -- timers -------------------------------------------------------------
-    def observe(self, name: str, seconds: float) -> None:
-        self._timers.setdefault(name, []).append(seconds)
+    def observe(
+        self, name: str, seconds: float,
+        labels: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        key = metric_key(name, labels)
+        with self._lock:
+            self._timers.setdefault(key, []).append(seconds)
 
-    def timer_stats(self, name: str) -> Dict[str, float]:
-        obs = self._timers.get(name, [])
+    def timer_stats(
+        self, name: str, labels: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, float]:
+        """Count/mean/p50/p95/p99; all-zero (count 0) when unobserved."""
+        obs = self._timers.get(metric_key(name, labels), [])
         if not obs:
-            return {"count": 0, "mean_s": 0.0, "p50_s": 0.0, "p95_s": 0.0}
+            return {
+                "count": 0, "mean_s": 0.0,
+                "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0,
+            }
         return {
             "count": len(obs),
             "mean_s": sum(obs) / len(obs),
             "p50_s": percentile(obs, 50),
             "p95_s": percentile(obs, 95),
+            "p99_s": percentile(obs, 99),
         }
+
+    # -- histograms ---------------------------------------------------------
+    def hist(
+        self, name: str, value: float,
+        labels: Optional[Mapping[str, Any]] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Record ``value`` into a bucketed histogram.
+
+        Bucket bounds are fixed by the first observation of a series;
+        later observations with different bounds are rejected loudly.
+        """
+        key = metric_key(name, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds):
+            raise ConfigurationError(f"histogram buckets must be sorted: {bounds}")
+        with self._lock:
+            h = self._hists.get(key)
+            if h is None:
+                h = {
+                    "bounds": bounds,
+                    "counts": [0] * (len(bounds) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+                self._hists[key] = h
+            elif h["bounds"] != bounds:
+                raise ConfigurationError(
+                    f"histogram {key!r} bounds changed: "
+                    f"{h['bounds']} -> {bounds}"
+                )
+            idx = len(h["bounds"])
+            for i, bound in enumerate(h["bounds"]):
+                if value <= bound:
+                    idx = i
+                    break
+            h["counts"][idx] += 1
+            h["sum"] += value
+            h["count"] += 1
+
+    @staticmethod
+    def _hist_snapshot(h: Dict[str, Any]) -> Dict[str, Any]:
+        """Cumulative-bucket view (Prometheus ``le`` semantics)."""
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(h["bounds"], h["counts"]):
+            running += count
+            cumulative[repr(bound)] = running
+        cumulative["+Inf"] = running + h["counts"][-1]
+        return {"count": h["count"], "sum": h["sum"], "buckets": cumulative}
 
     # -- snapshots -----------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
-        """Point-in-time view: all counters plus per-timer stats."""
+        """Point-in-time view: counters, gauges, timer stats, histograms."""
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            gauges = dict(sorted(self._gauges.items()))
+            timer_names = sorted(self._timers)
+            hists = {
+                name: self._hist_snapshot(h)
+                for name, h in sorted(self._hists.items())
+            }
         return {
-            "counters": dict(sorted(self._counters.items())),
-            "timers": {
-                name: self.timer_stats(name) for name in sorted(self._timers)
-            },
+            "counters": counters,
+            "gauges": gauges,
+            "timers": {name: self.timer_stats(name) for name in timer_names},
+            "histograms": hists,
         }
+
+    def dump(self) -> Dict[str, Any]:
+        """Raw, lossless state for cross-process :meth:`merge` transport."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": {k: list(v) for k, v in self._timers.items()},
+                "histograms": {
+                    k: {
+                        "bounds": list(h["bounds"]),
+                        "counts": list(h["counts"]),
+                        "sum": h["sum"],
+                        "count": h["count"],
+                    }
+                    for k, h in self._hists.items()
+                },
+            }
+
+    def merge(self, other: Mapping[str, Any]) -> None:
+        """Aggregate another registry's :meth:`dump` into this one.
+
+        Counters add; timers concatenate raw observations (so
+        percentiles stay exact); gauges take the incoming value;
+        histograms add bucket-wise (bounds must match).
+        """
+        with self._lock:
+            for key, value in other.get("counters", {}).items():
+                self._counters[key] = self._counters.get(key, 0) + value
+            for key, value in other.get("gauges", {}).items():
+                self._gauges[key] = float(value)
+            for key, obs in other.get("timers", {}).items():
+                self._timers.setdefault(key, []).extend(obs)
+            for key, h in other.get("histograms", {}).items():
+                bounds = tuple(float(b) for b in h["bounds"])
+                mine = self._hists.get(key)
+                if mine is None:
+                    self._hists[key] = {
+                        "bounds": bounds,
+                        "counts": list(h["counts"]),
+                        "sum": h["sum"],
+                        "count": h["count"],
+                    }
+                    continue
+                if mine["bounds"] != bounds:
+                    raise ConfigurationError(
+                        f"cannot merge histogram {key!r}: bounds differ"
+                    )
+                mine["counts"] = [
+                    a + b for a, b in zip(mine["counts"], h["counts"])
+                ]
+                mine["sum"] += h["sum"]
+                mine["count"] += h["count"]
 
     def render(self, extra: Tuple[Tuple[str, Any], ...] = ()) -> str:
         """Human-readable snapshot; ``extra`` rows are appended verbatim."""
@@ -67,12 +262,19 @@ class MetricsRegistry:
         snap = self.snapshot()
         for name, value in snap["counters"].items():
             lines.append(f"  {name:<28} {value}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"  {name:<28} {value:.4f}")
         for name, stats in snap["timers"].items():
             lines.append(
                 f"  {name:<28} n={stats['count']}"
                 f" mean={stats['mean_s'] * 1e3:.2f}ms"
                 f" p50={stats['p50_s'] * 1e3:.2f}ms"
                 f" p95={stats['p95_s'] * 1e3:.2f}ms"
+                f" p99={stats['p99_s'] * 1e3:.2f}ms"
+            )
+        for name, h in snap["histograms"].items():
+            lines.append(
+                f"  {name:<28} n={h['count']} sum={h['sum']:.4f}"
             )
         for name, value in extra:
             if isinstance(value, float):

@@ -33,6 +33,10 @@ class DmaEngine(Component):
         self.bus = bus
         self.setup_cycles = setup_cycles
         self.transfers = 0
+        # In-flight transfer depth: current and high-water mark (how many
+        # descriptors were ever queued on the engine at once).
+        self.pending = 0
+        self.peak_pending = 0
 
     def transfer(self, nbytes: int, requester: str = "dma"):
         """Process generator: descriptor setup then the bus transfer."""
@@ -40,7 +44,12 @@ class DmaEngine(Component):
             raise ConfigurationError(f"negative DMA size {nbytes}")
         if nbytes == 0:
             return
-        yield self.cycles(self.setup_cycles)
-        self.log(f"dma {nbytes}B for {requester}")
-        yield from self.bus.transfer(nbytes, requester=requester)
-        self.transfers += 1
+        self.pending += 1
+        self.peak_pending = max(self.peak_pending, self.pending)
+        try:
+            yield self.cycles(self.setup_cycles)
+            self.log(f"dma {nbytes}B for {requester}")
+            yield from self.bus.transfer(nbytes, requester=requester)
+            self.transfers += 1
+        finally:
+            self.pending -= 1

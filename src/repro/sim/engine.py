@@ -131,6 +131,7 @@ class Engine:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = count()
         self._active = 0  # processes started but not finished
+        self.events_processed = 0  # thunks executed by run()
 
     def schedule(self, delay: float, thunk: Callable[[], None]) -> None:
         """Run ``thunk`` after ``delay`` simulated seconds."""
@@ -168,6 +169,7 @@ class Engine:
             if t < self.now - 1e-18:  # pragma: no cover - defensive
                 raise SimulationError("time went backwards")
             self.now = t
+            self.events_processed += 1
             thunk()
         if check_deadlock and self._active > 0:
             raise DeadlockError(
@@ -199,6 +201,14 @@ class Resource:
         self._busy_since: Optional[float] = None
         self.busy_time = 0.0
         self.grants = 0
+        # Contention accounting: how often a request had to wait, and the
+        # deepest queue ever observed (bus arbitration pressure).
+        self.contentions = 0
+        self.peak_waiters = 0
+
+    def queued(self) -> int:
+        """Requests currently waiting for a grant."""
+        return len(self._waiters)
 
     def request(self, key: object = None) -> Event:
         """Event that triggers when the resource is granted."""
@@ -206,7 +216,9 @@ class Resource:
         if self._in_use < self.capacity:
             self._grant(ev)
         else:
+            self.contentions += 1
             self._enqueue(ev, key)
+            self.peak_waiters = max(self.peak_waiters, self.queued())
         return ev
 
     def _enqueue(self, ev: Event, key: object) -> None:
@@ -269,6 +281,10 @@ class WrrResource(Resource):
         self._rr_order: List[object] = []
         self._current_key: Optional[object] = None
         self._served_in_turn = 0
+
+    def queued(self) -> int:
+        """Requests waiting across all per-key queues."""
+        return sum(len(q) for q in self._queues.values())
 
     def _enqueue(self, ev: Event, key: object) -> None:
         if key not in self._queues:

@@ -14,6 +14,8 @@ from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
 from .bus import PlbBus
+from .dma import DmaEngine
+from .engine import Engine
 from .noc.mesh import NocMesh
 from .systems import SimulatedTimes
 
@@ -29,6 +31,8 @@ class LinkStats:
     bytes_moved: int
     packets: int
     utilization: float
+    #: Link-width flits carried (``ceil(bytes / link_width)`` per packet).
+    flits: int = 0
 
 
 @dataclass(frozen=True)
@@ -44,6 +48,14 @@ class SimulationStats:
     noc_packets: int
     links: Tuple[LinkStats, ...] = ()
     kernel_busy: Dict[str, float] = field(default_factory=dict)
+    #: Bus arbitration pressure: requests that had to wait / deepest queue.
+    bus_contentions: int = 0
+    bus_peak_waiters: int = 0
+    #: DMA descriptor high-water mark (concurrent in-flight transfers).
+    dma_transfers: int = 0
+    dma_peak_queue: int = 0
+    #: Discrete events the engine executed for this run.
+    engine_events: int = 0
 
     @property
     def busiest_link(self) -> Optional[LinkStats]:
@@ -66,6 +78,16 @@ class SimulationStats:
             f"{self.bus_transactions} transactions "
             f"({self.bus_utilization:.1%} busy)",
         ]
+        if self.bus_contentions:
+            lines.append(
+                f"  bus contention    : {self.bus_contentions} stalled "
+                f"requests (peak queue {self.bus_peak_waiters})"
+            )
+        if self.dma_transfers:
+            lines.append(
+                f"  DMA               : {self.dma_transfers} transfers "
+                f"(peak in flight {self.dma_peak_queue})"
+            )
         if self.noc_bytes:
             lines.append(
                 f"  NoC               : {self.noc_bytes} B in "
@@ -94,17 +116,20 @@ def collect_stats(
     times: SimulatedTimes,
     bus: Optional[PlbBus] = None,
     noc: Optional[NocMesh] = None,
+    dma: Optional[DmaEngine] = None,
+    engine: Optional[Engine] = None,
 ) -> SimulationStats:
     """Build a :class:`SimulationStats` from a run's artifacts.
 
     ``times`` alone yields the portable subset (kernel spans, bus busy
-    seconds); passing the live ``bus``/``noc`` components adds their
-    exact byte/packet/per-link counters.
+    seconds); passing the live ``bus``/``noc``/``dma``/``engine``
+    components adds their exact byte/packet/per-link/contention counters.
     """
     makespan = times.kernels_s
     links: Tuple[LinkStats, ...] = ()
     noc_packets = 0
     if noc is not None:
+        flit_bytes = noc.params.link_width_bytes
         links = tuple(
             LinkStats(
                 src=l.src,
@@ -112,11 +137,13 @@ def collect_stats(
                 bytes_moved=l.bytes_moved,
                 packets=l.packets,
                 utilization=l.utilization(makespan) if makespan > 0 else 0.0,
+                flits=-(-l.bytes_moved // flit_bytes),
             )
             for l in noc.links.values()
             if l.bytes_moved > 0
         )
         noc_packets = noc.packets_delivered
+    arb = bus._resource if bus is not None else None
     return SimulationStats(
         label=times.label,
         makespan_s=makespan,
@@ -132,4 +159,48 @@ def collect_stats(
             name: end - start
             for name, (start, end) in times.kernel_spans.items()
         },
+        bus_contentions=arb.contentions if arb is not None else 0,
+        bus_peak_waiters=arb.peak_waiters if arb is not None else 0,
+        dma_transfers=dma.transfers if dma is not None else 0,
+        dma_peak_queue=dma.peak_pending if dma is not None else 0,
+        engine_events=engine.events_processed if engine is not None else 0,
     )
+
+
+def publish_stats(
+    stats: SimulationStats, registry, system: Optional[str] = None
+) -> None:
+    """Push a run's counters into a metrics registry.
+
+    ``registry`` is a :class:`repro.service.metrics.MetricsRegistry`
+    (duck-typed to avoid a sim→service import edge). Every series is
+    labelled with the run (``system``, default the stats label) so
+    several runs can share one registry; per-link series add ``src`` /
+    ``dst`` labels.
+    """
+    labels = {"system": system or stats.label}
+    registry.incr("sim_bus_bytes", by=stats.bus_bytes, labels=labels)
+    registry.incr(
+        "sim_bus_transactions", by=stats.bus_transactions, labels=labels
+    )
+    registry.incr(
+        "sim_bus_contention_stalls", by=stats.bus_contentions, labels=labels
+    )
+    registry.gauge("sim_bus_peak_waiters", stats.bus_peak_waiters, labels=labels)
+    registry.gauge("sim_bus_utilization", stats.bus_utilization, labels=labels)
+    registry.incr("sim_dma_transfers", by=stats.dma_transfers, labels=labels)
+    registry.gauge("sim_dma_peak_queue", stats.dma_peak_queue, labels=labels)
+    registry.incr("sim_engine_events", by=stats.engine_events, labels=labels)
+    registry.gauge("sim_makespan_seconds", stats.makespan_s, labels=labels)
+    if stats.noc_bytes:
+        registry.incr("sim_noc_bytes", by=stats.noc_bytes, labels=labels)
+        registry.incr("sim_noc_packets", by=stats.noc_packets, labels=labels)
+    for link in stats.links:
+        link_labels = dict(labels)
+        link_labels["src"] = f"{link.src[0]},{link.src[1]}"
+        link_labels["dst"] = f"{link.dst[0]},{link.dst[1]}"
+        registry.incr("sim_link_bytes", by=link.bytes_moved, labels=link_labels)
+        registry.incr("sim_link_flits", by=link.flits, labels=link_labels)
+        registry.gauge(
+            "sim_link_utilization", link.utilization, labels=link_labels
+        )

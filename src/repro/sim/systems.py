@@ -237,9 +237,10 @@ def simulate_proposed(
 ) -> SimulatedTimes:
     """Execute the designed system as a concurrent process network.
 
-    ``components_out``, when given, receives the live ``"bus"`` and
-    ``"noc"`` component instances after the run, so callers (e.g. the
-    statistics collector) can read their exact counters.
+    ``components_out``, when given, receives the live ``"bus"``,
+    ``"noc"``, ``"dma"`` and ``"engine"`` component instances after the
+    run, so callers (e.g. the statistics collector) can read their exact
+    counters.
     """
     graph = plan.graph
     engine = Engine()
@@ -404,6 +405,8 @@ def simulate_proposed(
     makespan = engine.run()
     if components_out is not None:
         components_out["bus"] = bus
+        components_out["dma"] = dma
+        components_out["engine"] = engine
         if noc is not None:
             components_out["noc"] = noc
     comp = sum(graph.kernel(k).tau_seconds for k in order)
