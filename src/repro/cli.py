@@ -13,6 +13,10 @@
   baseline-vs-proposed Gantt comparison;
 * ``sweep`` — evaluate a parameter grid through the design service
   (``--jobs`` workers, ``--cache-dir`` result reuse, ``--stats``);
+* ``fuzz`` — property-based fuzz campaign over random communication
+  graphs: Algorithm 1 invariants, analytic-vs-simulated differential
+  oracle, metamorphic checks, with ``--shrink`` minimization and a
+  JSON ``--report`` artifact;
 * ``apps`` — list the available applications.
 """
 
@@ -113,6 +117,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print service metrics (cache hit ratio, latency)")
     p.add_argument("--output", type=str, default=None,
                    help="write the CSV here instead of stdout")
+    p.add_argument("--trace-out", type=str, default=None, metavar="PATH",
+                   help="collect spans and write them here "
+                        "(.jsonl = JSONL, else Chrome trace_event JSON)")
+    p.add_argument("--metrics-out", type=str, default=None, metavar="PATH",
+                   help="write the service metrics snapshot here "
+                        "(.prom = Prometheus exposition, else JSON)")
+
+    p = sub.add_parser(
+        "fuzz",
+        help="property-based fuzzing of Algorithm 1 + the simulator",
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p.add_argument("--cases", type=int, default=100,
+                   help="number of generated cases")
+    p.add_argument("--shrink", action="store_true",
+                   help="minimize every failing case before reporting")
+    p.add_argument("--shrink-budget", type=int, default=300,
+                   help="max candidate evaluations per shrink")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel worker processes (1 = in-process serial)")
+    p.add_argument("--min-kernels", type=int, default=2,
+                   help="smallest generated kernel count")
+    p.add_argument("--max-kernels", type=int, default=8,
+                   help="largest generated kernel count")
+    p.add_argument("--density", type=float, default=0.3,
+                   help="kernel-to-kernel edge probability")
+    p.add_argument("--distribution", choices=("uniform", "log_uniform",
+                                              "heavy_tail"),
+                   default="log_uniform", help="byte-volume distribution")
+    p.add_argument("--fixed-params", action="store_true",
+                   help="use default SystemParams instead of fuzzing them")
+    p.add_argument("--report", type=str, default=None, metavar="PATH",
+                   help="write the JSON campaign report here")
+    p.add_argument("--stats", action="store_true",
+                   help="print service metrics after the campaign")
     p.add_argument("--trace-out", type=str, default=None, metavar="PATH",
                    help="collect spans and write them here "
                         "(.jsonl = JSONL, else Chrome trace_event JSON)")
@@ -320,6 +359,60 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .io import save_json
+    from .service import DesignService
+    from .verify import FuzzSpec, run_fuzz
+
+    spec = FuzzSpec(
+        min_kernels=args.min_kernels,
+        max_kernels=args.max_kernels,
+        edge_density=args.density,
+        volume_distribution=args.distribution,
+        fuzz_system_params=not args.fixed_params,
+    )
+    tracer = None
+    if args.trace_out is not None:
+        from .obs.trace import Tracer
+
+        tracer = Tracer()
+    from .verify import run_fuzz_job
+
+    service = DesignService(jobs=args.jobs, tracer=tracer,
+                            runner=run_fuzz_job)
+    report = run_fuzz(
+        spec=spec,
+        seed=args.seed,
+        cases=args.cases,
+        shrink=args.shrink,
+        shrink_budget=args.shrink_budget,
+        service=service,
+        tracer=tracer,
+    )
+    print(report.render())
+    if args.report is not None:
+        save_json(report.to_dict(), args.report)
+        print(f"wrote fuzz report to {args.report}")
+    if args.stats:
+        print(service.render_stats(), file=sys.stderr)
+    if tracer is not None:
+        import pathlib
+
+        trace_path = pathlib.Path(args.trace_out)
+        if trace_path.suffix == ".jsonl":
+            tracer.write_jsonl(trace_path)
+        else:
+            tracer.write_chrome_trace(trace_path)
+        print(f"wrote {len(tracer.events)} spans to {trace_path}",
+              file=sys.stderr)
+    if args.metrics_out is not None:
+        from .obs.export import write_metrics
+
+        out = write_metrics(service.stats(), args.metrics_out)
+        print(f"wrote metrics snapshot to {out}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_apps(_args: argparse.Namespace) -> int:
     for name in APP_NAMES:
         app = get_application(name)
@@ -402,6 +495,7 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "report": cmd_report,
     "sweep": cmd_sweep,
+    "fuzz": cmd_fuzz,
     "apps": cmd_apps,
     "pareto": cmd_pareto,
     "reconfig": cmd_reconfig,

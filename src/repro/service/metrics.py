@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 import threading
+from fractions import Fraction
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
@@ -57,13 +58,19 @@ def percentile(values: Sequence[float], q: float) -> float:
     * ``q=0`` returns the minimum, ``q=100`` the maximum;
     * an empty input returns ``0.0`` (never ``NaN``/``None``) — the
       companion ``count`` field is how callers detect "no data".
+
+    The rank ``⌈q·n/100⌉`` is computed in exact rational arithmetic:
+    binary floating point cannot represent e.g. ``55/100``, and the
+    upward rounding error (``55 * 100 / 100.0 -> 55.000000000000007``)
+    would push the ceiling one rank too high exactly at the boundaries
+    the nearest-rank definition cares about.
     """
     if not 0.0 <= q <= 100.0:
         raise ConfigurationError(f"percentile q must be in [0, 100], got {q}")
     if not values:
         return 0.0
     ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    rank = max(1, math.ceil(Fraction(q) * len(ordered) / 100))
     return ordered[min(rank, len(ordered)) - 1]
 
 

@@ -1,0 +1,256 @@
+"""Seeded random generation of valid designer inputs.
+
+The fuzz harness needs arbitrary-but-valid :class:`~repro.core.commgraph.
+CommGraph` / :class:`~repro.sim.systems.SystemParams` instances, far
+outside the four paper applications. :func:`generate_case` draws one
+:class:`GeneratedCase` from a :class:`FuzzSpec` deterministically: the
+same ``(spec, seed, index)`` triple always produces byte-identical
+inputs, on any platform, so a failing case is reproducible from the
+three numbers printed in the fuzz report.
+
+Two generation rules keep downstream metamorphic checks sound:
+
+* **distinct edge weights** — ``edges_by_weight`` and the sharing scan
+  break ties by name, so equal-weight edges would make kernel-relabeling
+  permutation invariance genuinely false; the generator nudges duplicate
+  draws until every kernel-to-kernel byte count is unique;
+* **distinct computation times** — the duplication loop visits kernels
+  by descending ``τ`` with name tie-breaks, so ``τ`` values are made
+  unique for the same reason.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+from ..core.commgraph import CommGraph
+from ..core.designer import DesignConfig
+from ..core.kernel import KernelSpec
+from ..errors import ConfigurationError
+from ..hw.resources import ResourceCost
+from ..io import FORMAT_VERSION, graph_from_dict, graph_to_dict, validate_document
+from ..sim.systems import SystemParams
+
+#: Document kind stamped into serialized fuzz cases.
+CASE_KIND = "fuzz-case"
+
+#: Byte-volume distribution names accepted by :class:`FuzzSpec`.
+VOLUME_DISTRIBUTIONS = ("uniform", "log_uniform", "heavy_tail")
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """Parameters of the random input space.
+
+    The defaults cover the regime the paper operates in (2–8 kernels,
+    mixed host/kernel traffic, occasional streaming/parallel kernels)
+    while still reaching degenerate corners: edge-free graphs, host-free
+    kernels, single-kernel apps, torus NoCs.
+    """
+
+    min_kernels: int = 2
+    max_kernels: int = 8
+    #: Probability of each ordered kernel pair carrying traffic.
+    edge_density: float = 0.3
+    #: Probability of a kernel having host input (and, independently,
+    #: host output).
+    host_traffic_probability: float = 0.65
+    #: Shape of the byte-volume draw (kernel edges and host flows):
+    #: ``uniform``, ``log_uniform`` (the QUAD profiles' regime), or
+    #: ``heavy_tail`` (a few dominant flows).
+    volume_distribution: str = "log_uniform"
+    max_edge_bytes: int = 262_144
+    max_host_bytes: int = 131_072
+    #: Probability of each streaming capability flag per kernel.
+    streaming_probability: float = 0.4
+    #: Probability of a kernel being parallelizable (duplication-eligible).
+    parallel_probability: float = 0.4
+    #: Also randomize the hardware :class:`SystemParams` per case.
+    fuzz_system_params: bool = True
+    #: Probability of designing for a torus instead of a mesh NoC.
+    torus_probability: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_kernels <= self.max_kernels:
+            raise ConfigurationError(
+                f"kernel range [{self.min_kernels}, {self.max_kernels}] invalid"
+            )
+        for name in ("edge_density", "host_traffic_probability",
+                     "streaming_probability", "parallel_probability",
+                     "torus_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if self.volume_distribution not in VOLUME_DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"unknown volume distribution {self.volume_distribution!r} "
+                f"(have: {VOLUME_DISTRIBUTIONS})"
+            )
+        if self.max_edge_bytes < 1 or self.max_host_bytes < 1:
+            raise ConfigurationError("byte-volume maxima must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FuzzSpec":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class GeneratedCase:
+    """One complete, valid designer + simulator input."""
+
+    seed: int
+    index: int
+    graph: CommGraph
+    params: SystemParams
+    stream_overhead_s: float
+    noc_topology: str = "mesh"
+    max_duplications: int = 1
+
+    def config(self) -> DesignConfig:
+        """The design configuration this case is evaluated under."""
+        return DesignConfig(
+            theta_s_per_byte=self.params.theta_s_per_byte(),
+            stream_overhead_s=self.stream_overhead_s,
+            noc_topology=self.noc_topology,
+            max_duplications=self.max_duplications,
+        )
+
+    def label(self) -> str:
+        """Short human identity (report rows, metrics labels)."""
+        return f"fuzz[{self.seed}:{self.index}]"
+
+    # -- serialization (reports, reproduction) -----------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": CASE_KIND,
+            "version": FORMAT_VERSION,
+            "seed": self.seed,
+            "index": self.index,
+            "graph": graph_to_dict(self.graph),
+            "params": dataclasses.asdict(self.params),
+            "stream_overhead_s": self.stream_overhead_s,
+            "noc_topology": self.noc_topology,
+            "max_duplications": self.max_duplications,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GeneratedCase":
+        validate_document(dict(data), CASE_KIND)
+        return cls(
+            seed=data["seed"],
+            index=data["index"],
+            graph=graph_from_dict(data["graph"]),
+            params=SystemParams(**data["params"]),
+            stream_overhead_s=data["stream_overhead_s"],
+            noc_topology=data["noc_topology"],
+            max_duplications=data["max_duplications"],
+        )
+
+
+def case_rng(seed: int, index: int) -> random.Random:
+    """The deterministic RNG of one case.
+
+    Seeding from a string routes through ``random.seed(version=2)``,
+    which hashes the bytes with SHA-512 — stable across processes,
+    platforms, and ``PYTHONHASHSEED``.
+    """
+    return random.Random(f"repro-fuzz:{seed}:{index}")
+
+
+def _draw_bytes(rng: random.Random, spec: FuzzSpec, upper: int) -> int:
+    """One byte volume under the spec's distribution, in ``[1, upper]``."""
+    if spec.volume_distribution == "uniform":
+        return rng.randint(1, upper)
+    if spec.volume_distribution == "log_uniform":
+        exp = rng.uniform(0.0, 1.0)
+        return max(1, min(upper, int(upper ** exp)))
+    # heavy_tail: most flows tiny, a few near the cap.
+    u = rng.uniform(0.0, 1.0)
+    value = int(16 * (1.0 / max(1e-9, 1.0 - u)) ** 1.2)
+    return max(1, min(upper, value))
+
+
+def _unique(value: int, taken: set, upper: int) -> int:
+    """Nudge ``value`` until unused (ties would break tie-break-by-name
+    determinism arguments; see module docstring)."""
+    while value in taken:
+        value = value + 1 if value < upper else 1
+    taken.add(value)
+    return value
+
+
+def _draw_params(rng: random.Random) -> SystemParams:
+    """A random, valid hardware parameter set."""
+    return SystemParams(
+        bus_width_bytes=rng.choice((4, 8, 16)),
+        bus_arbitration_cycles=rng.randint(1, 8),
+        bus_address_cycles=rng.randint(1, 4),
+        bus_burst_bytes=rng.choice((256, 512, 1024, 2048, 4096)),
+        dma_setup_cycles=rng.randint(10, 120),
+        noc_link_width_bytes=rng.choice((2, 4, 8)),
+        noc_hop_latency_cycles=rng.randint(1, 6),
+        noc_max_packet_bytes=rng.choice((1024, 4096, 8192)),
+    )
+
+
+def generate_case(spec: FuzzSpec, seed: int, index: int) -> GeneratedCase:
+    """Draw case number ``index`` of campaign ``seed`` under ``spec``."""
+    rng = case_rng(seed, index)
+    n = rng.randint(spec.min_kernels, spec.max_kernels)
+    names = [f"k{i}" for i in range(n)]
+
+    taus: set = set()
+    kernels: Dict[str, KernelSpec] = {}
+    for name in names:
+        tau = _unique(rng.randint(2_000, 400_000), taus, 10**9)
+        kernels[name] = KernelSpec(
+            name=name,
+            tau_cycles=tau,
+            sw_cycles=rng.randint(20_000, 4_000_000),
+            parallelizable=rng.random() < spec.parallel_probability,
+            streams_host_io=rng.random() < spec.streaming_probability,
+            streams_kernel_input=rng.random() < spec.streaming_probability,
+            resources=ResourceCost(rng.randint(200, 4000), rng.randint(200, 4000)),
+            local_memory_bytes=rng.choice((0, 1024, 4096, 16384)),
+        )
+
+    volumes: set = set()
+    kk: Dict[Tuple[str, str], int] = {}
+    for p in names:
+        for c in names:
+            if p != c and rng.random() < spec.edge_density:
+                raw = _draw_bytes(rng, spec, spec.max_edge_bytes)
+                kk[(p, c)] = _unique(raw, volumes, spec.max_edge_bytes + n * n)
+
+    host_in: Dict[str, int] = {}
+    host_out: Dict[str, int] = {}
+    for name in names:
+        if rng.random() < spec.host_traffic_probability:
+            host_in[name] = _draw_bytes(rng, spec, spec.max_host_bytes)
+        if rng.random() < spec.host_traffic_probability:
+            host_out[name] = _draw_bytes(rng, spec, spec.max_host_bytes)
+
+    # A completely traffic-free application is not a design problem at
+    # all (and Eq. 2 degenerates); give the first kernel one host input.
+    if not kk and not host_in and not host_out:
+        host_in[names[0]] = _draw_bytes(rng, spec, spec.max_host_bytes)
+
+    graph = CommGraph(
+        kernels=kernels, kk_edges=kk, host_in=host_in, host_out=host_out
+    )
+    params = _draw_params(rng) if spec.fuzz_system_params else SystemParams()
+    return GeneratedCase(
+        seed=seed,
+        index=index,
+        graph=graph,
+        params=params,
+        stream_overhead_s=rng.uniform(5e-7, 2e-5),
+        noc_topology="torus" if rng.random() < spec.torus_probability else "mesh",
+        max_duplications=rng.choice((0, 1, 1, 2)),
+    )

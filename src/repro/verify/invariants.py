@@ -1,0 +1,520 @@
+"""Algorithm 1 postcondition checker.
+
+:func:`check_plan` re-derives every structural obligation of the design
+algorithm *independently* — directly from the graph arithmetic and the
+paper's formulas, never by calling the production helper that made the
+decision (e.g. the sharing precondition is recomputed from ``D^K`` sums
+rather than through :func:`repro.core.sharing.is_exclusive_pair`). A bug
+planted in a production predicate therefore cannot hide itself from the
+checker; the mutation sanity test in ``tests/test_verify.py`` relies on
+exactly this separation.
+
+Checks, by name (see DESIGN.md §9):
+
+``sharing_precondition``
+    every applied pairing satisfies ``D^K_i(out) = D^K_j(in) = D_ij``,
+    uses the crossbar iff the consumer has host traffic, and no kernel
+    appears in two pairs;
+``duplication_postcondition``
+    duplication only when ``Δ_dp = τ/2 − O > 0`` on a parallelizable
+    kernel, within the budget, copies present / original absent, traffic
+    and ``Σ τ`` conserved, committed resources within the device cap;
+``classification``
+    Table I consistency — ``{R,S}`` classes recomputed on the residual
+    graph match the plan, ``{K,M}`` matches ``adaptive_map``, and the
+    infeasible ``{K1,M2}`` cell never appears;
+``edge_coverage``
+    shared-memory and NoC edges partition the post-duplication kernel
+    edges exactly (none dropped, none carried twice);
+``placement``
+    NoC nodes are the ``K2``/``M2|M3`` entities, mesh dimensions are the
+    smallest near-square, topology matches the config, and every NoC
+    edge's hop distance respects the topology's diameter;
+``provenance``
+    the decision log tells the same story as the plan — applied
+    sharing/duplication/pipeline/classify/placement events match the
+    plan's structures one-for-one, with strictly increasing ``seq``;
+``pipeline_postcondition``
+    applied pipelining has positive ``Δ``, the advertised streaming
+    capability, and (case 2) rides only on kept edges;
+``analytic_sanity``
+    the model's proposed times never exceed the baseline, communication
+    is non-negative, computation at least half the baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set, Tuple
+
+from ..core.analytic import AnalyticModel
+from ..core.commgraph import CommGraph
+from ..core.designer import DesignConfig
+from ..core.duplication import DUP_SUFFIXES, delta_dp_seconds
+from ..core.mapping import INFEASIBLE, adaptive_map
+from ..core.parallel import PipelineCase, delta_p1_seconds, delta_p2_seconds
+from ..core.placement import mesh_dimensions
+from ..core.plan import InterconnectPlan, memory_node
+from ..core.sharing import residual_graph
+from ..core.topology import classify_receive, classify_send
+from ..hw.resources import ComponentKind, component_cost
+from ..hw.synthesis import PLATFORM_BASE
+from ..obs import provenance as prov
+
+#: Relative tolerance for comparing recomputed Δ values to recorded ones.
+REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed postcondition."""
+
+    check: str
+    subject: str
+    message: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"check": self.check, "subject": self.subject,
+                "message": self.message}
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.subject}: {self.message}"
+
+
+class _Collector:
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+
+    def fail(self, check: str, subject: str, message: str) -> None:
+        self.violations.append(Violation(check, subject, message))
+
+    def ensure(self, ok: bool, check: str, subject: str, message: str) -> None:
+        if not ok:
+            self.fail(check, subject, message)
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=1e-15)
+
+
+# -- individual check groups -------------------------------------------------
+
+def _check_sharing(c: _Collector, plan: InterconnectPlan) -> None:
+    graph = plan.graph
+    seen: Set[str] = set()
+    for link in plan.sharing:
+        subject = f"{link.producer}->{link.consumer}"
+        d_ij = graph.edge_bytes(link.producer, link.consumer)
+        c.ensure(
+            d_ij > 0, "sharing_precondition", subject,
+            "shared edge does not exist in the designed graph",
+        )
+        c.ensure(
+            link.bytes == d_ij, "sharing_precondition", subject,
+            f"link records {link.bytes}B but the graph carries {d_ij}B",
+        )
+        # The paper's condition, recomputed from first principles:
+        # D^K_i(out) = D^K_j(in) = D_ij.
+        d_out = graph.d_k_out(link.producer)
+        d_in = graph.d_k_in(link.consumer)
+        c.ensure(
+            d_out == d_ij and d_in == d_ij,
+            "sharing_precondition", subject,
+            f"pair is not exclusive: D^K_out({link.producer})={d_out}B, "
+            f"D^K_in({link.consumer})={d_in}B, D_ij={d_ij}B",
+        )
+        host = graph.d_h_in(link.consumer) + graph.d_h_out(link.consumer)
+        c.ensure(
+            link.crossbar == (host > 0), "sharing_precondition", subject,
+            f"crossbar={link.crossbar} but consumer host traffic is {host}B",
+        )
+        for k in (link.producer, link.consumer):
+            c.ensure(
+                k not in seen, "sharing_precondition", subject,
+                f"kernel {k!r} participates in more than one sharing pair",
+            )
+            seen.add(k)
+
+
+def _check_duplication(
+    c: _Collector,
+    original: CommGraph,
+    config: DesignConfig,
+    plan: InterconnectPlan,
+) -> None:
+    applied = [d for d in plan.duplications if d.applied]
+    c.ensure(
+        len(applied) <= config.max_duplications,
+        "duplication_postcondition", plan.app,
+        f"{len(applied)} duplications applied, budget {config.max_duplications}",
+    )
+    if plan.duplications and not config.enable_duplication:
+        c.fail(
+            "duplication_postcondition", plan.app,
+            "duplication decisions recorded while the stage was disabled",
+        )
+    cost = PLATFORM_BASE + component_cost(ComponentKind.BUS)
+    for name in original.kernel_names():
+        cost = cost + original.kernel(name).resources
+    for d in plan.duplications:
+        spec = original.kernel(d.kernel)
+        expected = delta_dp_seconds(spec.tau_cycles, config.stream_overhead_s)
+        c.ensure(
+            _close(d.delta_dp_seconds, expected),
+            "duplication_postcondition", d.kernel,
+            f"recorded Δ_dp={d.delta_dp_seconds!r} but τ/2−O gives {expected!r}",
+        )
+        if not d.applied:
+            continue
+        c.ensure(
+            spec.parallelizable, "duplication_postcondition", d.kernel,
+            "duplicated a kernel that is not parallelizable",
+        )
+        c.ensure(
+            expected > 0, "duplication_postcondition", d.kernel,
+            f"duplicated with non-positive Δ_dp={expected!r}",
+        )
+        names = set(plan.graph.kernel_names())
+        copies = [f"{d.kernel}{sfx}" for sfx in DUP_SUFFIXES]
+        c.ensure(
+            d.kernel not in names and all(cp in names for cp in copies),
+            "duplication_postcondition", d.kernel,
+            f"expected copies {copies} to replace {d.kernel!r} in the plan graph",
+        )
+        cost = cost + spec.resources
+    c.ensure(
+        config.device.fits(cost, config.utilization_cap),
+        "duplication_postcondition", plan.app,
+        f"committed cost {cost.luts} LUTs / {cost.regs} regs exceeds "
+        f"{config.utilization_cap:.0%} of {config.device.name}",
+    )
+    # Duplication must conserve both computation and traffic exactly.
+    tau_orig = sum(original.kernel(k).tau_cycles for k in original.kernel_names())
+    tau_plan = sum(
+        plan.graph.kernel(k).tau_cycles for k in plan.graph.kernel_names()
+    )
+    c.ensure(
+        _close(tau_orig, tau_plan), "duplication_postcondition", plan.app,
+        f"Σ τ changed: {tau_orig} -> {tau_plan} cycles",
+    )
+    c.ensure(
+        original.total_kernel_traffic() == plan.graph.total_kernel_traffic(),
+        "duplication_postcondition", plan.app,
+        f"traffic changed: {original.total_kernel_traffic()}B -> "
+        f"{plan.graph.total_kernel_traffic()}B",
+    )
+
+
+def _check_classification(
+    c: _Collector, config: DesignConfig, plan: InterconnectPlan,
+    residual: CommGraph,
+) -> None:
+    names = set(plan.graph.kernel_names())
+    c.ensure(
+        set(plan.mappings) == names, "classification", plan.app,
+        "mappings do not cover exactly the plan's kernels",
+    )
+    for name, m in plan.mappings.items():
+        receive = classify_receive(residual, name)
+        send = classify_send(residual, name)
+        c.ensure(
+            m.receive is receive and m.send is send,
+            "classification", name,
+            f"classes {{{m.receive.name},{m.send.name}}} but the residual "
+            f"graph gives {{{receive.name},{send.name}}}",
+        )
+        attach = (m.attach_kernel, m.attach_memory)
+        c.ensure(
+            attach != INFEASIBLE, "classification", name,
+            "infeasible {K1,M2} attachment",
+        )
+        if config.enable_noc and config.enable_adaptive_mapping:
+            expected = adaptive_map(receive, send)
+            c.ensure(
+                attach == expected, "classification", name,
+                f"Table I gives {{{expected[0].name},{expected[1].name}}}, "
+                f"plan has {{{attach[0].name},{attach[1].name}}}",
+            )
+
+
+def _check_edges_and_placement(
+    c: _Collector, config: DesignConfig, plan: InterconnectPlan,
+) -> None:
+    sm = {(l.producer, l.consumer) for l in plan.sharing}
+    noc = {(p, co) for p, co, _ in plan.noc.edges} if plan.noc else set()
+    overlap = sm & noc
+    c.ensure(
+        not overlap, "edge_coverage", plan.app,
+        f"edges carried by both SM and NoC: {sorted(overlap)}",
+    )
+    if config.enable_noc:
+        missing = set(plan.graph.kk_edges) - sm - noc
+        c.ensure(
+            not missing, "edge_coverage", plan.app,
+            f"kernel edges on neither SM nor NoC: {sorted(missing)}",
+        )
+    phantom = (sm | noc) - set(plan.graph.kk_edges)
+    c.ensure(
+        not phantom, "edge_coverage", plan.app,
+        f"interconnect carries edges absent from the graph: {sorted(phantom)}",
+    )
+    if plan.noc is None:
+        return
+    for p, co, b in plan.noc.edges:
+        c.ensure(
+            plan.graph.edge_bytes(p, co) == b, "edge_coverage", f"{p}->{co}",
+            f"NoC records {b}B, graph carries {plan.graph.edge_bytes(p, co)}B",
+        )
+    expected_kernels = tuple(
+        m.kernel for m in plan.mappings.values() if m.on_noc
+    )
+    expected_memories = tuple(
+        m.kernel for m in plan.mappings.values() if m.memory_on_noc
+    )
+    c.ensure(
+        set(plan.noc.kernel_nodes) == set(expected_kernels)
+        and set(plan.noc.memory_nodes) == set(expected_memories),
+        "placement", plan.app,
+        "NoC attachment lists disagree with the kernel mappings",
+    )
+    placement = plan.noc.placement
+    nodes = set(plan.noc.kernel_nodes) | {
+        memory_node(k) for k in plan.noc.memory_nodes
+    }
+    c.ensure(
+        set(placement.positions) == nodes, "placement", plan.app,
+        "placed nodes differ from the NoC's attached entities",
+    )
+    width, height = mesh_dimensions(len(nodes)) if nodes else (0, 0)
+    c.ensure(
+        (placement.width, placement.height) == (width, height),
+        "placement", plan.app,
+        f"mesh is {placement.width}x{placement.height}, smallest "
+        f"near-square is {width}x{height}",
+    )
+    c.ensure(
+        placement.torus == (config.noc_topology == "torus"),
+        "placement", plan.app,
+        f"placement torus={placement.torus}, config topology "
+        f"{config.noc_topology!r}",
+    )
+    if placement.torus:
+        diameter = placement.width // 2 + placement.height // 2
+    else:
+        diameter = (placement.width - 1) + (placement.height - 1)
+    for p, co, _b in plan.noc.edges:
+        hops = placement.distance(p, memory_node(co))
+        c.ensure(
+            hops <= diameter, "placement", f"{p}->{co}",
+            f"route is {hops} hops, topology diameter is {diameter}",
+        )
+
+
+def _check_pipeline(
+    c: _Collector, config: DesignConfig, plan: InterconnectPlan,
+) -> None:
+    kept = set(plan.kept_edges())
+    if plan.pipeline and not config.enable_pipelining:
+        c.fail(
+            "pipeline_postcondition", plan.app,
+            "pipeline decisions recorded while the stage was disabled",
+        )
+    for d in plan.pipeline:
+        subject = f"{d.kernel}->{d.consumer}" if d.consumer else d.kernel
+        if d.case is PipelineCase.HOST_STREAM:
+            spec = plan.graph.kernel(d.kernel)
+            expected = delta_p1_seconds(
+                plan.graph.d_h_in(d.kernel),
+                plan.graph.d_h_out(d.kernel),
+                spec.tau_cycles,
+                config.theta_s_per_byte,
+                config.stream_overhead_s,
+            )
+            c.ensure(
+                _close(d.delta_seconds, expected),
+                "pipeline_postcondition", subject,
+                f"recorded Δ_p1={d.delta_seconds!r}, formula gives {expected!r}",
+            )
+            if d.applied:
+                c.ensure(
+                    spec.streams_host_io and expected > 0,
+                    "pipeline_postcondition", subject,
+                    "applied case 1 without streaming capability or with "
+                    f"Δ_p1={expected!r} <= 0",
+                )
+        else:
+            assert d.consumer is not None
+            expected = delta_p2_seconds(
+                plan.graph.kernel(d.kernel).tau_cycles,
+                plan.graph.kernel(d.consumer).tau_cycles,
+                config.stream_overhead_s,
+            )
+            c.ensure(
+                _close(d.delta_seconds, expected),
+                "pipeline_postcondition", subject,
+                f"recorded Δ_p2={d.delta_seconds!r}, formula gives {expected!r}",
+            )
+            c.ensure(
+                (d.kernel, d.consumer) in kept,
+                "pipeline_postcondition", subject,
+                "case 2 evaluated on an edge the interconnect does not keep",
+            )
+            if d.applied:
+                c.ensure(
+                    plan.graph.kernel(d.consumer).streams_kernel_input
+                    and expected > 0,
+                    "pipeline_postcondition", subject,
+                    "applied case 2 without consumer streaming or with "
+                    f"Δ_p2={expected!r} <= 0",
+                )
+
+
+def _check_provenance(c: _Collector, plan: InterconnectPlan) -> None:
+    events = plan.provenance
+    if not events:
+        c.fail("provenance", plan.app, "plan carries no provenance events")
+        return
+    for i, e in enumerate(events):
+        c.ensure(
+            e.seq == i, "provenance", f"seq:{e.seq}",
+            f"event sequence numbers not contiguous at position {i}",
+        )
+    c.ensure(
+        events[0].stage == prov.STAGE_CONFIG, "provenance", plan.app,
+        f"first event is {events[0].stage!r}, expected config",
+    )
+
+    def applied(stage: str) -> List[Any]:
+        return [e for e in events if e.stage == stage and e.outcome == "applied"]
+
+    # Sharing events mirror the applied links one-for-one, in order.
+    sharing_events = applied(prov.STAGE_SHARING)
+    expected_sharing = [f"{l.producer}->{l.consumer}" for l in plan.sharing]
+    c.ensure(
+        [e.subject for e in sharing_events] == expected_sharing,
+        "provenance", plan.app,
+        f"applied sharing events {[e.subject for e in sharing_events]} != "
+        f"plan links {expected_sharing}",
+    )
+    for e, link in zip(sharing_events, plan.sharing):
+        d = e.detail_map
+        c.ensure(
+            d.get("bytes") == link.bytes and d.get("crossbar") == link.crossbar,
+            "provenance", e.subject,
+            "sharing event detail disagrees with the applied link",
+        )
+
+    dup_events = applied(prov.STAGE_DUPLICATION)
+    expected_dups = [d.kernel for d in plan.duplications if d.applied]
+    c.ensure(
+        [e.subject for e in dup_events] == expected_dups,
+        "provenance", plan.app,
+        f"applied duplication events {[e.subject for e in dup_events]} != "
+        f"plan decisions {expected_dups}",
+    )
+
+    classify = {
+        e.subject: e for e in events if e.stage == prov.STAGE_CLASSIFY
+    }
+    c.ensure(
+        set(classify) == set(plan.mappings), "provenance", plan.app,
+        "classify events do not cover exactly the mapped kernels",
+    )
+    for name, m in plan.mappings.items():
+        e = classify.get(name)
+        if e is None:
+            continue
+        want = f"{m.attach_kernel.name},{m.attach_memory.name}"
+        c.ensure(
+            e.outcome == want, "provenance", name,
+            f"classify event says {e.outcome!r}, plan maps to {want!r}",
+        )
+
+    placed = {
+        e.subject: e.detail_map
+        for e in events
+        if e.stage == prov.STAGE_PLACEMENT and e.outcome == "placed"
+    }
+    if plan.noc is not None:
+        positions = dict(plan.noc.placement.positions)
+        c.ensure(
+            set(placed) == set(positions), "provenance", plan.app,
+            "placement events do not cover exactly the placed nodes",
+        )
+        for node, (x, y) in positions.items():
+            d = placed.get(node)
+            if d is not None:
+                c.ensure(
+                    (d.get("x"), d.get("y")) == (x, y), "provenance", node,
+                    f"placement event says ({d.get('x')},{d.get('y')}), "
+                    f"plan places at ({x},{y})",
+                )
+    else:
+        c.ensure(
+            not placed, "provenance", plan.app,
+            "placement events recorded without a NoC in the plan",
+        )
+
+    pipe_events = applied(prov.STAGE_PIPELINE)
+    expected_pipe = [
+        f"{p.kernel}->{p.consumer}" if p.consumer else p.kernel
+        for p in plan.pipeline
+        if p.applied
+    ]
+    c.ensure(
+        [e.subject for e in pipe_events] == expected_pipe,
+        "provenance", plan.app,
+        f"applied pipeline events {[e.subject for e in pipe_events]} != "
+        f"plan decisions {expected_pipe}",
+    )
+
+
+def _check_analytic(
+    c: _Collector, original: CommGraph, config: DesignConfig,
+    plan: InterconnectPlan,
+) -> None:
+    model = AnalyticModel(original, config.theta_s_per_byte, host_other_s=0.0)
+    base = model.baseline()
+    prop = model.proposed(plan)
+    eps = 1e-12 + REL_TOL * base.kernels_s
+    c.ensure(
+        prop.kernels_s <= base.kernels_s + eps, "analytic_sanity", plan.app,
+        f"proposed {prop.kernels_s!r}s slower than baseline {base.kernels_s!r}s",
+    )
+    c.ensure(
+        prop.communication_s >= 0.0, "analytic_sanity", plan.app,
+        f"negative proposed communication {prop.communication_s!r}s",
+    )
+    c.ensure(
+        prop.computation_s >= base.computation_s / 2.0 - eps,
+        "analytic_sanity", plan.app,
+        f"proposed computation {prop.computation_s!r}s below the "
+        f"half-baseline clamp",
+    )
+
+
+# -- entry point -------------------------------------------------------------
+
+def check_plan(
+    original: CommGraph,
+    config: DesignConfig,
+    plan: InterconnectPlan,
+) -> List[Violation]:
+    """Verify every Algorithm 1 postcondition on a designed plan.
+
+    ``original`` is the *pre-duplication* communication graph the
+    designer was invoked with. Returns the (possibly empty) violation
+    list rather than raising, so the fuzz harness can aggregate and the
+    shrinker can compare failure sets.
+    """
+    c = _Collector()
+    residual = residual_graph(plan.graph, plan.sharing)
+    _check_sharing(c, plan)
+    _check_duplication(c, original, config, plan)
+    _check_classification(c, config, plan, residual)
+    _check_edges_and_placement(c, config, plan)
+    _check_pipeline(c, config, plan)
+    _check_provenance(c, plan)
+    _check_analytic(c, original, config, plan)
+    return c.violations

@@ -1,0 +1,230 @@
+"""Greedy minimization of failing fuzz cases.
+
+A raw counterexample from the generator typically has eight kernels,
+a dozen edges and randomized hardware parameters — far more than the
+bug needs. :func:`shrink_case` repeatedly applies structure-reducing
+transformations (drop a kernel, drop an edge, drop host traffic, shrink
+byte counts, clear capability flags, reset hardware parameters) and
+keeps a candidate only when it is *strictly smaller* and **still fails
+at least one of the original checks** — so the minimization never
+wanders onto an unrelated failure.
+
+The caller supplies the evaluation function (``case -> set of failing
+check names``); the shrinker is oracle-agnostic and deterministic:
+transformations are tried in a fixed order, so the same failing case
+always minimizes to the same witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, List, Set, Tuple
+
+from ..core.commgraph import CommGraph
+from ..errors import ReproError
+from ..hw.resources import ResourceCost
+from ..sim.systems import SystemParams
+from .generate import GeneratedCase
+
+#: Default cap on candidate evaluations per shrink run.
+DEFAULT_BUDGET = 300
+
+Evaluator = Callable[[GeneratedCase], Set[str]]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one minimization run."""
+
+    case: GeneratedCase
+    #: Failing check names of the final (minimal) case.
+    failing: Tuple[str, ...]
+    #: Human-readable accepted transformation steps, in order.
+    steps: Tuple[str, ...]
+    #: Candidate evaluations spent (accepted + rejected + invalid).
+    evaluations: int
+
+
+def case_size(case: GeneratedCase) -> Tuple[int, ...]:
+    """Lexicographic size of a case — what the shrinker minimizes.
+
+    Structure dominates magnitude: fewer kernels beats fewer edges beats
+    less host traffic beats smaller byte counts beats smaller compute
+    times beats fewer capability flags beats default hardware.
+    """
+    g = case.graph
+    flags = sum(
+        int(s.parallelizable)
+        + int(s.streams_host_io)
+        + int(s.streams_kernel_input)
+        + int(s.local_memory_bytes > 0)
+        for s in g.kernels.values()
+    )
+    nondefault = int(case.params != SystemParams()) + int(
+        case.noc_topology != "mesh"
+    )
+    return (
+        len(g.kernels),
+        len(g.kk_edges),
+        len(g.host_in) + len(g.host_out),
+        sum(g.kk_edges.values()) + sum(g.host_in.values()) + sum(g.host_out.values()),
+        sum(s.tau_cycles + s.sw_cycles for s in g.kernels.values()),
+        flags,
+        case.max_duplications,
+        nondefault,
+    )
+
+
+def _with_graph(case: GeneratedCase, graph: CommGraph) -> GeneratedCase:
+    return replace(case, graph=graph)
+
+
+def _graph(case, kernels=None, kk=None, host_in=None, host_out=None) -> CommGraph:
+    g = case.graph
+    return CommGraph(
+        kernels=g.kernels if kernels is None else kernels,
+        kk_edges=g.kk_edges if kk is None else kk,
+        host_in=g.host_in if host_in is None else host_in,
+        host_out=g.host_out if host_out is None else host_out,
+    )
+
+
+def _candidates(case: GeneratedCase) -> Iterator[Tuple[str, GeneratedCase]]:
+    """All one-step reductions of ``case``, biggest cuts first."""
+    g = case.graph
+    names = sorted(g.kernel_names())
+
+    if len(names) > 1:
+        for name in names:
+            keep = [n for n in names if n != name]
+            yield (
+                f"drop kernel {name}",
+                _with_graph(case, g.restricted(keep)),
+            )
+
+    for p, c in sorted(g.kk_edges):
+        yield f"drop edge {p}->{c}", _with_graph(case, g.without_edge(p, c))
+
+    for name in sorted(g.host_in):
+        host_in = {n: b for n, b in g.host_in.items() if n != name}
+        yield (
+            f"drop host input of {name}",
+            _with_graph(case, _graph(case, host_in=host_in)),
+        )
+    for name in sorted(g.host_out):
+        host_out = {n: b for n, b in g.host_out.items() if n != name}
+        yield (
+            f"drop host output of {name}",
+            _with_graph(case, _graph(case, host_out=host_out)),
+        )
+
+    for (p, c), b in sorted(g.kk_edges.items()):
+        for new, what in ((1, "to 1 byte"), (b // 2, "halved")):
+            if 0 < new < b:
+                kk = dict(g.kk_edges)
+                kk[(p, c)] = new
+                yield (
+                    f"edge {p}->{c} bytes {what}",
+                    _with_graph(case, _graph(case, kk=kk)),
+                )
+    for attr in ("host_in", "host_out"):
+        for name, b in sorted(getattr(g, attr).items()):
+            for new, what in ((1, "to 1 byte"), (b // 2, "halved")):
+                if 0 < new < b:
+                    flows = dict(getattr(g, attr))
+                    flows[name] = new
+                    yield (
+                        f"{attr} of {name} {what}",
+                        _with_graph(case, _graph(case, **{attr: flows})),
+                    )
+
+    for name in names:
+        spec = g.kernel(name)
+        if spec.parallelizable or spec.streams_host_io or spec.streams_kernel_input:
+            plain = replace(
+                spec,
+                parallelizable=False,
+                streams_host_io=False,
+                streams_kernel_input=False,
+            )
+            kernels = dict(g.kernels)
+            kernels[name] = plain
+            yield (
+                f"clear capability flags of {name}",
+                _with_graph(case, _graph(case, kernels=kernels)),
+            )
+        if spec.local_memory_bytes > 0:
+            kernels = dict(g.kernels)
+            kernels[name] = replace(spec, local_memory_bytes=0)
+            yield (
+                f"drop local memory of {name}",
+                _with_graph(case, _graph(case, kernels=kernels)),
+            )
+        if spec.tau_cycles > 1 or spec.sw_cycles > 1:
+            kernels = dict(g.kernels)
+            kernels[name] = replace(
+                spec,
+                tau_cycles=max(1, spec.tau_cycles // 2),
+                sw_cycles=max(1, spec.sw_cycles // 2),
+                resources=ResourceCost(
+                    max(1, spec.resources.luts // 2),
+                    max(1, spec.resources.regs // 2),
+                ),
+            )
+            yield (
+                f"halve compute time of {name}",
+                _with_graph(case, _graph(case, kernels=kernels)),
+            )
+
+    if case.params != SystemParams():
+        yield "reset hardware parameters", replace(case, params=SystemParams())
+    if case.noc_topology != "mesh":
+        yield "use mesh topology", replace(case, noc_topology="mesh")
+    if case.max_duplications > 0:
+        yield (
+            "disable duplication",
+            replace(case, max_duplications=0),
+        )
+
+
+def shrink_case(
+    case: GeneratedCase,
+    evaluate: Evaluator,
+    budget: int = DEFAULT_BUDGET,
+) -> ShrinkResult:
+    """Minimize ``case`` while it keeps failing one of its checks.
+
+    ``evaluate`` returns the failing check names of a candidate (empty
+    set = passes). Candidates whose construction or evaluation raises a
+    :class:`~repro.errors.ReproError` are skipped — the shrinker never
+    converts a checker failure into a crash.
+    """
+    target = set(evaluate(case))
+    if not target:
+        return ShrinkResult(case, (), (), 1)
+
+    current = case
+    failing = target
+    steps: List[str] = []
+    spent = 1
+    improved = True
+    while improved and spent < budget:
+        improved = False
+        for what, candidate in _candidates(current):
+            if spent >= budget:
+                break
+            if case_size(candidate) >= case_size(current):
+                continue
+            try:
+                result = set(evaluate(candidate))
+            except ReproError:
+                spent += 1
+                continue
+            spent += 1
+            if result & target:
+                current = candidate
+                failing = result & target
+                steps.append(what)
+                improved = True
+                break
+    return ShrinkResult(current, tuple(sorted(failing)), tuple(steps), spent)

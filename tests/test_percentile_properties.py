@@ -1,0 +1,107 @@
+"""Property tests for the nearest-rank percentile (satellite fix).
+
+The original implementation computed the rank as
+``ceil(q / 100.0 * n)`` in binary floating point; ``q/100`` is not
+representable for most ``q``, and the upward error pushed the ceiling
+one rank too high exactly at rank boundaries (``q=55, n=100`` returned
+the 56th value). The reference here does the same nearest-rank math by
+*linear search in exact rational arithmetic* — the smallest rank ``r``
+with ``r ≥ q·n/100`` — and the tests assert the production function
+matches it on random inputs and at the documented edge quantiles.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.service.metrics import MetricsRegistry, percentile
+
+#: The satellite's required probe quantiles, as percents.
+EDGE_QS = (0.0, 0.5, 50.0, 99.0, 1.0, 100.0)
+
+
+def reference_percentile(values, q):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    n = len(ordered)
+    threshold = Fraction(q) * n / 100
+    for rank in range(1, n + 1):
+        if rank >= threshold:
+            return ordered[rank - 1]
+    return ordered[-1]
+
+
+values_st = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False), min_size=1,
+    max_size=300,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(values=values_st, q=st.floats(min_value=0, max_value=100))
+def test_matches_reference_on_random_inputs(values, q):
+    assert percentile(values, q) == reference_percentile(values, q)
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=values_st, q=st.sampled_from(EDGE_QS))
+def test_matches_reference_at_edge_quantiles(values, q):
+    assert percentile(values, q) == reference_percentile(values, q)
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=values_st, q=st.floats(min_value=0, max_value=100))
+def test_result_is_an_observed_value(values, q):
+    assert percentile(values, q) in values
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    values=values_st,
+    qa=st.floats(min_value=0, max_value=100),
+    qb=st.floats(min_value=0, max_value=100),
+)
+def test_monotone_in_q(values, qa, qb):
+    lo, hi = sorted((qa, qb))
+    assert percentile(values, lo) <= percentile(values, hi)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=values_st)
+def test_extremes_are_min_and_max(values):
+    assert percentile(values, 0) == min(values)
+    assert percentile(values, 100) == max(values)
+
+
+def test_boundary_ranks_are_exact():
+    # q=55 over 1..100 must return 55 (the old float path returned 56);
+    # the same off-by-one existed at every q whose q/100 rounds up.
+    values = list(range(1, 101))
+    for q in (7, 14, 28, 55, 56):
+        assert percentile(values, q) == q
+
+
+def test_empty_input_returns_zero_not_nan():
+    assert percentile([], 50) == 0.0
+
+
+@pytest.mark.parametrize("q", (-0.001, 100.001, 1e9))
+def test_out_of_range_q_raises(q):
+    with pytest.raises(ConfigurationError):
+        percentile([1.0], q)
+
+
+def test_timer_stats_use_fixed_percentiles():
+    registry = MetricsRegistry()
+    for v in range(1, 101):
+        registry.observe("t", float(v))
+    stats = registry.timer_stats("t")
+    assert stats["p50_s"] == 50.0
+    assert stats["p95_s"] == 95.0
+    assert stats["p99_s"] == 99.0

@@ -158,3 +158,38 @@ class TestMetrics:
         assert "jobs_completed" in text
         assert "cache_hit_ratio" in text
         assert "1.0000" in text
+
+
+class TestCacheDeterminism:
+    """Same seed + SystemParams twice must be bit-for-bit reproducible."""
+
+    def test_repeat_submission_is_byte_identical_and_cached(self):
+        from repro.io import canonical_json
+        from repro.service import DesignService
+
+        params = SystemParams(bus_width_bytes=4, dma_setup_cycles=60)
+        service = DesignService()
+        make = lambda: DesignJob("klt", scale=2, seed=11, simulate=True,
+                                 params=params)
+
+        first = service.submit(make())
+        second = service.submit(make())
+
+        assert not first.cached
+        assert second.cached
+        assert canonical_json(first.summary).encode() == \
+            canonical_json(second.summary).encode()
+        cache = service.stats()["cache"]
+        assert cache["hits_memory"] + cache["hits_disk"] == 1
+        assert cache["misses"] >= 1
+
+    def test_two_services_same_disk_cache_agree(self, tmp_path):
+        from repro.io import canonical_json
+        from repro.service import DesignService
+
+        job = DesignJob("canny", seed=3, simulate=True,
+                        params=SystemParams(noc_link_width_bytes=2))
+        summary_a = DesignService(cache_dir=tmp_path).submit(job).summary
+        result_b = DesignService(cache_dir=tmp_path).submit(job)
+        assert result_b.cached
+        assert canonical_json(summary_a) == canonical_json(result_b.summary)
