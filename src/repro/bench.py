@@ -1,0 +1,224 @@
+"""Continuous benchmark harness for the repo's hot paths.
+
+``repro bench`` times the three CPU-bound cores — Algorithm 1
+(:func:`repro.core.designer.design_interconnect`), the discrete-event
+simulations, and the design-service batch path — and writes one
+versioned ``bench-report`` JSON (the committed ``BENCH_repro.json``; CI
+regenerates it on every push so timing drift is visible in review).
+
+Methodology: every number is the **minimum** wall-clock over ``repeat``
+runs. The minimum, not the mean, is the right estimator for a
+deterministic CPU-bound workload — all variance is scheduler/cache
+noise that only ever adds time. The profiler-overhead ratio divides two
+such minima, so the ``--max-overhead`` CI gate fails only on real
+slowdowns of the instrumented simulation path, not on a noisy run.
+
+Every field of the report is described in its embedded ``schema`` map,
+so the artifact is self-documenting.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Any, Callable, Dict, Optional, Sequence, Union
+
+from .apps import fit_application, get_application
+from .apps.registry import APP_NAMES
+from .core.designer import DesignConfig, design_interconnect
+from .errors import ConfigurationError
+from .io import FORMAT_VERSION, save_json
+from .obs.profile.recorder import TimeseriesRecorder
+from .obs.profile.report import build_profile
+from .sim.systems import SystemParams, simulate_baseline, simulate_proposed
+
+#: Document kind of the benchmark report artifact.
+BENCH_KIND = "bench-report"
+
+#: Field-by-field documentation embedded in every report.
+BENCH_SCHEMA: Dict[str, str] = {
+    "apps.<name>.design_s": (
+        "best-of-repeat wall seconds for Algorithm 1 "
+        "(design_interconnect) on the fitted communication graph"
+    ),
+    "apps.<name>.sim_baseline_s": (
+        "best-of-repeat wall seconds for the baseline (shared-bus) "
+        "discrete-event simulation, profiling disabled"
+    ),
+    "apps.<name>.sim_proposed_s": (
+        "best-of-repeat wall seconds for the proposed-system "
+        "discrete-event simulation, profiling disabled"
+    ),
+    "apps.<name>.sim_proposed_profiled_s": (
+        "best-of-repeat wall seconds for the proposed-system simulation "
+        "with a TimeseriesRecorder attached"
+    ),
+    "apps.<name>.profile_build_s": (
+        "best-of-repeat wall seconds to fuse the recorder's samples into "
+        "a SimulationProfile (timeseries + matrix + critical path)"
+    ),
+    "apps.<name>.profiler_overhead": (
+        "sim_proposed_profiled_s / sim_proposed_s — the multiplicative "
+        "cost of recording; the CI gate bounds this ratio"
+    ),
+    "service.batch_cold_s": (
+        "wall seconds for DesignService.submit_many over all benched "
+        "apps with an empty cache (serial, in-process)"
+    ),
+    "service.batch_warm_s": (
+        "wall seconds for the identical batch served entirely from the "
+        "in-memory result cache"
+    ),
+    "service.cache_speedup": "batch_cold_s / batch_warm_s",
+    "repeat": "timing repetitions; every *_s field is the minimum",
+    "buckets": "utilization-timeseries bucket count used when profiling",
+    "python": "interpreter version the numbers were measured on",
+}
+
+
+def _best_of(fn: Callable[[], Any], repeat: int) -> float:
+    """Minimum wall-clock seconds of ``repeat`` calls to ``fn``."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_app(
+    name: str,
+    repeat: int = 3,
+    buckets: int = 64,
+    params: SystemParams = SystemParams(),
+) -> Dict[str, float]:
+    """Time one application's designer and simulator hot paths."""
+    theta = params.theta_s_per_byte()
+    fitted = fit_application(get_application(name), theta)
+    config = DesignConfig(
+        theta_s_per_byte=theta,
+        stream_overhead_s=fitted.stream_overhead_s,
+    )
+    plan = design_interconnect(name, fitted.graph, config)
+
+    design_s = _best_of(
+        lambda: design_interconnect(name, fitted.graph, config), repeat
+    )
+    sim_baseline_s = _best_of(
+        lambda: simulate_baseline(fitted.graph, fitted.host_other_s, params),
+        repeat,
+    )
+    sim_proposed_s = _best_of(
+        lambda: simulate_proposed(plan, fitted.host_other_s, params), repeat
+    )
+
+    # The profiled run rebuilds a fresh recorder each repeat so no run
+    # pays for a predecessor's grown sample lists.
+    profiled_best = float("inf")
+    last_recorder = TimeseriesRecorder()
+    last_times = simulate_proposed(
+        plan, fitted.host_other_s, params, recorder=last_recorder
+    )
+    for _ in range(repeat):
+        recorder = TimeseriesRecorder()
+        start = time.perf_counter()
+        times = simulate_proposed(
+            plan, fitted.host_other_s, params, recorder=recorder
+        )
+        profiled_best = min(profiled_best, time.perf_counter() - start)
+        last_recorder, last_times = recorder, times
+
+    profile_build_s = _best_of(
+        lambda: build_profile(
+            name, last_times, last_recorder, plan.graph, buckets=buckets
+        ),
+        repeat,
+    )
+    return {
+        "design_s": design_s,
+        "sim_baseline_s": sim_baseline_s,
+        "sim_proposed_s": sim_proposed_s,
+        "sim_proposed_profiled_s": profiled_best,
+        "profile_build_s": profile_build_s,
+        "profiler_overhead": (
+            profiled_best / sim_proposed_s if sim_proposed_s > 0 else 1.0
+        ),
+    }
+
+
+def bench_service(apps: Sequence[str]) -> Dict[str, float]:
+    """Time a cold vs warm service batch over ``apps`` (serial mode)."""
+    from .service import DesignService
+    from .service.jobs import DesignJob
+
+    service = DesignService(jobs=1)
+    jobs = [DesignJob(app=name) for name in apps]
+
+    start = time.perf_counter()
+    service.submit_many(jobs)
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    service.submit_many(jobs)
+    warm = time.perf_counter() - start
+    return {
+        "batch_cold_s": cold,
+        "batch_warm_s": warm,
+        "cache_speedup": cold / warm if warm > 0 else 1.0,
+    }
+
+
+def run_bench(
+    apps: Sequence[str] = APP_NAMES,
+    repeat: int = 3,
+    buckets: int = 64,
+    out: Optional[Union[str, "Any"]] = None,
+) -> Dict[str, Any]:
+    """Benchmark every hot path; optionally write the JSON artifact."""
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
+    unknown = set(apps) - set(APP_NAMES)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown applications: {sorted(unknown)} (have: {list(APP_NAMES)})"
+        )
+    report: Dict[str, Any] = {
+        "kind": BENCH_KIND,
+        "version": FORMAT_VERSION,
+        "repeat": repeat,
+        "buckets": buckets,
+        "python": platform.python_version(),
+        "apps": {name: bench_app(name, repeat, buckets) for name in apps},
+        "service": bench_service(apps),
+        "schema": BENCH_SCHEMA,
+    }
+    if out is not None:
+        save_json(report, out)
+    return report
+
+
+def render_bench(report: Dict[str, Any]) -> str:
+    """Terminal table of one :func:`run_bench` report."""
+    lines = [
+        f"benchmark report (best of {report['repeat']}, "
+        f"python {report['python']})",
+        f"  {'app':<8}{'design':>10}{'sim base':>10}{'sim prop':>10}"
+        f"{'profiled':>10}{'build':>10}{'overhead':>10}",
+    ]
+    for name, row in report["apps"].items():
+        lines.append(
+            f"  {name:<8}"
+            f"{row['design_s'] * 1e3:>8.2f}ms"
+            f"{row['sim_baseline_s'] * 1e3:>8.2f}ms"
+            f"{row['sim_proposed_s'] * 1e3:>8.2f}ms"
+            f"{row['sim_proposed_profiled_s'] * 1e3:>8.2f}ms"
+            f"{row['profile_build_s'] * 1e3:>8.2f}ms"
+            f"{row['profiler_overhead']:>9.2f}x"
+        )
+    svc = report["service"]
+    lines.append(
+        f"  service: cold batch {svc['batch_cold_s'] * 1e3:.2f}ms, "
+        f"warm {svc['batch_warm_s'] * 1e3:.2f}ms "
+        f"({svc['cache_speedup']:.0f}x cached)"
+    )
+    return "\n".join(lines)

@@ -3,11 +3,17 @@
 ``python -m repro <command>`` exposes the library's main flows:
 
 * ``profile <app>`` — run the instrumented application and print its
-  QUAD-style communication profile (Fig. 5 format);
+  QUAD-style communication profile (Fig. 5 format); with ``--sim`` /
+  ``--json`` / ``--html`` instead produce the time-resolved simulation
+  profile (utilization lanes, critical-path attribution, byte
+  conservation);
 * ``design <app>`` — run Algorithm 1 and print the interconnect plan
   (Fig. 6 format), with ``--no-sharing`` / ``--noc-only`` etc. toggles;
 * ``explain <app>`` — print the designer's full decision log (why each
   duplication/sharing/mapping/placement/pipelining choice was made);
+  ``--with-profile`` cites measured evidence next to each decision;
+* ``bench`` — time the designer/simulator/service hot paths and write
+  the versioned ``bench-report`` JSON CI tracks (``BENCH_repro.json``);
 * ``report`` — regenerate every paper table/figure in one go;
 * ``simulate <app>`` — run the discrete-event simulation and show the
   baseline-vs-proposed Gantt comparison;
@@ -64,6 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_app_argument(p)
     p.add_argument("--table", action="store_true", help="tabular instead of graph form")
     p.add_argument("--scale", type=int, default=1, help="workload scale factor")
+    p.add_argument("--sim", action="store_true",
+                   help="time-resolved simulation profile (utilization "
+                        "lanes, critical path, byte conservation)")
+    p.add_argument("--json", action="store_true",
+                   help="simulation profile as versioned JSON (implies --sim)")
+    p.add_argument("--html", type=str, default=None, metavar="PATH",
+                   help="write a self-contained HTML simulation profile "
+                        "report here (implies --sim)")
+    p.add_argument("--buckets", type=int, default=64,
+                   help="utilization-timeseries bucket count (default 64)")
 
     p = sub.add_parser("design", help="design and print the custom interconnect")
     _add_app_argument(p)
@@ -83,6 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--noc-only", action="store_true",
                    help="explain the NoC-only comparison design instead")
     p.add_argument("--scale", type=int, default=1, help="workload scale factor")
+    p.add_argument("--with-profile", action="store_true",
+                   help="interleave each decision with the measured "
+                        "evidence from a profiled simulation run")
 
     p = sub.add_parser("simulate", help="simulate baseline vs proposed with a Gantt chart")
     _add_app_argument(p)
@@ -123,6 +142,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", type=str, default=None, metavar="PATH",
                    help="write the service metrics snapshot here "
                         "(.prom = Prometheus exposition, else JSON)")
+    p.add_argument("--profile-dir", type=str, default=None, metavar="DIR",
+                   help="profile every simulated point and persist the "
+                        "profiles here (one JSON per job fingerprint)")
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the designer/simulator/service hot paths",
+    )
+    p.add_argument("--apps", type=str, default=",".join(APP_NAMES),
+                   help="comma-separated applications (default: all)")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="timing repetitions (each number is the minimum)")
+    p.add_argument("--buckets", type=int, default=64,
+                   help="profiler bucket count for the overhead measurement")
+    p.add_argument("--out", type=str, default=None, metavar="PATH",
+                   help="write the bench-report JSON here "
+                        "(e.g. BENCH_repro.json)")
+    p.add_argument("--max-overhead", type=float, default=None, metavar="X",
+                   help="exit 1 if the profiler overhead ratio exceeds X "
+                        "(gates on jpeg when benched)")
 
     p = sub.add_parser(
         "fuzz",
@@ -181,11 +220,44 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    app = get_application(args.app, scale=args.scale)
-    profile = app.profile()
-    folded = profile.restricted_to(app.kernel_names(), "host")
-    render = render_profile_table if args.table else render_profile_graph
-    print(render(folded))
+    if not (args.sim or args.json or args.html):
+        # Legacy QUAD-style communication profile (Fig. 5).
+        app = get_application(args.app, scale=args.scale)
+        profile = app.profile()
+        folded = profile.restricted_to(app.kernel_names(), "host")
+        render = render_profile_table if args.table else render_profile_graph
+        print(render(folded))
+        return 0
+
+    import json as json_mod
+    import pathlib
+
+    from .obs.profile.report import (
+        profile_set_to_dict,
+        render_html_report,
+        render_profile_text,
+    )
+
+    result = run_experiment(
+        args.app, scale=args.scale, profile=True,
+        profile_buckets=args.buckets,
+    )
+    if args.json:
+        print(json_mod.dumps(
+            profile_set_to_dict(args.app, result.profiles),
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for label in ("baseline", "proposed"):
+            print(render_profile_text(result.profiles[label]))
+            print()
+    if args.html is not None:
+        pathlib.Path(args.html).write_text(
+            render_html_report(args.app, result.profiles)
+        )
+        # Keep stdout clean for --json piping.
+        print(f"wrote HTML profile report to {args.html}",
+              file=sys.stderr if args.json else sys.stdout)
     return 0
 
 
@@ -211,6 +283,19 @@ def cmd_explain(args: argparse.Namespace) -> int:
     import json as json_mod
 
     from .obs.provenance import render_provenance
+
+    if args.with_profile:
+        from .errors import ConfigurationError
+        from .obs.profile.report import render_decisions_with_profile
+
+        if args.noc_only or args.json:
+            raise ConfigurationError(
+                "--with-profile explains the proposed design in prose; "
+                "drop --noc-only/--json"
+            )
+        result = run_experiment(args.app, scale=args.scale, profile=True)
+        print(render_decisions_with_profile(result.plan, result.profiles))
+        return 0
 
     params = SystemParams()
     theta = params.theta_s_per_byte()
@@ -307,6 +392,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from .service import DesignService
     from .sweep import SweepGrid, run_sweep, to_csv
 
+    if args.profile_dir is not None and not args.simulate:
+        raise ConfigurationError(
+            "--profile-dir profiles simulated points; add --simulate"
+        )
     param_grid = {}
     for spec in args.param:
         name, sep, values = spec.partition("=")
@@ -328,7 +417,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
         tracer = Tracer()
     service = DesignService(
-        jobs=args.jobs, cache_dir=args.cache_dir, tracer=tracer
+        jobs=args.jobs, cache_dir=args.cache_dir, tracer=tracer,
+        profile_dir=args.profile_dir,
     )
     points = run_sweep(grid, service=service)
     text = to_csv(points, args.output)
@@ -356,6 +446,35 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
         out = write_metrics(service.stats(), args.metrics_out)
         print(f"wrote metrics snapshot to {out}", file=sys.stderr)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import render_bench, run_bench
+
+    apps = [a for a in args.apps.split(",") if a]
+    report = run_bench(
+        apps=apps, repeat=args.repeat, buckets=args.buckets, out=args.out
+    )
+    print(render_bench(report))
+    if args.out is not None:
+        print(f"wrote benchmark report to {args.out}")
+    if args.max_overhead is not None:
+        rows = report["apps"]
+        # Gate on jpeg (the paper's running example and the heaviest
+        # communicator); fall back to the worst app when not benched.
+        name = ("jpeg" if "jpeg" in rows
+                else max(rows, key=lambda n: rows[n]["profiler_overhead"]))
+        overhead = rows[name]["profiler_overhead"]
+        if overhead > args.max_overhead:
+            print(
+                f"FAIL: profiler overhead on {name} is {overhead:.2f}x "
+                f"> allowed {args.max_overhead:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"profiler overhead gate ok: {name} {overhead:.2f}x "
+              f"<= {args.max_overhead:.2f}x")
     return 0
 
 
@@ -495,6 +614,7 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "report": cmd_report,
     "sweep": cmd_sweep,
+    "bench": cmd_bench,
     "fuzz": cmd_fuzz,
     "apps": cmd_apps,
     "pareto": cmd_pareto,

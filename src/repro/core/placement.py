@@ -163,6 +163,7 @@ def _refine(
             for (a, b), w in edges.items()
         )
 
+    all_slots = [(x, y) for y in range(height) for x in range(width)]
     current = cost()
     for _ in range(max_rounds):
         improved = False
@@ -176,6 +177,23 @@ def _refine(
                     improved = True
                 else:
                     positions[a], positions[b] = positions[b], positions[a]
+        # Relocation moves: swaps alone cannot use empty routers, so on
+        # a partially-filled mesh they stall in local optima a single
+        # node-to-free-slot move would escape.
+        occupied = set(positions.values())
+        free = [s for s in all_slots if s not in occupied]
+        for name in names:
+            for slot in list(free):
+                old = positions[name]
+                positions[name] = slot
+                new = cost()
+                if new < current - 1e-12:
+                    current = new
+                    improved = True
+                    free.remove(slot)
+                    free.append(old)
+                else:
+                    positions[name] = old
         if not improved:
             break
     return positions
@@ -209,6 +227,19 @@ def place_on_mesh(
         )
     positions = _greedy(nodes, edges, width, height, torus=torus)
     positions = _refine(positions, edges, width, height, torus=torus)
+    # Refinement only descends, so a refined row-major packing bounds
+    # the result: keep it when strictly better. This guarantees the
+    # optimizer never loses to the naive packing, whatever local
+    # optimum the greedy start led to.
+    dist = _distance_fn(width, height, torus)
+
+    def cost_of(pos: Dict[str, Coord]) -> float:
+        return sum(w * dist(pos[a], pos[b]) for (a, b), w in edges.items())
+
+    naive = {nodes[i]: (i % width, i // width) for i in range(len(nodes))}
+    naive = _refine(naive, edges, width, height, torus=torus)
+    if cost_of(naive) < cost_of(positions) - 1e-12:
+        positions = naive
     return MeshPlacement(
         width=width, height=height, positions=positions, torus=torus
     )

@@ -18,7 +18,7 @@ benchmark harness calls.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
@@ -31,6 +31,8 @@ from .core.plan import InterconnectPlan
 from .errors import ConfigurationError
 from .hw.energy import EnergyModel, EnergyReport, compare_energy
 from .hw.synthesis import SynthesisEstimate, estimate_baseline, estimate_system
+from .obs.profile.recorder import TimeseriesRecorder
+from .obs.profile.report import SimulationProfile, build_profile
 from .obs.trace import NULL_TRACER, Tracer, active
 from .sim.systems import (
     SimulatedTimes,
@@ -77,6 +79,9 @@ class ExperimentResult:
     synth_noc_only: SynthesisEstimate
     # Energy comparison (Fig. 9).
     energy: EnergyReport
+    #: Simulation-time profiles keyed by system label ("baseline",
+    #: "proposed"); empty unless ``run_experiment(profile=True)``.
+    profiles: Mapping[str, "SimulationProfile"] = field(default_factory=dict)
 
     # -- speed-up accessors ---------------------------------------------------
     @property
@@ -124,6 +129,8 @@ def run_experiment(
     simulate: bool = True,
     design_overrides: Optional[Mapping[str, Any]] = None,
     trace: Union[Tracer, str, Path, None] = None,
+    profile: bool = False,
+    profile_buckets: int = 64,
 ) -> ExperimentResult:
     """Full paper methodology for one application.
 
@@ -136,6 +143,12 @@ def run_experiment(
     write a Chrome ``trace_event`` JSON (load it at ``chrome://tracing``
     or https://ui.perfetto.dev). ``None`` (default) uses the no-op
     tracer — zero overhead, and outputs are byte-identical either way.
+
+    ``profile`` attaches a :class:`~repro.obs.profile.TimeseriesRecorder`
+    to the baseline and proposed simulations and publishes the built
+    :class:`~repro.obs.profile.report.SimulationProfile` objects on
+    ``result.profiles``. Profiling is pure bookkeeping: it never changes
+    scheduling, so makespans are bit-identical with it on or off.
     """
     tracer, trace_path = _as_tracer(trace)
 
@@ -172,15 +185,31 @@ def run_experiment(
             t_prop = model.proposed(plan)
 
         sim_sw = sim_base = sim_prop = None
+        profiles: Dict[str, SimulationProfile] = {}
         if simulate:
+            rec_base = TimeseriesRecorder() if profile else None
+            rec_prop = TimeseriesRecorder() if profile else None
             with tracer.span("simulate", app=name, system="software"):
                 sim_sw = simulate_software(fitted.graph, fitted.host_other_s)
             with tracer.span("simulate", app=name, system="baseline"):
                 sim_base = simulate_baseline(
-                    fitted.graph, fitted.host_other_s, params
+                    fitted.graph, fitted.host_other_s, params,
+                    recorder=rec_base,
                 )
             with tracer.span("simulate", app=name, system="proposed"):
-                sim_prop = simulate_proposed(plan, fitted.host_other_s, params)
+                sim_prop = simulate_proposed(
+                    plan, fitted.host_other_s, params, recorder=rec_prop
+                )
+            if profile:
+                with tracer.span("profile.build", app=name):
+                    profiles["baseline"] = build_profile(
+                        name, sim_base, rec_base, fitted.graph,
+                        buckets=profile_buckets, mode="mediated",
+                    )
+                    profiles["proposed"] = build_profile(
+                        name, sim_prop, rec_prop, plan.graph,
+                        buckets=profile_buckets, mode="direct",
+                    )
 
         with tracer.span("synthesis", app=name):
             original_costs = [
@@ -230,6 +259,7 @@ def run_experiment(
         synth_proposed=synth_prop,
         synth_noc_only=synth_noc,
         energy=energy,
+        profiles=profiles,
     )
 
 

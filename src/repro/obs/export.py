@@ -20,6 +20,23 @@ PROM_PREFIX = "repro_"
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 
+def escape_label_value(value: object) -> str:
+    """Escape a label *value* per the Prometheus exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format reserves inside quoted label values; anything else passes
+    through. Apply this before interpolating a value into ``k="v"`` —
+    the label *name* side must instead be sanitized to the allowed
+    identifier characters.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _split_key(key: str) -> Tuple[str, str]:
     """Split a registry series key into (name, label suffix)."""
     if "{" in key:

@@ -1,0 +1,22 @@
+"""Simulation-time profiling: timeseries, comm matrix, critical path.
+
+This package closes the observability loop the paper opens: QUAD
+profiles the *application's* data communication to drive the design;
+``repro.obs.profile`` profiles the *simulated system* the same way, so
+every design decision can be checked against what actually happened on
+the interconnect (see DESIGN.md §10).
+
+Import discipline: this ``__init__`` re-exports only the recorder — the
+one piece the simulation core needs — and nothing that imports
+``repro.sim``. The analysis layers live in sibling modules
+(:mod:`~repro.obs.profile.timeseries`,
+:mod:`~repro.obs.profile.commmatrix`,
+:mod:`~repro.obs.profile.critical`,
+:mod:`~repro.obs.profile.report`) which consumers import directly;
+pulling them in here would create a sim ↔ obs import cycle through
+:mod:`repro.sim.component`.
+"""
+
+from .recorder import NULL_RECORDER, NullRecorder, TimeseriesRecorder
+
+__all__ = ["NULL_RECORDER", "NullRecorder", "TimeseriesRecorder"]

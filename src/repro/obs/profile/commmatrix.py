@@ -1,0 +1,133 @@
+"""The simulated communication matrix and its byte-conservation diff.
+
+The design flow starts from a QUAD communication graph — bytes each
+producer hands each consumer. The simulator then *moves* those bytes
+over concrete channels (the shared bus, shared local memories, NoC
+routes). This module aggregates the recorder's delivery samples into a
+producer→consumer×channel matrix and diffs it against the input graph:
+every byte the profile promised must arrive, on some channel, exactly
+once. A mismatch means the system model dropped or duplicated data —
+the strongest cheap end-to-end check the simulator admits.
+
+Two conservation modes mirror the two simulated systems:
+
+* ``direct`` (the proposed system): kernel→kernel deliveries must match
+  ``kk_edges`` pair-exact; host↔kernel deliveries must match
+  ``D^H`` quantities;
+* ``mediated`` (the bus baseline): all traffic is host-mediated, so the
+  expectation is ``host→k == D_in(k)`` and ``k→host == D_out(k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ...core.commgraph import CommGraph
+from ...errors import ConfigurationError
+from .recorder import Delivery
+
+#: Channel classes deliveries are filed under.
+CHANNEL_BUS = "bus"
+CHANNEL_SM = "sm"
+CHANNEL_NOC = "noc"
+
+HOST = "host"
+
+
+@dataclass(frozen=True)
+class MatrixEntry:
+    """Aggregated bytes one producer delivered one consumer per channel."""
+
+    producer: str
+    consumer: str
+    channel: str
+    bytes_moved: int
+
+
+@dataclass(frozen=True)
+class ConservationReport:
+    """Outcome of diffing the simulated matrix against the input graph."""
+
+    mode: str
+    ok: bool
+    #: Human-readable mismatch descriptions (empty when ``ok``).
+    mismatches: Tuple[str, ...]
+    #: Number of expected pairs checked.
+    checked_pairs: int
+
+
+def build_matrix(deliveries: Sequence[Delivery]) -> Tuple[MatrixEntry, ...]:
+    """Aggregate raw delivery samples, sorted for determinism."""
+    totals: Dict[Tuple[str, str, str], int] = {}
+    for _t, producer, consumer, nbytes, channel in deliveries:
+        key = (producer, consumer, channel)
+        totals[key] = totals.get(key, 0) + nbytes
+    return tuple(
+        MatrixEntry(producer=p, consumer=c, channel=ch, bytes_moved=b)
+        for (p, c, ch), b in sorted(totals.items())
+    )
+
+
+def pair_totals(matrix: Sequence[MatrixEntry]) -> Dict[Tuple[str, str], int]:
+    """Producer→consumer byte totals summed over channels."""
+    totals: Dict[Tuple[str, str], int] = {}
+    for entry in matrix:
+        key = (entry.producer, entry.consumer)
+        totals[key] = totals.get(key, 0) + entry.bytes_moved
+    return totals
+
+
+def _expected_pairs(graph: CommGraph, mode: str) -> Dict[Tuple[str, str], int]:
+    expected: Dict[Tuple[str, str], int] = {}
+    if mode == "direct":
+        for (p, c), b in graph.kk_edges.items():
+            if b > 0:
+                expected[(p, c)] = b
+        for k in graph.kernel_names():
+            if graph.d_h_in(k) > 0:
+                expected[(HOST, k)] = graph.d_h_in(k)
+            if graph.d_h_out(k) > 0:
+                expected[(k, HOST)] = graph.d_h_out(k)
+    elif mode == "mediated":
+        for k in graph.kernel_names():
+            if graph.d_in(k) > 0:
+                expected[(HOST, k)] = graph.d_in(k)
+            if graph.d_out(k) > 0:
+                expected[(k, HOST)] = graph.d_out(k)
+    else:
+        raise ConfigurationError(
+            f"unknown conservation mode {mode!r}; use 'direct' or 'mediated'"
+        )
+    return expected
+
+
+def check_conservation(
+    matrix: Sequence[MatrixEntry], graph: CommGraph, mode: str = "direct"
+) -> ConservationReport:
+    """Diff the simulated matrix against the graph's byte quantities.
+
+    Exact integer comparison per pair; unexpected pairs (bytes the
+    simulator moved that the graph never promised) are mismatches too.
+    """
+    expected = _expected_pairs(graph, mode)
+    observed = pair_totals(matrix)
+    mismatches = []
+    for pair in sorted(expected):
+        want = expected[pair]
+        got = observed.get(pair, 0)
+        if got != want:
+            mismatches.append(
+                f"{pair[0]}->{pair[1]}: expected {want} B, simulated {got} B"
+            )
+    for pair in sorted(set(observed) - set(expected)):
+        mismatches.append(
+            f"{pair[0]}->{pair[1]}: simulated {observed[pair]} B "
+            "but the graph has no such edge"
+        )
+    return ConservationReport(
+        mode=mode,
+        ok=not mismatches,
+        mismatches=tuple(mismatches),
+        checked_pairs=len(expected),
+    )

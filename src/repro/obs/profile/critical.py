@@ -1,0 +1,112 @@
+"""Critical-path extraction: where did the makespan actually go?
+
+The discrete-event run leaves a set of activity spans (compute halves,
+bus bursts, DMA setups, NoC hop traversals, arbitration waits). The
+makespan's critical path is reconstructed by walking *backwards* from
+the final event: at each point in time ``t`` the walk picks the span
+that was finishing there (preferring, deterministically, real work over
+waits), attributes the interval back to that span's start to its kind,
+and jumps to the start. Intervals no recorded span covers become
+``unattributed`` segments (host-side gaps, event plumbing).
+
+The resulting segments partition ``[0, makespan]`` exactly — each
+segment begins where the previous one ended — so the per-category
+attribution *telescopes*: its sum equals the makespan up to float
+summation error, which the acceptance tests pin at 1e-9 relative.
+
+This is an attribution walk, not a full dependency-graph longest path:
+when several spans end at the same instant the tie-break (work before
+waits, then lane name) chooses one true chain among the equally-long
+candidates. That is exactly what a profiler wants — *a* maximal chain,
+deterministically — and costs O(segments × spans), which at the few
+thousand spans a run produces is microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .recorder import ActivitySpan
+
+#: Attribution categories, preference order for simultaneous ends:
+#: real work first, then waits; ``unattributed`` only fills gaps.
+CATEGORY_ORDER = (
+    "compute",
+    "bus",
+    "dma",
+    "noc",
+    "bus_wait",
+    "noc_wait",
+    "unattributed",
+)
+
+UNATTRIBUTED = "unattributed"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One interval of the critical path with its time attribution."""
+
+    start_s: float
+    end_s: float
+    kind: str
+    lane: str
+    detail: str
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def extract_critical_path(
+    activities: Sequence[ActivitySpan], makespan_s: float
+) -> Tuple[Tuple[Segment, ...], Dict[str, float]]:
+    """Walk back from ``makespan_s`` and attribute every interval.
+
+    Returns the chronological segment chain and the per-category
+    seconds. Unknown activity kinds get their own category so custom
+    instrumentation is never silently folded into ``unattributed``.
+    """
+    spans = [s for s in activities if s[3] > s[2]]
+    prio = {kind: i for i, kind in enumerate(CATEGORY_ORDER)}
+
+    segments: List[Segment] = []
+    t = makespan_s
+    while t > 0:
+        best = None
+        for span in spans:
+            kind, lane, start, end, _detail = span
+            if start >= t or end < t:
+                continue
+            if best is None:
+                best = span
+                continue
+            b_kind, b_lane, b_start, b_end, _b = best
+            rank = (
+                -start, prio.get(kind, len(prio)), lane, -end,
+            )
+            b_rank = (
+                -b_start, prio.get(b_kind, len(prio)), b_lane, -b_end,
+            )
+            if rank < b_rank:
+                best = span
+        if best is None:
+            # Gap: nothing was running at t; attribute back to the
+            # latest span end before t (or time zero).
+            prev_end = 0.0
+            for _kind, _lane, _start, end, _detail in spans:
+                if end < t and end > prev_end:
+                    prev_end = end
+            segments.append(Segment(prev_end, t, UNATTRIBUTED, "", ""))
+            t = prev_end
+        else:
+            kind, lane, start, end, detail = best
+            segments.append(Segment(start, t, kind, lane, detail))
+            t = start
+
+    segments.reverse()
+    attribution: Dict[str, float] = {kind: 0.0 for kind in CATEGORY_ORDER}
+    for seg in segments:
+        attribution[seg.kind] = attribution.get(seg.kind, 0.0) + seg.duration_s
+    return tuple(segments), attribution

@@ -1,0 +1,136 @@
+"""Per-resource utilization timeseries with queue-depth watermarks.
+
+Turns the recorder's raw activity spans into per-lane bucketed busy
+fractions over ``[0, makespan]`` plus the occupancy watermarks
+(deepest queue ever seen on the lane and when). Bucketing is exact —
+each span contributes its precise overlap with every bucket it crosses,
+so the sum over buckets times the bucket width equals the lane's total
+busy seconds regardless of the bucket count.
+
+``*_wait`` activity kinds are *not* busy time — a request sitting in an
+arbitration queue does not occupy the resource — so lanes show true
+utilization while the waits still reach the critical-path attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ...errors import ConfigurationError
+from .recorder import ActivitySpan, OccupancySample
+
+
+def is_busy_kind(kind: str) -> bool:
+    """Whether an activity kind counts as resource-busy time."""
+    return not kind.endswith("_wait")
+
+
+@dataclass(frozen=True)
+class LaneSeries:
+    """One resource lane's time-resolved utilization summary."""
+
+    lane: str
+    #: Total busy seconds over the run.
+    busy_s: float
+    #: ``busy_s / makespan`` — may exceed 1.0 on lanes that aggregate
+    #: concurrent work (the DMA engine with several transfers in flight).
+    utilization: float
+    #: Busy fraction per bucket, ``len == bucket count``.
+    buckets: Tuple[float, ...]
+    #: Deepest arbitration queue observed, and when.
+    peak_queue: int
+    peak_queue_t_s: float
+    #: Highest concurrent occupancy observed (capacity pressure).
+    peak_in_use: int
+
+
+def build_timeseries(
+    activities: Sequence[ActivitySpan],
+    occupancy_samples: Sequence[OccupancySample],
+    makespan_s: float,
+    buckets: int = 64,
+) -> Tuple[LaneSeries, ...]:
+    """Bucket activity spans into per-lane utilization series.
+
+    Lanes are the union of those seen in activities and occupancy
+    samples; output is sorted by total busy time (descending) then lane
+    name, so "top lanes" is a prefix.
+    """
+    if buckets < 1:
+        raise ConfigurationError(f"bucket count must be >= 1, got {buckets}")
+    if makespan_s <= 0:
+        raise ConfigurationError("makespan must be positive to bucket")
+    bucket_w = makespan_s / buckets
+
+    fills: Dict[str, List[float]] = {}
+    busy: Dict[str, float] = {}
+    for kind, lane, start, end, _detail in activities:
+        if not is_busy_kind(kind):
+            continue
+        busy[lane] = busy.get(lane, 0.0) + (end - start)
+        fill = fills.get(lane)
+        if fill is None:
+            fill = fills[lane] = [0.0] * buckets
+        # Clip to the chart range; spans never start before 0.
+        end = min(end, makespan_s)
+        if end <= start:
+            continue
+        first = min(int(start / bucket_w), buckets - 1)
+        last = min(int(end / bucket_w), buckets - 1)
+        for i in range(first, last + 1):
+            lo = max(start, i * bucket_w)
+            hi = min(end, (i + 1) * bucket_w)
+            if hi > lo:
+                fill[i] += (hi - lo) / bucket_w
+
+    peaks: Dict[str, Tuple[int, float, int]] = {}  # lane -> (queue, t, in_use)
+    for t, lane, in_use, queued in occupancy_samples:
+        pq, pt, pu = peaks.get(lane, (0, 0.0, 0))
+        if queued > pq:
+            pq, pt = queued, t
+        if in_use > pu:
+            pu = in_use
+        peaks[lane] = (pq, pt, pu)
+
+    lanes = sorted(set(fills) | set(peaks))
+    series = []
+    for lane in lanes:
+        pq, pt, pu = peaks.get(lane, (0, 0.0, 0))
+        series.append(LaneSeries(
+            lane=lane,
+            busy_s=busy.get(lane, 0.0),
+            utilization=busy.get(lane, 0.0) / makespan_s,
+            buckets=tuple(fills.get(lane, [0.0] * buckets)),
+            peak_queue=pq,
+            peak_queue_t_s=pt,
+            peak_in_use=pu,
+        ))
+    series.sort(key=lambda s: (-s.busy_s, s.lane))
+    return tuple(series)
+
+
+def lane_series_to_dict(series: LaneSeries) -> Dict[str, object]:
+    """JSON-safe form of one lane."""
+    return {
+        "lane": series.lane,
+        "busy_s": series.busy_s,
+        "utilization": series.utilization,
+        "buckets": list(series.buckets),
+        "peak_queue": series.peak_queue,
+        "peak_queue_t_s": series.peak_queue_t_s,
+        "peak_in_use": series.peak_in_use,
+    }
+
+
+def lane_series_from_dict(data: Dict[str, object]) -> LaneSeries:
+    """Inverse of :func:`lane_series_to_dict`."""
+    return LaneSeries(
+        lane=str(data["lane"]),
+        busy_s=float(data["busy_s"]),
+        utilization=float(data["utilization"]),
+        buckets=tuple(float(b) for b in data["buckets"]),  # type: ignore[union-attr]
+        peak_queue=int(data["peak_queue"]),  # type: ignore[arg-type]
+        peak_queue_t_s=float(data["peak_queue_t_s"]),  # type: ignore[arg-type]
+        peak_in_use=int(data["peak_in_use"]),  # type: ignore[arg-type]
+    )

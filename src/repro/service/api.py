@@ -20,11 +20,13 @@ for callers — like the default sweep path — that want the rich object.
 from __future__ import annotations
 
 import pathlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..errors import JobExecutionError
 from ..flow import ExperimentResult
+from ..io import FORMAT_VERSION, save_json
+from ..obs.profile.report import PROFILE_SET_KIND
 from ..obs.trace import Tracer, active
 from .cache import ResultCache
 from .executor import ExecutorConfig, JobRunner
@@ -47,6 +49,9 @@ class JobResult:
     duration_s: float = 0.0
     #: Full result object; ``None`` for cached/pool-computed jobs.
     result: Optional[ExperimentResult] = None
+    #: Simulation profiles (JSON-safe dicts keyed by system label);
+    #: populated only for freshly computed jobs of a profiling service.
+    profiles: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
 
 class DesignService:
@@ -61,17 +66,26 @@ class DesignService:
         runner: Optional[Callable[[DesignJob], Dict[str, Any]]] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        profile_dir: Optional[Union[str, pathlib.Path]] = None,
     ) -> None:
         if executor_config is None:
             executor_config = ExecutorConfig(jobs=jobs)
         self.cache = cache if cache is not None else ResultCache(cache_dir=cache_dir)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = active(tracer)
+        #: When set, every freshly computed job writes its simulation
+        #: profiles to ``<profile_dir>/<fingerprint>.profile.json``.
+        #: Cache hits produce no profiles — the summary cache predates
+        #: them and a hit runs no simulation to profile.
+        self.profile_dir = (
+            pathlib.Path(profile_dir) if profile_dir is not None else None
+        )
         self._runner = JobRunner(
             executor_config,
             runner=runner,
             tracer=self.tracer if self.tracer.enabled else None,
             metrics=self.metrics if self.tracer.enabled else None,
+            profile=self.profile_dir is not None,
         )
 
     def submit(self, job: DesignJob) -> JobResult:
@@ -129,6 +143,8 @@ class DesignService:
             self.metrics.incr("jobs_completed")
             self.metrics.incr("job_attempts", outcome.attempts)
             self.metrics.observe("job_latency", outcome.duration_s)
+            if self.profile_dir is not None and outcome.profiles:
+                self._persist_profiles(jobs[i], fp, outcome.profiles)
             results[i] = JobResult(
                 job=jobs[i],
                 fingerprint=fp,
@@ -136,6 +152,7 @@ class DesignService:
                 attempts=outcome.attempts,
                 duration_s=outcome.duration_s,
                 result=outcome.result,
+                profiles=outcome.profiles,
             )
 
         # Resolve coalesced duplicates from their representative.
@@ -152,6 +169,27 @@ class DesignService:
                     result=rep.result,
                 )
         return [r for r in results if r is not None]
+
+    def _persist_profiles(
+        self, job: DesignJob, fingerprint: str,
+        profiles: Dict[str, Dict[str, Any]],
+    ) -> pathlib.Path:
+        """Write one job's profile set under :attr:`profile_dir`."""
+        assert self.profile_dir is not None
+        self.profile_dir.mkdir(parents=True, exist_ok=True)
+        path = self.profile_dir / f"{fingerprint}.profile.json"
+        save_json(
+            {
+                "kind": PROFILE_SET_KIND,
+                "version": FORMAT_VERSION,
+                "app": job.app,
+                "fingerprint": fingerprint,
+                "profiles": profiles,
+            },
+            path,
+        )
+        self.metrics.incr("profiles_persisted")
+        return path
 
     # -- observability -----------------------------------------------------
     def stats(self) -> Dict[str, Any]:

@@ -20,18 +20,20 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import JobExecutionError, JobTimeoutError
 from ..flow import ExperimentResult, result_summary, run_experiment
+from ..obs.profile.report import profile_to_dict
 from ..obs.trace import Tracer
 from .jobs import DesignJob
 from .metrics import MetricsRegistry
 
 
 def execute_job(
-    job: DesignJob, tracer: Optional[Tracer] = None
+    job: DesignJob, tracer: Optional[Tracer] = None, profile: bool = False
 ) -> Tuple[ExperimentResult, Dict[str, Any]]:
     """Run one job in-process; returns the full result and its summary."""
     result = run_experiment(
@@ -42,6 +44,7 @@ def execute_job(
         simulate=job.simulate,
         design_overrides=job.design_overrides or None,
         trace=tracer,
+        profile=profile,
     )
     return result, result_summary(result)
 
@@ -51,19 +54,21 @@ def run_job_summary(job: DesignJob) -> Dict[str, Any]:
     return execute_job(job)[1]
 
 
-def run_job_instrumented(job: DesignJob) -> Dict[str, Any]:
+def run_job_instrumented(job: DesignJob, profile: bool = False) -> Dict[str, Any]:
     """Pool entry point shipping observability home with the summary.
 
     The worker process builds its own tracer and registry (neither can
     cross the process boundary live), then returns their picklable raw
     forms: span dicts for :meth:`repro.obs.trace.Tracer.merge` and a
     registry :meth:`~repro.service.metrics.MetricsRegistry.dump` for
-    :meth:`~repro.service.metrics.MetricsRegistry.merge`.
+    :meth:`~repro.service.metrics.MetricsRegistry.merge`. With
+    ``profile`` the worker also ships each system's simulation profile
+    as its JSON-safe dict form.
     """
     tracer = Tracer()
     registry = MetricsRegistry()
     start = time.perf_counter()
-    _result, summary = execute_job(job, tracer=tracer)
+    result, summary = execute_job(job, tracer=tracer, profile=profile)
     registry.observe("worker_job_seconds", time.perf_counter() - start,
                      labels={"app": job.app})
     registry.incr("worker_jobs", labels={"app": job.app})
@@ -71,6 +76,10 @@ def run_job_instrumented(job: DesignJob) -> Dict[str, Any]:
         "summary": summary,
         "spans": tracer.as_dicts(),
         "metrics": registry.dump(),
+        "profiles": {
+            system: profile_to_dict(p)
+            for system, p in result.profiles.items()
+        },
     }
 
 
@@ -102,6 +111,9 @@ class JobOutcome:
     result: Optional[ExperimentResult]
     attempts: int
     duration_s: float
+    #: Simulation profiles (JSON-safe dicts keyed by system label),
+    #: populated only when the runner executes with ``profile=True``.
+    profiles: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
 
 class JobRunner:
@@ -121,11 +133,15 @@ class JobRunner:
         runner: Optional[Callable[[DesignJob], Dict[str, Any]]] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        profile: bool = False,
     ) -> None:
         self.config = config
         self._runner = runner
         self.tracer = tracer
         self.metrics = metrics
+        #: Collect simulation profiles on every executed job (ignored
+        #: for injected custom runners, whose payload is their own).
+        self.profile = profile
         #: "parallel" or "serial" — how the last batch actually ran.
         self.last_mode: str = "serial"
 
@@ -168,11 +184,18 @@ class JobRunner:
         for attempt in range(1, self.config.retries + 2):
             start = time.perf_counter()
             try:
+                profiles: Dict[str, Dict[str, Any]] = {}
                 if self._runner is not None:
                     summary = self._runner(job)
                     result = None
                 else:
-                    result, summary = execute_job(job, tracer=self.tracer)
+                    result, summary = execute_job(
+                        job, tracer=self.tracer, profile=self.profile
+                    )
+                    profiles = {
+                        system: profile_to_dict(p)
+                        for system, p in result.profiles.items()
+                    }
                     if self.metrics is not None:
                         self.metrics.observe(
                             "worker_job_seconds",
@@ -188,6 +211,7 @@ class JobRunner:
                     result=result,
                     attempts=attempt,
                     duration_s=time.perf_counter() - start,
+                    profiles=profiles,
                 )
             except Exception as exc:
                 last_error = str(exc) or type(exc).__name__
@@ -205,11 +229,12 @@ class JobRunner:
     def _run_pool(
         self, pool: ProcessPoolExecutor, jobs: List[DesignJob]
     ) -> List[JobOutcome]:
-        instrumented = self._instrumented
+        wrapped = self._runner is None and (self._instrumented or self.profile)
         if self._runner is not None:
             func = self._runner
-        elif instrumented:
-            func = run_job_instrumented
+        elif wrapped:
+            # partial (not a lambda) so the callable stays picklable.
+            func = partial(run_job_instrumented, profile=self.profile)
         else:
             func = run_job_summary
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
@@ -226,14 +251,16 @@ class JobRunner:
             for i in pending:
                 try:
                     summary = futures[i].result(timeout=self.config.timeout_s)
-                    if instrumented:
-                        summary = self._absorb_payload(summary)
+                    profiles: Dict[str, Dict[str, Any]] = {}
+                    if wrapped:
+                        summary, profiles = self._absorb_payload(summary)
                     outcomes[i] = JobOutcome(
                         job=jobs[i],
                         summary=summary,
                         result=None,
                         attempts=attempts[i],
                         duration_s=time.perf_counter() - starts[i],
+                        profiles=profiles,
                     )
                 except FutureTimeout:
                     futures[i].cancel()
@@ -258,13 +285,19 @@ class JobRunner:
                 time.sleep(self.config.backoff_for(max(attempts[i] for i in pending)))
         return [o for o in outcomes if o is not None]
 
-    def _absorb_payload(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Merge a :func:`run_job_instrumented` payload; return the summary."""
+    def _absorb_payload(
+        self, payload: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], Dict[str, Dict[str, Any]]]:
+        """Merge a :func:`run_job_instrumented` payload.
+
+        Returns the job summary and any simulation profiles the worker
+        shipped alongside it.
+        """
         if self.tracer is not None:
             self.tracer.merge(payload.get("spans", ()))
         if self.metrics is not None:
             self.metrics.merge(payload.get("metrics", {}))
-        return payload["summary"]
+        return payload["summary"], payload.get("profiles", {})
 
 
 def _is_picklable(obj: Any) -> bool:

@@ -33,6 +33,7 @@ from fractions import Fraction
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
+from ..obs.export import escape_label_value
 
 #: Default histogram bucket upper bounds (seconds) — job latencies.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -41,10 +42,17 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 
 
 def metric_key(name: str, labels: Optional[Mapping[str, Any]] = None) -> str:
-    """Series key: ``name`` or ``name{k="v",...}`` with sorted labels."""
+    """Series key: ``name`` or ``name{k="v",...}`` with sorted labels.
+
+    Label values are escaped per the Prometheus exposition format
+    (backslash, quote, newline), so a value like a kernel named
+    ``a"b`` cannot corrupt the series identity or the exported text.
+    """
     if not labels:
         return name
-    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    inner = ",".join(
+        f'{k}="{escape_label_value(labels[k])}"' for k in sorted(labels)
+    )
     return f"{name}{{{inner}}}"
 
 

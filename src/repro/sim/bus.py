@@ -94,9 +94,15 @@ class PlbBus(Component):
             yield self._resource.request(requester)
             try:
                 self.log(f"xfer {burst}B from {requester}")
+                started = self.engine.now
                 yield self.cycles(self.transfer_cycles(burst))
                 self.bytes_moved += burst
                 self.transactions += 1
+                rec = self.recorder
+                if rec.enabled:
+                    rec.activity(
+                        "bus", self.name, started, self.engine.now, requester
+                    )
             finally:
                 self._resource.release()
             remaining -= burst

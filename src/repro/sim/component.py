@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from ..obs.profile import NULL_RECORDER
 from ..units import Clock
 from .engine import Engine
 
@@ -22,6 +23,9 @@ class Component:
         self.clock = clock
         self.tracing = trace
         self.trace: List[Tuple[float, str]] = []
+        # Profiling sink; the null object makes the hooks zero-cost
+        # (one attribute load + falsy check) when profiling is off.
+        self.recorder = NULL_RECORDER
 
     def cycles(self, n: float) -> float:
         """Convert ``n`` cycles of this component's clock to seconds."""

@@ -46,10 +46,20 @@ class DmaEngine(Component):
             return
         self.pending += 1
         self.peak_pending = max(self.peak_pending, self.pending)
+        rec = self.recorder
+        if rec.enabled:
+            rec.occupancy(self.name, self.engine.now, self.pending, 0)
         try:
+            started = self.engine.now
             yield self.cycles(self.setup_cycles)
+            if rec.enabled:
+                rec.activity(
+                    "dma", self.name, started, self.engine.now, requester
+                )
             self.log(f"dma {nbytes}B for {requester}")
             yield from self.bus.transfer(nbytes, requester=requester)
             self.transfers += 1
         finally:
             self.pending -= 1
+            if rec.enabled:
+                rec.occupancy(self.name, self.engine.now, self.pending, 0)

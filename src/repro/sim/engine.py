@@ -205,6 +205,14 @@ class Resource:
         # deepest queue ever observed (bus arbitration pressure).
         self.contentions = 0
         self.peak_waiters = 0
+        # Optional profiling hooks (duck-typed to keep the engine free of
+        # observability imports): when ``recorder`` is set, grants emit
+        # occupancy samples on ``profile_lane`` and contended requests
+        # emit ``wait_kind`` activity spans covering their queueing time.
+        self.recorder: Optional[object] = None
+        self.profile_lane = name
+        self.wait_kind = "wait"
+        self._wait_started: Dict[Event, float] = {}
 
     def queued(self) -> int:
         """Requests currently waiting for a grant."""
@@ -217,6 +225,8 @@ class Resource:
             self._grant(ev)
         else:
             self.contentions += 1
+            if self.recorder is not None:
+                self._wait_started[ev] = self.engine.now
             self._enqueue(ev, key)
             self.peak_waiters = max(self.peak_waiters, self.queued())
         return ev
@@ -232,6 +242,16 @@ class Resource:
         self.grants += 1
         if self._in_use == 1:
             self._busy_since = self.engine.now
+        rec = self.recorder
+        if rec is not None:
+            started = self._wait_started.pop(ev, None)
+            if started is not None:
+                rec.activity(
+                    self.wait_kind, self.profile_lane, started, self.engine.now
+                )
+            rec.occupancy(
+                self.profile_lane, self.engine.now, self._in_use, self.queued()
+            )
         ev.succeed()
 
     def release(self) -> None:
@@ -242,6 +262,10 @@ class Resource:
         if self._in_use == 0 and self._busy_since is not None:
             self.busy_time += self.engine.now - self._busy_since
             self._busy_since = None
+        if self.recorder is not None:
+            self.recorder.occupancy(
+                self.profile_lane, self.engine.now, self._in_use, self.queued()
+            )
         nxt = self._dequeue()
         if nxt is not None:
             self._grant(nxt)

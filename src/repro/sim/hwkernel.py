@@ -57,12 +57,23 @@ class HwKernelSim(Component):
             raise SimulationError(f"kernel {self.name!r} computed twice")
         self.started_at = self.engine.now
         half = self.tau_seconds / 2.0
+        rec = self.recorder
         self.log("compute: first half")
+        started = self.engine.now
         yield half
+        if rec.enabled:
+            rec.activity(
+                "compute", self.name, started, self.engine.now, "first half"
+            )
         self.compute_half.succeed()
         if second_half_gates:
             yield list(second_half_gates)
         self.log("compute: second half")
+        started = self.engine.now
         yield half
+        if rec.enabled:
+            rec.activity(
+                "compute", self.name, started, self.engine.now, "second half"
+            )
         self.finished_at = self.engine.now
         self.compute_done.succeed()

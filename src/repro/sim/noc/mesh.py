@@ -161,8 +161,15 @@ class NocMesh(Component):
         adapters = self.params.adapters
         chunks = self._chunks(nbytes)
         path = self.route(src, dst)
+        rec = self.recorder
         # Injection through the kernel-side network adapter (head).
+        started = self.engine.now
         yield self.cycles(adapters.kernel_inject_cycles)
+        if rec.enabled:
+            rec.activity(
+                "noc", f"{self.name}.adapter", started, self.engine.now,
+                f"inject:{flow}",
+            )
 
         def packet_proc(packet: Packet):
             prev: Coord = src
@@ -171,11 +178,17 @@ class NocMesh(Component):
                 yield link.arbiter.request(key=prev)
                 try:
                     self.log(f"pkt{packet.pid} {hop_src}->{hop_dst}")
+                    hop_started = self.engine.now
                     yield (
                         self.cycles(self.params.hop_latency_cycles)
                         + link.serialization_seconds(packet.nbytes)
                     )
                     link.record(packet.nbytes)
+                    if rec.enabled:
+                        rec.activity(
+                            "noc", f"noc{hop_src}->{hop_dst}",
+                            hop_started, self.engine.now, packet.flow,
+                        )
                 finally:
                     link.arbiter.release()
                 prev = hop_src
@@ -192,7 +205,13 @@ class NocMesh(Component):
         if procs:
             yield procs
         # Ejection through the memory-side network adapter (tail).
+        started = self.engine.now
         yield self.cycles(adapters.memory_eject_cycles)
+        if rec.enabled:
+            rec.activity(
+                "noc", f"{self.name}.adapter", started, self.engine.now,
+                f"eject:{flow}",
+            )
 
     def _send_wormhole(self, src: Coord, dst: Coord, nbytes: int, flow: str):
         """Wormhole switching: each packet reserves its path end to end.
@@ -209,7 +228,14 @@ class NocMesh(Component):
         """
         adapters = self.params.adapters
         path = self.route(src, dst)
+        rec = self.recorder
+        started = self.engine.now
         yield self.cycles(adapters.kernel_inject_cycles)
+        if rec.enabled:
+            rec.activity(
+                "noc", f"{self.name}.adapter", started, self.engine.now,
+                f"inject:{flow}",
+            )
         for chunk in self._chunks(nbytes):
             packet = Packet(next(self._pid), src, dst, chunk, flow=flow)
             held: list = []
@@ -220,10 +246,23 @@ class NocMesh(Component):
                     yield link.arbiter.request(key=prev)
                     held.append(link)
                     self.log(f"worm{packet.pid} head {hop_src}->{hop_dst}")
+                    hop_started = self.engine.now
                     yield self.cycles(self.params.hop_latency_cycles)
+                    if rec.enabled:
+                        rec.activity(
+                            "noc", f"noc{hop_src}->{hop_dst}",
+                            hop_started, self.engine.now, flow,
+                        )
                     prev = hop_src
                 if held:
+                    ser_started = self.engine.now
                     yield held[0].serialization_seconds(chunk)
+                    if rec.enabled and path:
+                        ser_src, ser_dst = path[0]
+                        rec.activity(
+                            "noc", f"noc{ser_src}->{ser_dst}",
+                            ser_started, self.engine.now, flow,
+                        )
                 for link in held:
                     link.record(chunk)
             finally:
@@ -231,7 +270,13 @@ class NocMesh(Component):
                     link.arbiter.release()
             self.packets_delivered += 1
             self.bytes_delivered += chunk
+        started = self.engine.now
         yield self.cycles(adapters.memory_eject_cycles)
+        if rec.enabled:
+            rec.activity(
+                "noc", f"{self.name}.adapter", started, self.engine.now,
+                f"eject:{flow}",
+            )
 
     def transfer_seconds(self, src: Coord, dst: Coord, nbytes: int) -> float:
         """Uncontended latency of one transfer (for model cross-checks).

@@ -123,6 +123,41 @@ class SimulatedTimes:
         )
 
 
+def _attach_recorder(
+    recorder,
+    bus: Optional[PlbBus] = None,
+    dma: Optional[DmaEngine] = None,
+    noc: Optional[NocMesh] = None,
+    sims=(),
+) -> None:
+    """Point a system's components at a profiling recorder.
+
+    No-op for ``None`` or a disabled recorder so the simulators stay
+    zero-cost by default. Arbitration-level hooks (bus grants, NoC link
+    waits) go through the duck-typed attributes on the engine's
+    :class:`~repro.sim.engine.Resource` instances; the lane and wait
+    kind set here are what the profiler's timeseries and critical path
+    report.
+    """
+    if recorder is None or not recorder.enabled:
+        return
+    if bus is not None:
+        bus.recorder = recorder
+        bus._resource.recorder = recorder
+        bus._resource.profile_lane = bus.name
+        bus._resource.wait_kind = "bus_wait"
+    if dma is not None:
+        dma.recorder = recorder
+    if noc is not None:
+        noc.recorder = recorder
+        for (src, dst), link in noc.links.items():
+            link.arbiter.recorder = recorder
+            link.arbiter.profile_lane = f"noc{src}->{dst}"
+            link.arbiter.wait_kind = "noc_wait"
+    for sim in sims:
+        sim.recorder = recorder
+
+
 def simulate_software(graph: CommGraph, host_other_s: float) -> SimulatedTimes:
     """All-software execution: purely additive on the host."""
     sw = sum(graph.kernel(k).sw_seconds for k in graph.kernel_names())
@@ -139,21 +174,39 @@ def simulate_baseline(
     graph: CommGraph,
     host_other_s: float,
     params: SystemParams = SystemParams(),
+    recorder=None,
 ) -> SimulatedTimes:
-    """The conventional bus-based accelerator (Section III-A)."""
+    """The conventional bus-based accelerator (Section III-A).
+
+    ``recorder`` (a :class:`repro.obs.profile.TimeseriesRecorder`) turns
+    on simulation-time profiling; deliveries are recorded host-mediated
+    (``host→k`` of ``D_in``, ``k→host`` of ``D_out``) because every byte
+    crosses the bus through the host in this system.
+    """
     engine = Engine()
     bus = params.make_bus(engine)
     dma = DmaEngine(engine, bus, setup_cycles=params.dma_setup_cycles)
+    _attach_recorder(recorder, bus=bus, dma=dma)
 
     spans: Dict[str, Tuple[float, float]] = {}
 
     def main():
         for name in graph.invocation_order():
             sim = HwKernelSim(engine, graph.kernel(name))
+            if recorder is not None:
+                sim.recorder = recorder
             yield from dma.transfer(graph.d_in(name), requester=f"{name}.in")
+            if recorder is not None:
+                recorder.delivery(
+                    engine.now, "host", name, graph.d_in(name), "bus"
+                )
             yield from sim.compute()
             sim.outputs_done.succeed()
             yield from dma.transfer(graph.d_out(name), requester=f"{name}.out")
+            if recorder is not None:
+                recorder.delivery(
+                    engine.now, name, "host", graph.d_out(name), "bus"
+                )
             spans[name] = (sim.started_at, sim.finished_at)
 
     engine.process(main(), name="baseline")
@@ -174,6 +227,7 @@ def simulate_pipelined_baseline(
     graph: CommGraph,
     host_other_s: float,
     params: SystemParams = SystemParams(),
+    recorder=None,
 ) -> SimulatedTimes:
     """A smarter bus-only baseline: double-buffered input fetch.
 
@@ -191,6 +245,7 @@ def simulate_pipelined_baseline(
 
     order = graph.invocation_order()
     sims = {name: HwKernelSim(engine, graph.kernel(name)) for name in order}
+    _attach_recorder(recorder, bus=bus, dma=dma, sims=sims.values())
     fetched = {name: engine.event() for name in order}
     spans: Dict[str, Tuple[float, float]] = {}
 
@@ -198,6 +253,10 @@ def simulate_pipelined_baseline(
         # Fetch inputs in invocation order, ahead of the compute chain.
         for name in order:
             yield from dma.transfer(graph.d_in(name), requester=f"{name}.in")
+            if recorder is not None:
+                recorder.delivery(
+                    engine.now, "host", name, graph.d_in(name), "bus"
+                )
             fetched[name].succeed()
 
     def executor():
@@ -207,6 +266,10 @@ def simulate_pipelined_baseline(
             yield from sim.compute()
             sim.outputs_done.succeed()
             yield from dma.transfer(graph.d_out(name), requester=f"{name}.out")
+            if recorder is not None:
+                recorder.delivery(
+                    engine.now, name, "host", graph.d_out(name), "bus"
+                )
             spans[name] = (sim.started_at, sim.finished_at)
 
     engine.process(prefetcher(), name="prefetch")
@@ -234,6 +297,7 @@ def simulate_proposed(
     host_other_s: float,
     params: SystemParams = SystemParams(),
     components_out: Optional[Dict[str, object]] = None,
+    recorder=None,
 ) -> SimulatedTimes:
     """Execute the designed system as a concurrent process network.
 
@@ -241,6 +305,12 @@ def simulate_proposed(
     ``"noc"``, ``"dma"`` and ``"engine"`` component instances after the
     run, so callers (e.g. the statistics collector) can read their exact
     counters.
+
+    ``recorder`` turns on simulation-time profiling: components emit
+    activity/occupancy samples and every kernel→kernel or host↔kernel
+    payload is recorded as a *direct* delivery on the channel it used
+    (``sm``, ``noc`` or ``bus``), which the profiler diffs against the
+    plan's graph for byte conservation.
     """
     graph = plan.graph
     engine = Engine()
@@ -286,6 +356,7 @@ def simulate_proposed(
     }
 
     sims = {name: HwKernelSim(engine, graph.kernel(name)) for name in order}
+    _attach_recorder(recorder, bus=bus, dma=dma, noc=noc, sims=sims.values())
     first_arrive: Dict[Tuple[str, str], Event] = {}
     second_arrive: Dict[Tuple[str, str], Event] = {}
     for e in all_edges:
@@ -296,14 +367,24 @@ def simulate_proposed(
     def sender(p: str, c: str, nbytes: int, kind: str):
         sim = sims[p]
         streamed = (p, c) in case2 and kind in ("sm", "noc")
+        rec = recorder
         if kind == "sm":
+            # Shared local memory: the consumer reads in place, so the
+            # "delivery" is instantaneous at the producer's commit point.
             if streamed:
+                h1, h2 = _split(nbytes)
                 yield sim.compute_half
+                if rec is not None:
+                    rec.delivery(engine.now, p, c, h1, "sm")
                 first_arrive[(p, c)].succeed()
                 yield sim.compute_done
+                if rec is not None:
+                    rec.delivery(engine.now, p, c, h2, "sm")
                 second_arrive[(p, c)].succeed()
             else:
                 yield sim.compute_done
+                if rec is not None:
+                    rec.delivery(engine.now, p, c, nbytes, "sm")
                 first_arrive[(p, c)].succeed()
                 second_arrive[(p, c)].succeed()
         elif kind == "noc":
@@ -316,14 +397,20 @@ def simulate_proposed(
                 yield sim.compute_half
                 if h1:
                     yield from noc.send(src, dst, h1, flow=flow)
+                if rec is not None:
+                    rec.delivery(engine.now, p, c, h1, "noc")
                 first_arrive[(p, c)].succeed()
                 yield sim.compute_done
                 if h2:
                     yield from noc.send(src, dst, h2, flow=flow)
+                if rec is not None:
+                    rec.delivery(engine.now, p, c, h2, "noc")
                 second_arrive[(p, c)].succeed()
             else:
                 yield sim.compute_done
                 yield from noc.send(src, dst, nbytes, flow=flow)
+                if rec is not None:
+                    rec.delivery(engine.now, p, c, nbytes, "noc")
                 first_arrive[(p, c)].succeed()
                 second_arrive[(p, c)].succeed()
         elif kind == "relay":
@@ -332,6 +419,8 @@ def simulate_proposed(
             yield sim.compute_done
             yield from dma.transfer(nbytes, requester=f"{p}->host")
             yield from dma.transfer(nbytes, requester=f"host->{c}")
+            if rec is not None:
+                rec.delivery(engine.now, p, c, nbytes, "bus")
             first_arrive[(p, c)].succeed()
             second_arrive[(p, c)].succeed()
         else:  # pragma: no cover - defensive
@@ -356,12 +445,18 @@ def simulate_proposed(
             yield sim.compute_half
             if h1:
                 yield from dma.transfer(h1, requester=f"{name}.out1")
+                if recorder is not None:
+                    recorder.delivery(engine.now, name, "host", h1, "bus")
             yield sim.compute_done
             if h2:
                 yield from dma.transfer(h2, requester=f"{name}.out2")
+                if recorder is not None:
+                    recorder.delivery(engine.now, name, "host", h2, "bus")
         else:
             yield sim.compute_done
             yield from dma.transfer(h_out, requester=f"{name}.out")
+            if recorder is not None:
+                recorder.delivery(engine.now, name, "host", h_out, "bus")
 
     uploader_procs = [
         engine.process(uploader(n), name=f"upload:{n}") for n in order
@@ -378,12 +473,18 @@ def simulate_proposed(
                 h1, h2 = _split(h_in)
                 if h1:
                     yield from dma.transfer(h1, requester=f"{name}.in1")
+                    if recorder is not None:
+                        recorder.delivery(engine.now, "host", name, h1, "bus")
                 if h2:
                     def fetch_rest(n=name, b=h2):
                         yield from dma.transfer(b, requester=f"{n}.in2")
+                        if recorder is not None:
+                            recorder.delivery(engine.now, "host", n, b, "bus")
                     fetch2 = engine.process(fetch_rest(), name=f"fetch2:{name}")
             else:
                 yield from dma.transfer(h_in, requester=f"{name}.in")
+                if recorder is not None:
+                    recorder.delivery(engine.now, "host", name, h_in, "bus")
         # Wait for forward-edge inputs (first halves).
         forward_in = [
             (p, name)

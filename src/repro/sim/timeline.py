@@ -15,12 +15,16 @@ into a terminal chart::
 
 from __future__ import annotations
 
-from typing import Mapping, Tuple
+import math
+from typing import Mapping, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from .systems import SimulatedTimes
 
 Span = Tuple[float, float]
+
+#: Busy-fraction glyph ramp for utilization lanes (blank = idle).
+UTIL_RAMP = " .:-=+*#%@"
 
 
 def render_gantt(
@@ -50,6 +54,14 @@ def render_gantt(
         spans.items(), key=lambda kv: (kv[1][0], kv[0])
     ):
         lo = min(int(width * start / horizon), width - 1)
+        if end == start:
+            # A zero-length span is an instant, not a duration: mark it
+            # with a tick instead of a phantom one-cell bar (which, for
+            # a span sitting exactly at the horizon, would render as if
+            # time had been spent before the end of the chart).
+            bar = " " * lo + "|" + " " * (width - lo - 1)
+            rows.append(f"{name:<{name_w}} |{bar}|")
+            continue
         hi = min(int(-(-width * end // horizon)), width)  # ceil, clipped
         hi = max(hi, lo + 1)  # every span visible
         bar = " " * lo + "#" * (hi - lo) + " " * (width - hi)
@@ -78,6 +90,46 @@ def render_comparison(
             render_gantt(proposed.kernel_spans, width=width, end_time=horizon),
         ]
     )
+
+
+def render_utilization_lanes(
+    lanes: Mapping[str, Sequence[float]],
+    horizon_s: float | None = None,
+) -> str:
+    """Render per-lane bucketed busy fractions as glyph-ramp rows.
+
+    ``lanes`` maps a lane name to its busy fraction per time bucket
+    (``repro.obs.profile.timeseries`` produces these); every lane must
+    have the same bucket count, which becomes the chart width. A blank
+    cell is idle, ``@`` is saturated; any non-zero fraction is visible.
+    With ``horizon_s`` a time scale is appended.
+    """
+    if not lanes:
+        return "(no lanes)"
+    widths = {len(b) for b in lanes.values()}
+    if len(widths) != 1:
+        raise ConfigurationError(
+            f"lanes disagree on bucket count: {sorted(widths)}"
+        )
+    width = widths.pop()
+    if width < 1:
+        raise ConfigurationError("utilization lanes need at least one bucket")
+    n = len(UTIL_RAMP)
+    name_w = max(len(name) for name in lanes)
+    rows = []
+    for name, buckets in lanes.items():
+        cells = []
+        for f in buckets:
+            if f <= 0:
+                cells.append(UTIL_RAMP[0])
+            else:
+                cells.append(UTIL_RAMP[max(1, min(n - 1, math.ceil(f * (n - 1))))])
+        rows.append(f"{name:<{name_w}} |{''.join(cells)}|")
+    if horizon_s is not None and width >= 10:
+        rows.append(
+            f"{'':<{name_w}}  0{'':<{width - 10}}{horizon_s * 1e3:8.3f}ms"
+        )
+    return "\n".join(rows)
 
 
 def overlap_fraction(spans: Mapping[str, Span]) -> float:

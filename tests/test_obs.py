@@ -418,3 +418,43 @@ class TestServiceInstrumentation:
         assert doc["traceEvents"]
         phases = {e["ph"] for e in doc["traceEvents"]}
         assert "X" in phases
+
+
+class TestLabelEscaping:
+    """Regression: hostile label values must not corrupt the exposition."""
+
+    def test_escape_label_value(self):
+        from repro.obs.export import escape_label_value
+
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value(42) == "42"
+        assert escape_label_value("plain") == "plain"
+
+    def test_metric_key_escapes_values(self):
+        from repro.service.metrics import metric_key
+
+        key = metric_key("jobs", {"app": 'a"b\n'})
+        assert key == 'jobs{app="a\\"b\\n"}'
+
+    def test_hostile_label_round_trips_through_exposition(self):
+        from repro.obs.export import to_prometheus
+
+        registry = MetricsRegistry()
+        registry.incr("jobs", labels={"app": 'evil"} repro_fake 1\n'})
+        text = to_prometheus(registry.snapshot())
+        # One declaration, one sample — the injected newline/quote must
+        # not have produced an extra exposition line.
+        lines = [l for l in text.strip().splitlines() if l]
+        assert len(lines) == 2
+        assert lines[1].startswith('repro_jobs{app="evil\\"} repro_fake')
+        assert "repro_fake 1" not in lines[0]
+
+    def test_distinct_hostile_values_stay_distinct_series(self):
+        from repro.service.metrics import metric_key
+
+        # Unescaped, both would collapse to the same key.
+        a = metric_key("m", {"k": 'x"y'})
+        b = metric_key("m", {"k": 'x\\"y'})
+        assert a != b

@@ -79,3 +79,63 @@ class TestCollect:
         )
         with pytest.raises(ConfigurationError):
             stats.parallelism()
+
+
+class TestTorusAndDuplication:
+    """Link accounting under torus routing and with duplicated kernels."""
+
+    @pytest.fixture(scope="class")
+    def torus_run(self):
+        from repro.flow import run_experiment
+
+        r = run_experiment(
+            "jpeg", design_overrides={"noc_topology": "torus"}
+        )
+        components = {}
+        times = simulate_proposed(
+            r.plan, r.fitted.host_other_s, SystemParams(),
+            components_out=components,
+        )
+        return r, times, components
+
+    def test_plan_actually_torus(self, torus_run):
+        r, _, _ = torus_run
+        assert r.plan.noc is not None
+        assert r.plan.noc.placement.torus
+
+    def test_flits_follow_ceil_formula_on_torus(self, torus_run):
+        _, times, components = torus_run
+        noc = components["noc"]
+        stats = collect_stats(times, noc=noc)
+        assert stats.links
+        flit_bytes = noc.params.link_width_bytes
+        for link in stats.links:
+            assert link.flits == -(-link.bytes_moved // flit_bytes)
+            assert link.flits > 0
+
+    def test_busiest_link_is_max_bytes_on_torus(self, torus_run):
+        _, times, components = torus_run
+        stats = collect_stats(times, noc=components["noc"])
+        busiest = stats.busiest_link
+        assert busiest in stats.links
+        assert busiest.bytes_moved == max(l.bytes_moved for l in stats.links)
+        # flits of the busiest link are consistent with its own bytes,
+        # not with the aggregate.
+        assert busiest.flits == -(
+            -busiest.bytes_moved // components["noc"].params.link_width_bytes
+        )
+
+    def test_duplicated_kernel_copies_both_tracked(self, jpeg_run):
+        times, _ = jpeg_run
+        stats = collect_stats(times)
+        copies = [k for k in stats.kernel_busy if k.startswith("huff_ac_dec#")]
+        assert sorted(copies) == ["huff_ac_dec#0", "huff_ac_dec#1"]
+        for name in copies:
+            assert stats.kernel_busy[name] > 0
+
+    def test_mesh_vs_torus_same_traffic_totals(self, jpeg_run, torus_run):
+        # Routing topology changes *where* bytes travel, not *how many*
+        # arrive: both runs deliver the same NoC payload.
+        mesh_times, _ = jpeg_run
+        _, torus_times, _ = torus_run
+        assert torus_times.noc_bytes == mesh_times.noc_bytes

@@ -82,3 +82,61 @@ class TestSimulatedTimelines:
         for r in all_results.values():
             expected = set(r.plan.graph.kernel_names())
             assert set(r.sim_proposed.kernel_spans) == expected
+
+
+class TestZeroLengthSpans:
+    def test_zero_length_span_renders_tick_not_bar(self):
+        text = render_gantt({"blip": (0.5, 0.5), "big": (0.0, 1.0)}, width=20)
+        blip_row = next(l for l in text.splitlines() if l.startswith("blip"))
+        bar = blip_row.split("|", 1)[1].rsplit("|", 1)[0]
+        assert "#" not in bar
+        assert bar.count("|") == 1
+        assert bar.index("|") == 10  # at the midpoint, not the origin
+
+    def test_zero_length_span_at_horizon_stays_inside_chart(self):
+        # Before the fix this rendered a phantom one-cell bar as if time
+        # had been spent before the end of the chart.
+        text = render_gantt({"end": (1.0, 1.0), "big": (0.0, 1.0)}, width=20)
+        end_row = next(l for l in text.splitlines() if l.startswith("end"))
+        bar = end_row.split("|", 1)[1].rsplit("|", 1)[0]
+        assert len(bar) == 20
+        assert bar[-1] == "|" and "#" not in bar
+
+    def test_all_zero_spans_without_horizon_still_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_gantt({"a": (0.0, 0.0)})
+
+
+class TestUtilizationLanes:
+    def test_glyph_ramp_extremes(self):
+        from repro.sim.timeline import UTIL_RAMP, render_utilization_lanes
+
+        text = render_utilization_lanes({"plb": [0.0, 1.0]})
+        bar = text.split("|", 1)[1].rsplit("|", 1)[0]
+        assert bar[0] == " "  # idle bucket is blank
+        assert bar[1] == UTIL_RAMP[-1]  # saturated bucket is the top glyph
+
+    def test_tiny_nonzero_fraction_visible(self):
+        from repro.sim.timeline import render_utilization_lanes
+
+        text = render_utilization_lanes({"plb": [1e-9, 0.0]})
+        bar = text.split("|", 1)[1].rsplit("|", 1)[0]
+        assert bar[0] != " "
+
+    def test_time_scale_footer(self):
+        from repro.sim.timeline import render_utilization_lanes
+
+        text = render_utilization_lanes({"plb": [0.5] * 16}, horizon_s=0.001)
+        assert text.splitlines()[-1].strip().startswith("0")
+        assert "ms" in text.splitlines()[-1]
+
+    def test_mismatched_bucket_counts_rejected(self):
+        from repro.sim.timeline import render_utilization_lanes
+
+        with pytest.raises(ConfigurationError):
+            render_utilization_lanes({"a": [0.5], "b": [0.5, 0.5]})
+
+    def test_empty(self):
+        from repro.sim.timeline import render_utilization_lanes
+
+        assert render_utilization_lanes({}) == "(no lanes)"
