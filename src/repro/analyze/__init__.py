@@ -1,0 +1,46 @@
+"""``repro.analyze`` — static diagnostics over plans, graphs and NoCs.
+
+The ``repro lint`` engine (DESIGN.md §11): a pure, simulation-free rule
+pass that turns a designed :class:`~repro.core.plan.InterconnectPlan`
+into typed :class:`Diagnostic` findings — structural obligations that
+must hold (errors), design smells (warnings), and derived facts worth
+surfacing (info/hints). The optional ``--sim-crosscheck`` step then
+proves every static bandwidth bound against the discrete-event
+simulator.
+"""
+
+from .bounds import LaneBounds, bus_demand_bytes, lane_bounds, relay_edges
+from .cdg import DeadlockAnalysis, analyze_deadlock, channel_dependency_graph
+from .crosscheck import CROSSCHECK_RULE, crosscheck_plan
+from .diagnostics import (
+    LINT_KIND,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    report_from_dict,
+)
+from .engine import AnalysisContext, Rule, all_rules, analyze_plan, get_rule
+from .sarif import to_sarif
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "CROSSCHECK_RULE",
+    "DeadlockAnalysis",
+    "Diagnostic",
+    "LINT_KIND",
+    "LaneBounds",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_deadlock",
+    "analyze_plan",
+    "bus_demand_bytes",
+    "channel_dependency_graph",
+    "crosscheck_plan",
+    "get_rule",
+    "lane_bounds",
+    "relay_edges",
+    "report_from_dict",
+    "to_sarif",
+]

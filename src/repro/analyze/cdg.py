@@ -1,0 +1,132 @@
+"""Channel-dependency-graph deadlock analysis of the NoC routing.
+
+Classic result (Dally & Seitz): a routing function is deadlock-free if
+and only if its *channel dependency graph* — one node per directed
+link, one edge whenever a route can hold link ``a`` while requesting
+link ``b`` next — is acyclic. This module builds the CDG of the repo's
+deterministic routing functions (:func:`repro.sim.noc.routing.xy_route`
+on a mesh, :func:`~repro.sim.noc.routing.torus_xy_route` on a torus)
+over *all* source/destination pairs of the topology, so the verdict is
+a property of the routing function, not just of one plan's flows.
+
+Mesh XY routing is provably acyclic (dimension order forbids y→x
+turns). The torus's shortest-way-around routing is *unrestricted* in
+the classic sense — wrap links close each ring, and any ring whose
+routes traverse two consecutive links in the same direction produces a
+dependency cycle (first seen at ring size 4). The analyzer reports the
+concrete cycle as evidence; whether that is an error depends on the
+transport (see ``N001`` in :mod:`repro.analyze.rules_noc`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sim.noc.routing import torus_xy_route, xy_route
+
+Coord = Tuple[int, int]
+Link = Tuple[Coord, Coord]
+
+
+def route_links(
+    src: Coord, dst: Coord, width: int, height: int, torus: bool
+) -> List[Link]:
+    """The directed links one route occupies, in traversal order."""
+    if torus:
+        return torus_xy_route(src, dst, width, height)
+    return xy_route(src, dst)
+
+
+def channel_dependency_graph(
+    width: int, height: int, torus: bool
+) -> Dict[Link, Set[Link]]:
+    """CDG of the routing function over every node pair.
+
+    Keys are every link any route uses; values are the links that can
+    be requested while the key link is held (i.e. the next link of some
+    route). Deterministic iteration order is preserved for stable
+    cycle witnesses.
+    """
+    cdg: Dict[Link, Set[Link]] = {}
+    nodes = [(x, y) for y in range(height) for x in range(width)]
+    for src in nodes:
+        for dst in nodes:
+            if src == dst:
+                continue
+            path = route_links(src, dst, width, height, torus)
+            for link in path:
+                cdg.setdefault(link, set())
+            for held, wanted in zip(path, path[1:]):
+                cdg[held].add(wanted)
+    return cdg
+
+
+def find_cycle(cdg: Dict[Link, Set[Link]]) -> Optional[List[Link]]:
+    """A concrete dependency cycle, or ``None`` when the CDG is acyclic.
+
+    Iterative three-color DFS in sorted order, so the same CDG always
+    yields the same witness (tests pin it as a golden value). The
+    returned list is the cycle's links in dependency order; the first
+    link depends on the second, and the last depends on the first.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[Link, int] = {link: WHITE for link in cdg}
+    for start in sorted(cdg):
+        if color[start] != WHITE:
+            continue
+        stack: List[Tuple[Link, List[Link]]] = [(start, sorted(cdg[start]))]
+        color[start] = GRAY
+        path = [start]
+        while stack:
+            link, successors = stack[-1]
+            if successors:
+                nxt = successors.pop(0)
+                if color.get(nxt, WHITE) == GRAY:
+                    return path[path.index(nxt):]
+                if color.get(nxt, WHITE) == WHITE:
+                    color[nxt] = GRAY
+                    path.append(nxt)
+                    stack.append((nxt, sorted(cdg[nxt])))
+            else:
+                color[link] = BLACK
+                path.pop()
+                stack.pop()
+    return None
+
+
+@dataclass(frozen=True)
+class DeadlockAnalysis:
+    """Outcome of the CDG deadlock proof for one topology."""
+
+    width: int
+    height: int
+    torus: bool
+    links: int
+    dependencies: int
+    #: ``None`` = acyclic = deadlock-free routing.
+    cycle: Optional[Tuple[Link, ...]]
+
+    @property
+    def deadlock_free(self) -> bool:
+        return self.cycle is None
+
+    def cycle_as_strings(self) -> List[str]:
+        """The witness in ``(x,y)->(x,y)`` form (JSON-safe evidence)."""
+        if self.cycle is None:
+            return []
+        return [f"{a}->{b}" for a, b in self.cycle]
+
+
+def analyze_deadlock(width: int, height: int, torus: bool) -> DeadlockAnalysis:
+    """Build the CDG and run the cycle search for one topology."""
+    cdg = channel_dependency_graph(width, height, torus)
+    cycle = find_cycle(cdg)
+    return DeadlockAnalysis(
+        width=width,
+        height=height,
+        torus=torus,
+        links=len(cdg),
+        dependencies=sum(len(v) for v in cdg.values()),
+        cycle=None if cycle is None else tuple(cycle),
+    )

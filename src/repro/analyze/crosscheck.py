@@ -1,0 +1,160 @@
+"""``--sim-crosscheck``: prove the static bounds against the simulator.
+
+The analyzer's bandwidth findings (``P001``) are *claims* about what no
+schedule can avoid. This module makes the claims falsifiable: it runs
+the discrete-event simulator on the same plan and asserts
+
+* the measured kernel-phase makespan is never below the static bus
+  bound nor below any static link bound (soundness of the bounds);
+* the bus moved exactly the mandatory byte count the analyzer charged
+  (host traffic + two trips per relayed edge);
+* every NoC link moved exactly the bytes the channel-load analysis
+  planned for it, and the NoC delivered exactly the planned flow total
+  (deterministic routing admits no slack).
+
+Any discrepancy is an ``X001`` error diagnostic — either the bound or
+the simulator is wrong, and both are repo code, so that is always a
+bug. Agreement yields a single info diagnostic recording how many
+bounds were confirmed. The helpers in :mod:`repro.analyze.bounds` are
+shared with the rules, so the number checked here is — by construction
+— the same number the rule reported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.plan import InterconnectPlan
+from ..sim.systems import SystemParams, simulate_proposed
+from .bounds import LaneBounds, lane_bounds, link_name
+from .diagnostics import Diagnostic, Severity
+
+#: Rule id under which crosscheck findings are reported.
+CROSSCHECK_RULE = "X001"
+
+#: Absolute slack for float comparisons of times (seconds). The bounds
+#: are exact cycle counts converted once, so only representation noise
+#: is tolerated — not modelling error.
+_EPS = 1e-12
+
+
+def crosscheck_plan(
+    plan: InterconnectPlan,
+    params: Optional[SystemParams] = None,
+    bounds: Optional[LaneBounds] = None,
+) -> List[Diagnostic]:
+    """Simulate the plan and verify every static lane bound against it."""
+    params = params if params is not None else SystemParams()
+    bounds = bounds if bounds is not None else lane_bounds(plan, params)
+    components: Dict[str, object] = {}
+    times = simulate_proposed(
+        plan, host_other_s=0.0, params=params, components_out=components
+    )
+    makespan = times.kernels_s
+    out: List[Diagnostic] = []
+    confirmed = 0
+
+    def fail(path: str, message: str, **evidence: object) -> None:
+        out.append(
+            Diagnostic(
+                rule=CROSSCHECK_RULE,
+                severity=Severity.ERROR,
+                path=path,
+                message=message,
+                evidence=dict(evidence),
+            )
+        )
+
+    if makespan + _EPS < bounds.bus_bound_s:
+        fail(
+            "lanes.bus",
+            f"simulated makespan {makespan!r}s beats the static bus bound "
+            f"{bounds.bus_bound_s!r}s — the bound is unsound",
+            makespan_s=makespan, bound_s=bounds.bus_bound_s,
+        )
+    else:
+        confirmed += 1
+    for link in sorted(bounds.link_bounds_s):
+        bound = bounds.link_bounds_s[link]
+        if makespan + _EPS < bound:
+            fail(
+                f"lanes.{link_name(link)}",
+                f"simulated makespan {makespan!r}s beats the static "
+                f"{link_name(link)} bound {bound!r}s — the bound is unsound",
+                makespan_s=makespan, bound_s=bound,
+            )
+        else:
+            confirmed += 1
+
+    bus = components["bus"]
+    measured_bus = int(bus.bytes_moved)  # type: ignore[attr-defined]
+    if measured_bus != bounds.bus_bytes:
+        fail(
+            "lanes.bus",
+            f"bus moved {measured_bus} B but the analyzer charged "
+            f"{bounds.bus_bytes} B of mandatory traffic",
+            measured_bytes=measured_bus, static_bytes=bounds.bus_bytes,
+        )
+    else:
+        confirmed += 1
+
+    noc = components.get("noc")
+    if noc is not None:
+        links = noc.links  # type: ignore[attr-defined]
+        for link, load in sorted(bounds.link_loads.items()):
+            moved = int(links[link].bytes_moved) if link in links else 0
+            if moved != load:
+                fail(
+                    f"lanes.{link_name(link)}",
+                    f"link {link_name(link)} moved {moved} B, channel-load "
+                    f"analysis planned {load} B",
+                    measured_bytes=moved, static_bytes=load,
+                )
+            else:
+                confirmed += 1
+        stray = sorted(
+            link for link, l in links.items()
+            if l.bytes_moved > 0 and link not in bounds.link_loads
+        )
+        for link in stray:
+            fail(
+                f"lanes.{link_name(link)}",
+                f"link {link_name(link)} moved "
+                f"{links[link].bytes_moved} B the channel-load analysis "
+                "did not plan",
+                measured_bytes=int(links[link].bytes_moved),
+            )
+        delivered = int(noc.bytes_delivered)  # type: ignore[attr-defined]
+        planned = (
+            bounds.noc_report.total_flow_bytes
+            if bounds.noc_report is not None else 0
+        )
+        if delivered != planned:
+            fail(
+                "noc",
+                f"NoC delivered {delivered} B, plan schedules {planned} B",
+                measured_bytes=delivered, static_bytes=planned,
+            )
+        else:
+            confirmed += 1
+
+    if not out:
+        out.append(
+            Diagnostic(
+                rule=CROSSCHECK_RULE,
+                severity=Severity.INFO,
+                path="",
+                message=(
+                    f"simulation confirms all {confirmed} static bounds: "
+                    f"makespan {makespan * 1e3:.3f} ms respects the bus "
+                    "and every link bound, and measured byte counts match "
+                    "the static loads exactly"
+                ),
+                evidence={
+                    "confirmed": confirmed,
+                    "makespan_s": makespan,
+                    "bus_bytes": bounds.bus_bytes,
+                },
+            )
+        )
+    return out

@@ -1,0 +1,177 @@
+"""Typed diagnostics — the analyzer's output vocabulary.
+
+A :class:`Diagnostic` is one finding of the static rule engine: a stable
+rule id (``G…``/``P…``/``N…``, see DESIGN.md §11), a severity, a
+location *path* into the plan/graph (dotted, e.g.
+``mappings.huff_enc`` or ``noc.edges.dct->quant``), the human message,
+a machine-readable ``evidence`` mapping (every number the rule used to
+reach its verdict), and an optional suggested fix. Diagnostics are
+plain frozen data — producing one never raises and never simulates.
+
+An :class:`AnalysisReport` aggregates the diagnostics of one plan and
+serializes as a versioned ``lint-report`` document (the artifact
+``repro lint --json`` prints and the service persists per fingerprint).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..io import FORMAT_VERSION
+
+#: Document kind of the serialized analysis report.
+LINT_KIND = "lint-report"
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ordered ``error > warning > info > hint``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+    HINT = "hint"
+
+    @property
+    def rank(self) -> int:
+        """Comparable badness (higher = worse)."""
+        return _SEVERITY_RANK[self]
+
+    def at_least(self, other: "Severity") -> bool:
+        """Whether this severity is as bad as ``other`` or worse."""
+        return self.rank >= other.rank
+
+
+_SEVERITY_RANK: Dict[Severity, int] = {
+    Severity.HINT: 0,
+    Severity.INFO: 1,
+    Severity.WARNING: 2,
+    Severity.ERROR: 3,
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule on one location."""
+
+    #: Stable rule id, e.g. ``"P003"``.
+    rule: str
+    severity: Severity
+    #: Dotted location path into the plan/graph (``""`` = whole plan).
+    path: str
+    #: Human-readable, single-sentence description of the finding.
+    message: str
+    #: Machine-readable facts the rule derived (JSON-safe values only).
+    evidence: Mapping[str, Any] = field(default_factory=dict)
+    #: Optional actionable remediation.
+    suggestion: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "message": self.message,
+            "evidence": dict(self.evidence),
+            "suggestion": self.suggestion,
+        }
+
+    def __str__(self) -> str:
+        loc = f" @ {self.path}" if self.path else ""
+        return f"{self.severity.value:<7} {self.rule}{loc}: {self.message}"
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """All diagnostics the analyzer produced for one plan."""
+
+    app: str
+    diagnostics: Tuple[Diagnostic, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity diagnostics (the CI/fuzz gate)."""
+        return not any(
+            d.severity is Severity.ERROR for d in self.diagnostics
+        )
+
+    def worst(self) -> Optional[Severity]:
+        """The most severe finding, ``None`` for an empty report."""
+        if not self.diagnostics:
+            return None
+        return max((d.severity for d in self.diagnostics),
+                   key=lambda s: s.rank)
+
+    def counts(self) -> Dict[str, int]:
+        """Findings per severity value (all four keys always present)."""
+        out = {s.value: 0 for s in Severity}
+        for d in self.diagnostics:
+            out[d.severity.value] += 1
+        return out
+
+    def at_least(self, threshold: Severity) -> Tuple[Diagnostic, ...]:
+        """Diagnostics at ``threshold`` severity or worse."""
+        return tuple(
+            d for d in self.diagnostics if d.severity.at_least(threshold)
+        )
+
+    def by_rule(self, rule: str) -> Tuple[Diagnostic, ...]:
+        """All findings of one rule id."""
+        return tuple(d for d in self.diagnostics if d.rule == rule)
+
+    def extended(self, extra: Sequence[Diagnostic]) -> "AnalysisReport":
+        """A new report with ``extra`` diagnostics appended."""
+        return AnalysisReport(
+            app=self.app, diagnostics=self.diagnostics + tuple(extra)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned JSON artifact (``repro lint --json``)."""
+        return {
+            "kind": LINT_KIND,
+            "version": FORMAT_VERSION,
+            "app": self.app,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def render(self) -> str:
+        """Terminal rendering, worst findings first."""
+        counts = self.counts()
+        header = (
+            f"lint {self.app}: "
+            + ", ".join(f"{counts[s.value]} {s.value}" for s in Severity)
+        )
+        lines = [header]
+        ordered = sorted(
+            self.diagnostics,
+            key=lambda d: (-d.severity.rank, d.rule, d.path),
+        )
+        for d in ordered:
+            lines.append(f"  {d}")
+            if d.suggestion:
+                lines.append(f"          fix: {d.suggestion}")
+        return "\n".join(lines)
+
+
+def report_from_dict(data: Mapping[str, Any]) -> AnalysisReport:
+    """Deserialize a ``lint-report`` document."""
+    from ..io import validate_document
+
+    validate_document(dict(data), LINT_KIND)
+    return AnalysisReport(
+        app=str(data["app"]),
+        diagnostics=tuple(
+            Diagnostic(
+                rule=str(d["rule"]),
+                severity=Severity(d["severity"]),
+                path=str(d["path"]),
+                message=str(d["message"]),
+                evidence=dict(d["evidence"]),
+                suggestion=d.get("suggestion"),
+            )
+            for d in data["diagnostics"]
+        ),
+    )

@@ -1,0 +1,218 @@
+"""Graph-family rules (``G…``): findings about the communication graph.
+
+These rules look only at the (post-duplication) communication graph and
+the raw profile — they would fire identically before any interconnect
+is designed, and they explain *inputs*: kernels that exchange no data,
+structurally impossible edges, host fan-in that bounds any design, UMA
+counts that contradict byte counts, and the sharing opportunities
+Algorithm 1 examined but declined.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List
+
+from ..core.sharing import sharing_decisions
+from .bounds import bus_lower_bound_s
+from .diagnostics import Diagnostic, Severity
+from .engine import AnalysisContext, Rule, RuleFn
+
+
+def _dead_kernels(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    for name in ctx.graph.kernel_names():
+        total = ctx.graph.d_in(name) + ctx.graph.d_out(name)
+        if total == 0:
+            yield Diagnostic(
+                rule="G001",
+                severity=Severity.WARNING,
+                path=f"graph.kernels.{name}",
+                message=(
+                    f"kernel {name!r} exchanges no data with the host or "
+                    "any other kernel; it is unreachable by any data flow"
+                ),
+                evidence={"kernel": name, "d_in": 0, "d_out": 0},
+                suggestion=(
+                    "drop the kernel from the accelerator candidate set or "
+                    "re-profile with a workload that exercises it"
+                ),
+            )
+
+
+def _self_edges(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    for (producer, consumer), nbytes in ctx.graph.kk_edges.items():
+        if producer == consumer:
+            yield Diagnostic(
+                rule="G002",
+                severity=Severity.ERROR,
+                path=f"graph.kk_edges.{producer}->{consumer}",
+                message=(
+                    f"self-edge {producer}->{consumer} carrying {nbytes} B; "
+                    "a kernel's traffic to itself is local memory, not "
+                    "interconnect traffic"
+                ),
+                evidence={"producer": producer, "consumer": consumer,
+                          "bytes": nbytes},
+                suggestion="fold the edge into the kernel's local memory size",
+            )
+
+
+def _host_bottleneck(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    graph = ctx.graph
+    host_bytes = sum(graph.host_in.values()) + sum(graph.host_out.values())
+    if host_bytes == 0:
+        return
+    bound_s = bus_lower_bound_s(host_bytes, ctx.params)
+    comp_s = ctx.bounds.computation_s
+    fan_in = sorted(
+        k for k in graph.kernel_names()
+        if graph.d_h_in(k) + graph.d_h_out(k) > 0
+    )
+    evidence = {
+        "host_bytes": host_bytes,
+        "bus_bound_s": bound_s,
+        "computation_s": comp_s,
+        "kernels_with_host_traffic": fan_in,
+    }
+    if comp_s > 0 and bound_s > comp_s:
+        yield Diagnostic(
+            rule="G003",
+            severity=Severity.WARNING,
+            path="graph.host",
+            message=(
+                f"mandatory host traffic ({host_bytes} B) needs at least "
+                f"{bound_s * 1e3:.3f} ms of bus time — more than the "
+                f"{comp_s * 1e3:.3f} ms of total computation; every design "
+                "stays host-communication-bound"
+            ),
+            evidence=evidence,
+            suggestion=(
+                "no interconnect fixes host fan-in: reduce host I/O (stream "
+                "or compress) or widen the bus"
+            ),
+        )
+    else:
+        yield Diagnostic(
+            rule="G003",
+            severity=Severity.INFO,
+            path="graph.host",
+            message=(
+                f"{len(fan_in)} kernel(s) exchange {host_bytes} B with the "
+                f"host; serializing it needs {bound_s * 1e3:.3f} ms of bus "
+                "time"
+            ),
+            evidence=evidence,
+        )
+
+
+def _uma_consistency(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    if ctx.profile is None:
+        return
+    for edge in ctx.profile.edges:
+        path = f"profile.edges.{edge.producer}->{edge.consumer}"
+        if edge.umas > edge.bytes:
+            yield Diagnostic(
+                rule="G004",
+                severity=Severity.WARNING,
+                path=path,
+                message=(
+                    f"profile edge {edge.producer}->{edge.consumer} counts "
+                    f"{edge.umas} unique memory addresses but only "
+                    f"{edge.bytes} bytes — each UMA is at least one byte"
+                ),
+                evidence={"producer": edge.producer,
+                          "consumer": edge.consumer,
+                          "bytes": edge.bytes, "umas": edge.umas},
+                suggestion="re-run the profiler; the counters are inconsistent",
+            )
+        elif edge.bytes > 0 and edge.umas == 0:
+            yield Diagnostic(
+                rule="G004",
+                severity=Severity.WARNING,
+                path=path,
+                message=(
+                    f"profile edge {edge.producer}->{edge.consumer} moves "
+                    f"{edge.bytes} bytes through zero unique memory "
+                    "addresses"
+                ),
+                evidence={"producer": edge.producer,
+                          "consumer": edge.consumer,
+                          "bytes": edge.bytes, "umas": edge.umas},
+                suggestion="re-run the profiler; the counters are inconsistent",
+            )
+
+
+def _sharing_declined(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    decisions = sharing_decisions(ctx.graph)
+    if not ctx.toggle("enable_sharing"):
+        accepted = [d for d in decisions if d.accepted]
+        if accepted:
+            yield Diagnostic(
+                rule="G005",
+                severity=Severity.INFO,
+                path="sharing",
+                message=(
+                    f"sharing is disabled by configuration; "
+                    f"{len(accepted)} exclusive pair(s) would qualify for "
+                    "a shared local memory"
+                ),
+                evidence={
+                    "candidates": [
+                        f"{d.producer}->{d.consumer}" for d in accepted
+                    ],
+                },
+            )
+        return
+    for d in decisions:
+        if d.accepted:
+            continue
+        yield Diagnostic(
+            rule="G005",
+            severity=Severity.HINT,
+            path=f"sharing.{d.producer}->{d.consumer}",
+            message=(
+                f"sharing declined for {d.producer}->{d.consumer} "
+                f"({d.bytes} B): {d.reason}"
+            ),
+            evidence={"producer": d.producer, "consumer": d.consumer,
+                      "bytes": d.bytes, "reason": d.reason},
+        )
+
+
+def _wrap(fn: Callable[[AnalysisContext], Iterator[Diagnostic]]) -> RuleFn:
+    def run(ctx: AnalysisContext) -> List[Diagnostic]:
+        return list(fn(ctx))
+    return run
+
+
+RULES = (
+    Rule(
+        id="G001", name="dead-kernel", family="graph",
+        max_severity=Severity.WARNING,
+        description="kernel exchanges no data with host or kernels",
+        fn=_wrap(_dead_kernels),
+    ),
+    Rule(
+        id="G002", name="self-edge", family="graph",
+        max_severity=Severity.ERROR,
+        description="kernel-to-kernel edge with identical endpoints",
+        fn=_wrap(_self_edges),
+    ),
+    Rule(
+        id="G003", name="host-bottleneck", family="graph",
+        max_severity=Severity.WARNING,
+        description="mandatory host traffic bounds every possible design",
+        fn=_wrap(_host_bottleneck),
+    ),
+    Rule(
+        id="G004", name="uma-consistency", family="graph",
+        max_severity=Severity.WARNING,
+        description="profile UMA counts contradict byte counts",
+        fn=_wrap(_uma_consistency),
+    ),
+    Rule(
+        id="G005", name="sharing-declined", family="graph",
+        max_severity=Severity.INFO,
+        description="sharing opportunities Algorithm 1 examined but declined",
+        fn=_wrap(_sharing_declined),
+    ),
+)

@@ -1,0 +1,175 @@
+"""NoC-family rules (``N…``): deadlock, channel load, transport sanity.
+
+``N001`` is the analyzer's showpiece: a channel-dependency-graph proof
+(Dally & Seitz) that the plan's routing function cannot deadlock — or a
+concrete dependency cycle when it can. The proof runs over *every*
+source/destination pair of the placed topology, so it is a property of
+the routing discipline itself, independent of which flows this plan
+happens to schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List
+
+from .cdg import analyze_deadlock
+from .diagnostics import Diagnostic, Severity
+from .engine import AnalysisContext, Rule, RuleFn
+
+
+def _cdg_deadlock(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    noc = ctx.plan.noc
+    if noc is None:
+        return
+    placement = noc.placement
+    analysis = analyze_deadlock(
+        placement.width, placement.height, placement.torus
+    )
+    topology = "torus" if placement.torus else "mesh"
+    dims = f"{placement.width}x{placement.height}"
+    if analysis.deadlock_free:
+        yield Diagnostic(
+            rule="N001", severity=Severity.INFO, path="noc.routing",
+            message=(
+                f"routing on the {dims} {topology} is deadlock-free: the "
+                f"channel dependency graph ({analysis.links} links, "
+                f"{analysis.dependencies} dependencies) is acyclic"
+            ),
+            evidence={
+                "width": placement.width, "height": placement.height,
+                "topology": topology, "links": analysis.links,
+                "dependencies": analysis.dependencies,
+            },
+        )
+        return
+    cycle = analysis.cycle_as_strings()
+    wormhole = ctx.params.noc_transport == "wormhole"
+    yield Diagnostic(
+        rule="N001",
+        severity=Severity.ERROR if wormhole else Severity.WARNING,
+        path="noc.routing",
+        message=(
+            f"routing on the {dims} {topology} admits a channel "
+            f"dependency cycle of length {len(cycle)}"
+            + (
+                "; with wormhole switching a packet holding part of the "
+                "cycle can block forever"
+                if wormhole
+                else "; store-and-forward switching drains each hop, but "
+                "the routing discipline is not provably deadlock-free"
+            )
+        ),
+        evidence={
+            "width": placement.width, "height": placement.height,
+            "topology": topology, "links": analysis.links,
+            "dependencies": analysis.dependencies, "cycle": cycle,
+            "transport": ctx.params.noc_transport,
+        },
+        suggestion=(
+            "restrict the torus routing (virtual channels or a dateline) "
+            "or fall back to the open mesh"
+        ),
+    )
+
+
+def _channel_load(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    report = ctx.bounds.noc_report
+    if report is None or not report.link_loads:
+        return
+    balance = report.load_balance
+    evidence = {
+        "max_channel_load": report.max_channel_load,
+        "total_flow_bytes": report.total_flow_bytes,
+        "links_used": len(report.link_loads),
+        "load_balance": balance,
+    }
+    if balance < 0.2 and len(report.link_loads) > 1:
+        yield Diagnostic(
+            rule="N002", severity=Severity.WARNING, path="noc.links",
+            message=(
+                f"channel load is badly skewed (balance {balance:.2f}): "
+                f"one link carries {report.max_channel_load} B of the "
+                f"{report.total_flow_bytes} B total and bounds the whole "
+                "NoC's throughput"
+            ),
+            evidence=evidence,
+            suggestion="spread heavy flows with a different placement",
+        )
+    else:
+        yield Diagnostic(
+            rule="N002", severity=Severity.INFO, path="noc.links",
+            message=(
+                f"{len(report.link_loads)} link(s) carry "
+                f"{report.total_flow_bytes} B; hottest link "
+                f"{report.max_channel_load} B, balance {balance:.2f}"
+            ),
+            evidence=evidence,
+        )
+
+
+def _transport_sanity(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    noc = ctx.plan.noc
+    if noc is None:
+        return
+    params = ctx.params
+    if params.noc_transport == "wormhole" and noc.placement.torus:
+        yield Diagnostic(
+            rule="N003", severity=Severity.ERROR, path="noc.transport",
+            message=(
+                "wormhole switching on a torus needs virtual channels to "
+                "stay deadlock-free; the simulator refuses this "
+                "combination and so does the analyzer"
+            ),
+            evidence={"transport": params.noc_transport, "topology": "torus"},
+            suggestion="use store_forward on the torus, or a mesh",
+        )
+    if params.noc_link_width_bytes < 1:
+        yield Diagnostic(
+            rule="N003", severity=Severity.ERROR, path="noc.params",
+            message=(
+                f"link width {params.noc_link_width_bytes} B is not a "
+                "physical channel"
+            ),
+            evidence={"noc_link_width_bytes": params.noc_link_width_bytes},
+        )
+    elif params.noc_max_packet_bytes < params.noc_link_width_bytes:
+        yield Diagnostic(
+            rule="N003", severity=Severity.ERROR, path="noc.params",
+            message=(
+                f"max packet ({params.noc_max_packet_bytes} B) is smaller "
+                f"than one flit ({params.noc_link_width_bytes} B); no "
+                "packet could ever be formed"
+            ),
+            evidence={
+                "noc_max_packet_bytes": params.noc_max_packet_bytes,
+                "noc_link_width_bytes": params.noc_link_width_bytes,
+            },
+        )
+
+
+def _wrap(fn: Callable[[AnalysisContext], Iterator[Diagnostic]]) -> RuleFn:
+    def run(ctx: AnalysisContext) -> List[Diagnostic]:
+        return list(fn(ctx))
+    return run
+
+
+RULES = (
+    Rule(
+        id="N001", name="cdg-deadlock", family="noc",
+        max_severity=Severity.ERROR,
+        description="channel-dependency-graph deadlock proof of the routing",
+        fn=_wrap(_cdg_deadlock),
+    ),
+    Rule(
+        id="N002", name="channel-load", family="noc",
+        max_severity=Severity.WARNING,
+        description="static channel-load balance of the placed flows",
+        fn=_wrap(_channel_load),
+    ),
+    Rule(
+        id="N003", name="transport-sanity", family="noc",
+        max_severity=Severity.ERROR,
+        description="transport/buffer parameters the simulator would reject",
+        fn=_wrap(_transport_sanity),
+    ),
+)

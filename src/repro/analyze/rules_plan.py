@@ -1,0 +1,484 @@
+"""Plan-family rules (``P…``): findings about Algorithm 1's output.
+
+Each rule re-derives its obligation from first principles — graph
+arithmetic and the paper's formulas, never the production helper that
+made the decision — mirroring the philosophy of
+:mod:`repro.verify.invariants`. Error-severity findings are exactly the
+structural obligations the fuzz oracle enforces; informational findings
+explain what the design costs and where the static bottlenecks are.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Set, Tuple
+
+from ..core.plan import memory_node
+from ..core.topology import KernelAttach, MemoryAttach, ReceiveClass, SendClass
+from ..hw.device import XC5VFX130T
+from ..hw.resources import ComponentKind, component_cost
+from ..hw.synthesis import PLATFORM_BASE
+from .bounds import link_name, relay_edges
+from .diagnostics import Diagnostic, Severity
+from .engine import AnalysisContext, Rule, RuleFn
+
+
+def _lane_bandwidth(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    b = ctx.bounds
+    evidence = {
+        "bus_bytes": b.bus_bytes,
+        "bus_bound_s": b.bus_bound_s,
+        "computation_s": b.computation_s,
+        "max_link_bound_s": b.max_link_bound_s,
+    }
+    comm_bound = (
+        b.computation_s > 0 and b.bus_bound_s > b.computation_s
+    )
+    yield Diagnostic(
+        rule="P001",
+        severity=Severity.WARNING if comm_bound else Severity.INFO,
+        path="lanes.bus",
+        message=(
+            f"bus must move {b.bus_bytes} B; serializing the data cycles "
+            f"alone takes {b.bus_bound_s * 1e3:.3f} ms "
+            + (
+                f"— more than the {b.computation_s * 1e3:.3f} ms of "
+                "computation, so the proposed system stays "
+                "communication-bound"
+                if comm_bound
+                else f"(computation: {b.computation_s * 1e3:.3f} ms)"
+            )
+        ),
+        evidence=evidence,
+        suggestion=(
+            "move more kernel edges off the bus (sharing/NoC) or reduce "
+            "host I/O" if comm_bound else None
+        ),
+    )
+    for link in sorted(b.link_loads):
+        load = b.link_loads[link]
+        bound = b.link_bounds_s[link]
+        hot = b.computation_s > 0 and bound > b.computation_s
+        yield Diagnostic(
+            rule="P001",
+            severity=Severity.WARNING if hot else Severity.HINT,
+            path=f"lanes.{link_name(link)}",
+            message=(
+                f"link {link_name(link)} carries {load} B planned load; "
+                f"serialization needs at least {bound * 1e6:.1f} us"
+                + (" — more than the whole computation phase" if hot else "")
+            ),
+            evidence={
+                "link": link_name(link),
+                "load_bytes": load,
+                "bound_s": bound,
+                "computation_s": b.computation_s,
+            },
+        )
+
+
+def _sharing_provisioning(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    graph = ctx.graph
+    seen: Set[str] = set()
+    for link in ctx.plan.sharing:
+        path = f"sharing.{link.producer}->{link.consumer}"
+        d_ij = graph.edge_bytes(link.producer, link.consumer)
+        if d_ij <= 0:
+            yield Diagnostic(
+                rule="P002", severity=Severity.ERROR, path=path,
+                message=(
+                    f"shared memory on {link.producer}->{link.consumer} "
+                    "but the graph carries no such edge"
+                ),
+                evidence={"bytes": link.bytes, "graph_bytes": d_ij},
+            )
+            continue
+        if link.bytes != d_ij:
+            yield Diagnostic(
+                rule="P002", severity=Severity.ERROR, path=path,
+                message=(
+                    f"sharing link records {link.bytes} B but the graph "
+                    f"edge carries {d_ij} B"
+                ),
+                evidence={"bytes": link.bytes, "graph_bytes": d_ij},
+            )
+        d_out = graph.d_k_out(link.producer)
+        d_in = graph.d_k_in(link.consumer)
+        if d_out != d_ij or d_in != d_ij:
+            yield Diagnostic(
+                rule="P002", severity=Severity.ERROR, path=path,
+                message=(
+                    "pair is not exclusive: the paper requires "
+                    f"D^K_out(producer) = D^K_in(consumer) = D_ij, got "
+                    f"{d_out} B / {d_in} B / {d_ij} B"
+                ),
+                evidence={"d_k_out": d_out, "d_k_in": d_in, "d_ij": d_ij},
+                suggestion="carry the edge on the NoC instead",
+            )
+        host = graph.d_h_in(link.consumer) + graph.d_h_out(link.consumer)
+        if link.crossbar != (host > 0):
+            what = "missing" if host > 0 else "superfluous"
+            yield Diagnostic(
+                rule="P002", severity=Severity.ERROR, path=path,
+                message=(
+                    f"{what} crossbar: consumer host traffic is {host} B "
+                    f"but crossbar={link.crossbar} — the host must reach a "
+                    "shared memory through a crossbar, and only then"
+                ),
+                evidence={"crossbar": link.crossbar,
+                          "consumer_host_bytes": host},
+            )
+        for k in (link.producer, link.consumer):
+            if k in seen:
+                yield Diagnostic(
+                    rule="P002", severity=Severity.ERROR, path=path,
+                    message=(
+                        f"kernel {k!r} participates in more than one "
+                        "sharing pair; a local memory can be shared with "
+                        "at most one partner"
+                    ),
+                    evidence={"kernel": k},
+                )
+            seen.add(k)
+
+
+def _derive_classes(
+    ctx: AnalysisContext, name: str
+) -> Tuple[ReceiveClass, SendClass]:
+    """Re-derive ``{R,S}`` on the residual graph without topology.py."""
+    from_kernels = ctx.residual.d_k_in(name) > 0
+    from_host = ctx.residual.d_h_in(name) > 0
+    if from_kernels and from_host:
+        receive = ReceiveClass.R3
+    elif from_kernels:
+        receive = ReceiveClass.R1
+    else:
+        receive = ReceiveClass.R2
+    to_kernels = ctx.residual.d_k_out(name) > 0
+    to_host = ctx.residual.d_h_out(name) > 0
+    if to_kernels and to_host:
+        send = SendClass.S3
+    elif to_kernels:
+        send = SendClass.S1
+    else:
+        send = SendClass.S2
+    return receive, send
+
+
+def _derive_attach(
+    receive: ReceiveClass, send: SendClass
+) -> Tuple[KernelAttach, MemoryAttach]:
+    """Table I from its three stated principles, not from the table."""
+    kernel = (
+        KernelAttach.K2
+        if send in (SendClass.S1, SendClass.S3)
+        else KernelAttach.K1
+    )
+    mem_noc = receive in (ReceiveClass.R1, ReceiveClass.R3)
+    mem_bus = receive in (ReceiveClass.R2, ReceiveClass.R3) or send in (
+        SendClass.S2, SendClass.S3,
+    )
+    if mem_noc and mem_bus:
+        memory = MemoryAttach.M3
+    elif mem_noc:
+        memory = MemoryAttach.M2
+    else:
+        memory = MemoryAttach.M1
+    return kernel, memory
+
+
+def _mapping_consistency(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    plan = ctx.plan
+    names = set(ctx.graph.kernel_names())
+    if set(plan.mappings) != names:
+        missing = sorted(names - set(plan.mappings))
+        extra = sorted(set(plan.mappings) - names)
+        yield Diagnostic(
+            rule="P003", severity=Severity.ERROR, path="mappings",
+            message=(
+                "mappings do not cover exactly the plan's kernels "
+                f"(missing {missing}, extra {extra})"
+            ),
+            evidence={"missing": missing, "extra": extra},
+        )
+    strict = (
+        bool(ctx.config)
+        and ctx.toggle("enable_noc")
+        and ctx.toggle("enable_adaptive_mapping")
+    )
+    for name in sorted(set(plan.mappings) & names):
+        m = plan.mappings[name]
+        path = f"mappings.{name}"
+        receive, send = _derive_classes(ctx, name)
+        if m.receive is not receive or m.send is not send:
+            yield Diagnostic(
+                rule="P003", severity=Severity.ERROR, path=path,
+                message=(
+                    f"classes {{{m.receive.name},{m.send.name}}} but the "
+                    f"residual graph gives {{{receive.name},{send.name}}}"
+                ),
+                evidence={"plan": [m.receive.name, m.send.name],
+                          "derived": [receive.name, send.name]},
+            )
+            continue
+        attach = (m.attach_kernel, m.attach_memory)
+        if attach == (KernelAttach.K1, MemoryAttach.M2):
+            yield Diagnostic(
+                rule="P003", severity=Severity.ERROR, path=path,
+                message=(
+                    "infeasible {K1,M2} attachment: the kernel's result "
+                    "would be unreachable from outside the NoC"
+                ),
+                evidence={"attach": [a.name for a in attach]},
+            )
+            continue
+        if strict:
+            expected = _derive_attach(receive, send)
+            if attach != expected:
+                yield Diagnostic(
+                    rule="P003", severity=Severity.ERROR, path=path,
+                    message=(
+                        "Table I gives "
+                        f"{{{expected[0].name},{expected[1].name}}} for "
+                        f"{{{receive.name},{send.name}}}, plan has "
+                        f"{{{attach[0].name},{attach[1].name}}}"
+                    ),
+                    evidence={
+                        "classes": [receive.name, send.name],
+                        "expected": [a.name for a in expected],
+                        "plan": [a.name for a in attach],
+                    },
+                )
+    if plan.noc is not None:
+        for p, c, _b in plan.noc.edges:
+            for kernel, ok, need in (
+                (p, plan.mappings[p].on_noc, "a NoC port (K2)"),
+                (c, plan.mappings[c].memory_on_noc,
+                 "its memory on the NoC (M2/M3)"),
+            ):
+                if not ok:
+                    yield Diagnostic(
+                        rule="P003", severity=Severity.ERROR,
+                        path=f"noc.edges.{p}->{c}",
+                        message=(
+                            f"NoC carries {p}->{c} but {kernel!r} lacks "
+                            f"{need}; the flow has no physical path"
+                        ),
+                        evidence={"producer": p, "consumer": c,
+                                  "kernel": kernel},
+                    )
+
+
+def _duplication_gating(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    plan = ctx.plan
+    names = set(ctx.graph.kernel_names())
+    for d in plan.duplications:
+        path = f"duplications.{d.kernel}"
+        if not d.applied:
+            yield Diagnostic(
+                rule="P004", severity=Severity.INFO, path=path,
+                message=(
+                    f"duplication of {d.kernel!r} declined "
+                    f"(Δ_dp={d.slack_us:+.2f} us): {d.reason}"
+                ),
+                evidence={"kernel": d.kernel,
+                          "delta_dp_seconds": d.delta_dp_seconds,
+                          "reason": d.reason},
+            )
+            continue
+        if d.delta_dp_seconds <= 0:
+            yield Diagnostic(
+                rule="P004", severity=Severity.ERROR, path=path,
+                message=(
+                    f"duplicated {d.kernel!r} with non-positive "
+                    f"Δ_dp={d.slack_us:+.2f} us; the paper duplicates "
+                    "only when τ/2 − O > 0"
+                ),
+                evidence={"kernel": d.kernel,
+                          "delta_dp_seconds": d.delta_dp_seconds},
+            )
+        if d.kernel in names:
+            yield Diagnostic(
+                rule="P004", severity=Severity.ERROR, path=path,
+                message=(
+                    f"duplication of {d.kernel!r} applied but the "
+                    "original kernel is still in the graph"
+                ),
+                evidence={"kernel": d.kernel},
+            )
+    cap = float(ctx.config.get("utilization_cap", 0.85))
+    cost = PLATFORM_BASE + component_cost(ComponentKind.BUS)
+    for name in ctx.graph.kernel_names():
+        cost = cost + ctx.graph.kernel(name).resources
+    device = XC5VFX130T
+    if not device.fits(cost, cap):
+        yield Diagnostic(
+            rule="P004", severity=Severity.ERROR, path="resources",
+            message=(
+                f"committed kernel cores need {cost.luts} LUTs / "
+                f"{cost.regs} regs — beyond {cap:.0%} of {device.name}"
+            ),
+            evidence={"luts": cost.luts, "regs": cost.regs,
+                      "utilization_cap": cap, "device": device.name},
+            suggestion="drop a duplication or raise the utilization cap",
+        )
+    else:
+        yield Diagnostic(
+            rule="P004", severity=Severity.HINT, path="resources",
+            message=(
+                f"kernel cores commit {cost.luts} LUTs / {cost.regs} regs "
+                f"({device.utilization(cost):.0%} of {device.name})"
+            ),
+            evidence={"luts": cost.luts, "regs": cost.regs,
+                      "utilization": device.utilization(cost),
+                      "device": device.name},
+        )
+
+
+def _placement_quality(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    report = ctx.bounds.noc_report
+    if report is None or report.total_flow_bytes == 0:
+        return
+    placement = ctx.plan.noc.placement if ctx.plan.noc is not None else None
+    efficiency = report.total_flow_bytes / report.byte_hops
+    evidence = {
+        "byte_hops": report.byte_hops,
+        "total_flow_bytes": report.total_flow_bytes,
+        "average_hops": report.average_hops,
+        "efficiency": efficiency,
+    }
+    if efficiency < 0.5:
+        yield Diagnostic(
+            rule="P005", severity=Severity.HINT, path="noc.placement",
+            message=(
+                f"placement averages {report.average_hops:.2f} hops per "
+                "byte — more than double the 1-hop lower bound; a better "
+                "placement could cut NoC occupancy "
+                f"({report.byte_hops} byte-hops for "
+                f"{report.total_flow_bytes} flow bytes)"
+            ),
+            evidence=evidence,
+            suggestion="co-locate heavy producer/consumer pairs",
+        )
+    else:
+        dims = (
+            f"{placement.width}x{placement.height}"
+            if placement is not None else "?"
+        )
+        yield Diagnostic(
+            rule="P005", severity=Severity.INFO, path="noc.placement",
+            message=(
+                f"placement on the {dims} grid averages "
+                f"{report.average_hops:.2f} hops per byte "
+                f"({report.byte_hops} byte-hops, lower bound "
+                f"{report.total_flow_bytes})"
+            ),
+            evidence=evidence,
+        )
+
+
+def _edge_coverage(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    plan = ctx.plan
+    sm = {(l.producer, l.consumer) for l in plan.sharing}
+    noc = (
+        {(p, c) for p, c, _ in plan.noc.edges}
+        if plan.noc is not None else set()
+    )
+    for p, c in sorted(sm & noc):
+        yield Diagnostic(
+            rule="P006", severity=Severity.ERROR, path=f"edges.{p}->{c}",
+            message=(
+                f"edge {p}->{c} is carried by both a shared memory and "
+                "the NoC; the interconnect would move the data twice"
+            ),
+            evidence={"producer": p, "consumer": c},
+        )
+    for p, c in sorted((sm | noc) - set(plan.graph.kk_edges)):
+        yield Diagnostic(
+            rule="P006", severity=Severity.ERROR, path=f"edges.{p}->{c}",
+            message=(
+                f"interconnect carries {p}->{c} but the graph has no "
+                "such edge (phantom flow)"
+            ),
+            evidence={"producer": p, "consumer": c},
+        )
+    if plan.noc is not None:
+        for p, c, b in plan.noc.edges:
+            graph_b = plan.graph.edge_bytes(p, c)
+            if graph_b != b and (p, c) in plan.graph.kk_edges:
+                yield Diagnostic(
+                    rule="P006", severity=Severity.ERROR,
+                    path=f"noc.edges.{p}->{c}",
+                    message=(
+                        f"NoC records {b} B for {p}->{c}, the graph "
+                        f"carries {graph_b} B"
+                    ),
+                    evidence={"noc_bytes": b, "graph_bytes": graph_b},
+                )
+    relays = relay_edges(plan)
+    noc_enabled = ctx.toggle("enable_noc")
+    severity = (
+        Severity.ERROR
+        if relays and bool(ctx.config) and noc_enabled
+        else Severity.WARNING
+    )
+    for p, c, b in relays:
+        yield Diagnostic(
+            rule="P006", severity=severity, path=f"edges.{p}->{c}",
+            message=(
+                f"kernel edge {p}->{c} ({b} B) rides on neither a shared "
+                "memory nor the NoC; it is relayed through the host over "
+                "the bus, twice"
+            ),
+            evidence={"producer": p, "consumer": c, "bytes": b,
+                      "noc_enabled": noc_enabled},
+            suggestion=(
+                "enable the NoC or sharing stage so the custom "
+                "interconnect carries the edge"
+            ),
+        )
+
+
+def _wrap(fn: Callable[[AnalysisContext], Iterator[Diagnostic]]) -> RuleFn:
+    def run(ctx: AnalysisContext) -> List[Diagnostic]:
+        return list(fn(ctx))
+    return run
+
+
+RULES = (
+    Rule(
+        id="P001", name="lane-bandwidth", family="plan",
+        max_severity=Severity.WARNING,
+        description="static serialization bounds per bus/NoC lane",
+        fn=_wrap(_lane_bandwidth),
+    ),
+    Rule(
+        id="P002", name="sharing-provisioning", family="plan",
+        max_severity=Severity.ERROR,
+        description="shared memories satisfy the exclusivity/crossbar rules",
+        fn=_wrap(_sharing_provisioning),
+    ),
+    Rule(
+        id="P003", name="mapping-consistency", family="plan",
+        max_severity=Severity.ERROR,
+        description="Table I re-derived from first principles",
+        fn=_wrap(_mapping_consistency),
+    ),
+    Rule(
+        id="P004", name="duplication-gating", family="plan",
+        max_severity=Severity.ERROR,
+        description="duplication Δ_dp gating and device resource budget",
+        fn=_wrap(_duplication_gating),
+    ),
+    Rule(
+        id="P005", name="placement-quality", family="plan",
+        max_severity=Severity.INFO,
+        description="byte-hop cost of the mesh placement vs lower bound",
+        fn=_wrap(_placement_quality),
+    ),
+    Rule(
+        id="P006", name="edge-coverage", family="plan",
+        max_severity=Severity.ERROR,
+        description="SM and NoC edges partition the kernel edges exactly",
+        fn=_wrap(_edge_coverage),
+    ),
+)

@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 export of analysis reports (for CI code-scanning UIs).
+
+One run per invocation, one ``result`` per diagnostic. Locations are
+logical (``app:path`` into the plan structure) since the findings are
+about a design artifact, not about source text. Severity maps onto the
+SARIF ``level`` vocabulary: ``error``/``warning`` directly, ``info``
+and ``hint`` both to ``note`` (SARIF has no fourth level; the original
+severity is preserved in each result's properties).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .crosscheck import CROSSCHECK_RULE
+from .diagnostics import AnalysisReport, Severity
+from .engine import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS: Dict[Severity, str] = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+    Severity.HINT: "note",
+}
+
+
+def _rule_descriptors() -> List[Dict[str, Any]]:
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "properties": {
+                "family": rule.family,
+                "maxSeverity": rule.max_severity.value,
+            },
+        }
+        for rule in all_rules()
+    ]
+    rules.append(
+        {
+            "id": CROSSCHECK_RULE,
+            "name": "sim-crosscheck",
+            "shortDescription": {
+                "text": "static bound contradicted (or confirmed) by the "
+                "discrete-event simulator"
+            },
+            "properties": {"family": "crosscheck", "maxSeverity": "error"},
+        }
+    )
+    return rules
+
+
+def to_sarif(reports: Sequence[AnalysisReport]) -> Dict[str, Any]:
+    """One SARIF document covering any number of per-app reports."""
+    results: List[Dict[str, Any]] = []
+    for report in reports:
+        for d in report.diagnostics:
+            result: Dict[str, Any] = {
+                "ruleId": d.rule,
+                "level": _LEVELS[d.severity],
+                "message": {"text": d.message},
+                "locations": [
+                    {
+                        "logicalLocations": [
+                            {
+                                "fullyQualifiedName": (
+                                    f"{report.app}:{d.path}"
+                                    if d.path else report.app
+                                ),
+                                "kind": "member",
+                            }
+                        ]
+                    }
+                ],
+                "properties": {
+                    "app": report.app,
+                    "severity": d.severity.value,
+                    "evidence": dict(d.evidence),
+                },
+            }
+            if d.suggestion:
+                result["properties"]["suggestion"] = d.suggestion
+            results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -23,6 +23,7 @@ import platform
 import time
 from typing import Any, Callable, Dict, Optional, Sequence, Union
 
+from .analyze import analyze_plan
 from .apps import fit_application, get_application
 from .apps.registry import APP_NAMES
 from .core.designer import DesignConfig, design_interconnect
@@ -60,6 +61,10 @@ BENCH_SCHEMA: Dict[str, str] = {
     "apps.<name>.profiler_overhead": (
         "sim_proposed_profiled_s / sim_proposed_s — the multiplicative "
         "cost of recording; the CI gate bounds this ratio"
+    ),
+    "apps.<name>.lint_s": (
+        "best-of-repeat wall seconds for the full static-analysis rule "
+        "pass (repro.analyze.analyze_plan) over the designed plan"
     ),
     "service.batch_cold_s": (
         "wall seconds for DesignService.submit_many over all benched "
@@ -134,6 +139,7 @@ def bench_app(
         ),
         repeat,
     )
+    lint_s = _best_of(lambda: analyze_plan(plan, params), repeat)
     return {
         "design_s": design_s,
         "sim_baseline_s": sim_baseline_s,
@@ -143,6 +149,7 @@ def bench_app(
         "profiler_overhead": (
             profiled_best / sim_proposed_s if sim_proposed_s > 0 else 1.0
         ),
+        "lint_s": lint_s,
     }
 
 
@@ -203,7 +210,7 @@ def render_bench(report: Dict[str, Any]) -> str:
         f"benchmark report (best of {report['repeat']}, "
         f"python {report['python']})",
         f"  {'app':<8}{'design':>10}{'sim base':>10}{'sim prop':>10}"
-        f"{'profiled':>10}{'build':>10}{'overhead':>10}",
+        f"{'profiled':>10}{'build':>10}{'lint':>10}{'overhead':>10}",
     ]
     for name, row in report["apps"].items():
         lines.append(
@@ -213,6 +220,7 @@ def render_bench(report: Dict[str, Any]) -> str:
             f"{row['sim_proposed_s'] * 1e3:>8.2f}ms"
             f"{row['sim_proposed_profiled_s'] * 1e3:>8.2f}ms"
             f"{row['profile_build_s'] * 1e3:>8.2f}ms"
+            f"{row.get('lint_s', 0.0) * 1e3:>8.2f}ms"
             f"{row['profiler_overhead']:>9.2f}x"
         )
     svc = report["service"]

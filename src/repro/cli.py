@@ -12,6 +12,10 @@
 * ``explain <app>`` — print the designer's full decision log (why each
   duplication/sharing/mapping/placement/pipelining choice was made);
   ``--with-profile`` cites measured evidence next to each decision;
+* ``lint <app|--all>`` — static diagnostics over the designed plan
+  (``repro.analyze`` rule engine): graph smells, Table I re-derivation,
+  bandwidth bounds, CDG deadlock proof; ``--sim-crosscheck`` proves
+  every bound against the simulator, ``--sarif`` exports for CI;
 * ``bench`` — time the designer/simulator/service hot paths and write
   the versioned ``bench-report`` JSON CI tracks (``BENCH_repro.json``);
 * ``report`` — regenerate every paper table/figure in one go;
@@ -102,6 +106,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--with-profile", action="store_true",
                    help="interleave each decision with the measured "
                         "evidence from a profiled simulation run")
+
+    p = sub.add_parser(
+        "lint",
+        help="static diagnostics (rule engine) over a designed plan",
+    )
+    p.add_argument("app", nargs="?", choices=APP_NAMES, default=None,
+                   help="application to lint (omit with --all)")
+    p.add_argument("--all", action="store_true", dest="all_apps",
+                   help="lint every registered application")
+    p.add_argument("--scale", type=int, default=1, help="workload scale factor")
+    p.add_argument("--sim-crosscheck", action="store_true",
+                   help="simulate the plan and verify every static "
+                        "bandwidth bound against measured behavior")
+    p.add_argument("--json", action="store_true",
+                   help="versioned lint-report JSON instead of prose")
+    p.add_argument("--sarif", type=str, default=None, metavar="PATH",
+                   help="also write a SARIF 2.1.0 document here")
+    p.add_argument("--fail-on", choices=("error", "warning", "info",
+                                         "hint", "never"),
+                   default="error",
+                   help="exit 1 when any finding is at least this severe "
+                        "(default: error)")
 
     p = sub.add_parser("simulate", help="simulate baseline vs proposed with a Gantt chart")
     _add_app_argument(p)
@@ -312,8 +338,62 @@ def cmd_explain(args: argparse.Namespace) -> int:
             [e.as_dict() for e in plan.provenance], indent=2
         ))
     else:
+        from .analyze import analyze_plan
+
         print(render_provenance(plan))
+        print()
+        print(analyze_plan(plan, params).render())
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import pathlib
+
+    from .analyze import Severity, analyze_plan, crosscheck_plan, to_sarif
+    from .errors import ConfigurationError
+
+    if args.all_apps == (args.app is not None):
+        raise ConfigurationError(
+            "lint needs exactly one of: an app name, or --all"
+        )
+    names = list(APP_NAMES) if args.all_apps else [args.app]
+    params = SystemParams()
+    theta = params.theta_s_per_byte()
+    reports = []
+    for name in names:
+        fitted = fit_application(
+            get_application(name, scale=args.scale), theta
+        )
+        config = DesignConfig(
+            theta_s_per_byte=theta,
+            stream_overhead_s=fitted.stream_overhead_s,
+        )
+        plan = design_interconnect(name, fitted.graph, config)
+        report = analyze_plan(plan, params)
+        if args.sim_crosscheck:
+            report = report.extended(crosscheck_plan(plan, params))
+        reports.append(report)
+    if args.json:
+        payload = [r.to_dict() for r in reports]
+        print(json_mod.dumps(
+            payload if args.all_apps else payload[0],
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for report in reports:
+            print(report.render())
+    if args.sarif is not None:
+        pathlib.Path(args.sarif).write_text(
+            json_mod.dumps(to_sarif(reports), indent=2, sort_keys=True)
+        )
+        print(f"wrote SARIF report to {args.sarif}",
+              file=sys.stderr if args.json else sys.stdout)
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity(args.fail_on)
+    failing = any(r.at_least(threshold) for r in reports)
+    return 1 if failing else 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -611,6 +691,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "design": cmd_design,
     "explain": cmd_explain,
+    "lint": cmd_lint,
     "simulate": cmd_simulate,
     "report": cmd_report,
     "sweep": cmd_sweep,

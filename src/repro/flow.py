@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
+from .analyze.diagnostics import AnalysisReport
 from .apps import fit_application, get_application
 from .apps.calibration import FittedApplication
 from .apps.registry import APP_NAMES
@@ -82,6 +83,9 @@ class ExperimentResult:
     #: Simulation-time profiles keyed by system label ("baseline",
     #: "proposed"); empty unless ``run_experiment(profile=True)``.
     profiles: Mapping[str, "SimulationProfile"] = field(default_factory=dict)
+    #: Static analysis of the proposed plan; ``None`` unless
+    #: ``run_experiment(lint=True)``.
+    lint: Optional["AnalysisReport"] = None
 
     # -- speed-up accessors ---------------------------------------------------
     @property
@@ -131,6 +135,7 @@ def run_experiment(
     trace: Union[Tracer, str, Path, None] = None,
     profile: bool = False,
     profile_buckets: int = 64,
+    lint: bool = False,
 ) -> ExperimentResult:
     """Full paper methodology for one application.
 
@@ -149,6 +154,10 @@ def run_experiment(
     :class:`~repro.obs.profile.report.SimulationProfile` objects on
     ``result.profiles``. Profiling is pure bookkeeping: it never changes
     scheduling, so makespans are bit-identical with it on or off.
+
+    ``lint`` additionally runs the :mod:`repro.analyze` static rule
+    engine over the proposed plan and publishes the
+    :class:`~repro.analyze.AnalysisReport` on ``result.lint``.
     """
     tracer, trace_path = _as_tracer(trace)
 
@@ -177,6 +186,13 @@ def run_experiment(
             noc_only_plan = design_interconnect(
                 f"{name}-noc-only", fitted.graph, config.noc_only(), tracer=tracer
             )
+
+        lint_report: Optional[AnalysisReport] = None
+        if lint:
+            from .analyze import analyze_plan
+
+            with tracer.span("lint", app=name):
+                lint_report = analyze_plan(plan, params)
 
         with tracer.span("analytic", app=name):
             model = AnalyticModel(fitted.graph, theta, fitted.host_other_s)
@@ -260,6 +276,7 @@ def run_experiment(
         synth_noc_only=synth_noc,
         energy=energy,
         profiles=profiles,
+        lint=lint_report,
     )
 
 

@@ -550,6 +550,25 @@ def render_decisions_with_profile(
                     f"{moved} B crossed the shared local memory "
                     "(zero bus transactions for this edge)"
                 )
+        elif event.stage == "noc" and plan.noc is None:
+            # Zero-NoC designs (e.g. klt) still get a clear section: say
+            # outright that no NoC exists and where the traffic went.
+            sm_total = sum(
+                b for (_, _, ch), b in matrix.items() if ch == "sm"
+            )
+            bus_total = sum(
+                b for (_, _, ch), b in matrix.items() if ch == "bus"
+            )
+            evidence = (
+                "no NoC was instantiated for this design — "
+                f"{sm_total} B stayed on shared local memories and "
+                f"{bus_total} B crossed the bus"
+            )
+            bus_lane = next(
+                (s for s in proposed.lanes if s.lane == "plb"), None
+            )
+            if bus_lane is not None:
+                evidence += f" (plb ran at {bus_lane.utilization:.1%})"
         elif arrow and (
             (event.stage == "noc"
              and event.outcome in ("applied", "info", "mapped"))

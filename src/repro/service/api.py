@@ -23,6 +23,7 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from ..analyze import LINT_KIND
 from ..errors import JobExecutionError
 from ..flow import ExperimentResult
 from ..io import FORMAT_VERSION, save_json
@@ -52,6 +53,9 @@ class JobResult:
     #: Simulation profiles (JSON-safe dicts keyed by system label);
     #: populated only for freshly computed jobs of a profiling service.
     profiles: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Serialized static-analysis report; populated only for freshly
+    #: computed jobs of a linting service (``lint_dir`` set).
+    lint: Optional[Dict[str, Any]] = None
 
 
 class DesignService:
@@ -67,6 +71,7 @@ class DesignService:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         profile_dir: Optional[Union[str, pathlib.Path]] = None,
+        lint_dir: Optional[Union[str, pathlib.Path]] = None,
     ) -> None:
         if executor_config is None:
             executor_config = ExecutorConfig(jobs=jobs)
@@ -80,12 +85,19 @@ class DesignService:
         self.profile_dir = (
             pathlib.Path(profile_dir) if profile_dir is not None else None
         )
+        #: When set, every freshly computed job runs the static analyzer
+        #: and writes its report to ``<lint_dir>/<fingerprint>.lint.json``.
+        #: Cache hits write nothing, for the same reason as profiles.
+        self.lint_dir = (
+            pathlib.Path(lint_dir) if lint_dir is not None else None
+        )
         self._runner = JobRunner(
             executor_config,
             runner=runner,
             tracer=self.tracer if self.tracer.enabled else None,
             metrics=self.metrics if self.tracer.enabled else None,
             profile=self.profile_dir is not None,
+            lint=self.lint_dir is not None,
         )
 
     def submit(self, job: DesignJob) -> JobResult:
@@ -145,6 +157,8 @@ class DesignService:
             self.metrics.observe("job_latency", outcome.duration_s)
             if self.profile_dir is not None and outcome.profiles:
                 self._persist_profiles(jobs[i], fp, outcome.profiles)
+            if self.lint_dir is not None and outcome.lint is not None:
+                self._persist_lint(jobs[i], fp, outcome.lint)
             results[i] = JobResult(
                 job=jobs[i],
                 fingerprint=fp,
@@ -153,6 +167,7 @@ class DesignService:
                 duration_s=outcome.duration_s,
                 result=outcome.result,
                 profiles=outcome.profiles,
+                lint=outcome.lint,
             )
 
         # Resolve coalesced duplicates from their representative.
@@ -189,6 +204,26 @@ class DesignService:
             path,
         )
         self.metrics.incr("profiles_persisted")
+        return path
+
+    def _persist_lint(
+        self, job: DesignJob, fingerprint: str, lint: Dict[str, Any]
+    ) -> pathlib.Path:
+        """Write one job's lint report under :attr:`lint_dir`."""
+        assert self.lint_dir is not None
+        self.lint_dir.mkdir(parents=True, exist_ok=True)
+        path = self.lint_dir / f"{fingerprint}.lint.json"
+        save_json(
+            {
+                "kind": LINT_KIND,
+                "version": FORMAT_VERSION,
+                "app": job.app,
+                "fingerprint": fingerprint,
+                "report": lint,
+            },
+            path,
+        )
+        self.metrics.incr("lints_persisted")
         return path
 
     # -- observability -----------------------------------------------------

@@ -33,7 +33,10 @@ from .metrics import MetricsRegistry
 
 
 def execute_job(
-    job: DesignJob, tracer: Optional[Tracer] = None, profile: bool = False
+    job: DesignJob,
+    tracer: Optional[Tracer] = None,
+    profile: bool = False,
+    lint: bool = False,
 ) -> Tuple[ExperimentResult, Dict[str, Any]]:
     """Run one job in-process; returns the full result and its summary."""
     result = run_experiment(
@@ -45,6 +48,7 @@ def execute_job(
         design_overrides=job.design_overrides or None,
         trace=tracer,
         profile=profile,
+        lint=lint,
     )
     return result, result_summary(result)
 
@@ -54,7 +58,9 @@ def run_job_summary(job: DesignJob) -> Dict[str, Any]:
     return execute_job(job)[1]
 
 
-def run_job_instrumented(job: DesignJob, profile: bool = False) -> Dict[str, Any]:
+def run_job_instrumented(
+    job: DesignJob, profile: bool = False, lint: bool = False
+) -> Dict[str, Any]:
     """Pool entry point shipping observability home with the summary.
 
     The worker process builds its own tracer and registry (neither can
@@ -63,12 +69,13 @@ def run_job_instrumented(job: DesignJob, profile: bool = False) -> Dict[str, Any
     registry :meth:`~repro.service.metrics.MetricsRegistry.dump` for
     :meth:`~repro.service.metrics.MetricsRegistry.merge`. With
     ``profile`` the worker also ships each system's simulation profile
-    as its JSON-safe dict form.
+    as its JSON-safe dict form, and with ``lint`` the serialized static
+    analysis report.
     """
     tracer = Tracer()
     registry = MetricsRegistry()
     start = time.perf_counter()
-    result, summary = execute_job(job, tracer=tracer, profile=profile)
+    result, summary = execute_job(job, tracer=tracer, profile=profile, lint=lint)
     registry.observe("worker_job_seconds", time.perf_counter() - start,
                      labels={"app": job.app})
     registry.incr("worker_jobs", labels={"app": job.app})
@@ -80,6 +87,7 @@ def run_job_instrumented(job: DesignJob, profile: bool = False) -> Dict[str, Any
             system: profile_to_dict(p)
             for system, p in result.profiles.items()
         },
+        "lint": None if result.lint is None else result.lint.to_dict(),
     }
 
 
@@ -114,6 +122,9 @@ class JobOutcome:
     #: Simulation profiles (JSON-safe dicts keyed by system label),
     #: populated only when the runner executes with ``profile=True``.
     profiles: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Serialized static-analysis report (``AnalysisReport.to_dict()``),
+    #: populated only when the runner executes with ``lint=True``.
+    lint: Optional[Dict[str, Any]] = None
 
 
 class JobRunner:
@@ -134,6 +145,7 @@ class JobRunner:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         profile: bool = False,
+        lint: bool = False,
     ) -> None:
         self.config = config
         self._runner = runner
@@ -142,6 +154,9 @@ class JobRunner:
         #: Collect simulation profiles on every executed job (ignored
         #: for injected custom runners, whose payload is their own).
         self.profile = profile
+        #: Run the static analyzer on every executed job (ignored for
+        #: injected custom runners, whose payload is their own).
+        self.lint = lint
         #: "parallel" or "serial" — how the last batch actually ran.
         self.last_mode: str = "serial"
 
@@ -185,17 +200,21 @@ class JobRunner:
             start = time.perf_counter()
             try:
                 profiles: Dict[str, Dict[str, Any]] = {}
+                lint: Optional[Dict[str, Any]] = None
                 if self._runner is not None:
                     summary = self._runner(job)
                     result = None
                 else:
                     result, summary = execute_job(
-                        job, tracer=self.tracer, profile=self.profile
+                        job, tracer=self.tracer,
+                        profile=self.profile, lint=self.lint,
                     )
                     profiles = {
                         system: profile_to_dict(p)
                         for system, p in result.profiles.items()
                     }
+                    if result.lint is not None:
+                        lint = result.lint.to_dict()
                     if self.metrics is not None:
                         self.metrics.observe(
                             "worker_job_seconds",
@@ -212,6 +231,7 @@ class JobRunner:
                     attempts=attempt,
                     duration_s=time.perf_counter() - start,
                     profiles=profiles,
+                    lint=lint,
                 )
             except Exception as exc:
                 last_error = str(exc) or type(exc).__name__
@@ -229,12 +249,16 @@ class JobRunner:
     def _run_pool(
         self, pool: ProcessPoolExecutor, jobs: List[DesignJob]
     ) -> List[JobOutcome]:
-        wrapped = self._runner is None and (self._instrumented or self.profile)
+        wrapped = self._runner is None and (
+            self._instrumented or self.profile or self.lint
+        )
         if self._runner is not None:
             func = self._runner
         elif wrapped:
             # partial (not a lambda) so the callable stays picklable.
-            func = partial(run_job_instrumented, profile=self.profile)
+            func = partial(
+                run_job_instrumented, profile=self.profile, lint=self.lint
+            )
         else:
             func = run_job_summary
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
@@ -252,8 +276,9 @@ class JobRunner:
                 try:
                     summary = futures[i].result(timeout=self.config.timeout_s)
                     profiles: Dict[str, Dict[str, Any]] = {}
+                    lint: Optional[Dict[str, Any]] = None
                     if wrapped:
-                        summary, profiles = self._absorb_payload(summary)
+                        summary, profiles, lint = self._absorb_payload(summary)
                     outcomes[i] = JobOutcome(
                         job=jobs[i],
                         summary=summary,
@@ -261,6 +286,7 @@ class JobRunner:
                         attempts=attempts[i],
                         duration_s=time.perf_counter() - starts[i],
                         profiles=profiles,
+                        lint=lint,
                     )
                 except FutureTimeout:
                     futures[i].cancel()
@@ -287,17 +313,23 @@ class JobRunner:
 
     def _absorb_payload(
         self, payload: Dict[str, Any]
-    ) -> Tuple[Dict[str, Any], Dict[str, Dict[str, Any]]]:
+    ) -> Tuple[
+        Dict[str, Any], Dict[str, Dict[str, Any]], Optional[Dict[str, Any]]
+    ]:
         """Merge a :func:`run_job_instrumented` payload.
 
-        Returns the job summary and any simulation profiles the worker
-        shipped alongside it.
+        Returns the job summary plus any simulation profiles and lint
+        report the worker shipped alongside it.
         """
         if self.tracer is not None:
             self.tracer.merge(payload.get("spans", ()))
         if self.metrics is not None:
             self.metrics.merge(payload.get("metrics", {}))
-        return payload["summary"], payload.get("profiles", {})
+        return (
+            payload["summary"],
+            payload.get("profiles", {}),
+            payload.get("lint"),
+        )
 
 
 def _is_picklable(obj: Any) -> bool:

@@ -18,9 +18,11 @@ seed-reproduction recipe.
 
 from .generate import FuzzSpec, GeneratedCase, case_rng, generate_case
 from .harness import (
+    STATIC_ANALYSIS,
     FuzzFailure,
     FuzzJob,
     FuzzReport,
+    analyzer_check,
     evaluate_case,
     failing_checks,
     run_fuzz,
@@ -42,8 +44,10 @@ __all__ = [
     "FuzzReport",
     "FuzzSpec",
     "GeneratedCase",
+    "STATIC_ANALYSIS",
     "ShrinkResult",
     "Violation",
+    "analyzer_check",
     "case_rng",
     "case_size",
     "check_host_only_degeneration",

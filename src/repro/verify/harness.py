@@ -24,8 +24,11 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
 
+from ..analyze import Severity, analyze_plan
 from ..core.designer import design_interconnect
+from ..core.plan import InterconnectPlan
 from ..errors import ReproError
+from ..sim.systems import SystemParams
 from ..io import FORMAT_VERSION, canonical_json
 from ..obs.trace import Tracer, active
 from ..service.api import DesignService
@@ -40,6 +43,8 @@ REPORT_KIND = "fuzz-report"
 DESIGNER_ERROR = "designer_error"
 #: Check name reported when a checker (not the design) crashes.
 ORACLE_ERROR = "oracle_error"
+#: Check name for error diagnostics from the static analyzer.
+STATIC_ANALYSIS = "static_analysis"
 
 
 @dataclass(frozen=True)
@@ -67,6 +72,28 @@ class FuzzJob:
         return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
+def analyzer_check(
+    plan: InterconnectPlan, params: Optional[SystemParams] = None
+) -> List[Violation]:
+    """Static-analyzer oracle: error diagnostics are plan violations.
+
+    The analyzer's error severity is reserved for structural
+    obligations of Algorithm 1, so any error on a designer-produced
+    plan is a bug — in the designer or in the rule — and the shrinker
+    can minimize it like any other failing check.
+    """
+    report = analyze_plan(plan, params=params)
+    return [
+        Violation(
+            STATIC_ANALYSIS,
+            d.path or plan.app,
+            f"{d.rule}: {d.message}",
+        )
+        for d in report.diagnostics
+        if d.severity is Severity.ERROR
+    ]
+
+
 def evaluate_case(case: GeneratedCase) -> List[Violation]:
     """The full check stack over one case.
 
@@ -79,6 +106,10 @@ def evaluate_case(case: GeneratedCase) -> List[Violation]:
     except ReproError as exc:
         return [Violation(DESIGNER_ERROR, case.label(), str(exc))]
     violations = check_plan(case.graph, case.config(), plan)
+    try:
+        violations += analyzer_check(plan, case.params)
+    except ReproError as exc:
+        violations.append(Violation(ORACLE_ERROR, case.label(), str(exc)))
     try:
         violations += differential_check(case, plan)
     except ReproError as exc:

@@ -374,6 +374,27 @@ class TestRenderers:
         with pytest.raises(ConfigurationError):
             render_decisions_with_profile(r.plan, {})
 
+    def test_decisions_zero_noc_app_gets_explicit_section(
+        self, profiled_results
+    ):
+        # Regression: klt's design has no NoC; the [noc] skipped line
+        # must still carry measured evidence saying so outright instead
+        # of silently rendering bare.
+        r = profiled_results["klt"]
+        assert r.plan.noc is None
+        text = render_decisions_with_profile(r.plan, r.profiles)
+        noc_lines = [
+            (i, line) for i, line in enumerate(text.splitlines())
+            if line.startswith("[noc]")
+        ]
+        assert len(noc_lines) == 1
+        i, line = noc_lines[0]
+        assert "skipped" in line
+        measured = text.splitlines()[i + 1]
+        assert "no NoC was instantiated" in measured
+        assert "shared local memories" in measured
+        assert "crossed the bus" in measured
+
 
 # -- service persistence ------------------------------------------------------
 
@@ -488,7 +509,7 @@ class TestCli:
         assert set(row) == {
             "design_s", "sim_baseline_s", "sim_proposed_s",
             "sim_proposed_profiled_s", "profile_build_s",
-            "profiler_overhead",
+            "profiler_overhead", "lint_s",
         }
         assert all(field in data["schema"] for field in (
             "apps.<name>.profiler_overhead", "service.batch_cold_s",

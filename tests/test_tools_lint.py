@@ -1,0 +1,161 @@
+"""Unit tests for the repo's AST lint rules (tools/lint_repro.py)."""
+
+import ast
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+TOOL_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "tools" / "lint_repro.py"
+)
+spec = importlib.util.spec_from_file_location("lint_repro", TOOL_PATH)
+assert spec is not None and spec.loader is not None
+lint_repro = importlib.util.module_from_spec(spec)
+sys.modules["lint_repro"] = lint_repro
+spec.loader.exec_module(lint_repro)
+
+FAKE = pathlib.Path("/root/repo/src/repro/sim/fake.py")
+
+
+def _findings(checker, source, path=FAKE):
+    return list(checker(path, ast.parse(source)))
+
+
+# -- R1: wall clock -------------------------------------------------------
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import time\nx = time.time()\n",
+        "import time\nx = time.time_ns()\n",
+        "import datetime\nx = datetime.datetime.now()\n",
+        "from datetime import datetime\nx = datetime.utcnow()\n",
+    ],
+)
+def test_r1_flags_wall_clock_reads(source):
+    found = _findings(lint_repro.check_wall_clock, source)
+    assert len(found) == 1
+    assert found[0].rule == "R1"
+
+
+def test_r1_allows_perf_counter():
+    source = "import time\nx = time.perf_counter()\n"
+    assert _findings(lint_repro.check_wall_clock, source) == []
+
+
+# -- R2: shared RNG -------------------------------------------------------
+def test_r2_flags_module_level_random_calls():
+    source = "import random\nx = random.randint(0, 4)\n"
+    found = _findings(lint_repro.check_shared_rng, source)
+    assert [f.rule for f in found] == ["R2"]
+    assert "random.randint" in found[0].message
+
+
+def test_r2_flags_from_random_import():
+    source = "from random import randint\nx = randint(0, 4)\n"
+    found = _findings(lint_repro.check_shared_rng, source)
+    assert found and found[0].rule == "R2"
+
+
+def test_r2_allows_seeded_instances():
+    source = (
+        "import random\n"
+        "rng = random.Random(7)\n"
+        "x = rng.randint(0, 4)\n"
+    )
+    assert _findings(lint_repro.check_shared_rng, source) == []
+
+
+def test_r2_allows_from_random_import_random_class():
+    source = "from random import Random\nrng = Random(7)\n"
+    assert _findings(lint_repro.check_shared_rng, source) == []
+
+
+# -- R3: float equality ---------------------------------------------------
+@pytest.mark.parametrize(
+    "source",
+    ["ok = x == 0.5\n", "ok = 1.5 != y\n", "ok = a < b == 0.0\n"],
+)
+def test_r3_flags_float_literal_equality(source):
+    found = _findings(lint_repro.check_float_equality, source)
+    assert found and all(f.rule == "R3" for f in found)
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "ok = x == 0\n",           # int literal is exact
+        "ok = x <= 0.5\n",          # ordering against floats is fine
+        "ok = abs(x - 0.5) < tol\n",
+    ],
+)
+def test_r3_allows_non_equality_float_use(source):
+    assert _findings(lint_repro.check_float_equality, source) == []
+
+
+# -- scoping --------------------------------------------------------------
+def test_determinism_scope_is_sim_and_core_only():
+    src = lint_repro.SRC_ROOT
+    assert lint_repro._in_deterministic_scope(src / "sim" / "systems.py")
+    assert lint_repro._in_deterministic_scope(src / "core" / "designer.py")
+    assert not lint_repro._in_deterministic_scope(src / "verify" / "generate.py")
+    assert not lint_repro._in_deterministic_scope(src / "bench.py")
+
+
+# -- R4: schema digest ----------------------------------------------------
+def test_r4_round_trip_and_drift(tmp_path, monkeypatch):
+    monkeypatch.setattr(lint_repro, "REPO_ROOT", tmp_path)
+    mod_dir = tmp_path / "src"
+    mod_dir.mkdir()
+    mod = mod_dir / "mod.py"
+    mod.write_text('doc = {"kind": "demo", "version": 1}\n')
+    digest_path = tmp_path / "schema_digest.json"
+
+    schemas = lint_repro.collect_schemas([mod])
+    assert schemas == {"src/mod.py": [["kind", "version"]]}
+    lint_repro.write_digest(schemas, digest_path)
+    recorded = json.loads(digest_path.read_text())
+    assert recorded["digest"] == lint_repro.schema_digest(schemas)
+
+    # unchanged tree: no findings
+    assert list(lint_repro.check_schema_drift(schemas, digest_path)) == []
+
+    # grow the schema: drift is reported against the changed module
+    mod.write_text('doc = {"kind": "demo", "version": 1, "extra": 2}\n')
+    drifted = lint_repro.collect_schemas([mod])
+    found = list(lint_repro.check_schema_drift(drifted, digest_path))
+    assert len(found) == 1
+    assert found[0].rule == "R4"
+    assert "src/mod.py" in found[0].message
+
+
+def test_r4_missing_digest_is_a_finding(tmp_path):
+    found = list(
+        lint_repro.check_schema_drift({}, tmp_path / "missing.json")
+    )
+    assert len(found) == 1 and found[0].rule == "R4"
+
+
+def test_r4_dynamic_and_splat_keys_are_stable():
+    tree = ast.parse('d = {"kind": k_value, name: 1, **extra}\n')
+    dict_node = next(
+        node for node in ast.walk(tree) if isinstance(node, ast.Dict)
+    )
+    assert lint_repro._schema_keys(dict_node) == [
+        "<dynamic>", "<splat>", "kind"
+    ]
+
+
+# -- the tree itself ------------------------------------------------------
+def test_repo_tree_is_clean():
+    assert lint_repro.run_lint() == []
+
+
+def test_committed_digest_matches_tree():
+    schemas = lint_repro.collect_schemas(
+        lint_repro._python_files(lint_repro.SRC_ROOT)
+    )
+    recorded = json.loads(lint_repro.DIGEST_PATH.read_text())
+    assert recorded["digest"] == lint_repro.schema_digest(schemas)

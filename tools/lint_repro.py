@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Repo-specific AST lint rules, run in CI ahead of the test suite.
+
+Four rules, each encoding an invariant the test suite can only probe
+statistically but the AST can prove outright:
+
+* **R1 wall-clock** — no ``time.time()`` / ``time.time_ns()`` /
+  ``datetime.now()`` / ``datetime.utcnow()`` inside ``repro.sim`` or
+  ``repro.core``. The designer and simulator must be deterministic
+  functions of their inputs; wall-clock reads would break replayable
+  fuzz seeds and the byte-identical golden files.
+* **R2 shared RNG** — no module-level ``random.<fn>()`` calls (or
+  ``from random import ...``) inside ``repro.sim`` or ``repro.core``.
+  Randomness must flow through an explicitly seeded
+  ``random.Random(seed)`` instance so every draw is reproducible.
+* **R3 float equality** — no ``==`` / ``!=`` against a float literal
+  anywhere in ``src/repro``. Analytic-vs-simulated comparisons go
+  through the tolerance helpers; literal float equality is a latent
+  flake. (Tests live outside ``src`` and may pin exact values.)
+* **R4 schema drift** — every dict literal carrying a ``"kind"`` key is
+  a serialized-document schema. Their key sets are digested into
+  ``tools/schema_digest.json``; an unacknowledged change fails CI until
+  the author reruns with ``--update`` (and, where needed, bumps
+  ``FORMAT_VERSION`` / the format docs).
+
+Usage::
+
+    python tools/lint_repro.py            # check, exit 1 on findings
+    python tools/lint_repro.py --update   # rewrite the schema digest
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import hashlib
+import json
+import pathlib
+import sys
+from typing import Any, Dict, Iterator, List, NamedTuple, Sequence
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+DIGEST_PATH = REPO_ROOT / "tools" / "schema_digest.json"
+
+#: Subpackages under the determinism contract (R1 + R2).
+DETERMINISTIC_SCOPES = ("sim", "core")
+
+#: Dotted-call suffixes that read the wall clock.
+WALL_CLOCK_CALLS = frozenset(
+    {"time.time", "time.time_ns", "datetime.now", "datetime.utcnow"}
+)
+
+
+class Finding(NamedTuple):
+    """One lint hit, formatted ``path:line: rule message``."""
+
+    rule: str
+    path: pathlib.Path
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO_ROOT)
+        return f"{rel}:{self.line}: {self.rule} {self.message}"
+
+
+def _python_files(root: pathlib.Path) -> List[pathlib.Path]:
+    return sorted(root.rglob("*.py"))
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name of a call target (``a.b.c`` or ``""``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _in_deterministic_scope(path: pathlib.Path) -> bool:
+    rel = path.relative_to(SRC_ROOT)
+    return bool(rel.parts) and rel.parts[0] in DETERMINISTIC_SCOPES
+
+
+# -- R1 / R2: determinism of sim + core ----------------------------------
+def check_wall_clock(path: pathlib.Path, tree: ast.AST) -> Iterator[Finding]:
+    """R1: wall-clock reads inside the deterministic scopes."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if any(
+            dotted == bad or dotted.endswith("." + bad)
+            for bad in WALL_CLOCK_CALLS
+        ):
+            yield Finding(
+                "R1", path, node.lineno,
+                f"wall-clock call {dotted}() in deterministic scope — "
+                "sim/core must be pure functions of their inputs",
+            )
+
+
+def check_shared_rng(path: pathlib.Path, tree: ast.AST) -> Iterator[Finding]:
+    """R2: the process-global ``random`` RNG inside deterministic scopes."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            names = ", ".join(alias.name for alias in node.names)
+            if names != "Random":
+                yield Finding(
+                    "R2", path, node.lineno,
+                    f"from random import {names} — use a seeded "
+                    "random.Random(seed) instance instead",
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr != "Random"
+            ):
+                yield Finding(
+                    "R2", path, node.lineno,
+                    f"random.{func.attr}() uses the shared module RNG — "
+                    "use a seeded random.Random(seed) instance instead",
+                )
+
+
+# -- R3: float-literal equality ------------------------------------------
+def check_float_equality(
+    path: pathlib.Path, tree: ast.AST
+) -> Iterator[Finding]:
+    """R3: ``==`` / ``!=`` against a float literal anywhere in src."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if isinstance(side, ast.Constant) and isinstance(
+                    side.value, float
+                ):
+                    yield Finding(
+                        "R3", path, node.lineno,
+                        f"float literal {side.value!r} compared with "
+                        "==/!= — use an explicit tolerance",
+                    )
+                    break
+
+
+# -- R4: serialized-schema digest ----------------------------------------
+def _schema_keys(node: ast.Dict) -> List[str]:
+    keys: List[str] = []
+    for key in node.keys:
+        if key is None:
+            keys.append("<splat>")
+        elif isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys.append(key.value)
+        else:
+            keys.append("<dynamic>")
+    return sorted(keys)
+
+
+def collect_schemas(files: Sequence[pathlib.Path]) -> Dict[str, List[List[str]]]:
+    """Key sets of every ``"kind"``-carrying dict literal, per module."""
+    schemas: Dict[str, List[List[str]]] = {}
+    for path in files:
+        tree = ast.parse(path.read_text(), filename=str(path))
+        found = [
+            _schema_keys(node)
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Dict) and "kind" in _schema_keys(node)
+        ]
+        if found:
+            rel = str(path.relative_to(REPO_ROOT))
+            schemas[rel] = sorted(found)
+    return schemas
+
+
+def schema_digest(schemas: Dict[str, List[List[str]]]) -> str:
+    payload = json.dumps(schemas, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def check_schema_drift(
+    schemas: Dict[str, List[List[str]]], digest_path: pathlib.Path
+) -> Iterator[Finding]:
+    """R4: compare current schemas against the committed digest."""
+    if not digest_path.exists():
+        yield Finding(
+            "R4", digest_path, 1,
+            "schema digest missing — run `python tools/lint_repro.py "
+            "--update` and commit the result",
+        )
+        return
+    recorded: Dict[str, Any] = json.loads(digest_path.read_text())
+    if recorded.get("digest") == schema_digest(schemas):
+        return
+    old = recorded.get("schemas", {})
+    for module in sorted(set(old) | set(schemas)):
+        if old.get(module) != schemas.get(module):
+            yield Finding(
+                "R4", digest_path, 1,
+                f"serialized-document schema changed in {module} — review "
+                "FORMAT_VERSION and the format docs, then run `python "
+                "tools/lint_repro.py --update`",
+            )
+
+
+def write_digest(
+    schemas: Dict[str, List[List[str]]], digest_path: pathlib.Path
+) -> None:
+    digest_path.write_text(
+        json.dumps(
+            {
+                "comment": (
+                    "key sets of every dict literal carrying a 'kind' "
+                    "key in src/repro; regenerate with "
+                    "`python tools/lint_repro.py --update`"
+                ),
+                "digest": schema_digest(schemas),
+                "schemas": schemas,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+# -- driver ---------------------------------------------------------------
+def run_lint(
+    src_root: pathlib.Path = SRC_ROOT,
+    digest_path: pathlib.Path = DIGEST_PATH,
+) -> List[Finding]:
+    """All findings over the tree; empty list means clean."""
+    findings: List[Finding] = []
+    files = _python_files(src_root)
+    for path in files:
+        tree = ast.parse(path.read_text(), filename=str(path))
+        if _in_deterministic_scope(path):
+            findings.extend(check_wall_clock(path, tree))
+            findings.extend(check_shared_rng(path, tree))
+        findings.extend(check_float_equality(path, tree))
+    findings.extend(check_schema_drift(collect_schemas(files), digest_path))
+    return sorted(findings, key=lambda f: (f.rule, str(f.path), f.line))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite tools/schema_digest.json from the current tree",
+    )
+    args = parser.parse_args(argv)
+    if args.update:
+        schemas = collect_schemas(_python_files(SRC_ROOT))
+        write_digest(schemas, DIGEST_PATH)
+        print(f"wrote {DIGEST_PATH.relative_to(REPO_ROOT)} "
+              f"({len(schemas)} module(s))")
+        return 0
+    findings = run_lint()
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print("lint_repro: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
