@@ -27,6 +27,12 @@
   graphs: Algorithm 1 invariants, analytic-vs-simulated differential
   oracle, metamorphic checks, with ``--shrink`` minimization and a
   JSON ``--report`` artifact;
+* ``serve`` — run the networked design service (``repro.server``):
+  JSON design/sweep API, SSE streaming sweeps, per-tenant quotas,
+  admission control, Prometheus ``/metrics``, graceful SIGTERM drain;
+* ``loadtest`` — drive a running server with concurrent clients and
+  report served p50/p99 latency and error rates (optionally merged
+  into ``BENCH_repro.json`` and gated with ``--max-error-rate``);
 * ``apps`` — list the available applications.
 """
 
@@ -223,6 +229,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", type=str, default=None, metavar="PATH",
                    help="write the service metrics snapshot here "
                         "(.prom = Prometheus exposition, else JSON)")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the networked design service (HTTP JSON API + SSE)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: loopback)")
+    p.add_argument("--port", type=int, default=8014,
+                   help="bind port (0 = ephemeral, printed at startup)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="service worker processes (1 = in-process serial)")
+    p.add_argument("--cache-dir", type=str, default=None,
+                   help="persist design results here across restarts")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="requests allowed past admission at once")
+    p.add_argument("--max-queue", type=int, default=32,
+                   help="admission queue depth before 429s")
+    p.add_argument("--quota-rate", type=float, default=50.0,
+                   help="per-tenant sustained requests/second")
+    p.add_argument("--quota-burst", type=float, default=100.0,
+                   help="per-tenant burst capacity (token bucket size)")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   help="micro-batching window in milliseconds")
+    p.add_argument("--batch-max", type=int, default=16,
+                   help="flush a batch at this many queued requests")
+    p.add_argument("--max-sweep-points", type=int, default=4096,
+                   help="largest accepted sweep grid (413 beyond)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="seconds to wait for in-flight work on SIGTERM")
+
+    p = sub.add_parser(
+        "loadtest",
+        help="drive a running repro server; report served p50/p99",
+    )
+    p.add_argument("--url", required=True,
+                   help="server base URL, e.g. http://127.0.0.1:8014")
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--concurrency", type=int, default=8)
+    p.add_argument("--apps", nargs="+", default=None,
+                   help="applications to request (default: all four)")
+    p.add_argument("--tenant", default=None,
+                   help="X-Tenant header for every request")
+    p.add_argument("--json-out", default=None, metavar="PATH",
+                   help="write the full loadtest-report JSON here")
+    p.add_argument("--bench-out", default=None, metavar="PATH",
+                   help="merge headline numbers into this bench-report "
+                        "JSON (e.g. BENCH_repro.json)")
+    p.add_argument("--max-error-rate", type=float, default=None,
+                   help="exit 1 if the error rate exceeds this")
 
     p = sub.add_parser("pareto", help="time/area Pareto front of designer configs")
     _add_app_argument(p)
@@ -612,6 +667,51 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .server import ServerConfig
+    from .server.runtime import serve
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        batch_window_s=args.batch_window_ms / 1e3,
+        batch_max=args.batch_max,
+        max_sweep_points=args.max_sweep_points,
+        drain_timeout_s=args.drain_timeout,
+    )
+
+    def _announce(server) -> None:
+        print(f"repro server listening on {server.url} "
+              f"(SIGTERM drains gracefully)", flush=True)
+
+    return serve(config, ready=_announce)
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    from .server import loadtest
+
+    argv = ["--url", args.url,
+            "--requests", str(args.requests),
+            "--concurrency", str(args.concurrency)]
+    if args.apps:
+        argv += ["--apps", *args.apps]
+    if args.tenant is not None:
+        argv += ["--tenant", args.tenant]
+    if args.json_out is not None:
+        argv += ["--json-out", args.json_out]
+    if args.bench_out is not None:
+        argv += ["--bench-out", args.bench_out]
+    if args.max_error_rate is not None:
+        argv += ["--max-error-rate", str(args.max_error_rate)]
+    return loadtest.main(argv)
+
+
 def cmd_apps(_args: argparse.Namespace) -> int:
     for name in APP_NAMES:
         app = get_application(name)
@@ -697,6 +797,8 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "bench": cmd_bench,
     "fuzz": cmd_fuzz,
+    "serve": cmd_serve,
+    "loadtest": cmd_loadtest,
     "apps": cmd_apps,
     "pareto": cmd_pareto,
     "reconfig": cmd_reconfig,

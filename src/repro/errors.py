@@ -80,3 +80,22 @@ class JobExecutionError(ServiceError):
 
 class JobTimeoutError(JobExecutionError):
     """A design job exceeded the executor's per-job timeout."""
+
+
+class ServerError(ReproError):
+    """Raised by the networked design service (:mod:`repro.server`).
+
+    On the client side it carries the HTTP ``status`` the server
+    answered with and, for backpressure responses (429/503), the
+    parsed ``retry_after`` hint in seconds.
+    """
+
+    def __init__(self, message: str, *, status: int = 0,
+                 retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ProtocolError(ServerError):
+    """A malformed or oversized HTTP request/response body."""

@@ -1,0 +1,43 @@
+"""``repro.server`` — a networked front end for the design service.
+
+A dependency-free asyncio HTTP layer over
+:class:`repro.service.DesignService`: JSON design/sweep endpoints, an
+SSE streaming sweep, request micro-batching into ``submit_many``,
+admission control with backpressure (429 + ``Retry-After``), per-tenant
+token-bucket quotas, Prometheus metrics, per-request trace spans, and
+graceful drain on SIGTERM. Served results are byte-identical to the
+in-process pipeline because both sides serialize the same
+``result_summary`` dict through ``canonical_json``.
+
+Layering (each module only imports downward):
+
+``runtime`` → ``app`` → {``admission``, ``quota``, ``batcher``,
+``protocol``, ``http``} → ``repro.service``. The blocking ``client``
+and the ``loadtest`` harness sit beside the server and speak only the
+wire protocol.
+"""
+
+from .admission import AdmissionController
+from .app import DesignServer, ServerConfig
+from .batcher import RequestBatcher
+from .client import DesignClient
+from .loadtest import LoadtestConfig, merge_into_bench, run_loadtest
+from .quota import QuotaManager, sanitize_tenant
+from .runtime import ServerHandle, run_server, serve, start_in_thread
+
+__all__ = [
+    "AdmissionController",
+    "DesignClient",
+    "DesignServer",
+    "LoadtestConfig",
+    "QuotaManager",
+    "RequestBatcher",
+    "ServerConfig",
+    "ServerHandle",
+    "merge_into_bench",
+    "run_loadtest",
+    "run_server",
+    "sanitize_tenant",
+    "serve",
+    "start_in_thread",
+]

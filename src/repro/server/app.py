@@ -1,0 +1,427 @@
+"""The design server: routes, middleware, and streaming.
+
+Request path for design work (the order is the architecture):
+
+```
+accept → parse → admission (bounded queue, 429 + Retry-After)
+               → quota     (per-tenant token bucket, 429 + Retry-After)
+               → batcher   (micro-batch into DesignService.submit_many)
+               → service   (cache / coalesce / execute)
+               → respond   (canonical JSON, byte-identical to in-process)
+```
+
+Routes:
+
+* ``POST /v1/design`` — one job; responds with the flat result summary.
+* ``POST /v1/sweep`` — a grid; all point records in one response.
+* ``POST /v1/sweep?stream=1`` (or ``/v1/sweep/stream``) — SSE: one
+  ``point`` event per completed grid point, a final ``done`` event.
+* ``GET /v1/jobs/<fingerprint>`` — cache lookup by job fingerprint
+  (side-effect-free: uses :meth:`ResultCache.peek`).
+* ``GET /healthz`` — liveness (always 200 while the process runs).
+* ``GET /readyz`` — readiness (503 once draining).
+* ``GET /metrics`` — Prometheus text exposition: the server's own
+  registry plus the wrapped service's, via :mod:`repro.obs.export`.
+
+Every request runs inside a tracer span (``category="server"``) carrying
+route/tenant/status, so one Chrome trace shows the HTTP layer and the
+pipeline stages it triggered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..errors import (
+    ConfigurationError,
+    JobExecutionError,
+    ProtocolError,
+    ReproError,
+)
+from ..obs.export import to_prometheus
+from ..obs.trace import Tracer, active
+from ..service.api import DesignService
+from ..service.jobs import job_for_point
+from ..service.metrics import MetricsRegistry
+from . import protocol
+from .admission import AdmissionController
+from .batcher import RequestBatcher
+from .http import HttpRequest, HttpResponse, SseStream, read_request, response_bytes
+from .quota import QuotaManager, sanitize_tenant
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything ``repro serve`` lets you turn."""
+
+    host: str = "127.0.0.1"
+    port: int = 8014
+    #: Service parallelism (worker processes; 1 = in-process serial).
+    jobs: int = 1
+    #: Optional on-disk result cache shared across restarts.
+    cache_dir: Optional[str] = None
+    #: Admission bounds: executing + queued requests.
+    max_inflight: int = 8
+    max_queue: int = 32
+    #: Per-tenant token bucket (tokens/second, bucket capacity).
+    quota_rate: float = 50.0
+    quota_burst: float = 100.0
+    #: Micro-batching window and size cap.
+    batch_window_s: float = 0.002
+    batch_max: int = 16
+    #: Request-body and sweep-size ceilings.
+    max_body_bytes: int = 1 << 20
+    max_sweep_points: int = 4096
+    #: Graceful-drain budget before the server stops waiting.
+    drain_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.batch_window_s < 0:
+            raise ConfigurationError(
+                f"batch_window_s must be >= 0, got {self.batch_window_s}"
+            )
+        if self.max_body_bytes < 1:
+            raise ConfigurationError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
+
+
+class DesignServer:
+    """Asyncio HTTP front end over one :class:`DesignService`."""
+
+    def __init__(
+        self,
+        service: DesignService,
+        config: ServerConfig = ServerConfig(),
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        clock: Any = time.monotonic,
+    ) -> None:
+        self.service = service
+        self.config = config
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = active(tracer)
+        self.quotas = QuotaManager(
+            rate=config.quota_rate, burst=config.quota_burst, clock=clock
+        )
+        self.admission = AdmissionController(
+            max_inflight=config.max_inflight, max_queue=config.max_queue
+        )
+        self.batcher = RequestBatcher(
+            service,
+            window_s=config.batch_window_s,
+            max_batch=config.batch_max,
+            registry=self.registry,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._on_connection, host=self.config.host, port=self.config.port
+        )
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (resolves ``port=0``)."""
+        assert self._server is not None and self._server.sockets
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    async def drain(self) -> bool:
+        """Graceful shutdown: refuse new work, wait out the in-flight.
+
+        Returns ``True`` if the house emptied inside the configured
+        drain budget. The listening socket closes immediately so new
+        connections are refused at the TCP level; requests already
+        admitted run to completion and are answered.
+        """
+        self.admission.start_drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while not self.admission.drained():
+            if time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        await self.batcher.wait_idle()
+        return True
+
+    # -- connection handling -----------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await read_request(
+                    reader, self.config.max_body_bytes
+                )
+            except ProtocolError as exc:
+                await self._write(writer, self._error_response(exc))
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            if request is None:
+                return
+            await self._serve_request(request, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_request(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        route = self._route_label(request)
+        tenant = sanitize_tenant(request.header("x-tenant"))
+        start = time.perf_counter()
+        status = 500
+        try:
+            with self.tracer.span(
+                "http_request", category="server",
+                route=route, tenant=tenant,
+            ):
+                response = await self._dispatch(request, writer, route, tenant)
+            if response is None:  # handler streamed its own body
+                status = 200
+                return
+            status = response.status
+            await self._write(writer, response)
+        except ProtocolError as exc:
+            status = exc.status or 400
+            await self._write(writer, self._error_response(exc))
+        except JobExecutionError as exc:
+            status = 500
+            await self._write(writer, self._json_error(500, str(exc)))
+        except ReproError as exc:
+            status = 400
+            await self._write(writer, self._json_error(400, str(exc)))
+        finally:
+            duration = time.perf_counter() - start
+            # Tenant values are client-supplied: sanitize_tenant bounded
+            # them and metric_key escapes them into the series name.
+            self.registry.incr(
+                "http_requests",
+                labels={"route": route, "status": status, "tenant": tenant},
+            )
+            self.registry.observe(
+                "http_request", duration, labels={"route": route}
+            )
+
+    async def _write(
+        self, writer: asyncio.StreamWriter, response: HttpResponse
+    ) -> None:
+        writer.write(response_bytes(response))
+        await writer.drain()
+
+    # -- routing -----------------------------------------------------------
+    @staticmethod
+    def _route_label(request: HttpRequest) -> str:
+        """Bounded-cardinality route label for metrics."""
+        path = request.path
+        if path.startswith("/v1/jobs/"):
+            return "/v1/jobs/{fingerprint}"
+        known = {
+            "/v1/design", "/v1/sweep", "/v1/sweep/stream",
+            "/healthz", "/readyz", "/metrics",
+        }
+        return path if path in known else "<unknown>"
+
+    async def _dispatch(
+        self,
+        request: HttpRequest,
+        writer: asyncio.StreamWriter,
+        route: str,
+        tenant: str,
+    ) -> Optional[HttpResponse]:
+        method, path = request.method, request.path
+        if path == "/healthz" and method == "GET":
+            return self._text(200, "ok\n")
+        if path == "/readyz" and method == "GET":
+            if self.admission.draining:
+                return self._text(503, "draining\n")
+            return self._text(200, "ready\n")
+        if path == "/metrics" and method == "GET":
+            return self._metrics_response()
+        if path.startswith("/v1/jobs/") and method == "GET":
+            return self._job_lookup(path[len("/v1/jobs/"):])
+        if path == "/v1/design" and method == "POST":
+            return await self._design(request, tenant)
+        if path in ("/v1/sweep", "/v1/sweep/stream") and method == "POST":
+            stream = (
+                path.endswith("/stream")
+                or request.query.get("stream") in ("1", "true")
+            )
+            return await self._sweep(request, writer, tenant, stream)
+        if path in ("/healthz", "/readyz", "/metrics", "/v1/design",
+                    "/v1/sweep", "/v1/sweep/stream") or \
+                path.startswith("/v1/jobs/"):
+            return self._json_error(405, f"{method} not allowed on {path}")
+        return self._json_error(404, f"no route for {path}")
+
+    # -- admission / quota middleware ---------------------------------------
+    def _gate(self, tenant: str) -> Optional[HttpResponse]:
+        """Admission + quota; a response means 'rejected, send this'."""
+        if self.admission.draining:
+            return self._json_error(
+                503, "server is draining", retry_after_s=5.0
+            )
+        admitted, retry_after = self.admission.try_acquire()
+        if not admitted:
+            self.registry.incr("admission_rejections")
+            return self._json_error(
+                429, "server at capacity", retry_after_s=retry_after
+            )
+        allowed, quota_retry = self.quotas.allow(tenant)
+        if not allowed:
+            # Undo the admission slot — this request will not execute.
+            self.admission.release(-1.0)
+            self.registry.incr(
+                "quota_rejections", labels={"tenant": tenant}
+            )
+            retry = float(max(1, int(quota_retry) + 1))
+            return self._json_error(
+                429, f"tenant {tenant!r} over quota", retry_after_s=retry
+            )
+        return None
+
+    # -- handlers -----------------------------------------------------------
+    async def _design(
+        self, request: HttpRequest, tenant: str
+    ) -> HttpResponse:
+        rejection = self._gate(tenant)
+        if rejection is not None:
+            return rejection
+        start = time.perf_counter()
+        try:
+            job = protocol.parse_design_request(
+                protocol.decode_body(request.body)
+            )
+            result = await self.batcher.submit(job)
+            return self._json(200, protocol.design_response(result))
+        finally:
+            self.admission.release(time.perf_counter() - start)
+
+    async def _sweep(
+        self,
+        request: HttpRequest,
+        writer: asyncio.StreamWriter,
+        tenant: str,
+        stream: bool,
+    ) -> Optional[HttpResponse]:
+        rejection = self._gate(tenant)
+        if rejection is not None:
+            return rejection
+        start = time.perf_counter()
+        try:
+            grid = protocol.parse_sweep_request(
+                protocol.decode_body(request.body),
+                max_points=self.config.max_sweep_points,
+            )
+            specs = [
+                job_for_point(
+                    app=coord["app"], scale=coord["scale"], seed=grid.seed,
+                    params=coord["params"], simulate=grid.simulate,
+                )
+                for coord in grid.points()
+            ]
+            if not stream:
+                loop = asyncio.get_running_loop()
+                results = await loop.run_in_executor(
+                    None, self.service.submit_many, specs
+                )
+                return self._json(200, protocol.sweep_response(grid, results))
+            sse = SseStream(writer)
+            await sse.start()
+            for spec in specs:
+                result = await self.batcher.submit(spec)
+                record = protocol.point_record(grid, result)
+                await sse.event(
+                    "point", protocol.encode(record).decode("utf-8")
+                )
+            await sse.event(
+                "done",
+                protocol.encode(
+                    {"count": len(specs), "fingerprints": len(
+                        {s.fingerprint() for s in specs})}
+                ).decode("utf-8"),
+            )
+            await sse.close()
+            self.registry.incr("sweep_streams")
+            return None
+        finally:
+            self.admission.release(time.perf_counter() - start)
+
+    def _job_lookup(self, fingerprint: str) -> HttpResponse:
+        summary = self.service.cache.peek(fingerprint)
+        if summary is None:
+            return self._json_error(
+                404, f"no cached result for fingerprint {fingerprint!r}"
+            )
+        return self._json(200, protocol.job_response(fingerprint, summary))
+
+    def _metrics_response(self) -> HttpResponse:
+        # Two registries, one exposition: server-side series (http_*,
+        # quota_*, admission, batching) plus the wrapped service's
+        # (jobs_*, cache) — names are disjoint by construction.
+        self.registry.gauge("inflight_requests", self.admission.inflight)
+        self.registry.gauge("queue_depth", self.admission.queue_depth)
+        text = to_prometheus(self.registry.snapshot())
+        text += to_prometheus(self.service.stats())
+        cache = self.service.cache.stats
+        text += (
+            f"# TYPE repro_cache_hits counter\n"
+            f"repro_cache_hits {cache.hits}\n"
+            f"# TYPE repro_cache_misses counter\n"
+            f"repro_cache_misses {cache.misses}\n"
+        )
+        return HttpResponse(
+            status=200,
+            body=text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    # -- response helpers ----------------------------------------------------
+    @staticmethod
+    def _json(status: int, doc: Dict[str, Any]) -> HttpResponse:
+        return HttpResponse(status=status, body=protocol.encode(doc))
+
+    @staticmethod
+    def _text(status: int, text: str) -> HttpResponse:
+        return HttpResponse(
+            status=status,
+            body=text.encode("utf-8"),
+            content_type="text/plain; charset=utf-8",
+        )
+
+    def _json_error(
+        self,
+        status: int,
+        message: str,
+        retry_after_s: Optional[float] = None,
+    ) -> HttpResponse:
+        headers: Dict[str, str] = {}
+        if retry_after_s is not None:
+            headers["Retry-After"] = str(max(1, int(retry_after_s)))
+        return HttpResponse(
+            status=status,
+            body=protocol.encode(
+                protocol.error_body(status, message, retry_after_s)
+            ),
+            headers=headers,
+        )
+
+    def _error_response(self, exc: ProtocolError) -> HttpResponse:
+        return self._json_error(exc.status or 400, str(exc))

@@ -1,0 +1,108 @@
+"""Micro-batching of concurrent design requests into ``submit_many``.
+
+Individually, a design request is a sub-millisecond computation; the
+win at serving scale is *amortization* — one
+:meth:`~repro.service.DesignService.submit_many` call carries a whole
+window of concurrent requests, so in-batch duplicate fingerprints
+coalesce to a single pipeline run and the executor sees one batch
+instead of N round-trips.
+
+Mechanics: the first enqueued request arms a ``call_later`` timer of
+``window_s``; requests arriving inside the window join the pending
+batch; hitting ``max_batch`` flushes immediately. A flush hands the
+batch to the service on the event loop's default thread-pool executor
+(the service is synchronous and thread-safe), so the loop keeps
+accepting connections while designs compute. Several flushes may be in
+flight at once — cross-*batch* duplicates are handled by the service's
+in-flight fingerprint table, not here.
+
+``window_s=0`` degrades gracefully to per-event-loop-tick batching:
+whatever queued during the current tick flushes together — near-zero
+added latency while still merging true bursts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Tuple
+
+from ..service.api import DesignService, JobResult
+from ..service.jobs import DesignJob
+from ..service.metrics import MetricsRegistry
+
+
+class RequestBatcher:
+    """Groups awaiting requests into service batches."""
+
+    def __init__(
+        self,
+        service: DesignService,
+        window_s: float = 0.002,
+        max_batch: int = 16,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.service = service
+        self.window_s = window_s
+        self.max_batch = max(1, max_batch)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._pending: List[Tuple[DesignJob, "asyncio.Future[JobResult]"]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._flushes: "set[asyncio.Task]" = set()
+
+    async def submit(self, job: DesignJob) -> JobResult:
+        """Enqueue one job and await its result."""
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[JobResult]" = loop.create_future()
+        self._pending.append((job, future))
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.window_s, self._flush)
+        return await future
+
+    @property
+    def inflight_flushes(self) -> int:
+        """Batches currently executing in the thread pool."""
+        return len(self._flushes)
+
+    async def wait_idle(self) -> None:
+        """Flush anything pending and wait for all batches to finish."""
+        self._flush()
+        while self._flushes:
+            await asyncio.gather(*tuple(self._flushes),
+                                 return_exceptions=True)
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        task = asyncio.get_running_loop().create_task(self._run_batch(batch))
+        self._flushes.add(task)
+        task.add_done_callback(self._flushes.discard)
+
+    async def _run_batch(
+        self,
+        batch: List[Tuple[DesignJob, "asyncio.Future[JobResult]"]],
+    ) -> None:
+        jobs = [job for job, _ in batch]
+        loop = asyncio.get_running_loop()
+        self.registry.incr("server_batches")
+        self.registry.hist(
+            "server_batch_size", float(len(jobs)),
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+        )
+        try:
+            results = await loop.run_in_executor(
+                None, self.service.submit_many, jobs
+            )
+        except Exception as exc:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)

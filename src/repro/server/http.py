@@ -1,0 +1,231 @@
+"""Dependency-free HTTP/1.1 plumbing over asyncio streams.
+
+Just enough protocol for the design API: request parsing (method,
+target, headers, ``Content-Length`` body), fixed-length JSON responses,
+and chunked transfer encoding for the SSE streaming endpoint. Keeping
+it ~200 lines of stdlib is a feature — the container bakes in no web
+framework, and the surface the server needs (two verbs, six routes,
+one streaming mode) does not justify growing one.
+
+Simplifications, stated loudly:
+
+* every response carries ``Connection: close`` and the server closes
+  the socket afterwards — one request per connection. The client and
+  load harness open cheap localhost connections; keep-alive bookkeeping
+  buys nothing at this fidelity;
+* request bodies require ``Content-Length`` (no chunked *requests*);
+* header count/size and body size are bounded; breaches are 4xx, not
+  crashes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from ..errors import ProtocolError
+
+#: Reason phrases for every status the server emits.
+REASONS: Dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+SERVER_NAME = "repro-server"
+
+#: Hard parse limits (requests breaching them get a 4xx).
+MAX_HEADER_LINES = 64
+MAX_LINE_BYTES = 8192
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]  # keys lower-cased
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+@dataclass
+class HttpResponse:
+    """A fixed-length response a handler returns for normal routes."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Optional[HttpRequest]:
+    """Parse one request; ``None`` on a cleanly closed connection."""
+    try:
+        request_line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        raise ProtocolError(f"oversized request line: {exc}",
+                            status=400) from exc
+    if not request_line:
+        return None
+    if len(request_line) > MAX_LINE_BYTES:
+        raise ProtocolError("request line too long", status=400)
+    parts = request_line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line: {parts!r}",
+                            status=400)
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADER_LINES + 1):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError("header line too long", status=400)
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {line!r}",
+                                status=400)
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise ProtocolError("too many header lines", status=400)
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise ProtocolError(
+                f"bad Content-Length: {length_text!r}", status=400
+            ) from exc
+        if length < 0:
+            raise ProtocolError("negative Content-Length", status=400)
+        if length > max_body_bytes:
+            raise ProtocolError(
+                f"request body of {length} bytes exceeds the server's "
+                f"limit of {max_body_bytes}",
+                status=413,
+            )
+        body = await reader.readexactly(length)
+    elif method == "POST":
+        raise ProtocolError("POST requires Content-Length", status=400)
+
+    split = urlsplit(target)
+    return HttpRequest(
+        method=method,
+        target=target,
+        path=split.path,
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def _header_block(
+    status: int, headers: Mapping[str, str]
+) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{k}: {v}" for k, v in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def response_bytes(resp: HttpResponse) -> bytes:
+    """Serialize a fixed-length response (headers + body)."""
+    headers: Dict[str, str] = {
+        "Server": SERVER_NAME,
+        "Content-Type": resp.content_type,
+        "Content-Length": str(len(resp.body)),
+        "Connection": "close",
+    }
+    headers.update(resp.headers)
+    return _header_block(resp.status, headers) + resp.body
+
+
+class SseStream:
+    """Server-sent events over chunked transfer encoding.
+
+    The streaming sweep endpoint writes one ``event:``/``data:`` record
+    per completed point; each record is its own HTTP chunk, so clients
+    observe points incrementally instead of at sweep completion.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self.events_sent = 0
+
+    async def start(
+        self, extra_headers: Optional[Mapping[str, str]] = None
+    ) -> None:
+        headers: Dict[str, str] = {
+            "Server": SERVER_NAME,
+            "Content-Type": "text/event-stream",
+            "Cache-Control": "no-store",
+            "Transfer-Encoding": "chunked",
+            "Connection": "close",
+        }
+        if extra_headers:
+            headers.update(extra_headers)
+        self._writer.write(_header_block(200, headers))
+        await self._writer.drain()
+
+    async def _chunk(self, payload: bytes) -> None:
+        self._writer.write(
+            f"{len(payload):X}\r\n".encode("latin-1") + payload + b"\r\n"
+        )
+        await self._writer.drain()
+
+    async def event(self, name: str, data: str) -> None:
+        """Emit one SSE record (``data`` must be newline-free JSON)."""
+        await self._chunk(f"event: {name}\ndata: {data}\n\n".encode("utf-8"))
+        self.events_sent += 1
+
+    async def close(self) -> None:
+        """Terminate the chunked body."""
+        self._writer.write(b"0\r\n\r\n")
+        await self._writer.drain()
+
+
+def parse_sse_stream(lines: Any) -> Any:
+    """Yield ``(event, data)`` pairs from an iterable of text lines.
+
+    Shared by the blocking client and tests; tolerant of leading
+    keep-alive comments (lines starting with ``:``) per the SSE spec.
+    """
+    event: Optional[str] = None
+    data_parts: list = []
+    for raw in lines:
+        line = raw.rstrip("\r\n")
+        if line.startswith(":"):
+            continue
+        if line.startswith("event:"):
+            event = line[len("event:"):].strip()
+        elif line.startswith("data:"):
+            data_parts.append(line[len("data:"):].strip())
+        elif line == "":
+            if event is not None or data_parts:
+                yield (event or "message", "\n".join(data_parts))
+            event = None
+            data_parts = []
+
+
+def split_host_port(netloc: str) -> Tuple[str, int]:
+    """``host:port`` → tuple; the default port is 80."""
+    host, _, port_text = netloc.partition(":")
+    return host, int(port_text) if port_text else 80

@@ -1,0 +1,131 @@
+"""Per-tenant token-bucket quotas for the design server.
+
+Tenancy is declared by the ``X-Tenant`` request header; requests without
+one are pooled under :data:`DEFAULT_TENANT`. Each tenant owns one
+classic token bucket — ``burst`` capacity, refilled at ``rate`` tokens
+per second — so short spikes up to the burst are absorbed while the
+sustained rate is capped. A rejected request learns exactly how long
+until the next token (the 429's ``Retry-After``).
+
+Tenant names are *client-controlled* strings that end up as metric label
+values, so they pass through :func:`sanitize_tenant` first: length-capped
+and stripped of control characters here, then escaped per the Prometheus
+exposition format by :func:`repro.service.metrics.metric_key` at the
+labelling site. The injection regression tests in
+``tests/test_server.py`` hold both layers to that contract.
+
+The clock is injected (defaults to ``time.monotonic``) so quota math is
+unit-testable with a fake clock and the module stays deterministic under
+test.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..errors import ConfigurationError
+
+#: Tenant bucket for requests without an ``X-Tenant`` header.
+DEFAULT_TENANT = "anonymous"
+
+#: Longest accepted tenant id; the rest is truncated, keeping metric
+#: label cardinality and exposition line length bounded.
+MAX_TENANT_CHARS = 64
+
+
+def sanitize_tenant(raw: str) -> str:
+    """Normalize a client-supplied tenant id for quota + metric use.
+
+    Control characters (including ``\\r``/``\\n`` — header smuggling)
+    are dropped, surrounding whitespace is stripped, and the result is
+    truncated to :data:`MAX_TENANT_CHARS`. An id that sanitizes to
+    nothing falls back to :data:`DEFAULT_TENANT`. Printable characters
+    like ``"`` and ``\\`` are *kept* — escaping them is the metric
+    layer's job (:func:`repro.service.metrics.metric_key`), and the
+    quota table is a plain dict where any string key is safe.
+    """
+    cleaned = "".join(ch for ch in raw if ch.isprintable()).strip()
+    cleaned = cleaned[:MAX_TENANT_CHARS]
+    return cleaned if cleaned else DEFAULT_TENANT
+
+
+@dataclass
+class TokenBucket:
+    """One tenant's bucket: ``burst`` capacity, ``rate`` tokens/second."""
+
+    rate: float
+    burst: float
+    tokens: float
+    last: float
+
+    def refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.last)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.last = now
+
+    def try_take(self, now: float) -> Tuple[bool, float]:
+        """Consume one token; on failure return seconds until the next."""
+        self.refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        if self.rate <= 0:
+            return False, math.inf
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class QuotaManager:
+    """Token buckets keyed by sanitized tenant id.
+
+    ``rate <= 0`` with ``burst > 0`` gives every tenant a fixed budget
+    that never refills; ``rate=None``-style unlimited service is spelled
+    as a very large rate by the caller (the server's default is generous
+    enough that single-tenant test traffic never trips it).
+    """
+
+    def __init__(
+        self,
+        rate: float = 50.0,
+        burst: float = 100.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if burst < 1:
+            raise ConfigurationError(
+                f"quota burst must be >= 1, got {burst}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def allow(self, tenant: str) -> Tuple[bool, float]:
+        """Charge one request to ``tenant``.
+
+        Returns ``(True, 0.0)`` when admitted, else ``(False,
+        retry_after_s)`` where ``retry_after_s`` is the time until the
+        bucket holds a full token again.
+        """
+        now = self._clock()
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                rate=self.rate, burst=self.burst,
+                tokens=self.burst, last=now,
+            )
+            self._buckets[tenant] = bucket
+        return bucket.try_take(now)
+
+    def tenants(self) -> Tuple[str, ...]:
+        """Every tenant that has been charged at least once."""
+        return tuple(sorted(self._buckets))
+
+    def remaining(self, tenant: str) -> float:
+        """Current token count for ``tenant`` (burst if never seen)."""
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            return self.burst
+        bucket.refill(self._clock())
+        return bucket.tokens

@@ -20,11 +20,13 @@ for callers — like the default sweep path — that want the rich object.
 from __future__ import annotations
 
 import pathlib
+import threading
+from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analyze import LINT_KIND
-from ..errors import JobExecutionError
+from ..errors import JobExecutionError, ServiceError
 from ..flow import ExperimentResult
 from ..io import FORMAT_VERSION, save_json
 from ..obs.profile.report import PROFILE_SET_KIND
@@ -99,6 +101,41 @@ class DesignService:
             profile=self.profile_dir is not None,
             lint=self.lint_dir is not None,
         )
+        # Cross-thread duplicate suppression: fingerprint -> Future of
+        # the summary being computed by some other thread right now.
+        # submit_many joins these instead of recomputing, so a flood of
+        # identical requests (the server's hot path) costs one pipeline
+        # run no matter how many threads carry it.
+        self._inflight: Dict[str, "Future[Dict[str, Any]]"] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Drain the worker pool and flush the cache; idempotent.
+
+        After closing, :meth:`submit`/:meth:`submit_many` raise
+        :class:`~repro.errors.ServiceError`. The runner's process pool
+        is shut down with ``wait=True`` so no worker outlives the
+        service (the leak repeated open/close used to expose).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._runner.close()
+        self.cache.close()
+
+    def __enter__(self) -> "DesignService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     def submit(self, job: DesignJob) -> JobResult:
         """Execute (or serve from cache) one job."""
@@ -107,11 +144,15 @@ class DesignService:
     def submit_many(self, jobs: Sequence[DesignJob]) -> List[JobResult]:
         """Execute a batch; output order matches input order.
 
-        Duplicate jobs (same fingerprint) are computed once; cache hits
-        are served without touching the executor. Raises
-        :class:`~repro.errors.JobExecutionError` if any job exhausts its
-        retry budget.
+        Duplicate jobs (same fingerprint) are computed once — within the
+        batch, *and* across concurrently submitting threads (a second
+        thread joins the first thread's in-flight computation instead of
+        repeating it). Cache hits are served without touching the
+        executor. Raises :class:`~repro.errors.JobExecutionError` if any
+        job exhausts its retry budget.
         """
+        if self._closed:
+            raise ServiceError("design service is closed")
         jobs = list(jobs)
         self.metrics.incr("jobs_submitted", len(jobs))
         fingerprints = [job.fingerprint() for job in jobs]
@@ -119,58 +160,93 @@ class DesignService:
         results: List[Optional[JobResult]] = [None] * len(jobs)
         to_run: List[int] = []  # index of the first occurrence per fingerprint
         first_seen: Dict[str, int] = {}
-        for i, (job, fp) in enumerate(zip(jobs, fingerprints)):
-            if fp in first_seen:
-                self.metrics.incr("jobs_coalesced")
-                continue  # resolved after the batch from the first occurrence
-            cached = self.cache.get(fp)
-            if cached is not None:
-                self.tracer.instant(
-                    "cache_hit", category="service",
-                    app=job.app, fingerprint=fp,
-                )
-                results[i] = JobResult(
-                    job=job, fingerprint=fp, summary=cached, cached=True
-                )
+        owned: Dict[str, "Future[Dict[str, Any]]"] = {}
+        joined: List[Tuple[int, "Future[Dict[str, Any]]"]] = []
+        with self._lock:
+            for i, (job, fp) in enumerate(zip(jobs, fingerprints)):
+                if fp in first_seen:
+                    self.metrics.incr("jobs_coalesced")
+                    continue  # resolved from the first occurrence below
                 first_seen[fp] = i
-                continue
-            first_seen[fp] = i
-            to_run.append(i)
+                cached = self.cache.get(fp)
+                if cached is not None:
+                    self.tracer.instant(
+                        "cache_hit", category="service",
+                        app=job.app, fingerprint=fp,
+                    )
+                    results[i] = JobResult(
+                        job=job, fingerprint=fp, summary=cached, cached=True
+                    )
+                    continue
+                inflight = self._inflight.get(fp)
+                if inflight is not None:
+                    self.metrics.incr("jobs_joined")
+                    joined.append((i, inflight))
+                    continue
+                future: "Future[Dict[str, Any]]" = Future()
+                self._inflight[fp] = future
+                owned[fp] = future
+                to_run.append(i)
 
         try:
-            with self.tracer.span(
-                "submit_many", category="service",
-                batch=len(jobs), distinct=len(to_run),
-            ):
-                outcomes = self._runner.run([jobs[i] for i in to_run])
-        except JobExecutionError:
-            self.metrics.incr("jobs_failed")
-            raise
-        if self._runner.last_mode == "serial" and to_run:
-            self.metrics.incr("serial_batches")
+            try:
+                with self.tracer.span(
+                    "submit_many", category="service",
+                    batch=len(jobs), distinct=len(to_run),
+                ):
+                    outcomes = self._runner.run([jobs[i] for i in to_run])
+            except JobExecutionError:
+                self.metrics.incr("jobs_failed")
+                raise
+            if self._runner.last_mode == "serial" and to_run:
+                self.metrics.incr("serial_batches")
 
-        for i, outcome in zip(to_run, outcomes):
-            fp = fingerprints[i]
-            self.cache.put(fp, outcome.summary)
-            self.metrics.incr("jobs_completed")
-            self.metrics.incr("job_attempts", outcome.attempts)
-            self.metrics.observe("job_latency", outcome.duration_s)
-            if self.profile_dir is not None and outcome.profiles:
-                self._persist_profiles(jobs[i], fp, outcome.profiles)
-            if self.lint_dir is not None and outcome.lint is not None:
-                self._persist_lint(jobs[i], fp, outcome.lint)
+            for i, outcome in zip(to_run, outcomes):
+                fp = fingerprints[i]
+                self.cache.put(fp, outcome.summary)
+                self.metrics.incr("jobs_completed")
+                self.metrics.incr("job_attempts", outcome.attempts)
+                self.metrics.observe("job_latency", outcome.duration_s)
+                if self.profile_dir is not None and outcome.profiles:
+                    self._persist_profiles(jobs[i], fp, outcome.profiles)
+                if self.lint_dir is not None and outcome.lint is not None:
+                    self._persist_lint(jobs[i], fp, outcome.lint)
+                results[i] = JobResult(
+                    job=jobs[i],
+                    fingerprint=fp,
+                    summary=outcome.summary,
+                    attempts=outcome.attempts,
+                    duration_s=outcome.duration_s,
+                    result=outcome.result,
+                    profiles=outcome.profiles,
+                    lint=outcome.lint,
+                )
+                owned[fp].set_result(outcome.summary)
+        except BaseException as exc:
+            # Resolve owned futures (with the real failure) *before*
+            # blocking on other threads' futures below — that ordering
+            # is what makes cross-thread joining deadlock-free.
+            with self._lock:
+                for fp, future in owned.items():
+                    self._inflight.pop(fp, None)
+                    if not future.done():
+                        future.set_exception(exc)
+            raise
+        else:
+            with self._lock:
+                for fp in owned:
+                    self._inflight.pop(fp, None)
+
+        for i, future in joined:
+            summary = future.result()  # re-raises the owner's failure
             results[i] = JobResult(
                 job=jobs[i],
-                fingerprint=fp,
-                summary=outcome.summary,
-                attempts=outcome.attempts,
-                duration_s=outcome.duration_s,
-                result=outcome.result,
-                profiles=outcome.profiles,
-                lint=outcome.lint,
+                fingerprint=fingerprints[i],
+                summary=summary,
+                coalesced=True,
             )
 
-        # Resolve coalesced duplicates from their representative.
+        # Resolve in-batch duplicates from their representative.
         for i, fp in enumerate(fingerprints):
             if results[i] is None:
                 rep = results[first_seen[fp]]

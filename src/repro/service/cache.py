@@ -15,6 +15,7 @@ lets a cache-served sweep produce byte-identical CSV to a fresh run.
 from __future__ import annotations
 
 import pathlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Union
@@ -84,9 +85,14 @@ class ResultCache:
                 ) from exc
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        # One lock covers both tiers *and* the stats counters, so
+        # hit/miss/store accounting stays exact when many threads (the
+        # server's batcher plus streaming sweeps) use one cache.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def _disk_path(self, fingerprint: str) -> pathlib.Path:
         assert self.cache_dir is not None
@@ -117,32 +123,59 @@ class ResultCache:
 
     def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
         """Look up a result summary; ``None`` on miss."""
-        if fingerprint in self._memory:
-            self._memory.move_to_end(fingerprint)
-            self.stats.hits_memory += 1
-            return self._memory[fingerprint]
-        summary = self._load_disk(fingerprint)
-        if summary is not None:
-            self.stats.hits_disk += 1
-            self._remember(fingerprint, summary)
+        with self._lock:
+            if fingerprint in self._memory:
+                self._memory.move_to_end(fingerprint)
+                self.stats.hits_memory += 1
+                return self._memory[fingerprint]
+            summary = self._load_disk(fingerprint)
+            if summary is not None:
+                self.stats.hits_disk += 1
+                self._remember(fingerprint, summary)
+                return summary
+            self.stats.misses += 1
+            return None
+
+    def peek(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """Side-effect-free lookup: no stats, no LRU touch.
+
+        The server's ``GET /v1/jobs/<fingerprint>`` endpoint uses this
+        so read-only job polling cannot perturb the hit/miss accounting
+        the concurrency tests (and capacity planning) rely on.
+        """
+        with self._lock:
+            if fingerprint in self._memory:
+                return self._memory[fingerprint]
+        if self.cache_dir is None:
+            return None
+        path = self._disk_path(fingerprint)
+        if not path.exists():
+            return None
+        try:
+            doc = reproio.load_json(path)
+            reproio.validate_document(doc, RESULT_KIND)
+            if doc.get("fingerprint") != fingerprint:
+                return None
+            summary: Dict[str, Any] = doc["summary"]
             return summary
-        self.stats.misses += 1
-        return None
+        except Exception:
+            return None
 
     def put(self, fingerprint: str, summary: Dict[str, Any]) -> None:
         """Store a result summary in both tiers."""
-        self.stats.stores += 1
-        self._remember(fingerprint, summary)
-        if self.cache_dir is not None:
-            reproio.save_json(
-                {
-                    "kind": RESULT_KIND,
-                    "version": reproio.FORMAT_VERSION,
-                    "fingerprint": fingerprint,
-                    "summary": summary,
-                },
-                self._disk_path(fingerprint),
-            )
+        with self._lock:
+            self.stats.stores += 1
+            self._remember(fingerprint, summary)
+            if self.cache_dir is not None:
+                reproio.save_json(
+                    {
+                        "kind": RESULT_KIND,
+                        "version": reproio.FORMAT_VERSION,
+                        "fingerprint": fingerprint,
+                        "summary": summary,
+                    },
+                    self._disk_path(fingerprint),
+                )
 
     def _remember(self, fingerprint: str, summary: Dict[str, Any]) -> None:
         self._memory[fingerprint] = summary
@@ -153,4 +186,15 @@ class ResultCache:
 
     def clear_memory(self) -> None:
         """Drop the memory tier (disk entries survive)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
+
+    def close(self) -> None:
+        """Release the memory tier.
+
+        Disk writes are write-through (`put` persists immediately), so
+        closing only drops the LRU; it exists so
+        :meth:`repro.service.DesignService.close` has one flush point
+        and is safe to call more than once.
+        """
+        self.clear_memory()

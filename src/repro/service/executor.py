@@ -17,14 +17,16 @@ a serial in-process attempt cannot be preempted.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import JobExecutionError, JobTimeoutError
+from ..errors import JobExecutionError, JobTimeoutError, ServiceError
 from ..flow import ExperimentResult, result_summary, run_experiment
 from ..obs.profile.report import profile_to_dict
 from ..obs.trace import Tracer
@@ -159,6 +161,12 @@ class JobRunner:
         self.lint = lint
         #: "parallel" or "serial" — how the last batch actually ran.
         self.last_mode: str = "serial"
+        # The worker pool is created lazily and *reused* across batches
+        # (the old create-per-batch + shutdown(wait=False) pattern leaked
+        # worker processes under repeated open/close); close() reaps it.
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
 
     @property
     def _instrumented(self) -> bool:
@@ -170,29 +178,56 @@ class JobRunner:
 
     def run(self, jobs: Sequence[DesignJob]) -> List[JobOutcome]:
         """Execute all jobs; preserves input order in the output."""
+        if self._closed:
+            raise ServiceError("job runner is closed")
         jobs = list(jobs)
         if not jobs:
             return []
-        pool = self._make_pool()
+        pool = self._acquire_pool()
         if pool is None:
             self.last_mode = "serial"
             return [self._run_serial(job) for job in jobs]
         self.last_mode = "parallel"
-        try:
-            return self._run_pool(pool, jobs)
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+        return self._run_pool(pool, jobs)
+
+    def close(self) -> None:
+        """Shut the worker pool down and reap its processes.
+
+        Idempotent; a closed runner rejects further :meth:`run` calls.
+        ``wait=True`` is the whole point — the historical per-batch
+        ``shutdown(wait=False)`` left orphaned workers behind, which
+        repeated service open/close in one process turned into a leak.
+        """
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     # -- serial -----------------------------------------------------------
-    def _make_pool(self) -> Optional[ProcessPoolExecutor]:
+    def _acquire_pool(self) -> Optional[ProcessPoolExecutor]:
         if self.config.jobs <= 1 or self.config.force_serial:
             return None
         if self._runner is not None and not _is_picklable(self._runner):
             return None
-        try:
-            return ProcessPoolExecutor(max_workers=self.config.jobs)
-        except (OSError, ValueError, NotImplementedError, ImportError):
-            return None
+        with self._pool_lock:
+            if self._closed:
+                raise ServiceError("job runner is closed")
+            if self._pool is None:
+                try:
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.config.jobs
+                    )
+                except (OSError, ValueError, NotImplementedError, ImportError):
+                    return None
+            return self._pool
+
+    def _recycle_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Discard a broken/hung pool; the next batch builds a fresh one."""
+        with self._pool_lock:
+            if self._pool is pool:
+                self._pool = None
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def _run_serial(self, job: DesignJob) -> JobOutcome:
         last_error = ""
@@ -272,6 +307,7 @@ class JobRunner:
                 starts[i] = time.perf_counter()
                 futures[i] = pool.submit(func, jobs[i])
             failed: List[Tuple[int, str, bool]] = []
+            recycle = False
             for i in pending:
                 try:
                     summary = futures[i].result(timeout=self.config.timeout_s)
@@ -290,9 +326,13 @@ class JobRunner:
                     )
                 except FutureTimeout:
                     futures[i].cancel()
+                    recycle = True  # a hung job still occupies its worker
                     failed.append(
                         (i, f"timed out after {self.config.timeout_s}s", True)
                     )
+                except BrokenProcessPool as exc:
+                    recycle = True
+                    failed.append((i, str(exc) or type(exc).__name__, False))
                 except Exception as exc:
                     failed.append((i, str(exc) or type(exc).__name__, False))
             pending = []
@@ -307,6 +347,17 @@ class JobRunner:
                         last_error=message,
                     )
                 pending.append(i)
+            if recycle:
+                self._recycle_pool(pool)
+                fresh = self._acquire_pool() if pending else None
+                if pending and fresh is None:
+                    # No replacement pool: finish the stragglers serially
+                    # (each gets its own full retry budget there).
+                    for i in pending:
+                        outcomes[i] = self._run_serial(jobs[i])
+                    pending = []
+                else:
+                    pool = fresh if fresh is not None else pool
             if pending:
                 time.sleep(self.config.backoff_for(max(attempts[i] for i in pending)))
         return [o for o in outcomes if o is not None]

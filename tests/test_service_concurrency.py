@@ -1,0 +1,248 @@
+"""Concurrency and lifecycle tests for :class:`repro.service.DesignService`.
+
+The service promises three things under parallel callers that are easy
+to get silently wrong and cheap to test exactly:
+
+* an identical job submitted by N racing threads is *computed once* —
+  late arrivals join the in-flight computation or hit the cache, never
+  re-run the pipeline;
+* the coalescing/caching counters are exact, not approximate, for
+  deterministic single-threaded batches;
+* ``close()`` is idempotent, enforces rejection of later submissions,
+  drains the worker pool (the historical per-batch
+  ``shutdown(wait=False)`` leaked processes under repeated open/close),
+  and arrives via context-manager exit too.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.errors import JobExecutionError, ServiceError
+from repro.service import DesignJob, DesignService
+
+# -- instrumented runners ---------------------------------------------------
+
+def _make_counting_runner(delay_s: float = 0.0):
+    """An injected runner that counts real executions atomically."""
+    lock = threading.Lock()
+    calls = []
+
+    def runner(job: DesignJob):
+        with lock:
+            calls.append(job.fingerprint())
+        if delay_s:
+            time.sleep(delay_s)
+        return {"app": job.app, "fingerprint": job.fingerprint()}
+
+    return runner, calls
+
+
+def _failing_runner(job: DesignJob):
+    raise ValueError("boom")
+
+
+class TestCrossThreadCoalescing:
+    def test_identical_job_computed_exactly_once(self):
+        """Eight racing threads, one fingerprint, one execution."""
+        runner, calls = _make_counting_runner(delay_s=0.15)
+        threads = 8
+        barrier = threading.Barrier(threads)
+        job = DesignJob("klt", simulate=False)
+        results = [None] * threads
+        errors = []
+
+        with DesignService(jobs=1, runner=runner) as service:
+
+            def worker(slot: int) -> None:
+                barrier.wait()
+                try:
+                    results[slot] = service.submit(job)
+                except Exception as exc:  # surfaced after join
+                    errors.append(exc)
+
+            pool = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(threads)
+            ]
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join()
+
+            assert errors == []
+            assert len(calls) == 1, "pipeline ran more than once"
+            snap = service.metrics.snapshot()
+            assert snap["counters"]["jobs_completed"] == 1
+            assert snap["counters"]["jobs_submitted"] == threads
+            # every thread either owned, joined in-flight, or hit the
+            # cache — the three paths partition the batch exactly.
+            joined = snap["counters"].get("jobs_joined", 0)
+            hits = service.cache.stats.hits
+            assert 1 + joined + hits == threads
+            summaries = {
+                tuple(sorted(r.summary.items())) for r in results
+            }
+            assert len(summaries) == 1
+            # exactly the owner's result is neither cached nor coalesced
+            fresh = [
+                r for r in results if not r.cached and not r.coalesced
+            ]
+            assert len(fresh) == 1
+
+    def test_joiners_see_owner_failure(self):
+        """A failing owner propagates its error to joining threads."""
+        threads = 4
+        barrier = threading.Barrier(threads)
+        job = DesignJob("klt", simulate=False)
+        outcomes = []
+
+        with DesignService(jobs=1, runner=_failing_runner) as service:
+
+            def worker() -> None:
+                barrier.wait()
+                try:
+                    service.submit(job)
+                    outcomes.append("ok")
+                except JobExecutionError:
+                    outcomes.append("failed")
+
+            pool = [
+                threading.Thread(target=worker) for _ in range(threads)
+            ]
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join()
+
+        assert outcomes == ["failed"] * threads
+        assert service.metrics.snapshot()["counters"].get(
+            "jobs_completed", 0
+        ) == 0
+
+    def test_parallel_distinct_jobs_counters_exact(self):
+        """Disjoint batches from racing threads: no spurious work."""
+        runner, calls = _make_counting_runner(delay_s=0.02)
+        apps = ("canny", "jpeg", "klt", "fluid")
+        jobs_by_thread = [
+            [DesignJob(app, scale=s, simulate=False) for app in apps]
+            for s in (1, 2)
+        ]
+        barrier = threading.Barrier(len(jobs_by_thread))
+
+        with DesignService(jobs=1, runner=runner) as service:
+
+            def worker(batch) -> None:
+                barrier.wait()
+                service.submit_many(batch)
+
+            pool = [
+                threading.Thread(target=worker, args=(b,))
+                for b in jobs_by_thread
+            ]
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join()
+
+            snap = service.metrics.snapshot()
+            assert len(calls) == 8  # 4 apps x 2 scales, each once
+            assert snap["counters"]["jobs_completed"] == 8
+            assert service.cache.stats.misses == 8
+            assert service.cache.stats.hits == 0
+
+            # a second wave is served entirely from the cache
+            for batch in jobs_by_thread:
+                service.submit_many(batch)
+            assert len(calls) == 8
+            assert service.cache.stats.hits == 8
+
+
+class TestBatchCounters:
+    def test_in_batch_duplicates_coalesce_exactly(self):
+        runner, calls = _make_counting_runner()
+        a = DesignJob("klt", simulate=False)
+        b = DesignJob("jpeg", simulate=False)
+        with DesignService(jobs=1, runner=runner) as service:
+            results = service.submit_many([a, a, b])
+            snap = service.metrics.snapshot()
+            assert len(calls) == 2
+            assert snap["counters"]["jobs_submitted"] == 3
+            assert snap["counters"]["jobs_coalesced"] == 1
+            assert snap["counters"]["jobs_completed"] == 2
+            assert service.cache.stats.misses == 2
+            assert [r.coalesced for r in results] == [False, True, False]
+
+            # resubmitting is pure cache traffic
+            again = service.submit_many([a, a, b])
+            assert len(calls) == 2
+            assert service.cache.stats.hits == 2
+            assert all(r.cached for r in again[::2])
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        service = DesignService(jobs=1)
+        assert not service.closed
+        service.close()
+        assert service.closed
+        service.close()  # second close is a no-op, not an error
+
+    def test_submit_after_close_raises(self):
+        service = DesignService(jobs=1)
+        service.close()
+        with pytest.raises(ServiceError):
+            service.submit(DesignJob("klt", simulate=False))
+
+    def test_context_manager_closes(self):
+        with DesignService(jobs=1) as service:
+            assert not service.closed
+        assert service.closed
+
+    def test_close_reaps_worker_pool(self):
+        """The pool exists while serving and is gone after close()."""
+        service = DesignService(jobs=2)
+        jobs = [
+            DesignJob("klt", simulate=False),
+            DesignJob("jpeg", simulate=False),
+        ]
+        service.submit_many(jobs)
+        if service._runner.last_mode == "parallel":
+            assert service._runner._pool is not None
+        service.close()
+        assert service._runner._pool is None
+
+    def test_repeated_open_close_leaks_no_processes(self):
+        """Three open/serve/close cycles leave zero child processes."""
+        jobs = [
+            DesignJob("klt", simulate=False),
+            DesignJob("jpeg", simulate=False),
+        ]
+        for _ in range(3):
+            with DesignService(jobs=2) as service:
+                service.submit_many(jobs)
+        # shutdown(wait=True) joins workers; nothing may linger.
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children():
+            assert time.monotonic() < deadline, (
+                f"leaked workers: {multiprocessing.active_children()}"
+            )
+            time.sleep(0.05)
+
+    def test_pool_is_reused_across_batches(self):
+        """One service, many batches, one pool (no per-batch churn)."""
+        service = DesignService(jobs=2)
+        try:
+            job = DesignJob("klt", simulate=False)
+            service.submit(job)
+            if service._runner.last_mode != "parallel":
+                pytest.skip("platform cannot fork a worker pool")
+            first = service._runner._pool
+            service.submit(DesignJob("jpeg", simulate=False))
+            assert service._runner._pool is first
+        finally:
+            service.close()

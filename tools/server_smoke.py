@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""CI smoke driver for the networked design service.
+
+Drives an already-running ``repro serve`` instance (``--url``) through
+every externally-observable behaviour the server promises:
+
+1. ``/healthz`` and ``/readyz`` respond 200;
+2. ``POST /v1/design`` for all four applications returns summaries that
+   are **byte-identical** (under ``canonical_json``) to an in-process
+   ``run_experiment`` — the server is a transport, not a re-derivation;
+3. ``GET /v1/jobs/<fingerprint>`` returns the cached summary for a
+   known fingerprint and 404 for an unknown one;
+4. ``POST /v1/sweep`` returns one record per grid point;
+5. ``POST /v1/sweep/stream`` delivers one SSE ``point`` event per grid
+   point followed by a ``done`` event whose count matches;
+6. ``GET /metrics`` exposes the expected Prometheus families;
+7. the quota path: a *separate* in-process server with a near-zero
+   per-tenant rate answers the second request with 429 and a
+   ``Retry-After`` hint, and the rejection is visible (with the tenant
+   label intact) in its ``/metrics``.
+
+Exit code 0 means every check passed. Any assertion failure or
+transport error is fatal — this script is a CI gate, not a report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.errors import ServerError
+from repro.flow import result_summary, run_experiment
+from repro.io import canonical_json
+from repro.server import DesignClient, ServerConfig, start_in_thread
+
+APPS = ("canny", "jpeg", "klt", "fluid")
+
+
+def wait_ready(client: DesignClient, timeout_s: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if client.readyz():
+            return
+        time.sleep(0.2)
+    raise SystemExit(f"server at {client.base_url} never became ready")
+
+
+def check_design_identity(client: DesignClient) -> List[str]:
+    """Byte-identical served vs in-process summaries; fingerprints."""
+    fingerprints = []
+    for app in APPS:
+        doc = client.design(app)
+        assert doc["kind"] == "design-response", doc
+        assert doc["app"] == app, doc
+        served = canonical_json(doc["summary"]).encode("utf-8")
+        local = canonical_json(
+            result_summary(run_experiment(app))
+        ).encode("utf-8")
+        assert served == local, (
+            f"{app}: served summary differs from in-process pipeline"
+        )
+        fingerprints.append(doc["fingerprint"])
+        print(f"  design {app}: byte-identical "
+              f"({doc['fingerprint'][:12]}…, cached={doc['cached']})")
+    return fingerprints
+
+
+def check_jobs(client: DesignClient, fingerprint: str) -> None:
+    doc = client.job(fingerprint)
+    assert doc is not None and doc["kind"] == "job-response", doc
+    assert doc["fingerprint"] == fingerprint and doc["summary"], doc
+    assert client.job("0" * 64) is None
+    print("  jobs: cached fingerprint found, unknown is 404")
+
+
+def check_sweep(client: DesignClient) -> None:
+    doc = client.sweep(list(APPS), scales=[1])
+    assert doc["kind"] == "sweep-response", doc
+    assert doc["count"] == len(APPS), doc
+    assert len(doc["points"]) == len(APPS), doc
+    print(f"  sweep: {doc['count']} points returned")
+
+
+def check_stream(client: DesignClient) -> None:
+    events = list(client.sweep_stream(list(APPS), scales=[1]))
+    names = [name for name, _ in events]
+    assert names == ["point"] * len(APPS) + ["done"], names
+    done = events[-1][1]
+    assert done["count"] == len(APPS), done
+    print(f"  stream: {len(APPS)} point events then done")
+
+
+def check_metrics(client: DesignClient) -> None:
+    text = client.metrics()
+    for family in ("repro_http_requests", "repro_cache_hits",
+                   "repro_inflight_requests"):
+        assert family in text, f"{family} missing from /metrics"
+    print("  metrics: expected Prometheus families present")
+
+
+def check_quota_429() -> None:
+    """A dedicated stingy in-process server must 429 the second hit."""
+    config = ServerConfig(port=0, quota_rate=0.001, quota_burst=1.0)
+    with start_in_thread(config) as handle:
+        client = DesignClient(handle.url, tenant="ci-stingy")
+        client.design("canny")
+        try:
+            client.design("jpeg")
+        except ServerError as exc:
+            assert exc.status == 429, exc
+            assert exc.retry_after > 0, exc
+        else:
+            raise AssertionError("second request was not rate limited")
+        text = client.metrics()
+        assert 'repro_quota_rejections{tenant="ci-stingy"}' in text, text
+    verdict = handle.stop()
+    assert verdict is True, "stingy server failed to drain"
+    print("  quota: 429 + Retry-After observed, rejection in metrics, "
+          "clean drain")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", required=True,
+                        help="base URL of the running server")
+    parser.add_argument("--tenant", default="ci-smoke")
+    args = parser.parse_args(argv)
+
+    client = DesignClient(args.url, tenant=args.tenant)
+    wait_ready(client)
+    print(f"server smoke against {args.url}:")
+    fingerprints = check_design_identity(client)
+    check_jobs(client, fingerprints[0])
+    check_sweep(client)
+    check_stream(client)
+    check_metrics(client)
+    check_quota_429()
+    print("server smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
