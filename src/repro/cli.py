@@ -31,15 +31,23 @@
   JSON design/sweep API, SSE streaming sweeps, per-tenant quotas,
   admission control, Prometheus ``/metrics``, graceful SIGTERM drain;
 * ``loadtest`` — drive a running server with concurrent clients and
-  report served p50/p99 latency and error rates (optionally merged
-  into ``BENCH_repro.json`` and gated with ``--max-error-rate``);
+  report served p50/p95/p99 latency, a bucketed latency histogram, and
+  error rates (optionally merged into ``BENCH_repro.json`` and gated
+  with ``--max-error-rate``);
+* ``top`` — live dashboard over a running server's ``/v1/debug``
+  runtime introspection endpoint (``--once`` for a single snapshot);
 * ``apps`` — list the available applications.
+
+``bench --history BENCH_history.jsonl --compare`` turns the benchmark
+into a trend gate: every run appends to the history, and timings that
+exceed ``--threshold`` times the historical median exit non-zero.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from .apps import fit_application, get_application
@@ -194,6 +202,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-overhead", type=float, default=None, metavar="X",
                    help="exit 1 if the profiler overhead ratio exceeds X "
                         "(gates on jpeg when benched)")
+    p.add_argument("--history", type=str, default=None, metavar="PATH",
+                   help="append this run to a JSONL history file "
+                        "(e.g. BENCH_history.jsonl)")
+    p.add_argument("--compare", action="store_true",
+                   help="compare against the --history baseline "
+                        "(median of past runs) before appending; exit 1 "
+                        "on any timing regression")
+    p.add_argument("--threshold", type=float, default=None, metavar="R",
+                   help="regression ratio for --compare (default 1.5 = "
+                        "50%% slower than the historical median)")
 
     p = sub.add_parser(
         "fuzz",
@@ -258,6 +276,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="largest accepted sweep grid (413 beyond)")
     p.add_argument("--drain-timeout", type=float, default=10.0,
                    help="seconds to wait for in-flight work on SIGTERM")
+    p.add_argument("--event-log", type=str, default=None, metavar="PATH",
+                   help="also append every runtime event as JSONL here")
+
+    p = sub.add_parser(
+        "top",
+        help="live runtime dashboard for a running repro server",
+    )
+    p.add_argument("--url", required=True,
+                   help="server base URL, e.g. http://127.0.0.1:8014")
+    p.add_argument("--tenant", default=None,
+                   help="X-Tenant header for the introspection requests")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh period in seconds")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (no screen control)")
 
     p = sub.add_parser(
         "loadtest",
@@ -586,6 +619,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench import render_bench, run_bench
+    from .errors import ConfigurationError
+
+    if args.compare and args.history is None:
+        raise ConfigurationError("--compare needs --history PATH")
+    if args.threshold is not None and not args.compare:
+        raise ConfigurationError("--threshold only applies with --compare")
 
     apps = [a for a in args.apps.split(",") if a]
     report = run_bench(
@@ -594,6 +633,54 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(render_bench(report))
     if args.out is not None:
         print(f"wrote benchmark report to {args.out}")
+
+    regression = False
+    if args.history is not None:
+        from .obs.runtime.trends import (
+            DEFAULT_THRESHOLD,
+            append_history,
+            compare_bench,
+            load_history,
+            regressions,
+            render_trend_table,
+        )
+
+        threshold = (
+            args.threshold if args.threshold is not None
+            else DEFAULT_THRESHOLD
+        )
+        history = load_history(args.history)
+        if args.compare:
+            if not history:
+                print(
+                    "bench trend: no history yet at "
+                    f"{args.history}; recording a baseline (not gating)"
+                )
+            else:
+                deltas = compare_bench(
+                    report, history, threshold=threshold
+                )
+                print(render_trend_table(deltas, threshold))
+                regressed = regressions(deltas)
+                if regressed:
+                    names = ", ".join(d.name for d in regressed)
+                    print(
+                        f"FAIL: {len(regressed)} timing metric(s) "
+                        f"regressed beyond {threshold:.2f}x the "
+                        f"historical median: {names}",
+                        file=sys.stderr,
+                    )
+                    regression = True
+        # Always record this run (even a regressed one: the history is
+        # the measurement log, the gate is the exit code).
+        append_history(report, args.history)
+        print(
+            f"bench trend: appended run #{len(history) + 1} "
+            f"to {args.history}"
+        )
+    if regression:
+        return 1
+
     if args.max_overhead is not None:
         rows = report["apps"]
         # Gate on jpeg (the paper's running example and the heaviest
@@ -684,6 +771,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_max=args.batch_max,
         max_sweep_points=args.max_sweep_points,
         drain_timeout_s=args.drain_timeout,
+        event_log_path=args.event_log,
     )
 
     def _announce(server) -> None:
@@ -694,22 +782,61 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_loadtest(args: argparse.Namespace) -> int:
-    from .server import loadtest
+    from .io import save_json
+    from .server.loadtest import (
+        DEFAULT_APPS,
+        LoadtestConfig,
+        format_report,
+        merge_into_bench,
+        run_loadtest,
+    )
 
-    argv = ["--url", args.url,
-            "--requests", str(args.requests),
-            "--concurrency", str(args.concurrency)]
-    if args.apps:
-        argv += ["--apps", *args.apps]
-    if args.tenant is not None:
-        argv += ["--tenant", args.tenant]
-    if args.json_out is not None:
-        argv += ["--json-out", args.json_out]
-    if args.bench_out is not None:
-        argv += ["--bench-out", args.bench_out]
-    if args.max_error_rate is not None:
-        argv += ["--max-error-rate", str(args.max_error_rate)]
-    return loadtest.main(argv)
+    config = LoadtestConfig(
+        url=args.url,
+        apps=tuple(args.apps) if args.apps else DEFAULT_APPS,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        tenant=args.tenant,
+    )
+    report = run_loadtest(config)
+    print(format_report(report))
+    if args.json_out:
+        save_json(report, args.json_out)
+        print(f"  report written to {args.json_out}")
+    if args.bench_out:
+        merge_into_bench(report, args.bench_out)
+        print(f"  server section merged into {args.bench_out}")
+    if (
+        args.max_error_rate is not None
+        and report["error_rate"] > args.max_error_rate
+    ):
+        print(
+            f"FAIL: error rate {report['error_rate']:.3f} exceeds "
+            f"--max-error-rate {args.max_error_rate:.3f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .obs.runtime.debug import render_top
+    from .server import DesignClient
+
+    client = DesignClient(args.url, tenant=args.tenant)
+    while True:
+        doc = client.debug()
+        metrics_text = client.metrics()
+        screen = render_top(doc, metrics_text=metrics_text)
+        if args.once:
+            print(screen)
+            return 0
+        # Home the cursor + clear so the dashboard repaints in place.
+        print(f"\x1b[H\x1b[2J{screen}", flush=True)
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def cmd_apps(_args: argparse.Namespace) -> int:
@@ -799,6 +926,7 @@ _COMMANDS = {
     "fuzz": cmd_fuzz,
     "serve": cmd_serve,
     "loadtest": cmd_loadtest,
+    "top": cmd_top,
     "apps": cmd_apps,
     "pareto": cmd_pareto,
     "reconfig": cmd_reconfig,

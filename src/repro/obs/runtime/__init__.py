@@ -1,0 +1,60 @@
+"""Runtime telemetry for the *serving system* itself.
+
+``repro.obs`` (PR 2) and ``repro.obs.profile`` (PR 4) observe the
+*designs*: spans around Algorithm 1, provenance of every decision,
+time-resolved lane utilization. This subpackage observes the *system
+that serves them* — the admission/quota/batcher/worker ring added in
+PR 6 — and the performance trajectory recorded by ``repro bench``:
+
+``tracecontext``
+    W3C-style ``traceparent`` propagation so a single request is one
+    connected trace across client, server, batcher, and worker
+    processes.
+``events``
+    A structured, typed JSONL event log (ring buffer + optional file
+    sink) with a zero-cost ``NULL_LOG`` null object, mirroring
+    ``NULL_TRACER`` / ``NULL_RECORDER``.
+``debug``
+    Builders/renderers for the ``GET /v1/debug`` introspection
+    document and the ``repro top`` terminal dashboard.
+``trends``
+    Bench-history persistence (``BENCH_history.jsonl``) and
+    regression gating for ``repro bench --compare``.
+
+Deliberately *not* imported from ``repro.obs.__init__``: the serving
+layers import these modules, and keeping the import edges explicit
+(``repro.obs.runtime.events`` → nothing above it) avoids cycles and
+keeps ``import repro.obs`` light.
+"""
+
+from .events import (
+    DEFAULT_TENANT,
+    EVENT_KINDS,
+    MAX_TENANT_CHARS,
+    NULL_LOG,
+    EventLog,
+    NullEventLog,
+    RuntimeEvent,
+    sanitize_tenant,
+)
+from .tracecontext import (
+    TraceContext,
+    format_traceparent,
+    new_trace_context,
+    parse_traceparent,
+)
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "EVENT_KINDS",
+    "MAX_TENANT_CHARS",
+    "NULL_LOG",
+    "EventLog",
+    "NullEventLog",
+    "RuntimeEvent",
+    "TraceContext",
+    "format_traceparent",
+    "new_trace_context",
+    "parse_traceparent",
+    "sanitize_tenant",
+]

@@ -17,6 +17,13 @@ and the ``loadtest`` harness sit beside the server and speak only the
 wire protocol.
 """
 
+from ..obs.runtime.events import NULL_LOG, EventLog
+from ..obs.runtime.tracecontext import (
+    TraceContext,
+    format_traceparent,
+    new_trace_context,
+    parse_traceparent,
+)
 from .admission import AdmissionController
 from .app import DesignServer, ServerConfig
 from .batcher import RequestBatcher
@@ -29,13 +36,18 @@ __all__ = [
     "AdmissionController",
     "DesignClient",
     "DesignServer",
+    "EventLog",
     "LoadtestConfig",
+    "NULL_LOG",
     "QuotaManager",
     "RequestBatcher",
     "ServerConfig",
     "ServerHandle",
+    "TraceContext",
+    "format_traceparent",
     "merge_into_bench",
-    "run_loadtest",
+    "new_trace_context",
+    "parse_traceparent",
     "run_server",
     "sanitize_tenant",
     "serve",

@@ -41,7 +41,13 @@ from ..errors import (
     ProtocolError,
     ReproError,
 )
-from ..obs.export import to_prometheus
+from ..obs.export import escape_label_value, to_prometheus
+from ..obs.runtime.events import EventLog
+from ..obs.runtime.tracecontext import (
+    TraceContext,
+    new_trace_context,
+    parse_traceparent,
+)
 from ..obs.trace import Tracer, active
 from ..service.api import DesignService
 from ..service.jobs import job_for_point
@@ -77,6 +83,11 @@ class ServerConfig:
     max_sweep_points: int = 4096
     #: Graceful-drain budget before the server stops waiting.
     drain_timeout_s: float = 10.0
+    #: Runtime event-log ring size and optional JSONL sink path.
+    event_capacity: int = 512
+    event_log_path: Optional[str] = None
+    #: Events shown in the ``/v1/debug`` tail.
+    debug_tail: int = 32
 
     def __post_init__(self) -> None:
         if self.batch_window_s < 0:
@@ -99,11 +110,20 @@ class DesignServer:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         clock: Any = time.monotonic,
+        events: Optional[EventLog] = None,
     ) -> None:
         self.service = service
         self.config = config
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = active(tracer)
+        self.events = events if events is not None else EventLog(
+            capacity=config.event_capacity, sink=config.event_log_path
+        )
+        # The wrapped service reports into the same log unless it was
+        # built with its own — cache hits/misses and pool recycles then
+        # appear in this server's /v1/debug tail.
+        if not service.events.enabled:
+            service.attach_events(self.events)
         self.quotas = QuotaManager(
             rate=config.quota_rate, burst=config.quota_burst, clock=clock
         )
@@ -115,8 +135,18 @@ class DesignServer:
             window_s=config.batch_window_s,
             max_batch=config.batch_max,
             registry=self.registry,
+            events=self.events,
         )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._started = time.monotonic()
+        # In-flight request table for /v1/debug: request id -> live row.
+        # Event-loop-thread-only, like the admission controller.
+        self._active: Dict[int, Dict[str, Any]] = {}
+        self._next_request_id = 0
+        # Exemplar-style labels: route -> (trace id, latency seconds) of
+        # the most recent request, exported as bounded-cardinality
+        # gauges next to the latency summary.
+        self._last_latency: Dict[str, tuple] = {}
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> None:
@@ -144,16 +174,26 @@ class DesignServer:
         admitted run to completion and are answered.
         """
         self.admission.start_drain()
+        if self.events.enabled:
+            self.events.emit("drain_begin")
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         deadline = time.monotonic() + self.config.drain_timeout_s
+        clean = True
         while not self.admission.drained():
             if time.monotonic() >= deadline:
-                return False
+                clean = False
+                break
             await asyncio.sleep(0.01)
-        await self.batcher.wait_idle()
-        return True
+        if clean:
+            await self.batcher.wait_idle()
+            if self.events.enabled:
+                self.events.emit("drain_idle")
+        if self.events.enabled:
+            self.events.emit("drain_done", clean=clean)
+        self.events.close()
+        return clean
 
     # -- connection handling -----------------------------------------------
     async def _on_connection(
@@ -186,14 +226,33 @@ class DesignServer:
     ) -> None:
         route = self._route_label(request)
         tenant = sanitize_tenant(request.header("x-tenant"))
+        # Adopt the caller's W3C trace context, or mint one for clients
+        # that sent none — every request has a trace id either way, and
+        # it is echoed in the response envelope.
+        ctx = parse_traceparent(request.header("traceparent"))
+        if ctx is None:
+            ctx = new_trace_context()
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        self._active[request_id] = {
+            "trace_id": ctx.trace_id,
+            "route": route,
+            "tenant": tenant,
+            "since": time.monotonic(),
+        }
+        if self.events.enabled:
+            self.events.emit("request_start", trace_id=ctx.trace_id,
+                             tenant=tenant, route=route)
         start = time.perf_counter()
         status = 500
         try:
             with self.tracer.span(
                 "http_request", category="server",
-                route=route, tenant=tenant,
+                route=route, tenant=tenant, trace_id=ctx.trace_id,
             ):
-                response = await self._dispatch(request, writer, route, tenant)
+                response = await self._dispatch(
+                    request, writer, route, tenant, ctx
+                )
             if response is None:  # handler streamed its own body
                 status = 200
                 return
@@ -201,15 +260,21 @@ class DesignServer:
             await self._write(writer, response)
         except ProtocolError as exc:
             status = exc.status or 400
-            await self._write(writer, self._error_response(exc))
+            await self._write(writer, self._error_response(exc, ctx))
         except JobExecutionError as exc:
             status = 500
-            await self._write(writer, self._json_error(500, str(exc)))
+            await self._write(
+                writer, self._json_error(500, str(exc), ctx=ctx)
+            )
         except ReproError as exc:
             status = 400
-            await self._write(writer, self._json_error(400, str(exc)))
+            await self._write(
+                writer, self._json_error(400, str(exc), ctx=ctx)
+            )
         finally:
             duration = time.perf_counter() - start
+            self._active.pop(request_id, None)
+            self._last_latency[route] = (ctx.trace_id, duration)
             # Tenant values are client-supplied: sanitize_tenant bounded
             # them and metric_key escapes them into the series name.
             self.registry.incr(
@@ -219,6 +284,12 @@ class DesignServer:
             self.registry.observe(
                 "http_request", duration, labels={"route": route}
             )
+            if self.events.enabled:
+                self.events.emit(
+                    "request_finish", trace_id=ctx.trace_id, tenant=tenant,
+                    route=route, status=status,
+                    duration_ms=round(duration * 1e3, 3),
+                )
 
     async def _write(
         self, writer: asyncio.StreamWriter, response: HttpResponse
@@ -234,7 +305,7 @@ class DesignServer:
         if path.startswith("/v1/jobs/"):
             return "/v1/jobs/{fingerprint}"
         known = {
-            "/v1/design", "/v1/sweep", "/v1/sweep/stream",
+            "/v1/design", "/v1/sweep", "/v1/sweep/stream", "/v1/debug",
             "/healthz", "/readyz", "/metrics",
         }
         return path if path in known else "<unknown>"
@@ -245,6 +316,7 @@ class DesignServer:
         writer: asyncio.StreamWriter,
         route: str,
         tenant: str,
+        ctx: TraceContext,
     ) -> Optional[HttpResponse]:
         method, path = request.method, request.path
         if path == "/healthz" and method == "GET":
@@ -255,34 +327,47 @@ class DesignServer:
             return self._text(200, "ready\n")
         if path == "/metrics" and method == "GET":
             return self._metrics_response()
+        if path == "/v1/debug" and method == "GET":
+            return self._debug_endpoint(ctx)
         if path.startswith("/v1/jobs/") and method == "GET":
-            return self._job_lookup(path[len("/v1/jobs/"):])
+            return self._job_lookup(path[len("/v1/jobs/"):], ctx)
         if path == "/v1/design" and method == "POST":
-            return await self._design(request, tenant)
+            return await self._design(request, tenant, ctx)
         if path in ("/v1/sweep", "/v1/sweep/stream") and method == "POST":
             stream = (
                 path.endswith("/stream")
                 or request.query.get("stream") in ("1", "true")
             )
-            return await self._sweep(request, writer, tenant, stream)
+            return await self._sweep(request, writer, tenant, stream, ctx)
         if path in ("/healthz", "/readyz", "/metrics", "/v1/design",
-                    "/v1/sweep", "/v1/sweep/stream") or \
+                    "/v1/sweep", "/v1/sweep/stream", "/v1/debug") or \
                 path.startswith("/v1/jobs/"):
-            return self._json_error(405, f"{method} not allowed on {path}")
-        return self._json_error(404, f"no route for {path}")
+            return self._json_error(
+                405, f"{method} not allowed on {path}", ctx=ctx
+            )
+        return self._json_error(404, f"no route for {path}", ctx=ctx)
 
     # -- admission / quota middleware ---------------------------------------
-    def _gate(self, tenant: str) -> Optional[HttpResponse]:
+    def _gate(
+        self, tenant: str, route: str, ctx: TraceContext
+    ) -> Optional[HttpResponse]:
         """Admission + quota; a response means 'rejected, send this'."""
         if self.admission.draining:
             return self._json_error(
-                503, "server is draining", retry_after_s=5.0
+                503, "server is draining", retry_after_s=5.0, ctx=ctx
             )
         admitted, retry_after = self.admission.try_acquire()
         if not admitted:
             self.registry.incr("admission_rejections")
+            if self.events.enabled:
+                self.events.emit(
+                    "admission_reject", trace_id=ctx.trace_id,
+                    tenant=tenant, route=route,
+                    retry_after_s=retry_after,
+                )
             return self._json_error(
-                429, "server at capacity", retry_after_s=retry_after
+                429, "server at capacity", retry_after_s=retry_after,
+                ctx=ctx,
             )
         allowed, quota_retry = self.quotas.allow(tenant)
         if not allowed:
@@ -292,16 +377,22 @@ class DesignServer:
                 "quota_rejections", labels={"tenant": tenant}
             )
             retry = float(max(1, int(quota_retry) + 1))
+            if self.events.enabled:
+                self.events.emit(
+                    "quota_reject", trace_id=ctx.trace_id,
+                    tenant=tenant, route=route, retry_after_s=retry,
+                )
             return self._json_error(
-                429, f"tenant {tenant!r} over quota", retry_after_s=retry
+                429, f"tenant {tenant!r} over quota", retry_after_s=retry,
+                ctx=ctx,
             )
         return None
 
     # -- handlers -----------------------------------------------------------
     async def _design(
-        self, request: HttpRequest, tenant: str
+        self, request: HttpRequest, tenant: str, ctx: TraceContext
     ) -> HttpResponse:
-        rejection = self._gate(tenant)
+        rejection = self._gate(tenant, "/v1/design", ctx)
         if rejection is not None:
             return rejection
         start = time.perf_counter()
@@ -309,8 +400,10 @@ class DesignServer:
             job = protocol.parse_design_request(
                 protocol.decode_body(request.body)
             )
-            result = await self.batcher.submit(job)
-            return self._json(200, protocol.design_response(result))
+            result = await self.batcher.submit(job, trace_id=ctx.trace_id)
+            return self._json(
+                200, protocol.design_response(result, trace_id=ctx.trace_id)
+            )
         finally:
             self.admission.release(time.perf_counter() - start)
 
@@ -320,8 +413,11 @@ class DesignServer:
         writer: asyncio.StreamWriter,
         tenant: str,
         stream: bool,
+        ctx: TraceContext,
     ) -> Optional[HttpResponse]:
-        rejection = self._gate(tenant)
+        rejection = self._gate(
+            tenant, "/v1/sweep/stream" if stream else "/v1/sweep", ctx
+        )
         if rejection is not None:
             return rejection
         start = time.perf_counter()
@@ -339,14 +435,24 @@ class DesignServer:
             ]
             if not stream:
                 loop = asyncio.get_running_loop()
+                trace_ids = [ctx.trace_id] * len(specs)
                 results = await loop.run_in_executor(
-                    None, self.service.submit_many, specs
+                    None, lambda: self.service.submit_many(
+                        specs, trace_ids=trace_ids
+                    )
                 )
-                return self._json(200, protocol.sweep_response(grid, results))
+                return self._json(
+                    200,
+                    protocol.sweep_response(
+                        grid, results, trace_id=ctx.trace_id
+                    ),
+                )
             sse = SseStream(writer)
             await sse.start()
             for spec in specs:
-                result = await self.batcher.submit(spec)
+                result = await self.batcher.submit(
+                    spec, trace_id=ctx.trace_id
+                )
                 record = protocol.point_record(grid, result)
                 await sse.event(
                     "point", protocol.encode(record).decode("utf-8")
@@ -355,7 +461,8 @@ class DesignServer:
                 "done",
                 protocol.encode(
                     {"count": len(specs), "fingerprints": len(
-                        {s.fingerprint() for s in specs})}
+                        {s.fingerprint() for s in specs}),
+                     "trace_id": ctx.trace_id}
                 ).decode("utf-8"),
             )
             await sse.close()
@@ -364,33 +471,143 @@ class DesignServer:
         finally:
             self.admission.release(time.perf_counter() - start)
 
-    def _job_lookup(self, fingerprint: str) -> HttpResponse:
+    def _job_lookup(
+        self, fingerprint: str, ctx: TraceContext
+    ) -> HttpResponse:
         summary = self.service.cache.peek(fingerprint)
         if summary is None:
             return self._json_error(
-                404, f"no cached result for fingerprint {fingerprint!r}"
+                404, f"no cached result for fingerprint {fingerprint!r}",
+                ctx=ctx,
             )
-        return self._json(200, protocol.job_response(fingerprint, summary))
+        return self._json(
+            200,
+            protocol.job_response(fingerprint, summary,
+                                  trace_id=ctx.trace_id),
+        )
 
     def _metrics_response(self) -> HttpResponse:
         # Two registries, one exposition: server-side series (http_*,
         # quota_*, admission, batching) plus the wrapped service's
         # (jobs_*, cache) — names are disjoint by construction.
+        #
+        # Each registry's state is captured by dump() (one lock
+        # acquisition per registry) and merged into a scratch registry
+        # before rendering, so one scrape is a consistent cut: the old
+        # per-registry to_prometheus calls re-read live state between
+        # sections and could interleave a half-applied update from a
+        # concurrent request into the same exposition.
         self.registry.gauge("inflight_requests", self.admission.inflight)
         self.registry.gauge("queue_depth", self.admission.queue_depth)
-        text = to_prometheus(self.registry.snapshot())
-        text += to_prometheus(self.service.stats())
+        for key, count in self.events.metric_counts().items():
+            self.registry.gauge(key, float(count))
+        merged = MetricsRegistry()
+        merged.merge(self.registry.dump())
+        merged.merge(self.service.metrics.dump())
+        text = to_prometheus(merged.snapshot())
         cache = self.service.cache.stats
+        hits, misses = cache.hits, cache.misses
         text += (
             f"# TYPE repro_cache_hits counter\n"
-            f"repro_cache_hits {cache.hits}\n"
+            f"repro_cache_hits {hits}\n"
             f"# TYPE repro_cache_misses counter\n"
-            f"repro_cache_misses {cache.misses}\n"
+            f"repro_cache_misses {misses}\n"
         )
+        text += self._exemplar_lines()
         return HttpResponse(
             status=200,
             body=text.encode("utf-8"),
             content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _exemplar_lines(self) -> str:
+        """Exemplar-style gauges: last latency + trace id per route.
+
+        The classic exposition format has no exemplar syntax, so the
+        trace id rides as a label on a dedicated last-value gauge next
+        to the ``repro_http_request`` summary. Cardinality is bounded
+        by the route set (one line per route, latest trace wins).
+        """
+        if not self._last_latency:
+            return ""
+        lines = ["# TYPE repro_http_request_last_seconds gauge"]
+        for route in sorted(self._last_latency):
+            trace_id, duration = self._last_latency[route]
+            lines.append(
+                f'repro_http_request_last_seconds'
+                f'{{route="{escape_label_value(route)}",'
+                f'trace_id="{escape_label_value(trace_id)}"}} '
+                f"{duration:.9f}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def _debug_endpoint(self, ctx: TraceContext) -> HttpResponse:
+        """``GET /v1/debug``: one consistent view of the live server.
+
+        Assembled on the event-loop thread, so the admission counters,
+        in-flight table, and batcher state are one coherent instant.
+        """
+        now = time.monotonic()
+        inflight_rows = sorted(
+            (
+                {
+                    "trace_id": row["trace_id"],
+                    "route": row["route"],
+                    "tenant": row["tenant"],
+                    "age_s": round(now - row["since"], 6),
+                }
+                for row in self._active.values()
+            ),
+            key=lambda row: -float(row["age_s"]),
+        )
+        cache = self.service.cache.stats
+        metrics = self.service.metrics
+        debug: Dict[str, Any] = {
+            "uptime_s": round(now - self._started, 3),
+            "inflight_requests": inflight_rows,
+            "admission": {
+                "inflight": self.admission.inflight,
+                "queue_depth": self.admission.queue_depth,
+                "max_inflight": self.admission.max_inflight,
+                "max_queue": self.admission.max_queue,
+                "capacity": self.admission.capacity,
+                "rejected": self.admission.rejected,
+                "draining": self.admission.draining,
+                "latency_ewma_s": self.admission.latency_ewma_s,
+            },
+            "batcher": {
+                "pending": self.batcher.pending,
+                "inflight_flushes": self.batcher.inflight_flushes,
+                "window_s": self.batcher.window_s,
+                "max_batch": self.batcher.max_batch,
+            },
+            "tenants": {
+                tenant: {
+                    "remaining": round(self.quotas.remaining(tenant), 3),
+                    "burst": self.quotas.burst,
+                    "rate": self.quotas.rate,
+                }
+                for tenant in self.quotas.tenants()
+            },
+            "cache": cache.as_dict(),
+            "service": {
+                "jobs_submitted": metrics.counter("jobs_submitted"),
+                "jobs_completed": metrics.counter("jobs_completed"),
+                "jobs_coalesced": metrics.counter("jobs_coalesced"),
+                "jobs_joined": metrics.counter("jobs_joined"),
+                "jobs_failed": metrics.counter("jobs_failed"),
+                "last_mode": self.service.execution_mode,
+            },
+            "events": {
+                "counts": self.events.counts(),
+                "recent": [
+                    event.as_dict()
+                    for event in self.events.tail(self.config.debug_tail)
+                ],
+            },
+        }
+        return self._json(
+            200, protocol.debug_response(debug, trace_id=ctx.trace_id)
         )
 
     # -- response helpers ----------------------------------------------------
@@ -411,6 +628,7 @@ class DesignServer:
         status: int,
         message: str,
         retry_after_s: Optional[float] = None,
+        ctx: Optional[TraceContext] = None,
     ) -> HttpResponse:
         headers: Dict[str, str] = {}
         if retry_after_s is not None:
@@ -418,10 +636,15 @@ class DesignServer:
         return HttpResponse(
             status=status,
             body=protocol.encode(
-                protocol.error_body(status, message, retry_after_s)
+                protocol.error_body(
+                    status, message, retry_after_s,
+                    trace_id=ctx.trace_id if ctx is not None else "",
+                )
             ),
             headers=headers,
         )
 
-    def _error_response(self, exc: ProtocolError) -> HttpResponse:
-        return self._json_error(exc.status or 400, str(exc))
+    def _error_response(
+        self, exc: ProtocolError, ctx: Optional[TraceContext] = None
+    ) -> HttpResponse:
+        return self._json_error(exc.status or 400, str(exc), ctx=ctx)

@@ -26,9 +26,13 @@ from __future__ import annotations
 import asyncio
 from typing import List, Optional, Tuple
 
+from ..obs.runtime.events import NULL_LOG, EventLog
 from ..service.api import DesignService, JobResult
 from ..service.jobs import DesignJob
 from ..service.metrics import MetricsRegistry
+
+#: One pending request: the job, its requesting trace id, its future.
+_Pending = Tuple[DesignJob, str, "asyncio.Future[JobResult]"]
 
 
 class RequestBatcher:
@@ -40,22 +44,29 @@ class RequestBatcher:
         window_s: float = 0.002,
         max_batch: int = 16,
         registry: Optional[MetricsRegistry] = None,
+        events: EventLog = NULL_LOG,
     ) -> None:
         self.service = service
         self.window_s = window_s
         self.max_batch = max(1, max_batch)
         self.registry = registry if registry is not None else MetricsRegistry()
-        self._pending: List[Tuple[DesignJob, "asyncio.Future[JobResult]"]] = []
+        self.events = events
+        self._pending: List[_Pending] = []
         self._timer: Optional[asyncio.TimerHandle] = None
         self._flushes: "set[asyncio.Task]" = set()
 
-    async def submit(self, job: DesignJob) -> JobResult:
-        """Enqueue one job and await its result."""
+    async def submit(self, job: DesignJob, trace_id: str = "") -> JobResult:
+        """Enqueue one job and await its result.
+
+        ``trace_id`` rides next to the job through ``submit_many`` into
+        the worker spans (never on the job — fingerprints are cache
+        keys and must not depend on the requester).
+        """
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[JobResult]" = loop.create_future()
-        self._pending.append((job, future))
+        self._pending.append((job, trace_id, future))
         if len(self._pending) >= self.max_batch:
-            self._flush()
+            self._flush(reason="full")
         elif self._timer is None:
             self._timer = loop.call_later(self.window_s, self._flush)
         return await future
@@ -65,6 +76,11 @@ class RequestBatcher:
         """Batches currently executing in the thread pool."""
         return len(self._flushes)
 
+    @property
+    def pending(self) -> int:
+        """Requests waiting in the current (unflushed) window."""
+        return len(self._pending)
+
     async def wait_idle(self) -> None:
         """Flush anything pending and wait for all batches to finish."""
         self._flush()
@@ -72,22 +88,27 @@ class RequestBatcher:
             await asyncio.gather(*tuple(self._flushes),
                                  return_exceptions=True)
 
-    def _flush(self) -> None:
+    def _flush(self, reason: str = "window") -> None:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
         batch, self._pending = self._pending, []
         if not batch:
             return
+        if self.events.enabled:
+            # A flush serves many traces; the batch event carries the
+            # first request's id as its anchor plus the full size.
+            self.events.emit(
+                "batch_flush", trace_id=batch[0][1],
+                size=len(batch), reason=reason,
+            )
         task = asyncio.get_running_loop().create_task(self._run_batch(batch))
         self._flushes.add(task)
         task.add_done_callback(self._flushes.discard)
 
-    async def _run_batch(
-        self,
-        batch: List[Tuple[DesignJob, "asyncio.Future[JobResult]"]],
-    ) -> None:
-        jobs = [job for job, _ in batch]
+    async def _run_batch(self, batch: List[_Pending]) -> None:
+        jobs = [job for job, _, _ in batch]
+        trace_ids = [trace_id for _, trace_id, _ in batch]
         loop = asyncio.get_running_loop()
         self.registry.incr("server_batches")
         self.registry.hist(
@@ -96,13 +117,15 @@ class RequestBatcher:
         )
         try:
             results = await loop.run_in_executor(
-                None, self.service.submit_many, jobs
+                None, lambda: self.service.submit_many(
+                    jobs, trace_ids=trace_ids
+                )
             )
         except Exception as exc:
-            for _, future in batch:
+            for _, _, future in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
-        for (_, future), result in zip(batch, results):
+        for (_, _, future), result in zip(batch, results):
             if not future.done():
                 future.set_result(result)

@@ -9,7 +9,15 @@ documents and translates HTTP failure statuses into
 
 ``sweep_stream`` yields ``(event, doc)`` pairs as the server emits them
 — the incremental-delivery property the streaming tests assert is
-observable right here, not an implementation detail.
+observable right here, not an implementation detail. A stream that ends
+before the terminal ``done`` event raises :class:`ServerError` instead
+of returning silently short.
+
+Every request mints a fresh W3C trace context and sends it as a
+``traceparent`` header; the server adopts the trace id, threads it
+through batching and execution, and echoes it in the response envelope.
+``last_trace_id`` holds the id of the most recent request so callers
+can correlate client-side observations with server-side telemetry.
 """
 
 from __future__ import annotations
@@ -20,6 +28,8 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 from urllib.parse import urlsplit
 
 from ..errors import ProtocolError, ServerError
+from ..obs.runtime.tracecontext import TraceContext, new_trace_context
+from ..obs.trace import Tracer, active
 from .http import parse_sse_stream, split_host_port
 
 
@@ -31,6 +41,7 @@ class DesignClient:
         base_url: str,
         tenant: Optional[str] = None,
         timeout_s: float = 60.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         split = urlsplit(base_url)
         if split.scheme != "http" or not split.netloc:
@@ -41,15 +52,25 @@ class DesignClient:
         self.base_url = f"http://{self.host}:{self.port}"
         self.tenant = tenant
         self.timeout_s = timeout_s
+        self.tracer = active(tracer)
+        #: Trace id of the most recent request (empty before the first).
+        self.last_trace_id: str = ""
 
     # -- transport ----------------------------------------------------------
     def _connect(self) -> HTTPConnection:
         return HTTPConnection(self.host, self.port, timeout=self.timeout_s)
 
-    def _headers(self) -> Dict[str, str]:
+    def _new_context(self) -> TraceContext:
+        ctx = new_trace_context()
+        self.last_trace_id = ctx.trace_id
+        return ctx
+
+    def _headers(self, ctx: Optional[TraceContext] = None) -> Dict[str, str]:
         headers = {"Accept": "application/json"}
         if self.tenant is not None:
             headers["X-Tenant"] = self.tenant
+        if ctx is not None:
+            headers["traceparent"] = ctx.to_traceparent()
         return headers
 
     @staticmethod
@@ -91,15 +112,22 @@ class DesignClient:
         path: str,
         body: Optional[Mapping[str, Any]] = None,
     ) -> Dict[str, Any]:
+        ctx = self._new_context()
         conn = self._connect()
         try:
             payload = (
                 None if body is None
                 else json.dumps(dict(body)).encode("utf-8")
             )
-            conn.request(method, path, body=payload, headers=self._headers())
-            resp = conn.getresponse()
-            return self._raise_for_status(resp, resp.read())
+            with self.tracer.span(
+                "client_request", category="client",
+                method=method, route=path, trace_id=ctx.trace_id,
+            ):
+                conn.request(
+                    method, path, body=payload, headers=self._headers(ctx)
+                )
+                resp = conn.getresponse()
+                return self._raise_for_status(resp, resp.read())
         finally:
             conn.close()
 
@@ -150,7 +178,14 @@ class DesignClient:
         simulate: bool = False,
         seed: int = 2014,
     ) -> Iterator[Tuple[str, Dict[str, Any]]]:
-        """``POST /v1/sweep/stream``; yields events as they arrive."""
+        """``POST /v1/sweep/stream``; yields events as they arrive.
+
+        The server always terminates a healthy stream with a ``done``
+        event; a stream that ends without one (connection dropped, the
+        server died mid-sweep) raises :class:`ServerError` so partial
+        results can never be mistaken for a complete sweep.
+        """
+        ctx = self._new_context()
         body = json.dumps({
             "apps": list(apps),
             "scales": list(scales),
@@ -164,7 +199,7 @@ class DesignClient:
         try:
             conn.request(
                 "POST", "/v1/sweep/stream", body=body,
-                headers=self._headers(),
+                headers=self._headers(ctx),
             )
             resp = conn.getresponse()
             if resp.status != 200:
@@ -177,8 +212,17 @@ class DesignClient:
                         return
                     yield line.decode("utf-8")
 
+            done = False
             for event, data in parse_sse_stream(_lines()):
+                if event == "done":
+                    done = True
                 yield event, json.loads(data)
+            if not done:
+                raise ServerError(
+                    "sweep stream truncated: connection ended before the"
+                    " terminal 'done' event",
+                    status=0,
+                )
         finally:
             conn.close()
 
@@ -190,6 +234,10 @@ class DesignClient:
             if exc.status == 404:
                 return None
             raise
+
+    def debug(self) -> Dict[str, Any]:
+        """``GET /v1/debug``; the runtime introspection document."""
+        return self._request("GET", "/v1/debug")
 
     def healthz(self) -> bool:
         return self._probe("/healthz")

@@ -17,8 +17,6 @@ the harness into a gate: CI runs it at ``0``.
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import threading
 import time
@@ -27,16 +25,27 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..errors import ConfigurationError, ServerError
 from ..io import FORMAT_VERSION, load_json, save_json
-from ..service.metrics import percentile
+from ..service.metrics import MetricsRegistry, percentile
 from .client import DesignClient
 
 DEFAULT_APPS = ("canny", "jpeg", "klt", "fluid")
+
+#: Served-latency histogram bucket upper bounds (seconds). Tighter than
+#: the service-side defaults: a warm-cache request is dominated by HTTP
+#: parse + batching, so sub-millisecond resolution is where the signal is.
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.002, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0,
+)
 
 #: Dotted-path descriptions merged into the bench report's ``schema``.
 BENCH_SCHEMA = {
     "server.p50_ms": (
         "median served latency (milliseconds) of a warm-cache design "
         "request, measured end-to-end at the client"
+    ),
+    "server.p95_ms": (
+        "95th-percentile served latency (milliseconds) of a warm-cache "
+        "design request"
     ),
     "server.p99_ms": (
         "99th-percentile served latency (milliseconds) of a warm-cache "
@@ -144,6 +153,17 @@ def run_loadtest(config: LoadtestConfig) -> Dict[str, Any]:
     latencies = sorted(
         lat for tally in tallies for lat in tally.latencies_s
     )
+    # Bucketed view of the same observations, in Prometheus cumulative
+    # ``le`` form — the registry is the single histogram implementation.
+    registry = MetricsRegistry()
+    for lat in latencies:
+        registry.hist(
+            "loadtest_latency_seconds", lat, buckets=LATENCY_BUCKETS
+        )
+    hist = registry.snapshot()["histograms"].get(
+        "loadtest_latency_seconds",
+        {"count": 0, "sum": 0.0, "buckets": {}},
+    )
     ok = sum(t.ok for t in tallies)
     rejected = sum(t.rejected for t in tallies)
     errors = sum(t.errors for t in tallies)
@@ -164,12 +184,14 @@ def run_loadtest(config: LoadtestConfig) -> Dict[str, Any]:
         "error_rate": failed / config.requests,
         "first_error": first_error,
         "p50_ms": percentile(latencies, 50.0) * 1e3,
+        "p95_ms": percentile(latencies, 95.0) * 1e3,
         "p99_ms": percentile(latencies, 99.0) * 1e3,
         "mean_ms": (
             sum(latencies) / len(latencies) * 1e3 if latencies else 0.0
         ),
         "throughput_rps": ok / wall_s,
         "wall_s": wall_s,
+        "latency_hist": hist,
     }
 
 
@@ -186,6 +208,7 @@ def merge_into_bench(
     doc = load_json(path)
     doc["server"] = {
         "p50_ms": report["p50_ms"],
+        "p95_ms": report["p95_ms"],
         "p99_ms": report["p99_ms"],
         "mean_ms": report["mean_ms"],
         "throughput_rps": report["throughput_rps"],
@@ -216,60 +239,24 @@ def format_report(report: Dict[str, Any]) -> str:
         ),
         (
             f"  latency p50 {report['p50_ms']:.2f}ms, "
+            f"p95 {report.get('p95_ms', 0.0):.2f}ms, "
             f"p99 {report['p99_ms']:.2f}ms, "
             f"mean {report['mean_ms']:.2f}ms"
         ),
         f"  throughput {report['throughput_rps']:.1f} req/s",
     ]
+    hist = report.get("latency_hist") or {}
+    buckets = hist.get("buckets") or {}
+    if hist.get("count"):
+        lines.append("  latency histogram (cumulative):")
+        total = hist["count"]
+        for bound, cum in buckets.items():
+            label = (
+                "+Inf" if bound == "+Inf"
+                else f"<= {float(bound) * 1e3:.1f}ms"
+            )
+            bar = "#" * round(20 * cum / total) if total else ""
+            lines.append(f"    {label:>12} {cum:>6} {bar}")
     if report["first_error"]:
         lines.append(f"  first error: {report['first_error']}")
     return "\n".join(lines)
-
-
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point (``repro loadtest``)."""
-    parser = argparse.ArgumentParser(
-        prog="repro loadtest",
-        description="Drive a running repro server and report "
-        "served latency percentiles and error rates.",
-    )
-    parser.add_argument("--url", required=True,
-                        help="server base URL, e.g. http://127.0.0.1:8014")
-    parser.add_argument("--requests", type=int, default=200)
-    parser.add_argument("--concurrency", type=int, default=8)
-    parser.add_argument("--apps", nargs="+", default=list(DEFAULT_APPS))
-    parser.add_argument("--tenant", default=None)
-    parser.add_argument("--json-out", default=None,
-                        help="write the full loadtest-report here")
-    parser.add_argument("--bench-out", default=None,
-                        help="merge headline numbers into this "
-                        "bench-report JSON (e.g. BENCH_repro.json)")
-    parser.add_argument("--max-error-rate", type=float, default=None,
-                        help="exit non-zero if error_rate exceeds this")
-    args = parser.parse_args(argv)
-
-    config = LoadtestConfig(
-        url=args.url,
-        apps=tuple(args.apps),
-        requests=args.requests,
-        concurrency=args.concurrency,
-        tenant=args.tenant,
-    )
-    report = run_loadtest(config)
-    print(format_report(report))
-    if args.json_out:
-        save_json(report, args.json_out)
-        print(f"  report written to {args.json_out}")
-    if args.bench_out:
-        merge_into_bench(report, args.bench_out)
-        print(f"  server section merged into {args.bench_out}")
-    if (
-        args.max_error_rate is not None
-        and report["error_rate"] > args.max_error_rate
-    ):
-        print(
-            f"FAIL: error rate {report['error_rate']:.3f} exceeds "
-            f"--max-error-rate {args.max_error_rate:.3f}"
-        )
-        return 1
-    return 0

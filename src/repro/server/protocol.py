@@ -37,6 +37,7 @@ from ..sweep import SweepGrid, SweepPoint
 DESIGN_RESPONSE_KIND = "design-response"
 SWEEP_RESPONSE_KIND = "sweep-response"
 JOB_RESPONSE_KIND = "job-response"
+DEBUG_RESPONSE_KIND = "debug-response"
 ERROR_KIND = "error-response"
 
 #: Request-body keys each endpoint accepts (anything else is a 400 —
@@ -128,7 +129,11 @@ def parse_sweep_request(
 
 
 # -- responses --------------------------------------------------------------
-def design_response(result: JobResult) -> Dict[str, Any]:
+#
+# Every envelope echoes the request's W3C trace id (``trace_id``) so a
+# caller can join its response to server spans, the runtime event log,
+# and the exemplar labels on /metrics without any out-of-band state.
+def design_response(result: JobResult, trace_id: str = "") -> Dict[str, Any]:
     """The ``POST /v1/design`` success body."""
     return {
         "kind": DESIGN_RESPONSE_KIND,
@@ -138,6 +143,7 @@ def design_response(result: JobResult) -> Dict[str, Any]:
         "cached": result.cached,
         "coalesced": result.coalesced,
         "summary": result.summary,
+        "trace_id": trace_id,
     }
 
 
@@ -153,7 +159,7 @@ def point_record(grid: SweepGrid, result: JobResult) -> Dict[str, Any]:
 
 
 def sweep_response(
-    grid: SweepGrid, results: List[JobResult]
+    grid: SweepGrid, results: List[JobResult], trace_id: str = ""
 ) -> Dict[str, Any]:
     """The ``POST /v1/sweep`` success body (all points at once)."""
     return {
@@ -161,11 +167,12 @@ def sweep_response(
         "version": FORMAT_VERSION,
         "points": [point_record(grid, r) for r in results],
         "count": len(results),
+        "trace_id": trace_id,
     }
 
 
 def job_response(
-    fingerprint: str, summary: Mapping[str, Any]
+    fingerprint: str, summary: Mapping[str, Any], trace_id: str = ""
 ) -> Dict[str, Any]:
     """The ``GET /v1/jobs/<fingerprint>`` success body."""
     return {
@@ -173,11 +180,33 @@ def job_response(
         "version": FORMAT_VERSION,
         "fingerprint": fingerprint,
         "summary": dict(summary),
+        "trace_id": trace_id,
+    }
+
+
+def debug_response(
+    debug: Mapping[str, Any], trace_id: str = ""
+) -> Dict[str, Any]:
+    """The ``GET /v1/debug`` introspection envelope.
+
+    ``debug`` is the live-state document assembled by
+    :meth:`repro.server.app.DesignServer` — in-flight requests (with
+    age and trace id), admission/queue depths, batcher window state,
+    per-tenant bucket levels, cache/coalescing counters, pool health,
+    and the tail of the runtime event log. The server builds it on its
+    own event loop thread, so the view is internally consistent.
+    """
+    return {
+        "kind": DEBUG_RESPONSE_KIND,
+        "version": FORMAT_VERSION,
+        "debug": dict(debug),
+        "trace_id": trace_id,
     }
 
 
 def error_body(
-    status: int, message: str, retry_after_s: Optional[float] = None
+    status: int, message: str, retry_after_s: Optional[float] = None,
+    trace_id: str = "",
 ) -> Dict[str, Any]:
     """The JSON error envelope every non-2xx response carries."""
     doc: Dict[str, Any] = {
@@ -185,6 +214,7 @@ def error_body(
         "version": FORMAT_VERSION,
         "status": status,
         "error": message,
+        "trace_id": trace_id,
     }
     if retry_after_s is not None:
         doc["retry_after_s"] = retry_after_s

@@ -9,10 +9,13 @@ until the next token (the 429's ``Retry-After``).
 
 Tenant names are *client-controlled* strings that end up as metric label
 values, so they pass through :func:`sanitize_tenant` first: length-capped
-and stripped of control characters here, then escaped per the Prometheus
-exposition format by :func:`repro.service.metrics.metric_key` at the
-labelling site. The injection regression tests in
-``tests/test_server.py`` hold both layers to that contract.
+and stripped of control characters (the sanitizer lives in
+:mod:`repro.obs.runtime.events`, which applies the same scrubbing to
+event-log fields, and is re-exported here), then escaped per the
+Prometheus exposition format by
+:func:`repro.service.metrics.metric_key` at the labelling site. The
+injection regression tests in ``tests/test_server.py`` hold both
+layers to that contract.
 
 The clock is injected (defaults to ``time.monotonic``) so quota math is
 unit-testable with a fake clock and the module stays deterministic under
@@ -28,28 +31,14 @@ from typing import Callable, Dict, Tuple
 
 from ..errors import ConfigurationError
 
-#: Tenant bucket for requests without an ``X-Tenant`` header.
-DEFAULT_TENANT = "anonymous"
-
-#: Longest accepted tenant id; the rest is truncated, keeping metric
-#: label cardinality and exposition line length bounded.
-MAX_TENANT_CHARS = 64
-
-
-def sanitize_tenant(raw: str) -> str:
-    """Normalize a client-supplied tenant id for quota + metric use.
-
-    Control characters (including ``\\r``/``\\n`` — header smuggling)
-    are dropped, surrounding whitespace is stripped, and the result is
-    truncated to :data:`MAX_TENANT_CHARS`. An id that sanitizes to
-    nothing falls back to :data:`DEFAULT_TENANT`. Printable characters
-    like ``"`` and ``\\`` are *kept* — escaping them is the metric
-    layer's job (:func:`repro.service.metrics.metric_key`), and the
-    quota table is a plain dict where any string key is safe.
-    """
-    cleaned = "".join(ch for ch in raw if ch.isprintable()).strip()
-    cleaned = cleaned[:MAX_TENANT_CHARS]
-    return cleaned if cleaned else DEFAULT_TENANT
+# The sanitizer (and its constants) moved to repro.obs.runtime.events
+# when the runtime event log started scrubbing tenant ids with the
+# same policy; re-exported here so existing importers keep working.
+from ..obs.runtime.events import (  # noqa: F401  (re-export)
+    DEFAULT_TENANT,
+    MAX_TENANT_CHARS,
+    sanitize_tenant,
+)
 
 
 @dataclass

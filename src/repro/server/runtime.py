@@ -23,6 +23,7 @@ import threading
 from typing import Callable, Optional
 
 from ..errors import ServerError
+from ..obs.runtime.events import EventLog
 from ..obs.trace import Tracer
 from ..service.api import DesignService
 from ..service.metrics import MetricsRegistry
@@ -39,6 +40,7 @@ async def run_server(
     service: Optional[DesignService] = None,
     registry: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
+    events: Optional[EventLog] = None,
     stop: Optional[asyncio.Event] = None,
     install_signals: bool = False,
     ready: Optional[Callable[[DesignServer], None]] = None,
@@ -52,7 +54,8 @@ async def run_server(
     if service is None:
         service = build_service(config)
     server = DesignServer(
-        service, config=config, registry=registry, tracer=tracer
+        service, config=config, registry=registry, tracer=tracer,
+        events=events,
     )
     stop_event = stop if stop is not None else asyncio.Event()
     await server.start()
@@ -95,6 +98,7 @@ class ServerHandle:
         service: Optional[DesignService] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         self._ready = threading.Event()
         self._stopped = threading.Event()
@@ -118,6 +122,7 @@ class ServerHandle:
                     service=service,
                     registry=registry,
                     tracer=tracer,
+                    events=events,
                     stop=self._stop_event,
                     ready=_on_ready,
                 )
@@ -181,8 +186,10 @@ def start_in_thread(
     service: Optional[DesignService] = None,
     registry: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
+    events: Optional[EventLog] = None,
 ) -> ServerHandle:
     """Run a server in a background thread; see :class:`ServerHandle`."""
     return ServerHandle(
-        config, service=service, registry=registry, tracer=tracer
+        config, service=service, registry=registry, tracer=tracer,
+        events=events,
     )

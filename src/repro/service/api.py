@@ -30,6 +30,7 @@ from ..errors import JobExecutionError, ServiceError
 from ..flow import ExperimentResult
 from ..io import FORMAT_VERSION, save_json
 from ..obs.profile.report import PROFILE_SET_KIND
+from ..obs.runtime.events import NULL_LOG, EventLog
 from ..obs.trace import Tracer, active
 from .cache import ResultCache
 from .executor import ExecutorConfig, JobRunner
@@ -74,12 +75,17 @@ class DesignService:
         tracer: Optional[Tracer] = None,
         profile_dir: Optional[Union[str, pathlib.Path]] = None,
         lint_dir: Optional[Union[str, pathlib.Path]] = None,
+        events: EventLog = NULL_LOG,
     ) -> None:
         if executor_config is None:
             executor_config = ExecutorConfig(jobs=jobs)
         self.cache = cache if cache is not None else ResultCache(cache_dir=cache_dir)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = active(tracer)
+        #: Runtime event log (cache hits/misses, pool recycles). The
+        #: null default keeps the batch hot path allocation-free when
+        #: nobody is listening; the server injects its live log.
+        self.events = events
         #: When set, every freshly computed job writes its simulation
         #: profiles to ``<profile_dir>/<fingerprint>.profile.json``.
         #: Cache hits produce no profiles — the summary cache predates
@@ -100,6 +106,7 @@ class DesignService:
             metrics=self.metrics if self.tracer.enabled else None,
             profile=self.profile_dir is not None,
             lint=self.lint_dir is not None,
+            events=self.events,
         )
         # Cross-thread duplicate suppression: fingerprint -> Future of
         # the summary being computed by some other thread right now.
@@ -137,11 +144,29 @@ class DesignService:
     def __exit__(self, *exc: Any) -> None:
         self.close()
 
+    @property
+    def execution_mode(self) -> str:
+        """How the last batch actually ran: ``"serial"``/``"parallel"``."""
+        return self._runner.last_mode
+
+    def attach_events(self, events: EventLog) -> None:
+        """Point the service (and its runner) at a live event log.
+
+        Used by the server to share one log across the whole ring when
+        the service was constructed with the null default.
+        """
+        self.events = events
+        self._runner.events = events
+
     def submit(self, job: DesignJob) -> JobResult:
         """Execute (or serve from cache) one job."""
         return self.submit_many([job])[0]
 
-    def submit_many(self, jobs: Sequence[DesignJob]) -> List[JobResult]:
+    def submit_many(
+        self,
+        jobs: Sequence[DesignJob],
+        trace_ids: Optional[Sequence[str]] = None,
+    ) -> List[JobResult]:
         """Execute a batch; output order matches input order.
 
         Duplicate jobs (same fingerprint) are computed once — within the
@@ -150,10 +175,24 @@ class DesignService:
         repeating it). Cache hits are served without touching the
         executor. Raises :class:`~repro.errors.JobExecutionError` if any
         job exhausts its retry budget.
+
+        ``trace_ids`` (optional, aligned with ``jobs``) carries each
+        request's W3C trace id alongside the batch — never *on* the
+        jobs, whose fingerprints are cache keys — so worker spans and
+        cache hit/miss events join their originating request's trace.
         """
         if self._closed:
             raise ServiceError("design service is closed")
         jobs = list(jobs)
+        if trace_ids is None:
+            tids: List[str] = [""] * len(jobs)
+        else:
+            tids = ["" if t is None else str(t) for t in trace_ids]
+            if len(tids) != len(jobs):
+                raise ServiceError(
+                    f"trace_ids length {len(tids)} does not match "
+                    f"{len(jobs)} jobs"
+                )
         self.metrics.incr("jobs_submitted", len(jobs))
         fingerprints = [job.fingerprint() for job in jobs]
 
@@ -174,6 +213,11 @@ class DesignService:
                         "cache_hit", category="service",
                         app=job.app, fingerprint=fp,
                     )
+                    if self.events.enabled:
+                        self.events.emit(
+                            "cache_hit", trace_id=tids[i],
+                            app=job.app, fingerprint=fp,
+                        )
                     results[i] = JobResult(
                         job=job, fingerprint=fp, summary=cached, cached=True
                     )
@@ -183,6 +227,11 @@ class DesignService:
                     self.metrics.incr("jobs_joined")
                     joined.append((i, inflight))
                     continue
+                if self.events.enabled:
+                    self.events.emit(
+                        "cache_miss", trace_id=tids[i],
+                        app=job.app, fingerprint=fp,
+                    )
                 future: "Future[Dict[str, Any]]" = Future()
                 self._inflight[fp] = future
                 owned[fp] = future
@@ -194,7 +243,10 @@ class DesignService:
                     "submit_many", category="service",
                     batch=len(jobs), distinct=len(to_run),
                 ):
-                    outcomes = self._runner.run([jobs[i] for i in to_run])
+                    outcomes = self._runner.run(
+                        [jobs[i] for i in to_run],
+                        trace_ids=[tids[i] for i in to_run],
+                    )
             except JobExecutionError:
                 self.metrics.incr("jobs_failed")
                 raise

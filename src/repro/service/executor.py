@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..errors import JobExecutionError, JobTimeoutError, ServiceError
 from ..flow import ExperimentResult, result_summary, run_experiment
 from ..obs.profile.report import profile_to_dict
+from ..obs.runtime.events import NULL_LOG, EventLog
 from ..obs.trace import Tracer
 from .jobs import DesignJob
 from .metrics import MetricsRegistry
@@ -61,7 +62,8 @@ def run_job_summary(job: DesignJob) -> Dict[str, Any]:
 
 
 def run_job_instrumented(
-    job: DesignJob, profile: bool = False, lint: bool = False
+    job: DesignJob, profile: bool = False, lint: bool = False,
+    trace_id: str = "",
 ) -> Dict[str, Any]:
     """Pool entry point shipping observability home with the summary.
 
@@ -73,11 +75,20 @@ def run_job_instrumented(
     ``profile`` the worker also ships each system's simulation profile
     as its JSON-safe dict form, and with ``lint`` the serialized static
     analysis report.
+
+    ``trace_id`` is the request's W3C trace id (empty for untraced
+    callers): the worker's whole execution runs inside a root ``job``
+    span carrying it, so after the merge the server-side span tree and
+    the worker-side one join into a single per-request trace.
     """
     tracer = Tracer()
     registry = MetricsRegistry()
     start = time.perf_counter()
-    result, summary = execute_job(job, tracer=tracer, profile=profile, lint=lint)
+    with tracer.span("job", category="worker", app=job.app,
+                     trace_id=trace_id):
+        result, summary = execute_job(
+            job, tracer=tracer, profile=profile, lint=lint
+        )
     registry.observe("worker_job_seconds", time.perf_counter() - start,
                      labels={"app": job.app})
     registry.incr("worker_jobs", labels={"app": job.app})
@@ -148,11 +159,15 @@ class JobRunner:
         metrics: Optional[MetricsRegistry] = None,
         profile: bool = False,
         lint: bool = False,
+        events: EventLog = NULL_LOG,
     ) -> None:
         self.config = config
         self._runner = runner
         self.tracer = tracer
         self.metrics = metrics
+        #: Runtime event log; pool recycles are worth an operator's
+        #: attention (each one means a hung or crashed worker).
+        self.events = events
         #: Collect simulation profiles on every executed job (ignored
         #: for injected custom runners, whose payload is their own).
         self.profile = profile
@@ -176,19 +191,47 @@ class JobRunner:
             or self.metrics is not None
         )
 
-    def run(self, jobs: Sequence[DesignJob]) -> List[JobOutcome]:
-        """Execute all jobs; preserves input order in the output."""
+    def run(
+        self,
+        jobs: Sequence[DesignJob],
+        trace_ids: Optional[Sequence[str]] = None,
+    ) -> List[JobOutcome]:
+        """Execute all jobs; preserves input order in the output.
+
+        ``trace_ids`` (aligned with ``jobs``) carries each request's
+        W3C trace id into the execution spans. It rides *next to* the
+        jobs, never on them: a :class:`DesignJob` is frozen and
+        fingerprinted, and a cache key must not depend on who asked.
+        """
         if self._closed:
             raise ServiceError("job runner is closed")
         jobs = list(jobs)
+        ids = self._aligned_trace_ids(jobs, trace_ids)
         if not jobs:
             return []
         pool = self._acquire_pool()
         if pool is None:
             self.last_mode = "serial"
-            return [self._run_serial(job) for job in jobs]
+            return [
+                self._run_serial(job, trace_id)
+                for job, trace_id in zip(jobs, ids)
+            ]
         self.last_mode = "parallel"
-        return self._run_pool(pool, jobs)
+        return self._run_pool(pool, jobs, ids)
+
+    @staticmethod
+    def _aligned_trace_ids(
+        jobs: Sequence[DesignJob], trace_ids: Optional[Sequence[str]]
+    ) -> List[str]:
+        if trace_ids is None:
+            return [""] * len(jobs)
+        ids = ["" if t is None else str(t) for t in trace_ids]
+        if len(ids) != len(jobs):
+            raise ServiceError(
+                f"trace_ids length {len(ids)} does not match "
+                f"{len(jobs)} jobs"
+            )
+        return ids
 
     def close(self) -> None:
         """Shut the worker pool down and reap its processes.
@@ -222,14 +265,17 @@ class JobRunner:
                     return None
             return self._pool
 
-    def _recycle_pool(self, pool: ProcessPoolExecutor) -> None:
+    def _recycle_pool(self, pool: ProcessPoolExecutor,
+                      reason: str = "broken") -> None:
         """Discard a broken/hung pool; the next batch builds a fresh one."""
         with self._pool_lock:
             if self._pool is pool:
                 self._pool = None
         pool.shutdown(wait=False, cancel_futures=True)
+        if self.events.enabled:
+            self.events.emit("pool_recycle", reason=reason)
 
-    def _run_serial(self, job: DesignJob) -> JobOutcome:
+    def _run_serial(self, job: DesignJob, trace_id: str = "") -> JobOutcome:
         last_error = ""
         for attempt in range(1, self.config.retries + 2):
             start = time.perf_counter()
@@ -240,10 +286,23 @@ class JobRunner:
                     summary = self._runner(job)
                     result = None
                 else:
-                    result, summary = execute_job(
-                        job, tracer=self.tracer,
-                        profile=self.profile, lint=self.lint,
-                    )
+                    if self.tracer is not None and self.tracer.enabled:
+                        # Root "job" span carries the request's trace id
+                        # so the pipeline spans below it join the HTTP
+                        # trace.
+                        with self.tracer.span(
+                            "job", category="worker", app=job.app,
+                            trace_id=trace_id,
+                        ):
+                            result, summary = execute_job(
+                                job, tracer=self.tracer,
+                                profile=self.profile, lint=self.lint,
+                            )
+                    else:
+                        result, summary = execute_job(
+                            job, tracer=self.tracer,
+                            profile=self.profile, lint=self.lint,
+                        )
                     profiles = {
                         system: profile_to_dict(p)
                         for system, p in result.profiles.items()
@@ -282,8 +341,10 @@ class JobRunner:
 
     # -- parallel ---------------------------------------------------------
     def _run_pool(
-        self, pool: ProcessPoolExecutor, jobs: List[DesignJob]
+        self, pool: ProcessPoolExecutor, jobs: List[DesignJob],
+        trace_ids: Optional[List[str]] = None,
     ) -> List[JobOutcome]:
+        trace_ids = trace_ids or [""] * len(jobs)
         wrapped = self._runner is None and (
             self._instrumented or self.profile or self.lint
         )
@@ -305,7 +366,15 @@ class JobRunner:
             for i in pending:
                 attempts[i] += 1
                 starts[i] = time.perf_counter()
-                futures[i] = pool.submit(func, jobs[i])
+                if wrapped:
+                    # Only the instrumented entry point knows what to do
+                    # with a trace id; plain/custom runners keep their
+                    # one-argument contract.
+                    futures[i] = pool.submit(
+                        func, jobs[i], trace_id=trace_ids[i]
+                    )
+                else:
+                    futures[i] = pool.submit(func, jobs[i])
             failed: List[Tuple[int, str, bool]] = []
             recycle = False
             for i in pending:
@@ -348,13 +417,13 @@ class JobRunner:
                     )
                 pending.append(i)
             if recycle:
-                self._recycle_pool(pool)
+                self._recycle_pool(pool, reason="timeout-or-broken")
                 fresh = self._acquire_pool() if pending else None
                 if pending and fresh is None:
                     # No replacement pool: finish the stragglers serially
                     # (each gets its own full retry budget there).
                     for i in pending:
-                        outcomes[i] = self._run_serial(jobs[i])
+                        outcomes[i] = self._run_serial(jobs[i], trace_ids[i])
                     pending = []
                 else:
                     pool = fresh if fresh is not None else pool

@@ -82,6 +82,22 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[min(rank, len(ordered)) - 1]
 
 
+def _timer_stats_of(obs: Sequence[float]) -> Dict[str, float]:
+    """Stats of one timer's (already copied) observation list."""
+    if not obs:
+        return {
+            "count": 0, "mean_s": 0.0,
+            "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0,
+        }
+    return {
+        "count": len(obs),
+        "mean_s": sum(obs) / len(obs),
+        "p50_s": percentile(obs, 50),
+        "p95_s": percentile(obs, 95),
+        "p99_s": percentile(obs, 99),
+    }
+
+
 class MetricsRegistry:
     """Named counters, gauges, latency timers and histograms."""
 
@@ -136,19 +152,9 @@ class MetricsRegistry:
         self, name: str, labels: Optional[Mapping[str, Any]] = None
     ) -> Dict[str, float]:
         """Count/mean/p50/p95/p99; all-zero (count 0) when unobserved."""
-        obs = self._timers.get(metric_key(name, labels), [])
-        if not obs:
-            return {
-                "count": 0, "mean_s": 0.0,
-                "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0,
-            }
-        return {
-            "count": len(obs),
-            "mean_s": sum(obs) / len(obs),
-            "p50_s": percentile(obs, 50),
-            "p95_s": percentile(obs, 95),
-            "p99_s": percentile(obs, 99),
-        }
+        with self._lock:
+            obs = list(self._timers.get(metric_key(name, labels), ()))
+        return _timer_stats_of(obs)
 
     # -- histograms ---------------------------------------------------------
     def hist(
@@ -202,11 +208,23 @@ class MetricsRegistry:
 
     # -- snapshots -----------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
-        """Point-in-time view: counters, gauges, timer stats, histograms."""
+        """Point-in-time view: counters, gauges, timer stats, histograms.
+
+        Everything is *copied under one lock acquisition* — including
+        the raw timer observation lists, whose stats are then computed
+        from the copies. The historical version re-read the live lists
+        after releasing the lock, so a concurrent ``observe`` could
+        interleave half-updated series into one scrape (and mutate a
+        list mid-``sorted``); the concurrent-scrape regression test in
+        ``tests/test_runtime_obs.py`` pins the fix.
+        """
         with self._lock:
             counters = dict(sorted(self._counters.items()))
             gauges = dict(sorted(self._gauges.items()))
-            timer_names = sorted(self._timers)
+            timers = {
+                name: list(obs)
+                for name, obs in sorted(self._timers.items())
+            }
             hists = {
                 name: self._hist_snapshot(h)
                 for name, h in sorted(self._hists.items())
@@ -214,7 +232,9 @@ class MetricsRegistry:
         return {
             "counters": counters,
             "gauges": gauges,
-            "timers": {name: self.timer_stats(name) for name in timer_names},
+            "timers": {
+                name: _timer_stats_of(obs) for name, obs in timers.items()
+            },
             "histograms": hists,
         }
 

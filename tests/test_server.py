@@ -366,6 +366,183 @@ def client_port(server) -> int:
     return DesignClient(server.url).port
 
 
+class TestRequestTelemetry:
+    def test_envelope_echoes_client_trace_id(self, server):
+        client = DesignClient(server.url, tenant="pytest")
+        doc = client.design("canny")
+        assert doc["trace_id"] == client.last_trace_id
+        assert len(doc["trace_id"]) == 32
+        # a new request mints a new trace
+        doc2 = client.design("jpeg")
+        assert doc2["trace_id"] == client.last_trace_id
+        assert doc2["trace_id"] != doc["trace_id"]
+
+    def test_explicit_traceparent_header_is_adopted(self, server):
+        import http.client
+
+        trace_id = "ab" * 16
+        conn = http.client.HTTPConnection(
+            client_host(server), client_port(server), timeout=30
+        )
+        try:
+            conn.request(
+                "POST", "/v1/design", body=json.dumps({"app": "canny"}),
+                headers={"traceparent": f"00-{trace_id}-{'cd' * 8}-01"},
+            )
+            doc = json.loads(conn.getresponse().read())
+        finally:
+            conn.close()
+        assert doc["trace_id"] == trace_id
+
+    def test_malformed_traceparent_gets_fresh_trace_not_an_error(
+        self, server
+    ):
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            client_host(server), client_port(server), timeout=30
+        )
+        try:
+            conn.request(
+                "POST", "/v1/design", body=json.dumps({"app": "canny"}),
+                headers={"traceparent": "not-a-traceparent"},
+            )
+            resp = conn.getresponse()
+            doc = json.loads(resp.read())
+        finally:
+            conn.close()
+        assert resp.status == 200
+        assert len(doc["trace_id"]) == 32
+
+    def test_error_body_carries_trace_id(self, server):
+        client = DesignClient(server.url)
+        with pytest.raises(ServerError):
+            client.design("netflix")
+        # the trace the client minted is the one the 400 came back on
+        assert len(client.last_trace_id) == 32
+
+    def test_sweep_stream_done_event_carries_trace_id(self, server):
+        client = DesignClient(server.url, tenant="pytest")
+        events = list(client.sweep_stream(["klt"], scales=[1]))
+        assert events[-1][0] == "done"
+        assert events[-1][1]["trace_id"] == client.last_trace_id
+
+    def test_debug_endpoint_sections(self, server):
+        client = DesignClient(server.url, tenant="pytest")
+        client.design("canny")
+        doc = client.debug()
+        assert doc["kind"] == "debug-response"
+        assert doc["trace_id"] == client.last_trace_id
+        debug = doc["debug"]
+        for section in ("uptime_s", "inflight_requests", "admission",
+                        "batcher", "tenants", "cache", "service",
+                        "events"):
+            assert section in debug, section
+        assert debug["uptime_s"] > 0
+        assert debug["admission"]["max_inflight"] == 16
+        assert debug["batcher"]["max_batch"] >= 1
+        assert debug["service"]["last_mode"] in ("serial", "pool")
+        # the debug request itself is in the in-flight table
+        routes = [r["route"] for r in debug["inflight_requests"]]
+        assert "/v1/debug" in routes
+        counts = debug["events"]["counts"]
+        assert counts.get("request_start", 0) > 0
+        recent = debug["events"]["recent"]
+        assert recent and all("kind" in e for e in recent)
+
+    def test_metrics_carry_event_counts_and_exemplars(self, server):
+        client = DesignClient(server.url, tenant="pytest")
+        client.design("canny")
+        text = client.metrics()
+        assert 'runtime_events{kind="request_finish"}' in text
+        lines = [
+            l for l in text.splitlines()
+            if l.startswith("repro_http_request_last_seconds{")
+        ]
+        assert any('route="/v1/design"' in l for l in lines), text
+        # the exemplar label is a full 32-hex trace id
+        label = next(l for l in lines if 'route="/v1/design"' in l)
+        trace = label.split('trace_id="')[1].split('"')[0]
+        assert len(trace) == 32
+
+    def test_event_log_records_rejections(self):
+        config = ServerConfig(port=0, quota_rate=0.001, quota_burst=1.0)
+        with start_in_thread(config) as handle:
+            client = DesignClient(handle.url, tenant="stingy")
+            client.design("canny")
+            with pytest.raises(ServerError):
+                client.design("jpeg")
+            doc = client.debug()
+            counts = doc["debug"]["events"]["counts"]
+            assert counts.get("quota_reject", 0) == 1
+            kinds = [e["kind"] for e in doc["debug"]["events"]["recent"]]
+            assert "quota_reject" in kinds
+        assert handle.stop() is True
+
+    def test_event_log_sink_written_on_drain(self, tmp_path):
+        sink = tmp_path / "events.jsonl"
+        config = ServerConfig(port=0, event_log_path=str(sink))
+        with start_in_thread(config) as handle:
+            client = DesignClient(handle.url, tenant="pytest")
+            client.design("canny")
+        assert handle.stop() is True
+        docs = [json.loads(l) for l in sink.read_text().splitlines()]
+        kinds = [d["kind"] for d in docs]
+        assert "request_start" in kinds
+        assert "request_finish" in kinds
+        assert "drain_begin" in kinds
+        assert kinds[-1] == "drain_done"
+        finish = next(d for d in docs if d["kind"] == "request_finish"
+                      and d["fields"].get("route") == "/v1/design")
+        assert finish["trace_id"]
+        assert finish["fields"]["status"] == 200
+
+
+class TestTruncatedStream:
+    def test_stream_ending_without_done_raises(self):
+        """A dropped connection mid-stream must not look like success."""
+        import socket
+        import threading
+
+        body = (
+            b"event: point\r\n"
+            b'data: {"app": "klt"}\r\n'
+            b"\r\n"
+        )  # one point, then the server "dies" — no done event
+        head = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def serve_once():
+            conn, _ = listener.accept()
+            conn.recv(65536)  # drain the request
+            conn.sendall(head + body)
+            conn.close()
+
+        thread = threading.Thread(target=serve_once, daemon=True)
+        thread.start()
+        try:
+            client = DesignClient(f"http://127.0.0.1:{port}")
+            with pytest.raises(ServerError) as err:
+                list(client.sweep_stream(["klt"]))
+            assert "truncated" in str(err.value)
+        finally:
+            thread.join(timeout=5)
+            listener.close()
+
+    def test_complete_stream_does_not_raise(self, server):
+        client = DesignClient(server.url, tenant="pytest")
+        events = list(client.sweep_stream(["canny"], scales=[1]))
+        assert [name for name, _ in events][-1] == "done"
+
+
 class TestQuotaOverHttp:
     def test_429_with_retry_after_and_metric_label(self):
         config = ServerConfig(port=0, quota_rate=0.001, quota_burst=1.0)

@@ -95,6 +95,32 @@ def test_r3_allows_non_equality_float_use(source):
     assert _findings(lint_repro.check_float_equality, source) == []
 
 
+# -- R5: raw print in library layers --------------------------------------
+def test_r5_flags_bare_print():
+    source = "def report(x):\n    print(x)\n"
+    found = _findings(lint_repro.check_raw_print, source)
+    assert [f.rule for f in found] == ["R5"]
+    assert "print()" in found[0].message
+
+
+def test_r5_flags_print_with_kwargs():
+    source = "import sys\nprint('x', file=sys.stderr)\n"
+    found = _findings(lint_repro.check_raw_print, source)
+    assert found and found[0].rule == "R5"
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "log = print\n",                    # reference, not a call
+        "obj.print()\n",                    # method named print
+        "def pr():\n    pass\npr()\n",      # unrelated call
+    ],
+)
+def test_r5_allows_non_print_calls(source):
+    assert _findings(lint_repro.check_raw_print, source) == []
+
+
 # -- scoping --------------------------------------------------------------
 def test_determinism_scope_is_sim_and_core_only():
     src = lint_repro.SRC_ROOT
@@ -102,6 +128,14 @@ def test_determinism_scope_is_sim_and_core_only():
     assert lint_repro._in_deterministic_scope(src / "core" / "designer.py")
     assert not lint_repro._in_deterministic_scope(src / "verify" / "generate.py")
     assert not lint_repro._in_deterministic_scope(src / "bench.py")
+
+
+def test_silent_scope_is_server_and_obs_only():
+    src = lint_repro.SRC_ROOT
+    assert lint_repro._in_silent_scope(src / "server" / "app.py")
+    assert lint_repro._in_silent_scope(src / "obs" / "runtime" / "events.py")
+    assert not lint_repro._in_silent_scope(src / "cli.py")
+    assert not lint_repro._in_silent_scope(src / "sim" / "systems.py")
 
 
 # -- R4: schema digest ----------------------------------------------------

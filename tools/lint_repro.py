@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific AST lint rules, run in CI ahead of the test suite.
 
-Four rules, each encoding an invariant the test suite can only probe
+Five rules, each encoding an invariant the test suite can only probe
 statistically but the AST can prove outright:
 
 * **R1 wall-clock** — no ``time.time()`` / ``time.time_ns()`` /
@@ -22,6 +22,11 @@ statistically but the AST can prove outright:
   ``tools/schema_digest.json``; an unacknowledged change fails CI until
   the author reruns with ``--update`` (and, where needed, bumps
   ``FORMAT_VERSION`` / the format docs).
+* **R5 raw print** — no bare ``print()`` inside ``repro.server`` or
+  ``repro.obs``. Library layers report through the structured event
+  log, metrics, and return values; stdout belongs to the CLI layer
+  (``repro.cli`` builds the human-facing output), and a stray print
+  would corrupt piped CSV/JSON and the SSE wire format.
 
 Usage::
 
@@ -45,6 +50,10 @@ DIGEST_PATH = REPO_ROOT / "tools" / "schema_digest.json"
 
 #: Subpackages under the determinism contract (R1 + R2).
 DETERMINISTIC_SCOPES = ("sim", "core")
+
+#: Subpackages that must not write to stdout (R5) — they report through
+#: the event log / metrics / return values; printing is the CLI's job.
+SILENT_SCOPES = ("server", "obs")
 
 #: Dotted-call suffixes that read the wall clock.
 WALL_CLOCK_CALLS = frozenset(
@@ -83,6 +92,11 @@ def _dotted(node: ast.AST) -> str:
 def _in_deterministic_scope(path: pathlib.Path) -> bool:
     rel = path.relative_to(SRC_ROOT)
     return bool(rel.parts) and rel.parts[0] in DETERMINISTIC_SCOPES
+
+
+def _in_silent_scope(path: pathlib.Path) -> bool:
+    rel = path.relative_to(SRC_ROOT)
+    return bool(rel.parts) and rel.parts[0] in SILENT_SCOPES
 
 
 # -- R1 / R2: determinism of sim + core ----------------------------------
@@ -151,6 +165,22 @@ def check_float_equality(
                         "==/!= — use an explicit tolerance",
                     )
                     break
+
+
+# -- R5: raw print in library layers -------------------------------------
+def check_raw_print(path: pathlib.Path, tree: ast.AST) -> Iterator[Finding]:
+    """R5: bare ``print()`` calls inside the silent scopes."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield Finding(
+                "R5", path, node.lineno,
+                "raw print() in a library layer — emit a structured "
+                "event / metric, or move the output to repro.cli",
+            )
 
 
 # -- R4: serialized-schema digest ----------------------------------------
@@ -246,6 +276,8 @@ def run_lint(
         if _in_deterministic_scope(path):
             findings.extend(check_wall_clock(path, tree))
             findings.extend(check_shared_rng(path, tree))
+        if _in_silent_scope(path):
+            findings.extend(check_raw_print(path, tree))
         findings.extend(check_float_equality(path, tree))
     findings.extend(check_schema_drift(collect_schemas(files), digest_path))
     return sorted(findings, key=lambda f: (f.rule, str(f.path), f.line))
