@@ -44,11 +44,27 @@ BENCH_SCHEMA: Dict[str, str] = {
     ),
     "apps.<name>.sim_baseline_s": (
         "best-of-repeat wall seconds for the baseline (shared-bus) "
-        "discrete-event simulation, profiling disabled"
+        "discrete-event simulation on the reference engine, profiling "
+        "disabled"
     ),
     "apps.<name>.sim_proposed_s": (
         "best-of-repeat wall seconds for the proposed-system "
-        "discrete-event simulation, profiling disabled"
+        "discrete-event simulation on the reference engine, profiling "
+        "disabled"
+    ),
+    "apps.<name>.sim_fastcore_s": (
+        "best-of-repeat wall seconds for the baseline simulation on the "
+        "fast engine (repro.sim.fastcore: calendar queue + event "
+        "fusion); byte-identical results to sim_baseline_s"
+    ),
+    "apps.<name>.sim_fastcore_proposed_s": (
+        "best-of-repeat wall seconds for the proposed-system simulation "
+        "on the fast engine; byte-identical results to sim_proposed_s"
+    ),
+    "apps.<name>.fastcore_speedup": (
+        "sim_baseline_s / sim_fastcore_s — how much faster the fast "
+        "engine runs the baseline system; the CI gate bounds its "
+        "inverse (--max-fastcore-ratio)"
     ),
     "apps.<name>.sim_proposed_profiled_s": (
         "best-of-repeat wall seconds for the proposed-system simulation "
@@ -78,6 +94,10 @@ BENCH_SCHEMA: Dict[str, str] = {
     "repeat": "timing repetitions; every *_s field is the minimum",
     "buckets": "utilization-timeseries bucket count used when profiling",
     "python": "interpreter version the numbers were measured on",
+    "sim_backend": (
+        "resolved engine used by the service batch measurement; per-app "
+        "sim metrics pin their own engine regardless"
+    ),
 }
 
 
@@ -109,12 +129,33 @@ def bench_app(
     design_s = _best_of(
         lambda: design_interconnect(name, fitted.graph, config), repeat
     )
+    # Both engines are timed with an explicitly pinned backend so the
+    # numbers stay comparable across CI matrix legs that set
+    # REPRO_SIM_BACKEND — the env var must shift test coverage, not
+    # silently relabel what a bench metric measured.
     sim_baseline_s = _best_of(
-        lambda: simulate_baseline(fitted.graph, fitted.host_other_s, params),
+        lambda: simulate_baseline(
+            fitted.graph, fitted.host_other_s, params, backend="reference"
+        ),
         repeat,
     )
     sim_proposed_s = _best_of(
-        lambda: simulate_proposed(plan, fitted.host_other_s, params), repeat
+        lambda: simulate_proposed(
+            plan, fitted.host_other_s, params, backend="reference"
+        ),
+        repeat,
+    )
+    sim_fastcore_s = _best_of(
+        lambda: simulate_baseline(
+            fitted.graph, fitted.host_other_s, params, backend="fast"
+        ),
+        repeat,
+    )
+    sim_fastcore_proposed_s = _best_of(
+        lambda: simulate_proposed(
+            plan, fitted.host_other_s, params, backend="fast"
+        ),
+        repeat,
     )
 
     # The profiled run rebuilds a fresh recorder each repeat so no run
@@ -122,13 +163,15 @@ def bench_app(
     profiled_best = float("inf")
     last_recorder = TimeseriesRecorder()
     last_times = simulate_proposed(
-        plan, fitted.host_other_s, params, recorder=last_recorder
+        plan, fitted.host_other_s, params, recorder=last_recorder,
+        backend="reference",
     )
     for _ in range(repeat):
         recorder = TimeseriesRecorder()
         start = time.perf_counter()
         times = simulate_proposed(
-            plan, fitted.host_other_s, params, recorder=recorder
+            plan, fitted.host_other_s, params, recorder=recorder,
+            backend="reference",
         )
         profiled_best = min(profiled_best, time.perf_counter() - start)
         last_recorder, last_times = recorder, times
@@ -144,6 +187,11 @@ def bench_app(
         "design_s": design_s,
         "sim_baseline_s": sim_baseline_s,
         "sim_proposed_s": sim_proposed_s,
+        "sim_fastcore_s": sim_fastcore_s,
+        "sim_fastcore_proposed_s": sim_fastcore_proposed_s,
+        "fastcore_speedup": (
+            sim_baseline_s / sim_fastcore_s if sim_fastcore_s > 0 else 1.0
+        ),
         "sim_proposed_profiled_s": profiled_best,
         "profile_build_s": profile_build_s,
         "profiler_overhead": (
@@ -153,12 +201,14 @@ def bench_app(
     }
 
 
-def bench_service(apps: Sequence[str]) -> Dict[str, float]:
+def bench_service(
+    apps: Sequence[str], sim_backend: Optional[str] = None
+) -> Dict[str, float]:
     """Time a cold vs warm service batch over ``apps`` (serial mode)."""
     from .service import DesignService
     from .service.jobs import DesignJob
 
-    service = DesignService(jobs=1)
+    service = DesignService(jobs=1, sim_backend=sim_backend)
     jobs = [DesignJob(app=name) for name in apps]
 
     start = time.perf_counter()
@@ -180,8 +230,15 @@ def run_bench(
     repeat: int = 3,
     buckets: int = 64,
     out: Optional[Union[str, "Any"]] = None,
+    sim_backend: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Benchmark every hot path; optionally write the JSON artifact."""
+    """Benchmark every hot path; optionally write the JSON artifact.
+
+    Per-app simulation metrics pin their engine explicitly (reference
+    for ``sim_*_s``, fast for ``sim_fastcore*_s``); ``sim_backend``
+    only steers the end-to-end service batch measurement. Unknown names
+    raise :class:`~repro.errors.ConfigurationError` before any timing.
+    """
     if repeat < 1:
         raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
     unknown = set(apps) - set(APP_NAMES)
@@ -189,14 +246,24 @@ def run_bench(
         raise ConfigurationError(
             f"unknown applications: {sorted(unknown)} (have: {list(APP_NAMES)})"
         )
+    from .sim.backend import make_engine, resolve_backend
+
+    resolved_backend = resolve_backend(sim_backend)
+    # Warm both engines before any timing: the fast backend's modules
+    # import lazily on first use, and at --repeat 1 that one-time cost
+    # would otherwise land inside sim_fastcore_s and read as a ~2x
+    # slowdown that best-of-N runs never see.
+    make_engine("reference")
+    make_engine("fast")
     report: Dict[str, Any] = {
         "kind": BENCH_KIND,
         "version": FORMAT_VERSION,
         "repeat": repeat,
         "buckets": buckets,
         "python": platform.python_version(),
+        "sim_backend": resolved_backend,
         "apps": {name: bench_app(name, repeat, buckets) for name in apps},
-        "service": bench_service(apps),
+        "service": bench_service(apps, sim_backend=sim_backend),
         "schema": BENCH_SCHEMA,
     }
     if out is not None:
@@ -210,7 +277,8 @@ def render_bench(report: Dict[str, Any]) -> str:
         f"benchmark report (best of {report['repeat']}, "
         f"python {report['python']})",
         f"  {'app':<8}{'design':>10}{'sim base':>10}{'sim prop':>10}"
-        f"{'profiled':>10}{'build':>10}{'lint':>10}{'overhead':>10}",
+        f"{'fastcore':>10}{'profiled':>10}{'build':>10}{'lint':>10}"
+        f"{'overhead':>10}{'fast x':>8}",
     ]
     for name, row in report["apps"].items():
         lines.append(
@@ -218,10 +286,12 @@ def render_bench(report: Dict[str, Any]) -> str:
             f"{row['design_s'] * 1e3:>8.2f}ms"
             f"{row['sim_baseline_s'] * 1e3:>8.2f}ms"
             f"{row['sim_proposed_s'] * 1e3:>8.2f}ms"
+            f"{row.get('sim_fastcore_s', 0.0) * 1e3:>8.2f}ms"
             f"{row['sim_proposed_profiled_s'] * 1e3:>8.2f}ms"
             f"{row['profile_build_s'] * 1e3:>8.2f}ms"
             f"{row.get('lint_s', 0.0) * 1e3:>8.2f}ms"
             f"{row['profiler_overhead']:>9.2f}x"
+            f"{row.get('fastcore_speedup', 1.0):>7.2f}x"
         )
     svc = report["service"]
     lines.append(

@@ -185,6 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile-dir", type=str, default=None, metavar="DIR",
                    help="profile every simulated point and persist the "
                         "profiles here (one JSON per job fingerprint)")
+    p.add_argument("--sim-backend", type=str, default=None,
+                   metavar="{reference,fast,auto}",
+                   help="simulation engine for fresh points (results are "
+                        "byte-identical; default: REPRO_SIM_BACKEND or "
+                        "reference)")
 
     p = sub.add_parser(
         "bench",
@@ -212,6 +217,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=None, metavar="R",
                    help="regression ratio for --compare (default 1.5 = "
                         "50%% slower than the historical median)")
+    p.add_argument("--max-fastcore-ratio", type=float, default=None,
+                   metavar="R",
+                   help="exit 1 unless sim_fastcore_s <= R * sim_baseline_s "
+                        "(gates on fluid when benched)")
+    p.add_argument("--sim-backend", type=str, default=None,
+                   metavar="{reference,fast,auto}",
+                   help="engine for the service batch measurement (per-app "
+                        "sim metrics always pin their own engine)")
 
     p = sub.add_parser(
         "fuzz",
@@ -278,6 +291,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds to wait for in-flight work on SIGTERM")
     p.add_argument("--event-log", type=str, default=None, metavar="PATH",
                    help="also append every runtime event as JSONL here")
+    p.add_argument("--sim-backend", type=str, default=None,
+                   metavar="{reference,fast,auto}",
+                   help="simulation engine for served jobs (results are "
+                        "byte-identical; a pure throughput knob)")
 
     p = sub.add_parser(
         "top",
@@ -586,7 +603,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         tracer = Tracer()
     service = DesignService(
         jobs=args.jobs, cache_dir=args.cache_dir, tracer=tracer,
-        profile_dir=args.profile_dir,
+        profile_dir=args.profile_dir, sim_backend=args.sim_backend,
     )
     points = run_sweep(grid, service=service)
     text = to_csv(points, args.output)
@@ -628,7 +645,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     apps = [a for a in args.apps.split(",") if a]
     report = run_bench(
-        apps=apps, repeat=args.repeat, buckets=args.buckets, out=args.out
+        apps=apps, repeat=args.repeat, buckets=args.buckets, out=args.out,
+        sim_backend=args.sim_backend,
     )
     print(render_bench(report))
     if args.out is not None:
@@ -697,6 +715,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"profiler overhead gate ok: {name} {overhead:.2f}x "
               f"<= {args.max_overhead:.2f}x")
+
+    if args.max_fastcore_ratio is not None:
+        rows = report["apps"]
+        # Gate on fluid (the workload the fast engine's acceptance
+        # criterion is stated against); fall back to the app where the
+        # fast engine does worst when fluid is not benched.
+        name = ("fluid" if "fluid" in rows
+                else max(rows, key=lambda n: rows[n]["sim_fastcore_s"]
+                         / rows[n]["sim_baseline_s"]))
+        ratio = rows[name]["sim_fastcore_s"] / rows[name]["sim_baseline_s"]
+        if ratio > args.max_fastcore_ratio:
+            print(
+                f"FAIL: fastcore ratio on {name} is {ratio:.2f}x "
+                f"> allowed {args.max_fastcore_ratio:.2f}x "
+                f"(fast engine too slow vs reference)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"fastcore gate ok: {name} sim_fastcore_s is {ratio:.2f}x "
+              f"sim_baseline_s <= {args.max_fastcore_ratio:.2f}x")
     return 0
 
 
@@ -772,6 +810,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_sweep_points=args.max_sweep_points,
         drain_timeout_s=args.drain_timeout,
         event_log_path=args.event_log,
+        sim_backend=args.sim_backend,
     )
 
     def _announce(server) -> None:

@@ -136,6 +136,7 @@ def run_experiment(
     profile: bool = False,
     profile_buckets: int = 64,
     lint: bool = False,
+    sim_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """Full paper methodology for one application.
 
@@ -158,8 +159,18 @@ def run_experiment(
     ``lint`` additionally runs the :mod:`repro.analyze` static rule
     engine over the proposed plan and publishes the
     :class:`~repro.analyze.AnalysisReport` on ``result.lint``.
+
+    ``sim_backend`` selects the simulation engine (``reference``,
+    ``fast`` or ``auto``; see :mod:`repro.sim.backend`). Both engines
+    are proven byte-identical by the conformance suite, so the choice
+    never changes results — only how fast they arrive. ``None`` defers
+    to the process default / ``REPRO_SIM_BACKEND`` / ``reference``.
     """
     tracer, trace_path = _as_tracer(trace)
+    # Resolve eagerly: unknown names fail here, before any work is done.
+    from .sim.backend import resolve_backend
+
+    backend = resolve_backend(sim_backend)
 
     with tracer.span("experiment", app=name, scale=scale, seed=seed):
         with tracer.span("profile", app=name):
@@ -210,11 +221,12 @@ def run_experiment(
             with tracer.span("simulate", app=name, system="baseline"):
                 sim_base = simulate_baseline(
                     fitted.graph, fitted.host_other_s, params,
-                    recorder=rec_base,
+                    recorder=rec_base, backend=backend,
                 )
             with tracer.span("simulate", app=name, system="proposed"):
                 sim_prop = simulate_proposed(
-                    plan, fitted.host_other_s, params, recorder=rec_prop
+                    plan, fitted.host_other_s, params, recorder=rec_prop,
+                    backend=backend,
                 )
             if profile:
                 with tracer.span("profile.build", app=name):

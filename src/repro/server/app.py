@@ -88,6 +88,11 @@ class ServerConfig:
     event_log_path: Optional[str] = None
     #: Events shown in the ``/v1/debug`` tail.
     debug_tail: int = 32
+    #: Simulation backend for the wrapped service's jobs (``None`` =
+    #: env/default resolution; see :mod:`repro.sim.backend`). Results
+    #: are byte-identical across backends, so this is a pure throughput
+    #: knob — it never affects response payloads or cache validity.
+    sim_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.batch_window_s < 0:
@@ -98,6 +103,12 @@ class ServerConfig:
             raise ConfigurationError(
                 f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
             )
+        if self.sim_backend is not None:
+            # Typed rejection at config time: a typo'd backend must not
+            # surface as a per-request failure after the server is up.
+            from ..sim.backend import resolve_backend
+
+            resolve_backend(self.sim_backend)
 
 
 class DesignServer:

@@ -32,7 +32,11 @@ from .app import DesignServer, ServerConfig
 
 def build_service(config: ServerConfig) -> DesignService:
     """The service a standalone server wraps, per the config knobs."""
-    return DesignService(jobs=config.jobs, cache_dir=config.cache_dir)
+    return DesignService(
+        jobs=config.jobs,
+        cache_dir=config.cache_dir,
+        sim_backend=config.sim_backend,
+    )
 
 
 async def run_server(

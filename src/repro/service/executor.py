@@ -40,8 +40,17 @@ def execute_job(
     tracer: Optional[Tracer] = None,
     profile: bool = False,
     lint: bool = False,
+    sim_backend: Optional[str] = None,
 ) -> Tuple[ExperimentResult, Dict[str, Any]]:
-    """Run one job in-process; returns the full result and its summary."""
+    """Run one job in-process; returns the full result and its summary.
+
+    ``sim_backend`` selects the simulation engine (see
+    :mod:`repro.sim.backend`). It travels *next to* the job, never on
+    it: a :class:`DesignJob` is frozen and fingerprinted, and because
+    both backends are proven byte-identical, a cached result is valid
+    regardless of which backend produced it — so the backend must not
+    perturb cache keys.
+    """
     result = run_experiment(
         job.app,
         scale=job.scale,
@@ -52,18 +61,21 @@ def execute_job(
         trace=tracer,
         profile=profile,
         lint=lint,
+        sim_backend=sim_backend,
     )
     return result, result_summary(result)
 
 
-def run_job_summary(job: DesignJob) -> Dict[str, Any]:
+def run_job_summary(
+    job: DesignJob, sim_backend: Optional[str] = None
+) -> Dict[str, Any]:
     """Pool-friendly entry point: summary only (JSON/pickle-safe)."""
-    return execute_job(job)[1]
+    return execute_job(job, sim_backend=sim_backend)[1]
 
 
 def run_job_instrumented(
     job: DesignJob, profile: bool = False, lint: bool = False,
-    trace_id: str = "",
+    trace_id: str = "", sim_backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Pool entry point shipping observability home with the summary.
 
@@ -87,7 +99,8 @@ def run_job_instrumented(
     with tracer.span("job", category="worker", app=job.app,
                      trace_id=trace_id):
         result, summary = execute_job(
-            job, tracer=tracer, profile=profile, lint=lint
+            job, tracer=tracer, profile=profile, lint=lint,
+            sim_backend=sim_backend,
         )
     registry.observe("worker_job_seconds", time.perf_counter() - start,
                      labels={"app": job.app})
@@ -160,11 +173,16 @@ class JobRunner:
         profile: bool = False,
         lint: bool = False,
         events: EventLog = NULL_LOG,
+        sim_backend: Optional[str] = None,
     ) -> None:
         self.config = config
         self._runner = runner
         self.tracer = tracer
         self.metrics = metrics
+        #: Simulation backend name forwarded to every executed job
+        #: (``None`` defers to env/default resolution in the worker).
+        #: A plain string so it crosses the process-pool pickle boundary.
+        self.sim_backend = sim_backend
         #: Runtime event log; pool recycles are worth an operator's
         #: attention (each one means a hung or crashed worker).
         self.events = events
@@ -297,11 +315,13 @@ class JobRunner:
                             result, summary = execute_job(
                                 job, tracer=self.tracer,
                                 profile=self.profile, lint=self.lint,
+                                sim_backend=self.sim_backend,
                             )
                     else:
                         result, summary = execute_job(
                             job, tracer=self.tracer,
                             profile=self.profile, lint=self.lint,
+                            sim_backend=self.sim_backend,
                         )
                     profiles = {
                         system: profile_to_dict(p)
@@ -353,8 +373,11 @@ class JobRunner:
         elif wrapped:
             # partial (not a lambda) so the callable stays picklable.
             func = partial(
-                run_job_instrumented, profile=self.profile, lint=self.lint
+                run_job_instrumented, profile=self.profile, lint=self.lint,
+                sim_backend=self.sim_backend,
             )
+        elif self.sim_backend is not None:
+            func = partial(run_job_summary, sim_backend=self.sim_backend)
         else:
             func = run_job_summary
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)

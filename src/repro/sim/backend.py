@@ -1,0 +1,95 @@
+"""Simulator backend selection: reference, fast, or auto.
+
+The simulator has two engines with byte-identical observable behavior
+(proven by :mod:`repro.verify.conformance`):
+
+* ``reference`` — the pure-python heap engine in
+  :mod:`repro.sim.engine`; the differential oracle and the
+  *fingerprinted source of truth* for cached results;
+* ``fast`` — :mod:`repro.sim.fastcore`: calendar-queue scheduling,
+  batched dispatch, and event fusion; optionally numpy-accelerated.
+* ``auto`` — ``fast`` when numpy is importable, else ``reference``.
+
+Resolution order for the effective backend: explicit argument →
+process default (:func:`set_default_backend`) → the
+``REPRO_SIM_BACKEND`` environment variable → ``reference``. The
+environment hook is what carries the choice into pool workers and CI
+matrix legs without touching any fingerprinted job payload — because
+both backends produce identical results, cached entries are valid
+regardless of which backend produced them.
+"""
+
+from __future__ import annotations
+
+import os
+from enum import Enum
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .engine import Engine
+
+#: Environment variable consulted when no explicit backend is given.
+BACKEND_ENV_VAR = "REPRO_SIM_BACKEND"
+
+
+class ReproSimBackend(str, Enum):
+    """The selectable simulator backends."""
+
+    REFERENCE = "reference"
+    FAST = "fast"
+    AUTO = "auto"
+
+
+#: Valid ``--sim-backend`` spellings, in documentation order.
+BACKEND_NAMES = tuple(b.value for b in ReproSimBackend)
+
+_default_backend: Optional[str] = None
+
+
+def _validate(name: str) -> str:
+    if name not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown simulator backend {name!r}; "
+            f"use one of {', '.join(BACKEND_NAMES)}"
+        )
+    return name
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set (or clear, with ``None``) the process-wide default backend."""
+    global _default_backend
+    _default_backend = None if name is None else _validate(name)
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """The effective concrete backend: ``reference`` or ``fast``.
+
+    Raises :class:`~repro.errors.ConfigurationError` on unknown names —
+    including unknown values of ``REPRO_SIM_BACKEND``, so a typo in CI
+    configuration fails loudly instead of silently simulating on the
+    wrong engine.
+    """
+    if name is None:
+        name = _default_backend
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or None
+    if name is None:
+        name = ReproSimBackend.REFERENCE.value
+    name = _validate(str(name))
+    if name == ReproSimBackend.AUTO.value:
+        from .fastcore.vector import numpy_available
+
+        if numpy_available():
+            return ReproSimBackend.FAST.value
+        return ReproSimBackend.REFERENCE.value
+    return name
+
+
+def make_engine(backend: Optional[str] = None) -> Engine:
+    """Instantiate the engine for ``backend`` (resolved per the above)."""
+    resolved = resolve_backend(backend)
+    if resolved == ReproSimBackend.FAST.value:
+        from .fastcore.engine import FastEngine
+
+        return FastEngine()
+    return Engine()

@@ -51,7 +51,11 @@ class DmaEngine(Component):
             rec.occupancy(self.name, self.engine.now, self.pending, 0)
         try:
             started = self.engine.now
-            yield self.cycles(self.setup_cycles)
+            # Fast lane: descriptor setup is a pure wait — fuse it when
+            # no queued event interleaves.
+            setup = self.cycles(self.setup_cycles)
+            if not self.engine.try_advance(setup):
+                yield setup
             if rec.enabled:
                 rec.activity(
                     "dma", self.name, started, self.engine.now, requester

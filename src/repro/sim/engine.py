@@ -38,14 +38,51 @@ class Event:
         self.value: object = None
 
     def succeed(self, value: object = None) -> "Event":
-        """Trigger the event now; waiters resume at the current time."""
+        """Trigger the event now; waiters resume at the current time.
+
+        All registered callbacks run from one scheduled thunk, in
+        insertion order. This is order-equivalent to the historical
+        one-closure-per-callback scheduling (the N closures got
+        consecutive sequence numbers with nothing interleaved, so they
+        ran back to back anyway) but keeps the queue depth independent
+        of fan-in — a wide ``AllOf`` no longer floods the scheduler
+        with N same-timestamp entries. An untriggered event with no
+        waiters schedules nothing at all.
+
+        On a fusing engine the dispatch loop additionally maintains the
+        engine's pending-callback count: callbacks still waiting inside
+        this closure are invisible to the event queue, and a fused
+        operation in callback *i* advancing ``now`` before callback
+        ``i+1`` ran would serialize work the reference engine runs
+        concurrently. The count makes :meth:`Engine.can_advance` refuse
+        exactly when the per-callback scheduling would have (siblings
+        queued at the same timestamp ⇒ ``peek == now`` ⇒ no fusion).
+        """
         if self.triggered:
             raise SimulationError("event triggered twice")
         self.triggered = True
         self.value = value
-        for cb in self.callbacks:
-            self.engine.schedule(0.0, lambda cb=cb: cb(self))
-        self.callbacks.clear()
+        if self.callbacks:
+            callbacks = self.callbacks
+            self.callbacks = []
+            engine = self.engine
+
+            if engine.fastlane:
+
+                def dispatch() -> None:
+                    remaining = len(callbacks)
+                    for cb in callbacks:
+                        remaining -= 1
+                        engine._batch_remaining = remaining
+                        cb(self)
+
+            else:
+
+                def dispatch() -> None:
+                    for cb in callbacks:
+                        cb(self)
+
+            engine.schedule(0.0, dispatch)
         return self
 
     def wait(self, callback: Callable[["Event"], None]) -> None:
@@ -126,6 +163,18 @@ class Process(Event):
 class Engine:
     """The event loop: a priority queue over (time, seq, thunk)."""
 
+    #: Event-fusion capability flag. Components consult this before
+    #: taking a fused (synchronous) execution path; the reference
+    #: engine keeps it False so its behavior — and therefore the
+    #: differential oracle — is exactly the historical one.
+    fastlane = False
+
+    #: Callbacks still pending inside the currently running
+    #: ``Event.succeed`` dispatch batch. Only written on fusing engines
+    #: (``fastlane`` True), where a non-zero value vetoes fusion: those
+    #: callbacks are due *now* but invisible to the event queue.
+    _batch_remaining = 0
+
     def __init__(self) -> None:
         self.now = 0.0
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
@@ -152,6 +201,24 @@ class Engine:
         ev = Event(self)
         self.schedule(delay, lambda: ev.succeed())
         return ev
+
+    # -- event-fusion API (no-ops here; see repro.sim.fastcore.engine) -----
+    def peek_time(self) -> float:
+        """Earliest queued event time (``+inf`` when idle)."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def can_advance(self, delay: float) -> bool:
+        """The reference engine never fuses: every wait is scheduled."""
+        return False
+
+    def advance(self, delay: float) -> None:  # pragma: no cover - guarded
+        raise SimulationError("reference engine cannot fuse events")
+
+    def try_advance(self, delay: float) -> bool:
+        """The reference engine never fuses: every wait is scheduled."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return False
 
     def run(self, until: Optional[float] = None, check_deadlock: bool = True) -> float:
         """Drain the event queue; returns the final simulation time.
@@ -230,6 +297,27 @@ class Resource:
             self._enqueue(ev, key)
             self.peak_waiters = max(self.peak_waiters, self.queued())
         return ev
+
+    def _fused_acquire(self) -> None:
+        """Grant bookkeeping for a fused (synchronous) uncontended hold.
+
+        Callers (component fast lanes) must have checked
+        ``_in_use < capacity`` under ``engine.fastlane``; this replays
+        exactly what :meth:`request` → :meth:`_grant` would have
+        recorded for an uncontended grant — counters, busy-window
+        start, and the recorder occupancy sample — without allocating
+        the grant :class:`Event`. The matching release is the ordinary
+        :meth:`release`.
+        """
+        self._in_use += 1
+        self.grants += 1
+        if self._in_use == 1:
+            self._busy_since = self.engine.now
+        rec = self.recorder
+        if rec is not None:
+            rec.occupancy(
+                self.profile_lane, self.engine.now, self._in_use, self.queued()
+            )
 
     def _enqueue(self, ev: Event, key: object) -> None:
         self._waiters.append(ev)

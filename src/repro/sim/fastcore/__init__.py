@@ -1,0 +1,24 @@
+"""``repro.sim.fastcore`` — the obs-free numeric event kernel.
+
+This package is the *fast* simulator backend: a drop-in
+:class:`~repro.sim.engine.Engine` replacement whose scheduler is an
+array-based calendar queue (bucketed time wheel with a heap overflow
+lane) instead of a binary heap, whose dispatch loop batches
+same-timestamp thunks, and whose *event-fusion* API lets components
+execute provably uncontended timed operations synchronously — no
+engine round-trip, no Event/closure allocation.
+
+The pure-python engine in :mod:`repro.sim.engine` stays untouched as
+the reference oracle; :mod:`repro.verify.conformance` proves the two
+byte-identical on every observable output (results, timelines, stats,
+profiles, provenance). Select at runtime via
+:mod:`repro.sim.backend` (``--sim-backend {reference,fast,auto}`` or
+``REPRO_SIM_BACKEND``).
+"""
+
+from __future__ import annotations
+
+from .calendar import CalendarQueue
+from .engine import FastEngine
+
+__all__ = ["CalendarQueue", "FastEngine"]

@@ -1,0 +1,306 @@
+"""An array-based calendar queue for the fast event kernel.
+
+The classic Brown calendar queue: a power-of-two ring of *buckets*
+(``vb = floor(t / width)``, physical index ``vb & mask``) with a scan
+pointer ``cur_vb`` walking virtual buckets in time order. Events more
+than one wheel revolution ahead of the pointer go to a binary-heap
+*overflow* lane and migrate onto the wheel as the pointer catches up.
+The queue resizes (doubling/halving the bucket count, re-estimating the
+width from a sample of live event times) as the population changes, so
+push and pop stay O(1) amortized across workloads with very different
+event spacings.
+
+Each bucket is itself a small binary heap ordered by ``(time, seq)``.
+That makes the scan O(1) per bucket: all live entries satisfy
+``vb >= cur_vb`` (a push behind the pointer pulls the pointer back), so
+a bucket's head either belongs to the scanned virtual bucket — and,
+being the earliest entry, *is* the eligible minimum — or has a larger
+virtual bucket, in which case every entry in the bucket does (later
+``vb`` implies later time) and the bucket holds nothing for this
+revolution. Pushes, pops, and head-removal are all C-level ``heapq``
+operations; the python layer only walks bucket heads.
+
+Ordering contract: entries are ``(time, seq, item)`` and pops are
+strictly ascending in ``(time, seq)`` — exactly ``heapq`` order on the
+same tuples, which is what the conformance suite asserts. Two
+subtleties carry the contract:
+
+* a push *behind* the scan pointer (``vb < cur_vb`` — e.g. ``run
+  (until=...)`` re-inserting a popped entry, or a peek having advanced
+  the pointer past the current time's bucket) resets ``cur_vb`` so the
+  entry cannot be skipped;
+* the wheel's candidate minimum is always compared against the overflow
+  head before a pop commits, because a backward pointer reset can leave
+  the overflow holding the true minimum.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional, Tuple
+
+from ...errors import SimulationError
+from .vector import argmin_entries, estimate_width
+
+#: A queue entry: (time, seq, virtual bucket at push, payload).
+Entry = Tuple[float, int, int, object]
+
+#: Marker for "the cached minimum lives in the overflow heap".
+_OVERFLOW = -1
+
+#: Resize thresholds: grow when entries exceed ``2 × nbuckets``, shrink
+#: when they fall below ``nbuckets // 8`` (hysteresis avoids thrash).
+_GROW_FACTOR = 2
+_SHRINK_DIVISOR = 8
+_MIN_BUCKETS = 16
+_MAX_BUCKETS = 1 << 15
+#: Sample size for width re-estimation on resize.
+_WIDTH_SAMPLE = 64
+
+
+class CalendarQueue:
+    """Priority queue over ``(time, seq, item)`` with heapq ordering."""
+
+    __slots__ = (
+        "_width",
+        "_inv_width",
+        "_nbuckets",
+        "_mask",
+        "_buckets",
+        "_overflow",
+        "_cur_vb",
+        "_wheel_count",
+        "_size",
+        "_cache",
+        "_grow_at",
+        "_shrink_at",
+    )
+
+    def __init__(
+        self, width: float = 1e-6, nbuckets: int = _MIN_BUCKETS
+    ) -> None:
+        if width <= 0.0 or not math.isfinite(width):
+            raise SimulationError(f"bucket width must be positive, got {width}")
+        if nbuckets < 1 or nbuckets & (nbuckets - 1):
+            raise SimulationError(
+                f"bucket count must be a power of two, got {nbuckets}"
+            )
+        self._set_geometry(width, nbuckets)
+        self._buckets = [[] for _ in range(nbuckets)]
+        self._overflow: List[Entry] = []
+        self._cur_vb = 0
+        self._wheel_count = 0
+        self._size = 0
+        #: Cached minimum: (entry, bucket index) with index ``_OVERFLOW``
+        #: meaning the overflow heap. Invalidated by removals, resizes,
+        #: and any push that could beat it.
+        self._cache: Optional[Tuple[Entry, int]] = None
+
+    def _set_geometry(self, width: float, nbuckets: int) -> None:
+        """Fix the wheel shape and precompute hot-path derived values.
+
+        ``_inv_width`` turns the per-push virtual-bucket division into a
+        multiplication; the two mappings can round differently near
+        bucket edges, but the queue only needs the mapping to be
+        *consistent* (push, scan, and resize all use ``_inv_width``),
+        not to match ``floor(t / width)`` exactly. ``_grow_at`` /
+        ``_shrink_at`` fold the size-threshold and bucket-bound checks
+        into single comparisons.
+        """
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._nbuckets = nbuckets
+        self._mask = nbuckets - 1
+        self._grow_at = (
+            nbuckets * _GROW_FACTOR if nbuckets < _MAX_BUCKETS else (1 << 62)
+        )
+        self._shrink_at = (
+            nbuckets // _SHRINK_DIVISOR if nbuckets > _MIN_BUCKETS else -1
+        )
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- mutation ----------------------------------------------------------
+    def push(self, t: float, seq: int, item: object) -> None:
+        """Insert ``item`` at ``(t, seq)``; ``seq`` must be unique."""
+        if not 0.0 <= t < math.inf:  # one chained compare; NaN fails it too
+            raise SimulationError(f"event time must be finite and >= 0, got {t}")
+        vb = int(t * self._inv_width)
+        entry: Entry = (t, seq, vb, item)
+        cur = self._cur_vb
+        if vb < cur:
+            # Behind the scan pointer (re-insert after an ``until`` stop,
+            # or a peek advanced the pointer past now's bucket): pull the
+            # pointer back so the entry is seen on the next scan.
+            self._cur_vb = cur = vb
+        if vb - cur >= self._nbuckets:
+            heapq.heappush(self._overflow, entry)
+        else:
+            heapq.heappush(self._buckets[vb & self._mask], entry)
+            self._wheel_count += 1
+        self._size += 1
+        cache = self._cache
+        if cache is not None and t <= cache[0][0]:
+            # Conservative: also drops the cache on a time tie the new
+            # entry loses on seq — correctness over cache hit rate.
+            self._cache = None
+        if self._size > self._grow_at:
+            self._resize(self._nbuckets * 2)
+
+    def pop(self) -> Tuple[float, int, object]:
+        """Remove and return the minimum ``(time, seq, item)``."""
+        located = self._cache
+        if located is None:
+            located = self._locate_min()
+        if located is None:
+            raise SimulationError("pop from an empty calendar queue")
+        return self._remove(located)
+
+    def pop_le(self, limit: float) -> Optional[Tuple[float, int, object]]:
+        """Pop the minimum entry if its time is ``<= limit``, else None.
+
+        One locate serves both the bound check and the removal — the
+        engine's batched same-timestamp dispatch loop calls this once
+        per drained thunk instead of a peek/pop pair.
+        """
+        located = self._cache
+        if located is None:
+            if self._size == 0:
+                return None
+            located = self._locate_min()
+        if located is None or located[0][0] > limit:
+            self._cache = located
+            return None
+        return self._remove(located)
+
+    def _remove(
+        self, located: Tuple[Entry, int]
+    ) -> Tuple[float, int, object]:
+        entry, bucket_index = located
+        if bucket_index == _OVERFLOW:
+            heapq.heappop(self._overflow)
+            # The pointer jumps to the popped minimum's bucket; overflow
+            # entries now within one revolution migrate onto the wheel.
+            self._cur_vb = entry[2]
+            horizon = self._cur_vb + self._nbuckets
+            overflow = self._overflow
+            while overflow and overflow[0][2] < horizon:
+                migrated = heapq.heappop(overflow)
+                heapq.heappush(
+                    self._buckets[migrated[2] & self._mask], migrated
+                )
+                self._wheel_count += 1
+        else:
+            heapq.heappop(self._buckets[bucket_index])
+            self._wheel_count -= 1
+        self._size -= 1
+        self._cache = None
+        if self._size < self._shrink_at:
+            self._resize(self._nbuckets // 2)
+        return entry[0], entry[1], entry[3]
+
+    # -- inspection --------------------------------------------------------
+    def peek_time(self) -> float:
+        """Earliest queued time, or ``+inf`` when empty.
+
+        O(1) when the cached minimum is valid — the event-fusion hot
+        path peeks between every fused operation, and nothing between
+        two fused operations pushes or pops.
+        """
+        located = self._cache
+        if located is None:
+            located = self._locate_min()
+            self._cache = located
+        if located is None:
+            return math.inf
+        return located[0][0]
+
+    # -- internals ---------------------------------------------------------
+    def _locate_min(self) -> Optional[Tuple[Entry, int]]:
+        if self._size == 0:
+            return None
+        best: Optional[Entry] = None
+        best_index = _OVERFLOW
+        if self._wheel_count:
+            buckets = self._buckets
+            mask = self._mask
+            vb = self._cur_vb
+            for _ in range(self._nbuckets):
+                bucket = buckets[vb & mask]
+                if bucket:
+                    head = bucket[0]
+                    if head[2] == vb:
+                        # The head belongs to this virtual bucket and,
+                        # being the bucket's (time, seq) minimum, is the
+                        # eligible minimum.
+                        self._cur_vb = vb
+                        best = head
+                        best_index = vb & mask
+                        break
+                vb += 1
+            else:
+                # A full revolution found nothing eligible: a backward
+                # pointer reset left wheel entries beyond one revolution
+                # ahead. Fall back to a head scan over every bucket.
+                best, best_index = self._global_min()
+        if self._overflow:
+            head = self._overflow[0]
+            if best is None or (head[0], head[1]) < (best[0], best[1]):
+                best = head
+                best_index = _OVERFLOW
+        if best is None:  # pragma: no cover - _size checked above
+            return None
+        return best, best_index
+
+    def _global_min(self) -> Tuple[Optional[Entry], int]:
+        """Minimum over all bucket heads (each head is its bucket's min)."""
+        heads: List[Entry] = []
+        indices: List[int] = []
+        for bucket_index, bucket in enumerate(self._buckets):
+            if bucket:
+                heads.append(bucket[0])
+                indices.append(bucket_index)
+        if not heads:
+            return None, _OVERFLOW
+        pos = argmin_entries(heads)
+        best = heads[pos]
+        self._cur_vb = best[2]
+        return best, indices[pos]
+
+    def _entries(self) -> List[Entry]:
+        out: List[Entry] = list(self._overflow)
+        for bucket in self._buckets:
+            out.extend(bucket)
+        return out
+
+    def _resize(self, nbuckets: int) -> None:
+        entries = self._entries()
+        sample = [e[0] for e in entries[:_WIDTH_SAMPLE]]
+        self._set_geometry(estimate_width(sample, self._width), nbuckets)
+        inv_width = self._inv_width
+        self._buckets = [[] for _ in range(nbuckets)]
+        self._overflow = []
+        self._wheel_count = 0
+        self._cache = None
+        if entries:
+            min_t = min(e[0] for e in entries)
+            self._cur_vb = int(min_t * inv_width)
+        horizon = self._cur_vb + nbuckets
+        mask = self._mask
+        for t, seq, _old_vb, item in entries:
+            vb = int(t * inv_width)
+            entry: Entry = (t, seq, vb, item)
+            if vb >= horizon:
+                heapq.heappush(self._overflow, entry)
+            else:
+                heapq.heappush(self._buckets[vb & mask], entry)
+                self._wheel_count += 1
+
+    def drain(self) -> List[Tuple[float, int, object]]:
+        """Pop everything, in order (diagnostics/tests only)."""
+        out: List[Tuple[float, int, object]] = []
+        while self._size:
+            out.append(self.pop())
+        return out

@@ -1,0 +1,144 @@
+"""The fast event kernel: calendar-queue scheduling + event fusion.
+
+:class:`FastEngine` is a drop-in :class:`~repro.sim.engine.Engine`
+subclass. Three things change, none of them observable in simulation
+results:
+
+* **Scheduler** — the binary heap is replaced by
+  :class:`~repro.sim.fastcore.calendar.CalendarQueue`; pops remain in
+  exact ``(time, seq)`` order, so thunks execute in the identical
+  sequence.
+* **Batched dispatch** — the run loop drains every thunk sharing one
+  timestamp in a single inner loop, skipping the per-event ``until``
+  and monotonicity re-checks (order is unchanged: pops are still
+  ``(time, seq)``-ascending).
+* **Event fusion** — components may ask, via :meth:`try_advance` /
+  :meth:`can_advance` + :meth:`advance`, to execute a timed operation
+  of duration ``d`` *synchronously* when no queued event lands in
+  ``(now, now + d]``. The check is strict (``peek > now + d``): an
+  event at exactly ``now + d`` was scheduled earlier, carries a lower
+  sequence number, and must run *before* the fused continuation would.
+  Fused paths replicate the reference engine's float arithmetic
+  operation for operation (``now = now + d``, one addition — the same
+  single addition ``schedule`` would have performed), so timestamps,
+  busy-time sums, and makespans are bit-identical.
+
+Events, processes, and resources are the reference classes — already
+``__slots__``-packed flyweights — so every waiting/queueing behavior is
+shared code, not a re-implementation that could drift.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ...errors import DeadlockError, SimulationError
+from ..engine import Engine
+from .calendar import CalendarQueue
+
+
+class FastEngine(Engine):
+    """Engine with a calendar-queue scheduler and an event-fusion API."""
+
+    #: Components check this before taking a fused (synchronous) path;
+    #: the reference engine advertises ``False`` and stays byte-for-byte
+    #: on its historical code path.
+    fastlane = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cq = CalendarQueue()
+        #: Timed operations executed synchronously (never queued). Like
+        #: ``events_processed`` this is engine-implementation
+        #: observability, outside the equivalence contract.
+        self.fused_events = 0
+        self._until: Optional[float] = None
+        self._batch_remaining = 0
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, delay: float, thunk: Callable[[], None]) -> None:
+        """Run ``thunk`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._cq.push(self.now + delay, next(self._seq), thunk)
+
+    def peek_time(self) -> float:
+        """Earliest queued event time (``+inf`` when idle)."""
+        return self._cq.peek_time()
+
+    # -- event fusion ------------------------------------------------------
+    def can_advance(self, delay: float) -> bool:
+        """Whether a timed operation of ``delay`` seconds may be fused.
+
+        True only when *no* queued event fires at or before
+        ``now + delay`` (strictly — ties must run first) and the fused
+        landing time stays within a ``run(until=...)`` horizon.
+        """
+        if self._batch_remaining:
+            # Callbacks still pending inside the running Event.succeed
+            # dispatch closure are due *now* but invisible to the queue.
+            # In the reference engine each would be a separately queued
+            # thunk, so peek == now would veto fusion; refuse exactly
+            # the same way here.
+            return False
+        target = self.now + delay
+        until = self._until
+        if until is not None and target > until:
+            return False
+        return self._cq.peek_time() > target
+
+    def advance(self, delay: float) -> None:
+        """Commit a fused operation: jump ``now`` forward by ``delay``.
+
+        Only valid immediately after :meth:`can_advance` returned True.
+        The single addition mirrors what ``schedule``'s ``now + delay``
+        would have computed, keeping timestamps bit-identical.
+        """
+        self.now = self.now + delay
+        self.fused_events += 1
+
+    def try_advance(self, delay: float) -> bool:
+        """Fuse a pure wait of ``delay`` seconds if provably safe."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        if self.can_advance(delay):
+            self.advance(delay)
+            return True
+        return False
+
+    # -- dispatch ----------------------------------------------------------
+    def run(
+        self, until: Optional[float] = None, check_deadlock: bool = True
+    ) -> float:
+        """Drain the calendar queue; returns the final simulation time."""
+        cq = self._cq
+        self._until = until
+        try:
+            while len(cq):
+                t, seq, thunk = cq.pop()
+                if until is not None and t > until:
+                    cq.push(t, seq, thunk)
+                    self.now = until
+                    return self.now
+                if t < self.now - 1e-18:  # pragma: no cover - defensive
+                    raise SimulationError("time went backwards")
+                self.now = t
+                self.events_processed += 1
+                thunk()
+                # Batched same-timestamp dispatch: drain the whole
+                # timestamp cohort without re-checking until/monotonicity
+                # (pops stay (time, seq)-ordered, so behavior is
+                # identical to the one-at-a-time loop).
+                batched = cq.pop_le(t)
+                while batched is not None:
+                    self.events_processed += 1
+                    batched[2]()
+                    batched = cq.pop_le(t)
+        finally:
+            self._until = None
+        if check_deadlock and self._active > 0:
+            raise DeadlockError(
+                f"{self._active} process(es) still waiting with an empty "
+                "event queue"
+            )
+        return self.now

@@ -1,0 +1,106 @@
+"""Optional numpy acceleration for the fastcore's array scans.
+
+numpy is an *optional* dependency of the fast backend: everything here
+has a pure-python fallback, so ``--sim-backend fast`` works on a bare
+interpreter, and ``--sim-backend auto`` uses :func:`numpy_available`
+to decide whether the fast backend is worth selecting at all.
+
+Only **order-safe** operations are vectorized — argmin scans over
+bucket arrays and the width estimation used when the calendar queue
+resizes. Float *accumulations* that feed simulation results (busy
+time, makespan arithmetic) are never routed through numpy: ``np.sum``
+is pairwise and would break bit-equality with the reference engine's
+sequential additions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+_NUMPY: Optional[object] = None
+_PROBED = False
+
+
+def _probe() -> Optional[object]:
+    """Import numpy once, tolerating absence *and* broken installs."""
+    global _NUMPY, _PROBED
+    if not _PROBED:
+        _PROBED = True
+        try:
+            import numpy  # noqa: PLC0415 — optional, probed lazily
+
+            _NUMPY = numpy
+        except Exception:  # noqa: BLE001 — any import failure = absent
+            _NUMPY = None
+    return _NUMPY
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy acceleration can be used."""
+    return _probe() is not None
+
+
+#: Below this many entries the python loop beats array conversion.
+_VECTOR_THRESHOLD = 64
+
+
+def argmin_entries(entries: Sequence[Tuple]) -> int:
+    """Index of the minimum ``(time, seq, ...)`` entry.
+
+    ``seq`` values are unique, so comparing ``(time, seq)`` is a total
+    order — the vector path first narrows to the minimum time with an
+    array scan, then breaks the (rare) time tie on ``seq`` in python.
+    """
+    np = _probe()
+    if np is not None and len(entries) >= _VECTOR_THRESHOLD:
+        times = np.fromiter(
+            (e[0] for e in entries), dtype=np.float64, count=len(entries)
+        )
+        t_min = times.min()
+        best = -1
+        for i in (times == t_min).nonzero()[0]:
+            if best < 0 or entries[i][1] < entries[best][1]:
+                best = int(i)
+        return best
+    best = 0
+    best_key = (entries[0][0], entries[0][1])
+    for i in range(1, len(entries)):
+        key = (entries[i][0], entries[i][1])
+        if key < best_key:
+            best_key = key
+            best = i
+    return best
+
+
+def estimate_width(times: Sequence[float], fallback: float) -> float:
+    """Bucket width from a sample of event times (Brown's heuristic).
+
+    The classic calendar-queue sizing rule: width ≈ 3× the mean gap
+    between consecutive (sorted, deduplicated) event times, so the
+    current bucket holds a handful of events. Returns ``fallback`` when
+    the sample carries no spread (all ties, or fewer than two points).
+    """
+    if len(times) < 2:
+        return fallback
+    np = _probe()
+    if np is not None and len(times) >= _VECTOR_THRESHOLD:
+        arr = np.sort(np.fromiter(times, dtype=np.float64, count=len(times)))
+        gaps = np.diff(arr)
+        gaps = gaps[gaps > 0]
+        if gaps.size == 0:
+            return fallback
+        mean_gap = float(gaps.mean())
+    else:
+        ordered = sorted(times)
+        gaps_list: List[float] = []
+        for a, b in zip(ordered, ordered[1:]):
+            if b > a:
+                gaps_list.append(b - a)
+        if not gaps_list:
+            return fallback
+        mean_gap = sum(gaps_list) / len(gaps_list)
+    width = 3.0 * mean_gap
+    if not math.isfinite(width) or width <= 0.0:
+        return fallback
+    return width

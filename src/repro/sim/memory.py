@@ -52,13 +52,26 @@ class Bram(Component):
                 f"access of {nbytes}B exceeds {self.name!r} capacity "
                 f"{self.size_bytes}B"
             )
-        yield self.ports.request(accessor)
+        engine = self.engine
+        ports = self.ports
+        if engine.fastlane and ports._in_use < ports.capacity:
+            # Fast lane: a free port and an empty horizon — the whole
+            # request→stream→release cycle fuses into straight-line code.
+            hold = self.cycles(self.access_cycles(nbytes))
+            if engine.can_advance(hold):
+                ports._fused_acquire()
+                self.log(f"access {nbytes}B by {accessor}")
+                engine.advance(hold)
+                self.bytes_accessed += nbytes
+                ports.release()
+                return
+        yield ports.request(accessor)
         try:
             self.log(f"access {nbytes}B by {accessor}")
             yield self.cycles(self.access_cycles(nbytes))
             self.bytes_accessed += nbytes
         finally:
-            self.ports.release()
+            ports.release()
 
 
 class Sdram(Component):
@@ -85,9 +98,21 @@ class Sdram(Component):
         """Process generator: one pipelined burst from main memory."""
         if nbytes < 0:
             raise ConfigurationError(f"negative access size {nbytes}")
-        yield self.port.request(accessor)
+        engine = self.engine
+        port = self.port
+        cycles = self.latency_cycles + math.ceil(nbytes / self.width_bytes)
+        if engine.fastlane and port._in_use < port.capacity:
+            # Fast lane: uncontended controller, empty horizon.
+            hold = self.cycles(cycles)
+            if engine.can_advance(hold):
+                port._fused_acquire()
+                self.log(f"burst {nbytes}B by {accessor}")
+                engine.advance(hold)
+                self.bytes_accessed += nbytes
+                port.release()
+                return
+        yield port.request(accessor)
         try:
-            cycles = self.latency_cycles + math.ceil(nbytes / self.width_bytes)
             self.log(f"burst {nbytes}B by {accessor}")
             yield self.cycles(cycles)
             self.bytes_accessed += nbytes

@@ -162,9 +162,12 @@ class NocMesh(Component):
         chunks = self._chunks(nbytes)
         path = self.route(src, dst)
         rec = self.recorder
+        engine = self.engine
         # Injection through the kernel-side network adapter (head).
         started = self.engine.now
-        yield self.cycles(adapters.kernel_inject_cycles)
+        inject = self.cycles(adapters.kernel_inject_cycles)
+        if not engine.try_advance(inject):
+            yield inject
         if rec.enabled:
             rec.activity(
                 "noc", f"{self.name}.adapter", started, self.engine.now,
@@ -175,14 +178,36 @@ class NocMesh(Component):
             prev: Coord = src
             for hop_src, hop_dst in path:
                 link = self.links[(hop_src, hop_dst)]
-                yield link.arbiter.request(key=prev)
+                arbiter = link.arbiter
+                hold = (
+                    self.cycles(self.params.hop_latency_cycles)
+                    + link.serialization_seconds(packet.nbytes)
+                )
+                if (
+                    engine.fastlane
+                    and arbiter._in_use < arbiter.capacity
+                    and engine.can_advance(hold)
+                ):
+                    # Fast lane: a free link and an empty horizon — the
+                    # hop's grant→traverse→release fuses synchronously.
+                    arbiter._fused_acquire()
+                    self.log(f"pkt{packet.pid} {hop_src}->{hop_dst}")
+                    hop_started = engine.now
+                    engine.advance(hold)
+                    link.record(packet.nbytes)
+                    if rec.enabled:
+                        rec.activity(
+                            "noc", f"noc{hop_src}->{hop_dst}",
+                            hop_started, engine.now, packet.flow,
+                        )
+                    arbiter.release()
+                    prev = hop_src
+                    continue
+                yield arbiter.request(key=prev)
                 try:
                     self.log(f"pkt{packet.pid} {hop_src}->{hop_dst}")
                     hop_started = self.engine.now
-                    yield (
-                        self.cycles(self.params.hop_latency_cycles)
-                        + link.serialization_seconds(packet.nbytes)
-                    )
+                    yield hold
                     link.record(packet.nbytes)
                     if rec.enabled:
                         rec.activity(
@@ -190,7 +215,7 @@ class NocMesh(Component):
                             hop_started, self.engine.now, packet.flow,
                         )
                 finally:
-                    link.arbiter.release()
+                    arbiter.release()
                 prev = hop_src
             self.packets_delivered += 1
             self.bytes_delivered += packet.nbytes
@@ -206,7 +231,9 @@ class NocMesh(Component):
             yield procs
         # Ejection through the memory-side network adapter (tail).
         started = self.engine.now
-        yield self.cycles(adapters.memory_eject_cycles)
+        eject = self.cycles(adapters.memory_eject_cycles)
+        if not engine.try_advance(eject):
+            yield eject
         if rec.enabled:
             rec.activity(
                 "noc", f"{self.name}.adapter", started, self.engine.now,
@@ -229,8 +256,11 @@ class NocMesh(Component):
         adapters = self.params.adapters
         path = self.route(src, dst)
         rec = self.recorder
+        engine = self.engine
         started = self.engine.now
-        yield self.cycles(adapters.kernel_inject_cycles)
+        inject = self.cycles(adapters.kernel_inject_cycles)
+        if not engine.try_advance(inject):
+            yield inject
         if rec.enabled:
             rec.activity(
                 "noc", f"{self.name}.adapter", started, self.engine.now,
@@ -247,7 +277,11 @@ class NocMesh(Component):
                     held.append(link)
                     self.log(f"worm{packet.pid} head {hop_src}->{hop_dst}")
                     hop_started = self.engine.now
-                    yield self.cycles(self.params.hop_latency_cycles)
+                    # Fast lane: the head-advance latency is a pure
+                    # wait (links stay held either way).
+                    hop = self.cycles(self.params.hop_latency_cycles)
+                    if not engine.try_advance(hop):
+                        yield hop
                     if rec.enabled:
                         rec.activity(
                             "noc", f"noc{hop_src}->{hop_dst}",
@@ -256,7 +290,9 @@ class NocMesh(Component):
                     prev = hop_src
                 if held:
                     ser_started = self.engine.now
-                    yield held[0].serialization_seconds(chunk)
+                    ser = held[0].serialization_seconds(chunk)
+                    if not engine.try_advance(ser):
+                        yield ser
                     if rec.enabled and path:
                         ser_src, ser_dst = path[0]
                         rec.activity(
@@ -271,7 +307,9 @@ class NocMesh(Component):
             self.packets_delivered += 1
             self.bytes_delivered += chunk
         started = self.engine.now
-        yield self.cycles(adapters.memory_eject_cycles)
+        eject = self.cycles(adapters.memory_eject_cycles)
+        if not engine.try_advance(eject):
+            yield eject
         if rec.enabled:
             rec.activity(
                 "noc", f"{self.name}.adapter", started, self.engine.now,

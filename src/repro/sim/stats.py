@@ -56,6 +56,11 @@ class SimulationStats:
     dma_peak_queue: int = 0
     #: Discrete events the engine executed for this run.
     engine_events: int = 0
+    #: Timed operations the fast backend executed synchronously (0 on
+    #: the reference engine). Like ``engine_events`` this describes the
+    #: engine implementation, not the simulated system, so it sits
+    #: outside the backend-equivalence contract.
+    engine_fused_events: int = 0
 
     @property
     def busiest_link(self) -> Optional[LinkStats]:
@@ -164,6 +169,9 @@ def collect_stats(
         dma_transfers=dma.transfers if dma is not None else 0,
         dma_peak_queue=dma.peak_pending if dma is not None else 0,
         engine_events=engine.events_processed if engine is not None else 0,
+        engine_fused_events=(
+            getattr(engine, "fused_events", 0) if engine is not None else 0
+        ),
     )
 
 
@@ -191,6 +199,9 @@ def publish_stats(
     registry.incr("sim_dma_transfers", by=stats.dma_transfers, labels=labels)
     registry.gauge("sim_dma_peak_queue", stats.dma_peak_queue, labels=labels)
     registry.incr("sim_engine_events", by=stats.engine_events, labels=labels)
+    registry.incr(
+        "sim_engine_fused_events", by=stats.engine_fused_events, labels=labels
+    )
     registry.gauge("sim_makespan_seconds", stats.makespan_s, labels=labels)
     if stats.noc_bytes:
         registry.incr("sim_noc_bytes", by=stats.noc_bytes, labels=labels)

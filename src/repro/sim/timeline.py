@@ -15,6 +15,7 @@ into a terminal chart::
 
 from __future__ import annotations
 
+import hashlib
 import math
 from typing import Mapping, Sequence, Tuple
 
@@ -22,6 +23,25 @@ from ..errors import ConfigurationError
 from .systems import SimulatedTimes
 
 Span = Tuple[float, float]
+
+
+def timeline_digest(times: SimulatedTimes, width: int = 60) -> str:
+    """SHA-256 over a run's exact timeline content.
+
+    Hashes the ``repr`` of every kernel span (full float precision — a
+    one-ULP drift changes the digest) together with the rendered Gantt
+    chart, so two digests match iff the timelines are byte-identical
+    both numerically and as displayed. The backend conformance suite
+    compares digests across simulator engines.
+    """
+    h = hashlib.sha256()
+    h.update(times.label.encode())
+    for name in sorted(times.kernel_spans):
+        start, end = times.kernel_spans[name]
+        h.update(f"{name}|{start!r}|{end!r}\n".encode())
+    if times.kernel_spans:
+        h.update(render_gantt(times.kernel_spans, width=width).encode())
+    return h.hexdigest()
 
 #: Busy-fraction glyph ramp for utilization lanes (blank = idle).
 UTIL_RAMP = " .:-=+*#%@"

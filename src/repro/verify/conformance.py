@@ -1,0 +1,204 @@
+"""Differential backend conformance: reference vs fast engine.
+
+The fast event kernel (:mod:`repro.sim.fastcore`) is only admissible
+because it is *provably indistinguishable* from the reference engine.
+This module is the proof machinery: it runs the same simulation on both
+backends and diffs everything observable **byte-exactly** — no
+tolerances, no ``isclose``. Field-level float comparisons are by
+``repr`` equality (every bit shown), so a one-ULP drift in any
+timestamp, makespan, counter, recorded sample, or rendered timeline is
+a reported :class:`~repro.verify.invariants.Violation`.
+
+What is compared:
+
+* the full :class:`~repro.sim.systems.SimulatedTimes` (``asdict`` —
+  makespans, extras counters, per-kernel spans);
+* every :class:`~repro.obs.profile.recorder.TimeseriesRecorder` sample
+  stream (activities, occupancy edges, deliveries), in order;
+* the :func:`~repro.sim.timeline.timeline_digest` of each run.
+
+Engine-implementation observability (``events_processed`` /
+``fused_events`` on the engine object itself) is deliberately *outside*
+the contract: the two engines execute different numbers of discrete
+events by design — that difference is the optimization, not a bug. It
+never leaks into any compared artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..core.designer import design_interconnect
+from ..core.plan import InterconnectPlan
+from ..obs.profile.recorder import TimeseriesRecorder
+from ..sim.backend import BACKEND_NAMES, ReproSimBackend
+from ..sim.systems import (
+    SimulatedTimes,
+    simulate_baseline,
+    simulate_pipelined_baseline,
+    simulate_proposed,
+)
+from ..sim.timeline import timeline_digest
+from .generate import GeneratedCase
+from .invariants import Violation
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ReproSimBackend",
+    "backend_conformance_check",
+    "conformance_sweep",
+    "diff_recordings",
+    "diff_simulated_times",
+]
+
+#: The systems a conformance pass exercises per case.
+_SYSTEMS: Tuple[str, ...] = ("baseline", "pipelined", "proposed")
+
+
+def diff_simulated_times(
+    label: str, ref: SimulatedTimes, fast: SimulatedTimes
+) -> List[Violation]:
+    """Field-precise byte-exact diff of two simulation results.
+
+    Returns one violation per differing field, naming the exact values
+    (``repr``, full precision) so a conformance failure is diagnosable
+    from the report alone.
+    """
+    violations: List[Violation] = []
+    ref_d, fast_d = asdict(ref), asdict(fast)
+    for key in sorted(set(ref_d) | set(fast_d)):
+        a, b = ref_d.get(key), fast_d.get(key)
+        # repr-compare: dicts of floats must match bit for bit, and
+        # repr makes 0.1+0.2 vs 0.30000000000000004 visible in the
+        # message instead of rounding away in str().
+        if repr(a) != repr(b):
+            violations.append(
+                Violation(
+                    "backend_results",
+                    f"{label}.{key}",
+                    f"reference {a!r} != fast {b!r}",
+                )
+            )
+    return violations
+
+
+def diff_recordings(
+    label: str, ref: TimeseriesRecorder, fast: TimeseriesRecorder
+) -> List[Violation]:
+    """Byte-exact diff of two recorders' sample streams, in order.
+
+    Sample *order* is part of the contract: the recorder is an
+    append-only log, so identical streams prove the two engines made
+    the same instrumentation calls in the same sequence.
+    """
+    violations: List[Violation] = []
+    streams = (
+        ("activities", ref.activities, fast.activities),
+        ("occupancy", ref.occupancy_samples, fast.occupancy_samples),
+        ("deliveries", ref.deliveries, fast.deliveries),
+    )
+    for name, a, b in streams:
+        if len(a) != len(b):
+            violations.append(
+                Violation(
+                    "backend_profile",
+                    f"{label}.{name}",
+                    f"reference recorded {len(a)} samples, fast {len(b)}",
+                )
+            )
+            continue
+        for i, (sa, sb) in enumerate(zip(a, b)):
+            if repr(sa) != repr(sb):
+                violations.append(
+                    Violation(
+                        "backend_profile",
+                        f"{label}.{name}[{i}]",
+                        f"reference {sa!r} != fast {sb!r}",
+                    )
+                )
+                break  # first divergence per stream is enough to act on
+    return violations
+
+
+def _simulate(
+    system: str,
+    case: GeneratedCase,
+    plan: InterconnectPlan,
+    backend: str,
+    recorder: Optional[TimeseriesRecorder],
+) -> SimulatedTimes:
+    if system == "baseline":
+        return simulate_baseline(
+            case.graph, 0.0, case.params, recorder=recorder, backend=backend
+        )
+    if system == "pipelined":
+        return simulate_pipelined_baseline(
+            case.graph, 0.0, case.params, recorder=recorder, backend=backend
+        )
+    return simulate_proposed(
+        plan, 0.0, case.params, recorder=recorder, backend=backend
+    )
+
+
+def backend_conformance_check(
+    case: GeneratedCase,
+    plan: Optional[InterconnectPlan] = None,
+    profile: bool = True,
+) -> List[Violation]:
+    """Prove one case byte-identical across simulator backends.
+
+    Designs the case (unless a ``plan`` is passed in), then runs the
+    baseline, pipelined-baseline, and proposed systems on both the
+    reference and fast engines and diffs results, recorder streams
+    (when ``profile``), and timeline digests. An empty list is the
+    conformance proof for this case; any entry is a counterexample.
+    """
+    if plan is None:
+        plan = design_interconnect(case.label(), case.graph, case.config())
+    violations: List[Violation] = []
+    for system in _SYSTEMS:
+        label = f"{case.label()}.{system}"
+        rec_ref = TimeseriesRecorder() if profile else None
+        rec_fast = TimeseriesRecorder() if profile else None
+        ref = _simulate(
+            system, case, plan, ReproSimBackend.REFERENCE.value, rec_ref
+        )
+        fast = _simulate(
+            system, case, plan, ReproSimBackend.FAST.value, rec_fast
+        )
+        violations.extend(diff_simulated_times(label, ref, fast))
+        if rec_ref is not None and rec_fast is not None:
+            violations.extend(diff_recordings(label, rec_ref, rec_fast))
+        ref_digest = timeline_digest(ref)
+        fast_digest = timeline_digest(fast)
+        if ref_digest != fast_digest:
+            violations.append(
+                Violation(
+                    "backend_timeline",
+                    label,
+                    f"timeline digests differ: reference {ref_digest[:16]} "
+                    f"!= fast {fast_digest[:16]}",
+                )
+            )
+    return violations
+
+
+def conformance_sweep(
+    cases: List[GeneratedCase],
+    profile: bool = True,
+    on_case: Optional[Callable[[GeneratedCase, List[Violation]], Any]] = None,
+) -> List[Violation]:
+    """Run :func:`backend_conformance_check` over a case corpus.
+
+    ``on_case`` (optional) observes each case's violations as they are
+    produced — the test suite uses it to attach case labels to failures
+    without re-running anything.
+    """
+    all_violations: List[Violation] = []
+    for case in cases:
+        found = backend_conformance_check(case, profile=profile)
+        if on_case is not None:
+            on_case(case, found)
+        all_violations.extend(found)
+    return all_violations

@@ -1,0 +1,222 @@
+"""Property tests for the fast event kernel's calendar queue.
+
+The ordering contract is simple to state and load-bearing for the whole
+backend-conformance story: :class:`~repro.sim.fastcore.calendar.
+CalendarQueue` pops entries in exactly the order ``heapq`` would pop the
+same ``(time, seq)`` tuples. Every test here reduces to that oracle —
+random workloads, adversarial time distributions, interleaved push/pop,
+resize churn, overflow migration, and the backward-pointer resets the
+engine's ``run(until=...)`` re-insertion path exercises.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.fastcore.calendar import CalendarQueue
+
+
+def heapq_order(entries):
+    """The oracle: sorted by (time, seq) — what heapq would pop."""
+    return sorted(entries)
+
+
+class TestHeapqParity:
+    """Random workloads pop in exact heapq order."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_push_then_drain(self, seed):
+        rng = random.Random(f"calendar:{seed}")
+        entries = [
+            (rng.uniform(0, 10.0 ** rng.randint(-9, 3)), seq, object())
+            for seq in range(rng.randint(1, 400))
+        ]
+        cq = CalendarQueue()
+        for t, seq, item in entries:
+            cq.push(t, seq, item)
+        assert cq.drain() == heapq_order(entries)
+        assert len(cq) == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_interleaved_push_pop(self, seed):
+        # The engine's actual access pattern: pops interleaved with
+        # pushes whose times are >= the last popped time.
+        rng = random.Random(f"calendar-interleave:{seed}")
+        cq = CalendarQueue()
+        shadow = []
+        seq = 0
+        now = 0.0
+        popped = []
+        expected = []
+        for _ in range(600):
+            if shadow and rng.random() < 0.45:
+                expected.append(heapq.heappop(shadow))
+                t, s, item = cq.pop()
+                popped.append((t, s, item))
+                now = t
+            else:
+                t = now + rng.uniform(0, 5.0 * 10.0 ** rng.randint(-6, 1))
+                entry = (t, seq, f"e{seq}")
+                heapq.heappush(shadow, entry)
+                cq.push(*entry)
+                seq += 1
+        while shadow:
+            expected.append(heapq.heappop(shadow))
+            popped.append(cq.pop())
+        assert popped == expected
+
+    def test_fifo_within_equal_timestamps(self):
+        # Equal times pop in seq (insertion) order — the property that
+        # makes batched dispatch order-identical to one-at-a-time.
+        cq = CalendarQueue()
+        for seq in (3, 0, 4, 1, 2):
+            cq.push(1.25, seq, f"item{seq}")
+        assert [s for _, s, _ in cq.drain()] == [0, 1, 2, 3, 4]
+
+    def test_pops_are_monotonic_in_time_seq(self):
+        rng = random.Random("calendar-monotonic")
+        cq = CalendarQueue()
+        for seq in range(500):
+            cq.push(rng.choice([0.0, 1e-9, 1e-3, 1.0, 512.0]), seq, None)
+        prev = (-math.inf, -1)
+        while len(cq):
+            t, seq, _ = cq.pop()
+            assert (t, seq) > prev
+            prev = (t, seq)
+
+
+class TestResizeAndOverflow:
+    """Geometry changes never reorder or lose entries."""
+
+    def test_grow_through_multiple_resizes(self):
+        # Default wheel is 16 buckets; 5000 entries force many doublings.
+        rng = random.Random("calendar-grow")
+        entries = [(rng.uniform(0, 1e-3), seq, seq) for seq in range(5000)]
+        cq = CalendarQueue()
+        for e in entries:
+            cq.push(*e)
+        assert cq._nbuckets > 16
+        assert cq.drain() == heapq_order(entries)
+
+    def test_shrink_on_drain_down(self):
+        rng = random.Random("calendar-shrink")
+        entries = [(rng.uniform(0, 1.0), seq, seq) for seq in range(3000)]
+        cq = CalendarQueue()
+        for e in entries:
+            cq.push(*e)
+        grown = cq._nbuckets
+        out = cq.drain()
+        assert out == heapq_order(entries)
+        assert cq._nbuckets < grown  # hysteresis shrank the wheel back
+
+    def test_overflow_far_future_entries(self):
+        # Times spanning 12 orders of magnitude: most land in overflow,
+        # then migrate onto the wheel as the pointer catches up.
+        cq = CalendarQueue(width=1e-9, nbuckets=16)
+        entries = [
+            (t, seq, seq)
+            for seq, t in enumerate(
+                [0.0, 1e-9, 1e-6, 1e-3, 1.0, 10.0, 100.0, 1e3]
+            )
+        ]
+        for e in entries:
+            cq.push(*e)
+        assert cq.drain() == heapq_order(entries)
+
+    def test_backward_push_after_peek(self):
+        # run(until=...) pops an entry and pushes it back; meanwhile the
+        # scan pointer may have advanced far past its bucket. The
+        # backward push must reset the pointer, not orphan the entry.
+        cq = CalendarQueue()
+        cq.push(5.0, 0, "late")
+        assert cq.peek_time() == 5.0  # advances the scan pointer
+        t, seq, item = cq.pop()
+        cq.push(t, seq, item)  # re-insert (the until path)
+        cq.push(1.0, 1, "early")  # behind the pointer
+        assert cq.drain() == [(1.0, 1, "early"), (5.0, 0, "late")]
+
+    def test_mixed_scale_times_with_interleaved_pops(self):
+        rng = random.Random("calendar-scales")
+        entries = []
+        for seq in range(800):
+            scale = 10.0 ** rng.randint(-9, 2)
+            entries.append((rng.uniform(0, scale), seq, seq))
+        cq = CalendarQueue()
+        for e in entries[:400]:
+            cq.push(*e)
+        got = [cq.pop() for _ in range(200)]
+        for e in entries[400:]:
+            cq.push(*e)
+        got.extend(cq.drain())
+        # Not globally sorted (late pushes may precede early pops'
+        # times), but multiset-identical and each drain segment sorted.
+        assert sorted(got) == heapq_order(entries)
+        assert got[:200] == heapq_order(entries[:400])[:200]
+        assert got[200:] == heapq_order(set(entries) - set(got[:200]))
+
+
+class TestPopLe:
+    """pop_le: the batched same-timestamp dispatch primitive."""
+
+    def test_pops_only_at_or_below_limit(self):
+        cq = CalendarQueue()
+        cq.push(1.0, 0, "a")
+        cq.push(1.0, 1, "b")
+        cq.push(2.0, 2, "c")
+        assert cq.pop_le(1.0) == (1.0, 0, "a")
+        assert cq.pop_le(1.0) == (1.0, 1, "b")
+        assert cq.pop_le(1.0) is None  # "c" is beyond the limit
+        assert len(cq) == 1
+        assert cq.pop() == (2.0, 2, "c")
+
+    def test_empty_queue_returns_none(self):
+        cq = CalendarQueue()
+        assert cq.pop_le(math.inf) is None
+
+    def test_refused_entry_stays_cached_and_pops_next(self):
+        cq = CalendarQueue()
+        cq.push(3.0, 0, "x")
+        assert cq.pop_le(1.0) is None
+        assert cq.peek_time() == 3.0
+        assert cq.pop() == (3.0, 0, "x")
+
+
+class TestValidationAndEdges:
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            CalendarQueue().pop()
+
+    def test_peek_empty_is_inf(self):
+        assert CalendarQueue().peek_time() == math.inf
+
+    @pytest.mark.parametrize("t", [-1.0, -1e-18, math.inf, math.nan])
+    def test_invalid_times_rejected(self, t):
+        with pytest.raises(SimulationError):
+            CalendarQueue().push(t, 0, None)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(SimulationError):
+            CalendarQueue(width=0.0)
+        with pytest.raises(SimulationError):
+            CalendarQueue(width=-1.0)
+        with pytest.raises(SimulationError):
+            CalendarQueue(nbuckets=12)  # not a power of two
+
+    def test_time_zero_is_valid(self):
+        cq = CalendarQueue()
+        cq.push(0.0, 0, "origin")
+        assert cq.pop() == (0.0, 0, "origin")
+
+    def test_push_never_invalidates_a_better_cache_silently(self):
+        # A push that could beat the cached minimum must drop the cache.
+        cq = CalendarQueue()
+        cq.push(2.0, 0, "b")
+        assert cq.peek_time() == 2.0  # populates the cache
+        cq.push(1.0, 1, "a")
+        assert cq.peek_time() == 1.0
+        assert cq.pop() == (1.0, 1, "a")

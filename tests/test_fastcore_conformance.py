@@ -1,0 +1,214 @@
+"""Differential conformance: the fast event kernel vs the reference engine.
+
+The fast backend (:mod:`repro.sim.fastcore`) is only admissible because
+it is byte-for-byte indistinguishable from the reference engine. These
+tests are that proof, at two scales:
+
+* the four paper applications, across all three simulated systems, with
+  full profiling recorders attached;
+* a 50-case fixed-seed fuzz corpus (:mod:`repro.verify.generate`) far
+  outside the paper's operating regime — torus NoCs, degenerate graphs,
+  randomized hardware parameters.
+
+Plus targeted regressions for the one interaction subtle enough to have
+produced a real divergence during development: batched ``Event.succeed``
+dispatch hiding sibling callbacks from the event queue, which let a
+fused operation advance ``now`` mid-batch and serialize flows the
+reference engine runs concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.core.designer import DesignConfig, design_interconnect
+from repro.obs.profile.recorder import TimeseriesRecorder
+from repro.sim.backend import make_engine
+from repro.sim.fastcore.engine import FastEngine
+from repro.sim.systems import (
+    simulate_baseline,
+    simulate_pipelined_baseline,
+    simulate_proposed,
+)
+from repro.sim.timeline import timeline_digest
+from repro.verify import (
+    FuzzSpec,
+    backend_conformance_check,
+    conformance_sweep,
+    diff_recordings,
+    diff_simulated_times,
+    generate_case,
+)
+
+#: The fuzz corpus is pinned: same seed, same indices, forever. A
+#: conformance failure reproduces from ``generate_case(FuzzSpec(),
+#: CORPUS_SEED, index)`` alone.
+CORPUS_SEED = 2026
+CORPUS_SIZE = 50
+
+SYSTEMS = ("baseline", "pipelined", "proposed")
+
+
+def _simulate(system, graph, plan, params, backend, recorder):
+    if system == "baseline":
+        return simulate_baseline(graph, 0.0, params, recorder=recorder,
+                                 backend=backend)
+    if system == "pipelined":
+        return simulate_pipelined_baseline(graph, 0.0, params,
+                                           recorder=recorder, backend=backend)
+    return simulate_proposed(plan, 0.0, params, recorder=recorder,
+                             backend=backend)
+
+
+class TestPaperApps:
+    """All four paper applications, all three systems, byte-identical."""
+
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_app_conformance(self, system, fitted_apps, system_params, theta):
+        for name, fitted in fitted_apps.items():
+            config = DesignConfig(
+                theta_s_per_byte=theta,
+                stream_overhead_s=fitted.stream_overhead_s,
+            )
+            plan = design_interconnect(name, fitted.graph, config)
+            rec_ref, rec_fast = TimeseriesRecorder(), TimeseriesRecorder()
+            ref = _simulate(system, fitted.graph, plan, system_params,
+                            "reference", rec_ref)
+            fast = _simulate(system, fitted.graph, plan, system_params,
+                             "fast", rec_fast)
+            label = f"{name}.{system}"
+            violations = diff_simulated_times(label, ref, fast)
+            violations += diff_recordings(label, rec_ref, rec_fast)
+            assert violations == [], "\n".join(str(v) for v in violations)
+            assert timeline_digest(ref) == timeline_digest(fast)
+
+    def test_fast_backend_is_deterministic(self, fitted_apps, system_params):
+        # Two fast runs of the same input are byte-identical: the
+        # calendar queue and fusion introduce no run-to-run state.
+        fitted = fitted_apps["fluid"]
+        a = simulate_baseline(fitted.graph, 0.0, system_params, backend="fast")
+        b = simulate_baseline(fitted.graph, 0.0, system_params, backend="fast")
+        assert repr(asdict(a)) == repr(asdict(b))
+
+
+class TestFuzzCorpus:
+    """Fixed-seed corpus: 50 generated cases, zero tolerated violations."""
+
+    def test_corpus_conformance(self):
+        cases = [
+            generate_case(FuzzSpec(), CORPUS_SEED, i)
+            for i in range(CORPUS_SIZE)
+        ]
+        failures = []
+
+        def on_case(case, found):
+            if found:
+                failures.append((case.label(), found[0]))
+
+        violations = conformance_sweep(cases, on_case=on_case)
+        assert violations == [], (
+            f"{len(failures)} non-conforming case(s); first: "
+            f"{failures[0][0]}: {failures[0][1]}"
+        )
+
+    def test_single_case_check_reports_counterexamples(self):
+        # The checker itself must produce actionable reports: a case
+        # runs clean, and its violation list is the proof artifact.
+        case = generate_case(FuzzSpec(), CORPUS_SEED, 0)
+        assert backend_conformance_check(case) == []
+
+
+class TestBatchedDispatchFusion:
+    """Regressions for Event.succeed's batched dispatch on FastEngine.
+
+    Multiple callbacks on one event are dispatched by a single queued
+    closure. Mid-batch, pending sibling callbacks are due *now* but
+    invisible to the queue — fusion must refuse exactly as the
+    reference engine's ``peek == now`` would.
+    """
+
+    def test_fusion_vetoed_while_siblings_pending(self):
+        eng = FastEngine()
+        ev = eng.event()
+        observed = []
+
+        def waiter(tag):
+            def cb(_event):
+                # can_advance must be False for every callback except
+                # the last: siblings still inside the dispatch closure
+                # correspond to same-time queued thunks in the
+                # reference engine.
+                observed.append((tag, eng.can_advance(1.0)))
+            return cb
+
+        for tag in ("a", "b", "c"):
+            ev.callbacks.append(waiter(tag))
+        ev.succeed()
+        eng.run()
+        assert observed == [("a", False), ("b", False), ("c", True)]
+
+    def test_callback_order_preserved(self):
+        eng = FastEngine()
+        ev = eng.event()
+        order = []
+        for tag in range(5):
+            ev.callbacks.append(lambda _e, t=tag: order.append(t))
+        ev.succeed()
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_wide_fanin_schedules_one_closure(self):
+        # The historical Event.succeed queued one thunk per callback,
+        # bloating the queue under wide AllOf fan-in; now the whole
+        # batch is one queued dispatch closure — on both engines.
+        from repro.sim.engine import Engine
+
+        for eng in (Engine(), FastEngine()):
+            ev = eng.event()
+            fired = []
+            for i in range(50):
+                ev.callbacks.append(lambda _e, i=i: fired.append(i))
+            ev.succeed()
+            queued = len(eng._queue) if type(eng) is Engine else len(eng._cq)
+            assert queued == 1
+            eng.run()
+            assert fired == list(range(50))
+
+    def test_batch_guard_clears_after_dispatch(self):
+        eng = FastEngine()
+        ev = eng.event()
+        ev.callbacks.append(lambda _e: None)
+        ev.succeed()
+        eng.run()
+        assert eng._batch_remaining == 0
+        # Fusion works again once the batch is fully dispatched.
+        assert eng.try_advance(1.0)
+        assert eng.now == 1.0
+
+    def test_reference_engine_never_fuses(self):
+        eng = make_engine("reference")
+        assert eng.fastlane is False
+        assert eng.can_advance(0.0) is False
+        assert eng.try_advance(1.0) is False
+        assert eng.now == 0.0
+
+
+class TestEquivalenceContractScope:
+    """Engine-implementation counters stay outside the contract."""
+
+    def test_fused_operations_skip_the_queue(self):
+        # The optimization is visible only on the engine object: a
+        # fused operation bumps fused_events, never events_processed.
+        eng = FastEngine()
+        assert eng.try_advance(1.0)
+        assert eng.fused_events == 1
+        assert eng.events_processed == 0
+        assert eng.now == 1.0
+
+    def test_make_engine_returns_the_right_class(self):
+        assert isinstance(make_engine("fast"), FastEngine)
+        ref = make_engine("reference")
+        assert not isinstance(ref, FastEngine)
+        assert ref.fastlane is False

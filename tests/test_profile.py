@@ -508,8 +508,9 @@ class TestCli:
         row = data["apps"]["jpeg"]
         assert set(row) == {
             "design_s", "sim_baseline_s", "sim_proposed_s",
-            "sim_proposed_profiled_s", "profile_build_s",
-            "profiler_overhead", "lint_s",
+            "sim_fastcore_s", "sim_fastcore_proposed_s",
+            "fastcore_speedup", "sim_proposed_profiled_s",
+            "profile_build_s", "profiler_overhead", "lint_s",
         }
         assert all(field in data["schema"] for field in (
             "apps.<name>.profiler_overhead", "service.batch_cold_s",

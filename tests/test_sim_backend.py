@@ -1,0 +1,191 @@
+"""Backend selection: resolution order, auto fallback, typed rejection.
+
+The backend choice is a pure throughput knob — it travels *next to*
+jobs (service argument, env var), never *on* them, so cache
+fingerprints are backend-free. These tests pin the resolution order
+(explicit argument → process default → ``REPRO_SIM_BACKEND`` → the
+reference engine), the ``auto`` probe (fast iff numpy imports, proven
+in a subprocess with numpy masked), and that every entry point rejects
+unknown names with a typed :class:`~repro.errors.ConfigurationError`
+before any work runs.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+import repro.sim.backend as backend_mod
+from repro.errors import ConfigurationError
+from repro.cli import main
+from repro.sim.backend import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    ReproSimBackend,
+    make_engine,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.sim.fastcore.vector import numpy_available
+
+
+@pytest.fixture(autouse=True)
+def _clean_backend_state(monkeypatch):
+    """Isolate the process default and env var per test."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    monkeypatch.setattr(backend_mod, "_default_backend", None)
+
+
+class TestResolutionOrder:
+    def test_default_is_reference(self):
+        assert resolve_backend() == "reference"
+        assert resolve_backend(None) == "reference"
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fast")
+        set_default_backend("fast")
+        assert resolve_backend("reference") == "reference"
+
+    def test_process_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fast")
+        set_default_backend("reference")
+        assert resolve_backend() == "reference"
+        set_default_backend(None)  # cleared → env applies again
+        assert resolve_backend() == "fast"
+
+    def test_env_var_applies_when_nothing_else_set(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fast")
+        assert resolve_backend() == "fast"
+
+    def test_empty_env_var_means_unset(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert resolve_backend() == "reference"
+
+    def test_backend_names_enumerate_the_enum(self):
+        assert BACKEND_NAMES == ("reference", "fast", "auto")
+        assert [b.value for b in ReproSimBackend] == list(BACKEND_NAMES)
+
+
+class TestAutoProbe:
+    def test_auto_matches_numpy_availability(self):
+        expected = "fast" if numpy_available() else "reference"
+        assert resolve_backend("auto") == expected
+
+    def test_auto_falls_back_to_reference_without_numpy(self):
+        # Mask numpy in a subprocess: an import-hook that raises makes
+        # the probe fail, so ``auto`` must resolve to the reference
+        # engine instead of exploding or silently picking fast.
+        code = (
+            # repro.apps needs numpy at import time, so import the
+            # package first, *then* mask numpy and force a re-probe:
+            # exactly the situation of a broken numpy install at the
+            # moment the fast backend would first be selected.
+            "import sys\n"
+            "from repro.sim.backend import resolve_backend\n"
+            "import repro.sim.fastcore.vector as vector\n"
+            "class _Block:\n"
+            "    def find_spec(self, name, path=None, target=None):\n"
+            "        if name.split('.')[0] == 'numpy':\n"
+            "            raise ImportError('numpy masked for test')\n"
+            "        return None\n"
+            "sys.meta_path.insert(0, _Block())\n"
+            "for mod in [m for m in sys.modules if m.split('.')[0] == 'numpy']:\n"
+            "    del sys.modules[mod]\n"
+            "vector._PROBED = False\n"
+            "vector._NUMPY = None\n"
+            "assert vector.numpy_available() is False\n"
+            "print(resolve_backend('auto'))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd="/root/repo",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "reference"
+
+    def test_make_engine_honors_resolution(self):
+        from repro.sim.engine import Engine
+        from repro.sim.fastcore.engine import FastEngine
+
+        assert type(make_engine("reference")) is Engine
+        assert type(make_engine("fast")) is FastEngine
+        assert type(make_engine()) is Engine  # default → reference
+
+
+class TestTypedRejection:
+    """Unknown backend names fail loudly, before any simulation."""
+
+    def test_resolve_rejects_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown simulator"):
+            resolve_backend("bogus")
+
+    def test_set_default_rejects_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown simulator"):
+            set_default_backend("bogus")
+
+    def test_env_var_typo_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fastest")
+        with pytest.raises(ConfigurationError, match="unknown simulator"):
+            resolve_backend()
+
+    def test_service_validates_at_construction(self):
+        from repro.service import DesignService
+
+        with pytest.raises(ConfigurationError, match="unknown simulator"):
+            DesignService(sim_backend="bogus")
+
+    def test_server_config_validates_at_construction(self):
+        from repro.server import ServerConfig
+
+        with pytest.raises(ConfigurationError, match="unknown simulator"):
+            ServerConfig(sim_backend="bogus")
+
+    def test_run_sweep_rejects_backend_on_injected_service(self):
+        from repro.service import DesignService
+        from repro.sweep import SweepGrid, run_sweep
+
+        grid = SweepGrid(apps=["klt"], simulate=False)
+        with pytest.raises(ConfigurationError, match="injected"):
+            run_sweep(grid, service=DesignService(), sim_backend="fast")
+
+    def test_cli_sweep_rejects_unknown_backend(self, capsys):
+        code = main(["sweep", "--apps", "klt", "--sim-backend", "bogus"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "unknown simulator backend" in err
+
+    def test_cli_serve_rejects_unknown_backend(self, capsys):
+        code = main([
+            "serve", "--port", "0", "--sim-backend", "bogus",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "unknown simulator backend" in err
+
+    def test_cli_bench_rejects_unknown_backend(self, capsys):
+        code = main([
+            "bench", "--apps", "klt", "--repeat", "1",
+            "--sim-backend", "bogus",
+        ])
+        assert code == 1
+        assert "unknown simulator backend" in capsys.readouterr().err
+
+
+class TestBackendEquivalenceThroughTheService:
+    """The cache-soundness argument: identical output either way."""
+
+    def test_sweep_csv_byte_identical_across_backends(self):
+        from repro.sweep import SweepGrid, run_sweep, to_csv
+
+        grid = SweepGrid(
+            apps=["klt"],
+            param_grid={"bus_width_bytes": [4, 8]},
+            simulate=True,
+        )
+        ref_csv = to_csv(run_sweep(grid, sim_backend="reference"))
+        fast_csv = to_csv(run_sweep(grid, sim_backend="fast"))
+        assert ref_csv == fast_csv

@@ -185,7 +185,7 @@ class TestBenchCompareCli:
     def _patch_bench(self, monkeypatch, scale):
         import repro.bench as bench_mod
 
-        def fake_run_bench(apps, repeat, buckets, out=None):
+        def fake_run_bench(apps, repeat, buckets, out=None, sim_backend=None):
             return _report(scale)
 
         monkeypatch.setattr(bench_mod, "run_bench", fake_run_bench)
