@@ -35,7 +35,11 @@
   error rates (optionally merged into ``BENCH_repro.json`` and gated
   with ``--max-error-rate``);
 * ``top`` — live dashboard over a running server's ``/v1/debug``
-  runtime introspection endpoint (``--once`` for a single snapshot);
+  runtime introspection endpoint (``--once`` for a single snapshot,
+  ``--json`` for the raw machine-readable document);
+* ``postmortem <dump>`` — render a ``flight-report`` JSON written by a
+  crashed, SIGQUIT'd, or watchdog-tripped server (thread stacks,
+  recent spans/events, metric snapshots);
 * ``apps`` — list the available applications.
 
 ``bench --history BENCH_history.jsonl --compare`` turns the benchmark
@@ -225,6 +229,18 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="{reference,fast,auto}",
                    help="engine for the service batch measurement (per-app "
                         "sim metrics always pin their own engine)")
+    p.add_argument("--profile-self", action="store_true",
+                   help="also sample the benchmark's own stacks: adds "
+                        "sim_sampled_s / sampler_overhead per app and a "
+                        "self_profile phase-attribution section")
+    p.add_argument("--profile-out", type=str, default=None, metavar="PATH",
+                   help="write the speedscope profile of the phase-"
+                        "attribution pass here (implies --profile-self)")
+    p.add_argument("--max-sampler-overhead", type=float, default=None,
+                   metavar="X",
+                   help="exit 1 if the stack-sampler overhead ratio "
+                        "exceeds X (implies --profile-self; gates on the "
+                        "worst benched app)")
 
     p = sub.add_parser(
         "fuzz",
@@ -291,6 +307,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds to wait for in-flight work on SIGTERM")
     p.add_argument("--event-log", type=str, default=None, metavar="PATH",
                    help="also append every runtime event as JSONL here")
+    p.add_argument("--event-log-max-mb", type=float, default=0.0,
+                   metavar="MB",
+                   help="rotate the --event-log sink when it would exceed "
+                        "this size (one .1 backup; 0 = never rotate)")
+    p.add_argument("--flight-dir", type=str, default=".", metavar="DIR",
+                   help="directory for flight-report dumps written on "
+                        "crash, SIGQUIT, or a watchdog trip (default: cwd)")
     p.add_argument("--sim-backend", type=str, default=None,
                    metavar="{reference,fast,auto}",
                    help="simulation engine for served jobs (results are "
@@ -308,6 +331,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="refresh period in seconds")
     p.add_argument("--once", action="store_true",
                    help="print one snapshot and exit (no screen control)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw /v1/debug document as JSON and "
+                        "exit (machine-readable; implies --once)")
+
+    p = sub.add_parser(
+        "postmortem",
+        help="render a flight-report dump from a crashed/SIGQUIT'd server",
+    )
+    p.add_argument("dump", help="path to a flight-*.json dump file")
+    p.add_argument("--json", action="store_true",
+                   help="re-emit the validated document as canonical JSON "
+                        "instead of the human rendering")
+    p.add_argument("--events", type=int, default=15, metavar="N",
+                   help="recent events to show per ring (default 15)")
+    p.add_argument("--frames", type=int, default=12, metavar="N",
+                   help="stack frames to show per thread (default 12)")
 
     p = sub.add_parser(
         "loadtest",
@@ -643,14 +682,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.threshold is not None and not args.compare:
         raise ConfigurationError("--threshold only applies with --compare")
 
+    profile_self = (
+        args.profile_self
+        or args.profile_out is not None
+        or args.max_sampler_overhead is not None
+    )
     apps = [a for a in args.apps.split(",") if a]
     report = run_bench(
         apps=apps, repeat=args.repeat, buckets=args.buckets, out=args.out,
-        sim_backend=args.sim_backend,
+        sim_backend=args.sim_backend, profile_self=profile_self,
+        profile_out=args.profile_out,
     )
     print(render_bench(report))
     if args.out is not None:
         print(f"wrote benchmark report to {args.out}")
+    if args.profile_out is not None:
+        print(f"wrote speedscope self-profile to {args.profile_out}")
 
     regression = False
     if args.history is not None:
@@ -735,6 +782,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"fastcore gate ok: {name} sim_fastcore_s is {ratio:.2f}x "
               f"sim_baseline_s <= {args.max_fastcore_ratio:.2f}x")
+
+    if args.max_sampler_overhead is not None:
+        rows = report["apps"]
+        # Gate on the worst app: the sampler's cost is supposed to be
+        # flat across workloads, so any app breaching the bound means
+        # sampling got structurally more expensive.
+        name = max(rows, key=lambda n: rows[n]["sampler_overhead"])
+        overhead = rows[name]["sampler_overhead"]
+        if overhead > args.max_sampler_overhead:
+            print(
+                f"FAIL: stack-sampler overhead on {name} is "
+                f"{overhead:.2f}x > allowed "
+                f"{args.max_sampler_overhead:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"sampler overhead gate ok: {name} {overhead:.2f}x "
+              f"<= {args.max_sampler_overhead:.2f}x")
     return 0
 
 
@@ -810,6 +875,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_sweep_points=args.max_sweep_points,
         drain_timeout_s=args.drain_timeout,
         event_log_path=args.event_log,
+        event_log_max_mb=args.event_log_max_mb,
+        flight_dir=args.flight_dir,
         sim_backend=args.sim_backend,
     )
 
@@ -863,6 +930,13 @@ def cmd_top(args: argparse.Namespace) -> int:
     from .server import DesignClient
 
     client = DesignClient(args.url, tenant=args.tenant)
+    if args.json:
+        import json as json_mod
+
+        # Machine-readable one-shot: the raw /v1/debug document, no
+        # ANSI, no table formatting — scriptable with jq.
+        print(json_mod.dumps(client.debug(), indent=2, sort_keys=True))
+        return 0
     while True:
         doc = client.debug()
         metrics_text = client.metrics()
@@ -876,6 +950,21 @@ def cmd_top(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
         except KeyboardInterrupt:
             return 0
+
+
+def cmd_postmortem(args: argparse.Namespace) -> int:
+    from .obs.flight import load_flight_report, render_flight_report
+
+    doc = load_flight_report(args.dump)
+    if args.json:
+        from .io import canonical_json
+
+        print(canonical_json(doc))
+    else:
+        print(render_flight_report(
+            doc, events_shown=args.events, frames_shown=args.frames
+        ))
+    return 0
 
 
 def cmd_apps(_args: argparse.Namespace) -> int:
@@ -966,6 +1055,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "loadtest": cmd_loadtest,
     "top": cmd_top,
+    "postmortem": cmd_postmortem,
     "apps": cmd_apps,
     "pareto": cmd_pareto,
     "reconfig": cmd_reconfig,

@@ -1,0 +1,52 @@
+"""Self-observability: flight recorder, stack sampler, stall watchdog.
+
+The pieces (DESIGN.md §15):
+
+* :class:`FlightRecorder` / :class:`RingTracer` — always-on bounded
+  rings of recent spans, runtime events, and metrics snapshots;
+* :class:`StackSampler` — thread-based wall-clock profiler with
+  collapsed-stack / speedscope export and phase attribution
+  (:data:`SIM_PHASES`);
+* :class:`StallWatchdog` / :class:`Heartbeat` — stall detection over
+  heartbeats and probes, edge-triggered trip/clear events;
+* :func:`build_flight_report` / :func:`write_flight_dump` /
+  :func:`load_flight_report` / :func:`render_flight_report` — the
+  versioned ``flight-report`` post-mortem artifact
+  (:data:`FLIGHT_KIND`), rendered by ``repro postmortem``.
+"""
+
+from .recorder import FlightRecorder, RingTracer
+from .report import (
+    FLIGHT_KIND,
+    build_flight_report,
+    load_flight_report,
+    render_flight_report,
+    thread_stacks,
+    write_flight_dump,
+)
+from .sampler import (
+    OTHER_PHASE,
+    SAMPLED_PROFILE_KIND,
+    SIM_PHASES,
+    StackSampler,
+    frame_label,
+)
+from .watchdog import Heartbeat, StallWatchdog
+
+__all__ = [
+    "FLIGHT_KIND",
+    "OTHER_PHASE",
+    "SAMPLED_PROFILE_KIND",
+    "SIM_PHASES",
+    "FlightRecorder",
+    "Heartbeat",
+    "RingTracer",
+    "StackSampler",
+    "StallWatchdog",
+    "build_flight_report",
+    "frame_label",
+    "load_flight_report",
+    "render_flight_report",
+    "thread_stacks",
+    "write_flight_dump",
+]

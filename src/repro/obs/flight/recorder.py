@@ -1,0 +1,216 @@
+"""Always-on bounded capture of recent telemetry (the "flight recorder").
+
+A crashed or wedged server can only explain itself from state that was
+already being recorded when things went wrong. The
+:class:`FlightRecorder` therefore keeps three *bounded* rings — recent
+spans, recent runtime events, and periodic metrics snapshots — cheap
+enough to leave on in every ``repro serve`` process, and hands their
+contents to :func:`repro.obs.flight.report.build_flight_report` when a
+dump is triggered (crash, SIGQUIT, watchdog trip).
+
+Memory discipline mirrors the rest of ``repro.obs``:
+
+* spans go through :class:`RingTracer`, a :class:`~repro.obs.trace.Tracer`
+  whose buffer keeps only the newest ``capacity`` spans (sequence
+  numbers keep counting, so merged worker spans stay ordered);
+* events are already ring-bounded by :class:`~repro.obs.runtime.events.EventLog`;
+* metrics snapshots are taken at most once per ``snapshot_interval_s``
+  and kept in a ring of ``snapshot_capacity`` — a registry snapshot is
+  the one non-trivial allocation here, so it is rate-limited rather
+  than per-request.
+
+The recorder never touches request hot paths itself: the server's beat
+task calls :meth:`maybe_snapshot` from its idle loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+)
+
+from ...errors import ConfigurationError
+from ..runtime.events import NULL_LOG, EventLog
+from ..trace import SpanEvent, Tracer
+
+
+class MetricsSource(Protocol):
+    """Anything with a ``snapshot()`` — structurally typed so this
+    module stays below :mod:`repro.service.metrics` in the import DAG."""
+
+    def snapshot(self) -> Dict[str, Any]:
+        ...  # pragma: no cover - protocol
+
+
+class RingTracer(Tracer):
+    """A tracer bounded to the most recent ``capacity`` spans.
+
+    Sequence numbers are monotonic across evictions (a private counter,
+    not ``len(buffer)``), so exported spans still sort by record order
+    even after the ring has wrapped. This is what lets ``repro serve``
+    keep span capture always on without unbounded growth.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"ring tracer capacity must be >= 1, got {capacity}"
+            )
+        super().__init__()
+        self._capacity = int(capacity)
+        self._next_seq = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def _append(self, event: SpanEvent) -> None:
+        with self._lock:
+            object.__setattr__(event, "seq", self._next_seq)
+            self._next_seq += 1
+            self._events.append(event)
+            overflow = len(self._events) - self._capacity
+            if overflow > 0:
+                del self._events[:overflow]
+
+    def merge(
+        self, spans: Iterable[Union[SpanEvent, Mapping[str, Any]]]
+    ) -> int:
+        incoming = [
+            s if isinstance(s, SpanEvent) else SpanEvent.from_dict(s)
+            for s in spans
+        ]
+        with self._lock:
+            for ev in incoming:
+                object.__setattr__(ev, "seq", self._next_seq)
+                self._next_seq += 1
+                self._events.append(ev)
+            overflow = len(self._events) - self._capacity
+            if overflow > 0:
+                del self._events[:overflow]
+        return len(incoming)
+
+    @property
+    def recorded(self) -> int:
+        """Total spans ever recorded (ring holds the newest slice)."""
+        with self._lock:
+            return self._next_seq
+
+
+class FlightRecorder:
+    """Bounded rings of recent spans, events, and metrics snapshots."""
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        events: EventLog = NULL_LOG,
+        registry: Optional[MetricsSource] = None,
+        snapshot_capacity: int = 32,
+        snapshot_interval_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if snapshot_capacity < 1:
+            raise ConfigurationError(
+                "flight snapshot capacity must be >= 1, "
+                f"got {snapshot_capacity}"
+            )
+        if snapshot_interval_s <= 0:
+            raise ConfigurationError(
+                "flight snapshot interval must be > 0, "
+                f"got {snapshot_interval_s}"
+            )
+        self.tracer = tracer
+        self.events = events
+        self.registry = registry
+        self.snapshot_interval_s = float(snapshot_interval_s)
+        self._snapshot_capacity = int(snapshot_capacity)
+        self._snapshots: List[Tuple[float, Dict[str, Any]]] = []
+        self._last_snapshot: Optional[float] = None
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    # -- metrics snapshots --------------------------------------------------
+    def snapshot_metrics(self) -> bool:
+        """Capture one registry snapshot into the ring, unconditionally.
+
+        Returns whether a snapshot was taken (``False`` without a
+        registry). The snapshot itself happens outside this object's
+        lock — the registry has its own.
+        """
+        if self.registry is None:
+            return False
+        snap = self.registry.snapshot()
+        now = self._clock()
+        with self._lock:
+            self._last_snapshot = now
+            self._snapshots.append((now, snap))
+            overflow = len(self._snapshots) - self._snapshot_capacity
+            if overflow > 0:
+                del self._snapshots[:overflow]
+        return True
+
+    def maybe_snapshot(self) -> bool:
+        """:meth:`snapshot_metrics`, rate-limited to the interval."""
+        if self.registry is None:
+            return False
+        now = self._clock()
+        with self._lock:
+            due = (
+                self._last_snapshot is None
+                or now - self._last_snapshot >= self.snapshot_interval_s
+            )
+        if not due:
+            return False
+        return self.snapshot_metrics()
+
+    def snapshots(self) -> List[Dict[str, Any]]:
+        """Snapshot ring, oldest first, with ages relative to now."""
+        now = self._clock()
+        with self._lock:
+            rows = list(self._snapshots)
+        return [
+            {"age_s": round(now - ts, 3), "metrics": snap}
+            for ts, snap in rows
+        ]
+
+    # -- assembly -----------------------------------------------------------
+    def rings(self) -> Dict[str, Any]:
+        """All three rings as JSON-safe lists (the dump's ``rings``)."""
+        spans: List[Dict[str, Any]] = []
+        if self.tracer is not None and self.tracer.enabled:
+            spans = [e.as_dict() for e in self.tracer.events]
+        events: List[Dict[str, Any]] = []
+        if self.events.enabled:
+            events = [e.as_dict() for e in self.events.events()]
+        return {
+            "spans": spans,
+            "events": events,
+            "metric_snapshots": self.snapshots(),
+        }
+
+    def state(self) -> Dict[str, Any]:
+        """Cheap size/config summary for ``/v1/debug``."""
+        with self._lock:
+            snapshots = len(self._snapshots)
+        spans = 0
+        if self.tracer is not None and self.tracer.enabled:
+            spans = len(self.tracer.events)
+        return {
+            "spans": spans,
+            "events": len(self.events.events()) if self.events.enabled else 0,
+            "metric_snapshots": snapshots,
+            "snapshot_interval_s": self.snapshot_interval_s,
+        }

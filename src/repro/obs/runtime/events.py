@@ -35,6 +35,7 @@ this is load-bearing, not ceremony.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -75,6 +76,9 @@ EVENT_KINDS = frozenset({
     "drain_begin",        # SIGTERM/stop received, readiness dropped
     "drain_idle",         # in-flight requests and batcher drained
     "drain_done",         # worker pool reaped; fields: clean
+    "watchdog_trip",      # a liveness source stalled; fields: source, detail
+    "watchdog_clear",     # a stalled source recovered; fields: source
+    "flight_dump",        # post-mortem dump written; fields: reason, path
 })
 
 #: Field values are restricted to JSON scalars; anything else is
@@ -138,15 +142,26 @@ class EventLog:
     tail); ``sink`` is a path whose file receives every event as one
     JSON line, opened lazily on first emit and flushed per line so a
     crash loses at most the event being written.
+
+    ``sink_max_bytes`` caps the sink file: once appending the next line
+    would cross the cap, the current file rotates to ``<sink>.1``
+    (replacing any previous rotation) and a fresh file starts — a
+    long-running server keeps at most two generations on disk instead
+    of an unbounded log (``repro serve --event-log-max-mb``).
     """
 
     enabled: bool = True
 
     def __init__(self, capacity: int = 1024,
-                 sink: Optional[str] = None) -> None:
+                 sink: Optional[str] = None,
+                 sink_max_bytes: Optional[int] = None) -> None:
         if capacity < 1:
             raise ConfigurationError(
                 f"event log capacity must be >= 1, got {capacity}"
+            )
+        if sink_max_bytes is not None and sink_max_bytes < 1:
+            raise ConfigurationError(
+                f"sink_max_bytes must be >= 1, got {sink_max_bytes}"
             )
         self._capacity = int(capacity)
         self._ring: Tuple[RuntimeEvent, ...] = ()
@@ -155,6 +170,9 @@ class EventLog:
         self._seq = 0
         self._sink_path = sink
         self._sink: Optional[IO[str]] = None
+        self._sink_max_bytes = sink_max_bytes
+        self._sink_bytes = 0
+        self._rotations = 0
         self._lock = threading.Lock()
 
     @property
@@ -193,9 +211,34 @@ class EventLog:
             if self._sink_path is not None:
                 if self._sink is None:
                     self._sink = open(self._sink_path, "a", encoding="utf-8")
-                self._sink.write(event.to_json() + "\n")
+                    self._sink_bytes = self._sink.tell()
+                line = event.to_json() + "\n"
+                encoded = len(line.encode("utf-8"))
+                if (
+                    self._sink_max_bytes is not None
+                    and self._sink_bytes > 0
+                    and self._sink_bytes + encoded > self._sink_max_bytes
+                ):
+                    self._rotate_locked()
+                self._sink.write(line)
+                self._sink_bytes += encoded
                 self._sink.flush()
         return event
+
+    def _rotate_locked(self) -> None:
+        """Roll the sink to ``<path>.1`` and start fresh (lock held)."""
+        assert self._sink is not None and self._sink_path is not None
+        self._sink.close()
+        os.replace(self._sink_path, self._sink_path + ".1")
+        self._sink = open(self._sink_path, "a", encoding="utf-8")
+        self._sink_bytes = 0
+        self._rotations += 1
+
+    @property
+    def rotations(self) -> int:
+        """Sink rollovers performed since construction."""
+        with self._lock:
+            return self._rotations
 
     def events(self) -> Tuple[RuntimeEvent, ...]:
         """Ring contents, oldest first."""

@@ -12,8 +12,11 @@ unlucky historical run must not move the gate. And only *timing*
 metrics (dotted names ending ``_s`` or ``_ms``) are gated, lower is
 better, with a small absolute noise floor so sub-tenth-of-a-millisecond
 jitter on trivial timings can't fail CI. Ratio metrics like
-``profiler_overhead`` and ``cache_speedup`` are reported in the trend
-table but never gate — they are already ratios of gated quantities.
+``fastcore_speedup``, ``profiler_overhead`` and ``cache_speedup`` are
+first-class in the trend table — formatted as multipliers with their
+own ``ratio`` verdict, and a speedup that *falls* against its baseline
+is called out — but they never gate: they are already ratios of gated
+quantities, so gating them would double-count a timing regression.
 
 Everything here is pure data-in/data-out (the CLI owns printing and
 exit codes), which is what makes the 2×-slowdown injection test in
@@ -91,6 +94,16 @@ def timing_suffix(name: str) -> Optional[str]:
         if leaf.endswith(suffix):
             return suffix
     return None
+
+
+#: Leaf suffixes of displayed-but-never-gated multiplier metrics.
+RATIO_SUFFIXES = ("_speedup", "_overhead", "_ratio")
+
+
+def ratio_metric(name: str) -> bool:
+    """Whether ``name`` is a ratio metric (shown as ``Nx``, not gated)."""
+    leaf = name.rsplit(".", 1)[-1]
+    return leaf.endswith(RATIO_SUFFIXES)
 
 
 def history_entry(report: Mapping[str, object],
@@ -232,6 +245,8 @@ def _fmt(name: str, value: Optional[float]) -> str:
         return f"{value * 1e3:.3f}ms"
     if timing_suffix(name) == "_ms":
         return f"{value:.3f}ms"
+    if ratio_metric(name):
+        return f"{value:.2f}x"
     return f"{value:.3g}"
 
 
@@ -249,6 +264,16 @@ def render_trend_table(deltas: List[MetricDelta],
         trend = sparkline(d.history + (d.current,))
         if d.regressed:
             verdict = "REGRESSED"
+        elif ratio_metric(d.name):
+            # Never gated, but a speedup falling below its historical
+            # baseline is exactly the throughput drift the table exists
+            # to surface — name it, don't bury it in "info".
+            dropped = (
+                d.name.endswith("_speedup")
+                and d.ratio is not None
+                and d.ratio < 1.0 / threshold
+            )
+            verdict = "ratio (dropped)" if dropped else "ratio"
         elif not d.gated:
             verdict = "info"
         else:

@@ -111,6 +111,13 @@ class Tracer:
         """Whether this tracer records anything (``False`` for the null)."""
         return True
 
+    @property
+    def epoch_s(self) -> float:
+        """The ``time.perf_counter`` value span timestamps are relative
+        to — lets samplers fold their own perf_counter timestamps onto
+        this tracer's timeline (:meth:`StackSampler.fold_spans`)."""
+        return self._epoch
+
     def _now_us(self) -> float:
         return (time.perf_counter() - self._epoch) * 1e6
 
@@ -236,6 +243,10 @@ class NullTracer(Tracer):
     @property
     def enabled(self) -> bool:
         return False
+
+    @property
+    def epoch_s(self) -> float:
+        return 0.0
 
     def span(self, name: str, category: str = "pipeline", **args: Any):  # type: ignore[override]
         return _NULL_CONTEXT

@@ -31,6 +31,7 @@ pipeline stages it triggered.
 from __future__ import annotations
 
 import asyncio
+import pathlib
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
@@ -42,6 +43,13 @@ from ..errors import (
     ReproError,
 )
 from ..obs.export import escape_label_value, to_prometheus
+from ..obs.flight import (
+    FlightRecorder,
+    RingTracer,
+    StallWatchdog,
+    build_flight_report,
+    write_flight_dump,
+)
 from ..obs.runtime.events import EventLog
 from ..obs.runtime.tracecontext import (
     TraceContext,
@@ -86,8 +94,26 @@ class ServerConfig:
     #: Runtime event-log ring size and optional JSONL sink path.
     event_capacity: int = 512
     event_log_path: Optional[str] = None
+    #: Size cap for the JSONL sink in MB; crossing it rotates the file
+    #: to ``<path>.1`` (0 = unbounded).
+    event_log_max_mb: float = 0.0
     #: Events shown in the ``/v1/debug`` tail.
     debug_tail: int = 32
+    #: Flight recorder: where post-mortem dumps land, span-ring size,
+    #: metrics-snapshot ring size and cadence. The recorder itself is
+    #: always on — these only bound what it remembers.
+    flight_dir: str = "."
+    flight_spans: int = 256
+    flight_snapshots: int = 32
+    flight_snapshot_interval_s: float = 5.0
+    #: Stall watchdog: check cadence, the event loop's heartbeat budget,
+    #: and how old a pending batch / in-flight flush may grow before the
+    #: batcher (or the worker pool behind it) is declared wedged.
+    #: ``watchdog_enabled=False`` skips the thread entirely (tests).
+    watchdog_enabled: bool = True
+    watchdog_interval_s: float = 0.25
+    watchdog_loop_lag_s: float = 2.0
+    watchdog_batch_stall_s: float = 30.0
     #: Simulation backend for the wrapped service's jobs (``None`` =
     #: env/default resolution; see :mod:`repro.sim.backend`). Results
     #: are byte-identical across backends, so this is a pure throughput
@@ -98,6 +124,15 @@ class ServerConfig:
         if self.batch_window_s < 0:
             raise ConfigurationError(
                 f"batch_window_s must be >= 0, got {self.batch_window_s}"
+            )
+        if self.event_log_max_mb < 0:
+            raise ConfigurationError(
+                f"event_log_max_mb must be >= 0, got {self.event_log_max_mb}"
+            )
+        if self.watchdog_interval_s <= 0 or self.watchdog_loop_lag_s <= 0 \
+                or self.watchdog_batch_stall_s <= 0:
+            raise ConfigurationError(
+                "watchdog intervals/budgets must be > 0"
             )
         if self.max_body_bytes < 1:
             raise ConfigurationError(
@@ -126,9 +161,21 @@ class DesignServer:
         self.service = service
         self.config = config
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.tracer = active(tracer)
+        # Span capture is always on: callers may inject their own
+        # tracer, otherwise a bounded ring keeps the most recent spans
+        # for flight dumps at a fixed memory cost. Tracing never touches
+        # response payloads, so served summaries stay byte-identical.
+        self.tracer = (
+            active(tracer) if tracer is not None
+            else RingTracer(capacity=config.flight_spans)
+        )
+        sink_cap = (
+            int(config.event_log_max_mb * 1_000_000)
+            if config.event_log_max_mb > 0 else None
+        )
         self.events = events if events is not None else EventLog(
-            capacity=config.event_capacity, sink=config.event_log_path
+            capacity=config.event_capacity, sink=config.event_log_path,
+            sink_max_bytes=sink_cap,
         )
         # The wrapped service reports into the same log unless it was
         # built with its own — cache hits/misses and pool recycles then
@@ -148,6 +195,32 @@ class DesignServer:
             registry=self.registry,
             events=self.events,
         )
+        self.flight = FlightRecorder(
+            tracer=self.tracer,
+            events=self.events,
+            registry=self.registry,
+            snapshot_capacity=config.flight_snapshots,
+            snapshot_interval_s=config.flight_snapshot_interval_s,
+        )
+        self.watchdog = StallWatchdog(
+            interval_s=config.watchdog_interval_s,
+            events=self.events,
+            on_trip=self._on_stall,
+            on_clear=self._on_stall_cleared,
+        )
+        self._loop_heartbeat = self.watchdog.heartbeat(
+            "event_loop", config.watchdog_loop_lag_s
+        )
+        self.watchdog.probe(
+            "batcher",
+            self.batcher.stall_probe(config.watchdog_batch_stall_s),
+        )
+        self._beat_task: Optional["asyncio.Task[None]"] = None
+        #: ``"source: detail"`` while the watchdog says we are stalled;
+        #: surfaced as a 503 on /readyz. Written from the watchdog
+        #: thread, read on the event loop (atomic str/None store).
+        self._stalled: Optional[str] = None
+        self.last_flight_dump: Optional[str] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._started = time.monotonic()
         # In-flight request table for /v1/debug: request id -> live row.
@@ -165,6 +238,24 @@ class DesignServer:
         self._server = await asyncio.start_server(
             self._on_connection, host=self.config.host, port=self.config.port
         )
+        if self.config.watchdog_enabled:
+            self._beat_task = asyncio.get_running_loop().create_task(
+                self._beat_loop()
+            )
+            self.watchdog.start()
+
+    async def _beat_loop(self) -> None:
+        """Heartbeat the watchdog from the event loop; feed the recorder.
+
+        A blocked loop cannot run this task — which is exactly how the
+        watchdog detects event-loop lag. Metrics snapshots piggyback on
+        the same tick (rate-limited inside the recorder), keeping the
+        request paths free of snapshot work.
+        """
+        while True:
+            self._loop_heartbeat.beat()
+            self.flight.maybe_snapshot()
+            await asyncio.sleep(self.config.watchdog_interval_s)
 
     @property
     def port(self) -> int:
@@ -185,6 +276,10 @@ class DesignServer:
         admitted run to completion and are answered.
         """
         self.admission.start_drain()
+        self.watchdog.stop()
+        if self._beat_task is not None:
+            self._beat_task.cancel()
+            self._beat_task = None
         if self.events.enabled:
             self.events.emit("drain_begin")
         if self._server is not None:
@@ -205,6 +300,75 @@ class DesignServer:
             self.events.emit("drain_done", clean=clean)
         self.events.close()
         return clean
+
+    # -- flight recorder / watchdog ----------------------------------------
+    def _on_stall(self, source: str, message: str) -> None:
+        """Watchdog trip (watchdog thread): degrade readiness, dump."""
+        self._stalled = f"{source}: {message}"
+        try:
+            self.flight_dump(f"watchdog:{source}")
+        except OSError:
+            pass  # a full disk must not take down the watchdog
+
+    def _on_stall_cleared(self, source: str) -> None:
+        if not self.watchdog.tripped:
+            self._stalled = None
+
+    def _flight_state(self) -> Dict[str, Any]:
+        """Admission/batcher/pool counters for the dump's ``state``.
+
+        Read lock-free from whatever thread triggers the dump — every
+        field is an atomic attribute read, and a post-mortem prefers a
+        near-consistent answer *now* over a consistent one never.
+        """
+        return {
+            "admission": {
+                "inflight": self.admission.inflight,
+                "queue_depth": self.admission.queue_depth,
+                "rejected": self.admission.rejected,
+                "draining": self.admission.draining,
+            },
+            "batcher": {
+                "pending": self.batcher.pending,
+                "inflight_flushes": self.batcher.inflight_flushes,
+                "oldest_pending_age_s": round(
+                    self.batcher.oldest_pending_age_s(), 3
+                ),
+                "longest_flush_age_s": round(
+                    self.batcher.longest_flush_age_s(), 3
+                ),
+            },
+            "service": {
+                "execution_mode": self.service.execution_mode,
+                "jobs_submitted": self.service.metrics.counter(
+                    "jobs_submitted"
+                ),
+                "jobs_completed": self.service.metrics.counter(
+                    "jobs_completed"
+                ),
+                "jobs_failed": self.service.metrics.counter("jobs_failed"),
+            },
+            "active_requests": len(self._active),
+        }
+
+    def flight_dump(self, reason: str) -> "pathlib.Path":
+        """Write a post-mortem ``flight-report`` now; returns its path.
+
+        Callable from any thread (SIGQUIT handler, watchdog, crash
+        path). The dump is assembled from the recorder's bounded rings
+        plus live thread stacks, so it is cheap even mid-incident.
+        """
+        doc = build_flight_report(
+            reason,
+            recorder=self.flight,
+            watchdog=self.watchdog,
+            state=self._flight_state(),
+        )
+        path = write_flight_dump(doc, self.config.flight_dir)
+        self.last_flight_dump = str(path)
+        if self.events.enabled:
+            self.events.emit("flight_dump", reason=reason, path=str(path))
+        return path
 
     # -- connection handling -----------------------------------------------
     async def _on_connection(
@@ -335,6 +499,9 @@ class DesignServer:
         if path == "/readyz" and method == "GET":
             if self.admission.draining:
                 return self._text(503, "draining\n")
+            stalled = self._stalled
+            if stalled is not None:
+                return self._text(503, f"stalled: {stalled}\n")
             return self._text(200, "ready\n")
         if path == "/metrics" and method == "GET":
             return self._metrics_response()
@@ -465,6 +632,10 @@ class DesignServer:
                     spec, trace_id=ctx.trace_id
                 )
                 record = protocol.point_record(grid, result)
+                # Echo the request's trace id on every point event so a
+                # client can join a partially consumed stream against
+                # server-side spans/events (mirrors /v1/design).
+                record["trace_id"] = ctx.trace_id
                 await sse.event(
                     "point", protocol.encode(record).decode("utf-8")
                 )
@@ -615,6 +786,13 @@ class DesignServer:
                     event.as_dict()
                     for event in self.events.tail(self.config.debug_tail)
                 ],
+            },
+            "flight": {
+                "recorder": self.flight.state(),
+                "watchdog": self.watchdog.status(),
+                "stalled": self._stalled,
+                "dir": self.config.flight_dir,
+                "last_dump": self.last_flight_dump,
             },
         }
         return self._json(

@@ -24,7 +24,8 @@ added latency while still merging true bursts.
 from __future__ import annotations
 
 import asyncio
-from typing import List, Optional, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs.runtime.events import NULL_LOG, EventLog
 from ..service.api import DesignService, JobResult
@@ -54,6 +55,12 @@ class RequestBatcher:
         self._pending: List[_Pending] = []
         self._timer: Optional[asyncio.TimerHandle] = None
         self._flushes: "set[asyncio.Task]" = set()
+        # Stall introspection for the watchdog: when the oldest pending
+        # request joined its window, and when each in-flight flush
+        # started. Monotonic floats written on the event loop, read
+        # from the watchdog thread — tearing-free under the GIL.
+        self._pending_since: Optional[float] = None
+        self._flush_starts: "Dict[asyncio.Task, float]" = {}
 
     async def submit(self, job: DesignJob, trace_id: str = "") -> JobResult:
         """Enqueue one job and await its result.
@@ -64,6 +71,8 @@ class RequestBatcher:
         """
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[JobResult]" = loop.create_future()
+        if not self._pending:
+            self._pending_since = time.monotonic()
         self._pending.append((job, trace_id, future))
         if len(self._pending) >= self.max_batch:
             self._flush(reason="full")
@@ -81,6 +90,47 @@ class RequestBatcher:
         """Requests waiting in the current (unflushed) window."""
         return len(self._pending)
 
+    def oldest_pending_age_s(self) -> float:
+        """Seconds the oldest unflushed request has been waiting."""
+        since = self._pending_since
+        if since is None or not self._pending:
+            return 0.0
+        return time.monotonic() - since
+
+    def longest_flush_age_s(self) -> float:
+        """Seconds the longest-running in-flight flush has been out."""
+        starts = list(self._flush_starts.values())
+        if not starts:
+            return 0.0
+        return time.monotonic() - min(starts)
+
+    def stall_probe(self, max_age_s: float) -> Callable[[], Optional[str]]:
+        """A watchdog probe over both stall modes.
+
+        A *pending* request older than ``max_age_s`` means the flush
+        timer is wedged (the window should have fired long ago); an
+        *in-flight* flush older than ``max_age_s`` means ``submit_many``
+        is stuck — a hung worker pool looks exactly like this from the
+        event loop's side.
+        """
+
+        def check() -> Optional[str]:
+            pending_age = self.oldest_pending_age_s()
+            if pending_age > max_age_s:
+                return (
+                    f"oldest pending request waiting {pending_age:.2f}s "
+                    f"(window {self.window_s}s, budget {max_age_s:.2f}s)"
+                )
+            flush_age = self.longest_flush_age_s()
+            if flush_age > max_age_s:
+                return (
+                    f"flush in executor for {flush_age:.2f}s "
+                    f"(budget {max_age_s:.2f}s) — worker pool may be hung"
+                )
+            return None
+
+        return check
+
     async def wait_idle(self) -> None:
         """Flush anything pending and wait for all batches to finish."""
         self._flush()
@@ -93,6 +143,7 @@ class RequestBatcher:
             self._timer.cancel()
             self._timer = None
         batch, self._pending = self._pending, []
+        self._pending_since = None
         if not batch:
             return
         if self.events.enabled:
@@ -104,7 +155,12 @@ class RequestBatcher:
             )
         task = asyncio.get_running_loop().create_task(self._run_batch(batch))
         self._flushes.add(task)
-        task.add_done_callback(self._flushes.discard)
+        self._flush_starts[task] = time.monotonic()
+        task.add_done_callback(self._on_flush_done)
+
+    def _on_flush_done(self, task: "asyncio.Task") -> None:
+        self._flushes.discard(task)
+        self._flush_starts.pop(task, None)
 
     async def _run_batch(self, batch: List[_Pending]) -> None:
         jobs = [job for job, _, _ in batch]

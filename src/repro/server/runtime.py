@@ -68,14 +68,32 @@ async def run_server(
         for signum in (signal.SIGTERM, signal.SIGINT):
             with contextlib.suppress(NotImplementedError, ValueError):
                 loop.add_signal_handler(signum, stop_event.set)
+        # SIGQUIT is the operator's "explain yourself" signal (the JVM
+        # thread-dump convention): write a flight report and keep
+        # serving. The handler only schedules the dump; the write runs
+        # on the default executor so the loop never blocks on disk.
+        def _sigquit_dump() -> None:
+            loop.run_in_executor(None, server.flight_dump, "sigquit")
+
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.add_signal_handler(signal.SIGQUIT, _sigquit_dump)
     try:
         if ready is not None:
             ready(server)
         await stop_event.wait()
         return await server.drain()
+    except asyncio.CancelledError:
+        raise
+    except BaseException as exc:
+        # Crash path: capture the process state *before* unwinding so
+        # the post-mortem shows what every thread was doing.
+        with contextlib.suppress(Exception):
+            server.flight_dump(f"crash:{type(exc).__name__}")
+        raise
     finally:
         if install_signals:
-            for signum in (signal.SIGTERM, signal.SIGINT):
+            signums = (signal.SIGTERM, signal.SIGINT, signal.SIGQUIT)
+            for signum in signums:
                 with contextlib.suppress(NotImplementedError, ValueError):
                     loop.remove_signal_handler(signum)
         if own_service:

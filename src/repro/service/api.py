@@ -59,6 +59,9 @@ class JobResult:
     #: Serialized static-analysis report; populated only for freshly
     #: computed jobs of a linting service (``lint_dir`` set).
     lint: Optional[Dict[str, Any]] = None
+    #: Collapsed-stack wall-clock samples; populated only for freshly
+    #: computed jobs of a sampling service (``sample_interval_s`` set).
+    samples: Optional[str] = None
 
 
 class DesignService:
@@ -77,6 +80,7 @@ class DesignService:
         lint_dir: Optional[Union[str, pathlib.Path]] = None,
         events: EventLog = NULL_LOG,
         sim_backend: Optional[str] = None,
+        sample_interval_s: Optional[float] = None,
     ) -> None:
         if executor_config is None:
             executor_config = ExecutorConfig(jobs=jobs)
@@ -122,6 +126,7 @@ class DesignService:
             lint=self.lint_dir is not None,
             events=self.events,
             sim_backend=sim_backend,
+            sample_interval_s=sample_interval_s,
         )
         # Cross-thread duplicate suppression: fingerprint -> Future of
         # the summary being computed by some other thread right now.
@@ -287,6 +292,7 @@ class DesignService:
                     result=outcome.result,
                     profiles=outcome.profiles,
                     lint=outcome.lint,
+                    samples=outcome.samples,
                 )
                 owned[fp].set_result(outcome.summary)
         except BaseException as exc:

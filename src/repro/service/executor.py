@@ -76,6 +76,7 @@ def run_job_summary(
 def run_job_instrumented(
     job: DesignJob, profile: bool = False, lint: bool = False,
     trace_id: str = "", sim_backend: Optional[str] = None,
+    sample_interval_s: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Pool entry point shipping observability home with the summary.
 
@@ -92,16 +93,35 @@ def run_job_instrumented(
     callers): the worker's whole execution runs inside a root ``job``
     span carrying it, so after the merge the server-side span tree and
     the worker-side one join into a single per-request trace.
+
+    ``sample_interval_s`` attaches a wall-clock stack sampler
+    (:class:`repro.obs.flight.StackSampler` — thread-based, so it works
+    here where signal-based profilers cannot) to this job's thread for
+    the duration of the run; the collapsed-stack text ships home in the
+    payload's ``samples`` field, ready for flamegraph tooling.
     """
     tracer = Tracer()
     registry = MetricsRegistry()
-    start = time.perf_counter()
-    with tracer.span("job", category="worker", app=job.app,
-                     trace_id=trace_id):
-        result, summary = execute_job(
-            job, tracer=tracer, profile=profile, lint=lint,
-            sim_backend=sim_backend,
+    sampler = None
+    if sample_interval_s is not None:
+        from ..obs.flight.sampler import StackSampler
+
+        sampler = StackSampler(
+            interval_s=sample_interval_s,
+            threads=[threading.get_ident()],
         )
+        sampler.start()
+    start = time.perf_counter()
+    try:
+        with tracer.span("job", category="worker", app=job.app,
+                         trace_id=trace_id):
+            result, summary = execute_job(
+                job, tracer=tracer, profile=profile, lint=lint,
+                sim_backend=sim_backend,
+            )
+    finally:
+        if sampler is not None:
+            sampler.stop()
     registry.observe("worker_job_seconds", time.perf_counter() - start,
                      labels={"app": job.app})
     registry.incr("worker_jobs", labels={"app": job.app})
@@ -114,6 +134,7 @@ def run_job_instrumented(
             for system, p in result.profiles.items()
         },
         "lint": None if result.lint is None else result.lint.to_dict(),
+        "samples": None if sampler is None else sampler.collapsed(),
     }
 
 
@@ -151,6 +172,9 @@ class JobOutcome:
     #: Serialized static-analysis report (``AnalysisReport.to_dict()``),
     #: populated only when the runner executes with ``lint=True``.
     lint: Optional[Dict[str, Any]] = None
+    #: Collapsed-stack text from the wall-clock sampler, populated only
+    #: when the runner executes with ``sample_interval_s`` set.
+    samples: Optional[str] = None
 
 
 class JobRunner:
@@ -174,11 +198,16 @@ class JobRunner:
         lint: bool = False,
         events: EventLog = NULL_LOG,
         sim_backend: Optional[str] = None,
+        sample_interval_s: Optional[float] = None,
     ) -> None:
         self.config = config
         self._runner = runner
         self.tracer = tracer
         self.metrics = metrics
+        #: Wall-clock stack-sampling interval for executed jobs
+        #: (``None`` = no sampling). Ignored for injected custom
+        #: runners, like ``profile``/``lint``.
+        self.sample_interval_s = sample_interval_s
         #: Simulation backend name forwarded to every executed job
         #: (``None`` defers to env/default resolution in the worker).
         #: A plain string so it crosses the process-pool pickle boundary.
@@ -293,10 +322,24 @@ class JobRunner:
         if self.events.enabled:
             self.events.emit("pool_recycle", reason=reason)
 
+    def _make_sampler(self) -> Optional[Any]:
+        """A started stack sampler over this thread, if configured."""
+        if self._runner is not None or self.sample_interval_s is None:
+            return None
+        from ..obs.flight.sampler import StackSampler
+
+        sampler = StackSampler(
+            interval_s=self.sample_interval_s,
+            threads=[threading.get_ident()],
+        )
+        sampler.start()
+        return sampler
+
     def _run_serial(self, job: DesignJob, trace_id: str = "") -> JobOutcome:
         last_error = ""
         for attempt in range(1, self.config.retries + 2):
             start = time.perf_counter()
+            sampler = self._make_sampler()
             try:
                 profiles: Dict[str, Dict[str, Any]] = {}
                 lint: Optional[Dict[str, Any]] = None
@@ -338,6 +381,8 @@ class JobRunner:
                         self.metrics.incr(
                             "worker_jobs", labels={"app": job.app}
                         )
+                if sampler is not None:
+                    sampler.stop()
                 return JobOutcome(
                     job=job,
                     summary=summary,
@@ -346,11 +391,17 @@ class JobRunner:
                     duration_s=time.perf_counter() - start,
                     profiles=profiles,
                     lint=lint,
+                    samples=(
+                        sampler.collapsed() if sampler is not None else None
+                    ),
                 )
             except Exception as exc:
                 last_error = str(exc) or type(exc).__name__
                 if attempt <= self.config.retries:
                     time.sleep(self.config.backoff_for(attempt))
+            finally:
+                if sampler is not None:
+                    sampler.stop()
         raise JobExecutionError(
             f"job {job.app} failed after {self.config.retries + 1} attempts: "
             f"{last_error}",
@@ -367,6 +418,7 @@ class JobRunner:
         trace_ids = trace_ids or [""] * len(jobs)
         wrapped = self._runner is None and (
             self._instrumented or self.profile or self.lint
+            or self.sample_interval_s is not None
         )
         if self._runner is not None:
             func = self._runner
@@ -375,6 +427,7 @@ class JobRunner:
             func = partial(
                 run_job_instrumented, profile=self.profile, lint=self.lint,
                 sim_backend=self.sim_backend,
+                sample_interval_s=self.sample_interval_s,
             )
         elif self.sim_backend is not None:
             func = partial(run_job_summary, sim_backend=self.sim_backend)
@@ -405,8 +458,11 @@ class JobRunner:
                     summary = futures[i].result(timeout=self.config.timeout_s)
                     profiles: Dict[str, Dict[str, Any]] = {}
                     lint: Optional[Dict[str, Any]] = None
+                    samples: Optional[str] = None
                     if wrapped:
-                        summary, profiles, lint = self._absorb_payload(summary)
+                        summary, profiles, lint, samples = (
+                            self._absorb_payload(summary)
+                        )
                     outcomes[i] = JobOutcome(
                         job=jobs[i],
                         summary=summary,
@@ -415,6 +471,7 @@ class JobRunner:
                         duration_s=time.perf_counter() - starts[i],
                         profiles=profiles,
                         lint=lint,
+                        samples=samples,
                     )
                 except FutureTimeout:
                     futures[i].cancel()
@@ -457,12 +514,16 @@ class JobRunner:
     def _absorb_payload(
         self, payload: Dict[str, Any]
     ) -> Tuple[
-        Dict[str, Any], Dict[str, Dict[str, Any]], Optional[Dict[str, Any]]
+        Dict[str, Any],
+        Dict[str, Dict[str, Any]],
+        Optional[Dict[str, Any]],
+        Optional[str],
     ]:
         """Merge a :func:`run_job_instrumented` payload.
 
-        Returns the job summary plus any simulation profiles and lint
-        report the worker shipped alongside it.
+        Returns the job summary plus any simulation profiles, lint
+        report, and collapsed stack samples the worker shipped
+        alongside it.
         """
         if self.tracer is not None:
             self.tracer.merge(payload.get("spans", ()))
@@ -472,6 +533,7 @@ class JobRunner:
             payload["summary"],
             payload.get("profiles", {}),
             payload.get("lint"),
+            payload.get("samples"),
         )
 
 

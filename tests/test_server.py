@@ -427,6 +427,31 @@ class TestRequestTelemetry:
         assert events[-1][0] == "done"
         assert events[-1][1]["trace_id"] == client.last_trace_id
 
+    def test_sweep_stream_points_carry_trace_id(self, server):
+        """Every SSE ``point`` event echoes the request's trace id, so a
+        consumer can correlate a partial stream with server telemetry
+        even when the ``done`` event never arrives."""
+        client = DesignClient(server.url, tenant="pytest")
+        events = list(
+            client.sweep_stream(["canny", "jpeg"], scales=[1])
+        )
+        points = [doc for name, doc in events if name == "point"]
+        assert len(points) == 2
+        for doc in points:
+            assert doc["trace_id"] == client.last_trace_id
+        # the non-stream path stays untouched: no trace_id per point
+        batch = client.sweep(["canny", "jpeg"], scales=[1])
+        assert all("trace_id" not in p for p in batch["points"])
+        # and points are otherwise identical between the two paths
+        strip = [
+            {k: v for k, v in p.items() if k != "trace_id"}
+            for p in points
+        ]
+        key = canonical_json
+        assert sorted(map(key, strip)) == sorted(
+            map(key, batch["points"])
+        )
+
     def test_debug_endpoint_sections(self, server):
         client = DesignClient(server.url, tenant="pytest")
         client.design("canny")

@@ -178,6 +178,47 @@ class TestRendering:
         assert "REGRESSED" in table
         assert "apps.jpeg.design_s" in table
 
+    def _ratio_report(self, speedup: float) -> dict:
+        doc = _report(1.0)
+        doc["apps"]["jpeg"]["fastcore_speedup"] = speedup
+        return doc
+
+    def test_ratio_metrics_display_as_multipliers_not_info(self):
+        """The satellite: throughput ratios are first-class rows —
+        formatted as ``Nx`` with their own verdict — but never gate."""
+        report = self._ratio_report(8.0)
+        deltas = compare_bench(report, [history_entry(report)])
+        table = render_trend_table(deltas, DEFAULT_THRESHOLD)
+        row = next(l for l in table.splitlines()
+                   if "fastcore_speedup" in l)
+        assert "8.00x" in row
+        assert row.rstrip().endswith("ratio")
+        assert regressions(deltas) == []
+
+    def test_dropped_speedup_is_called_out_but_still_not_gated(self):
+        history = [history_entry(self._ratio_report(8.0))]
+        deltas = compare_bench(self._ratio_report(2.0), history)
+        table = render_trend_table(deltas, DEFAULT_THRESHOLD)
+        row = next(l for l in table.splitlines()
+                   if "fastcore_speedup" in l)
+        assert "ratio (dropped)" in row
+        assert regressions(deltas) == []
+
+    def test_overhead_ratios_never_drop_flag(self):
+        # "dropped" is a *speedup* notion; an overhead ratio falling is
+        # good news and renders as a plain ratio row.
+        report = _report(1.0)
+        history = [history_entry(report)]
+        shrunk = _report(1.0)
+        shrunk["apps"]["jpeg"]["profiler_overhead"] = 0.1
+        table = render_trend_table(
+            compare_bench(shrunk, history), DEFAULT_THRESHOLD
+        )
+        row = next(l for l in table.splitlines()
+                   if "profiler_overhead" in l)
+        assert "dropped" not in row
+        assert "0.10x" in row
+
 
 class TestBenchCompareCli:
     """`repro bench --compare` end-to-end with a monkeypatched bench."""
@@ -185,7 +226,8 @@ class TestBenchCompareCli:
     def _patch_bench(self, monkeypatch, scale):
         import repro.bench as bench_mod
 
-        def fake_run_bench(apps, repeat, buckets, out=None, sim_backend=None):
+        def fake_run_bench(apps, repeat, buckets, out=None,
+                           sim_backend=None, **kwargs):
             return _report(scale)
 
         monkeypatch.setattr(bench_mod, "run_bench", fake_run_bench)
