@@ -124,6 +124,40 @@ class FittedApplication:
         return self.app.name
 
 
+@dataclass(frozen=True, slots=True)
+class GraphQuantities:
+    """The per-application inputs the calibration math consumes.
+
+    Either view of the communication behaviour produces these: the QUAD
+    tracer (:func:`quantities_from_profile`) or the static analyzer
+    (:func:`repro.static.fit.static_quantities`). Mapping orders are
+    meaningful — ``work`` is in kernel order, edge maps heaviest-first —
+    so the fitted :class:`~repro.core.commgraph.CommGraph` serializes
+    identically no matter which view supplied the numbers.
+    """
+
+    work: Mapping[str, float]
+    kk_edges: Mapping[Tuple[str, str], int]
+    host_in: Mapping[str, int]
+    host_out: Mapping[str, int]
+
+
+def quantities_from_profile(app: Application) -> GraphQuantities:
+    """Read the calibration inputs from a profiled execution."""
+    profile = app.profile()
+    names = app.kernel_names()
+    work = {n: profile.function(n).work for n in names}
+    folded = CommGraph.from_profile(
+        profile, [KernelSpec(n, 0.0, 0.0) for n in names]
+    )
+    return GraphQuantities(
+        work=work,
+        kk_edges=dict(folded.kk_edges),
+        host_in=dict(folded.host_in),
+        host_out=dict(folded.host_out),
+    )
+
+
 def _proportional_split(total: int, weights: Mapping[str, float]) -> Dict[str, int]:
     """Split an integer total proportionally, conserving the sum."""
     wsum = sum(weights.values())
@@ -141,12 +175,14 @@ def _proportional_split(total: int, weights: Mapping[str, float]) -> Dict[str, i
     return out
 
 
-def fit_application(
+def fit_quantities(
     app: Application,
+    quantities: GraphQuantities,
     theta_s_per_byte: float,
     targets: CalibrationTargets | None = None,
 ) -> FittedApplication:
-    """Profile ``app`` and fit the calibrated communication graph."""
+    """Fit the calibrated communication graph from measured or derived
+    quantities (the shared core of the trace and static paths)."""
     if theta_s_per_byte <= 0:
         raise ConfigurationError("theta must be positive")
     targets = targets or TARGETS.get(app.name)
@@ -155,18 +191,20 @@ def fit_application(
             f"no calibration targets for {app.name!r}; pass them explicitly"
         )
 
-    profile = app.profile()
     traits = app.kernel_traits()
-    names = app.kernel_names()
-    work = {n: profile.function(n).work for n in names}
+    names = list(quantities.work)
+    work = dict(quantities.work)
     if any(w <= 0 for w in work.values()):
         raise ConfigurationError(
             f"{app.name}: every kernel must charge work; got {work}"
         )
 
-    # Provisional graph to read the profiled byte volumes.
-    provisional = CommGraph.from_profile(
-        profile, [KernelSpec(n, 0.0, 0.0) for n in names]
+    # Provisional graph to read the byte volumes through Eq. 1.
+    provisional = CommGraph(
+        kernels={n: KernelSpec(n, 0.0, 0.0) for n in names},
+        kk_edges=dict(quantities.kk_edges),
+        host_in=dict(quantities.host_in),
+        host_out=dict(quantities.host_out),
     )
     traffic = provisional.total_kernel_traffic()
     if traffic <= 0:
@@ -215,7 +253,12 @@ def fit_application(
             )
         )
 
-    graph = CommGraph.from_profile(profile, specs)
+    graph = CommGraph(
+        kernels={s.name: s for s in specs},
+        kk_edges=dict(quantities.kk_edges),
+        host_in=dict(quantities.host_in),
+        host_out=dict(quantities.host_out),
+    )
     return FittedApplication(
         app=app,
         targets=targets,
@@ -223,4 +266,17 @@ def fit_application(
         theta_s_per_byte=theta_s_per_byte,
         host_other_s=host_other_s,
         stream_overhead_s=targets.overhead_fraction * tau_total_s,
+    )
+
+
+def fit_application(
+    app: Application,
+    theta_s_per_byte: float,
+    targets: CalibrationTargets | None = None,
+) -> FittedApplication:
+    """Profile ``app`` and fit the calibrated communication graph."""
+    if theta_s_per_byte <= 0:
+        raise ConfigurationError("theta must be positive")
+    return fit_quantities(
+        app, quantities_from_profile(app), theta_s_per_byte, targets
     )

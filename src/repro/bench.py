@@ -36,6 +36,7 @@ from .obs.profile.recorder import TimeseriesRecorder
 from .obs.profile.report import build_profile
 from .obs.trace import Tracer
 from .sim.systems import SystemParams, simulate_baseline, simulate_proposed
+from .static.fit import fit_static
 
 #: Stack-sampling interval used by ``--profile-self`` measurements.
 SELF_PROFILE_INTERVAL_S = 0.005
@@ -88,6 +89,21 @@ BENCH_SCHEMA: Dict[str, str] = {
     "apps.<name>.lint_s": (
         "best-of-repeat wall seconds for the full static-analysis rule "
         "pass (repro.analyze.analyze_plan) over the designed plan"
+    ),
+    "apps.<name>.trace_fit_s": (
+        "best-of-repeat wall seconds for the traced calibration path: "
+        "instantiate the app, execute it under the QUAD tracer, and fit "
+        "(repro.apps.fit_application)"
+    ),
+    "apps.<name>.static_s": (
+        "best-of-repeat wall seconds for the trace-free path: analyze "
+        "the declarative task-graph description and fit "
+        "(repro.static.fit_static) — no kernel executes"
+    ),
+    "apps.<name>.static_speedup": (
+        "trace_fit_s / static_s — how much faster the static analyzer "
+        "derives a design-ready graph than tracing an execution; a "
+        "ratio, so the trend gate never times it"
     ),
     "service.batch_cold_s": (
         "wall seconds for DesignService.submit_many over all benched "
@@ -268,6 +284,16 @@ def bench_app(
         repeat,
     )
     lint_s = _best_of(lambda: analyze_plan(plan, params), repeat)
+    # Both graph-derivation paths build a fresh Application each repeat:
+    # the traced side re-executes the instrumented app every time anyway,
+    # and giving the static side the same constructor cost keeps the
+    # speedup an apples-to-apples end-to-end ratio.
+    trace_fit_s = _best_of(
+        lambda: fit_application(get_application(name), theta), repeat
+    )
+    static_s = _best_of(
+        lambda: fit_static(get_application(name), theta), repeat
+    )
     row: Dict[str, float] = {}
     if profile_self:
         overhead, sim_sampled_s = _sampler_overhead(
@@ -294,6 +320,11 @@ def bench_app(
             profiled_best / sim_proposed_s if sim_proposed_s > 0 else 1.0
         ),
         "lint_s": lint_s,
+        "trace_fit_s": trace_fit_s,
+        "static_s": static_s,
+        "static_speedup": (
+            trace_fit_s / static_s if static_s > 0 else 1.0
+        ),
         **row,
     }
 
@@ -442,7 +473,7 @@ def render_bench(report: Dict[str, Any]) -> str:
         f"python {report['python']})",
         f"  {'app':<8}{'design':>10}{'sim base':>10}{'sim prop':>10}"
         f"{'fastcore':>10}{'profiled':>10}{'build':>10}{'lint':>10}"
-        f"{'overhead':>10}{'fast x':>8}",
+        f"{'static':>10}{'overhead':>10}{'fast x':>8}{'static x':>9}",
     ]
     for name, row in report["apps"].items():
         lines.append(
@@ -454,8 +485,10 @@ def render_bench(report: Dict[str, Any]) -> str:
             f"{row['sim_proposed_profiled_s'] * 1e3:>8.2f}ms"
             f"{row['profile_build_s'] * 1e3:>8.2f}ms"
             f"{row.get('lint_s', 0.0) * 1e3:>8.2f}ms"
+            f"{row.get('static_s', 0.0) * 1e3:>8.2f}ms"
             f"{row['profiler_overhead']:>9.2f}x"
             f"{row.get('fastcore_speedup', 1.0):>7.2f}x"
+            f"{row.get('static_speedup', 1.0):>8.2f}x"
         )
     profile = report.get("self_profile")
     if profile:

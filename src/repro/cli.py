@@ -16,6 +16,11 @@
   (``repro.analyze`` rule engine): graph smells, Table I re-derivation,
   bandwidth bounds, CDG deadlock proof; ``--sim-crosscheck`` proves
   every bound against the simulator, ``--sarif`` exports for CI;
+* ``static <app|--all>`` — derive the communication graph from the
+  declarative task-graph description alone (``repro.static``), without
+  executing a single kernel; ``--check`` traces the app too and proves
+  byte-exact agreement on every deterministic edge (``--diff-out``
+  writes the ``static-diff`` document CI archives);
 * ``bench`` — time the designer/simulator/service hot paths and write
   the versioned ``bench-report`` JSON CI tracks (``BENCH_repro.json``);
 * ``report`` — regenerate every paper table/figure in one go;
@@ -146,6 +151,27 @@ def build_parser() -> argparse.ArgumentParser:
                    default="error",
                    help="exit 1 when any finding is at least this severe "
                         "(default: error)")
+
+    p = sub.add_parser(
+        "static",
+        help="derive the communication graph statically (no execution)",
+    )
+    p.add_argument("app", nargs="?", choices=APP_NAMES, default=None,
+                   help="application to analyze (omit with --all)")
+    p.add_argument("--all", action="store_true", dest="all_apps",
+                   help="analyze every statically-described application")
+    p.add_argument("--scale", type=int, default=1, help="workload scale factor")
+    p.add_argument("--seed", type=int, default=2014,
+                   help="RNG seed for the tracer side of --check")
+    p.add_argument("--check", action="store_true",
+                   help="trace the application too and cross-check the "
+                        "static graph byte-exactly against the tracer")
+    p.add_argument("--json", action="store_true",
+                   help="versioned static-graph (or static-diff) JSON "
+                        "instead of prose")
+    p.add_argument("--diff-out", type=str, default=None, metavar="PATH",
+                   help="with --check, also write the static-diff "
+                        "document here")
 
     p = sub.add_parser("simulate", help="simulate baseline vs proposed with a Gantt chart")
     _add_app_argument(p)
@@ -538,6 +564,67 @@ def cmd_lint(args: argparse.Namespace) -> int:
     threshold = Severity(args.fail_on)
     failing = any(r.at_least(threshold) for r in reports)
     return 1 if failing else 0
+
+
+def cmd_static(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import pathlib
+
+    from .errors import ConfigurationError
+    from .static import STATIC_APP_NAMES, analyze, describe
+    from .static.crosscheck import (
+        crosscheck_apps,
+        crosscheck_to_dict,
+        render_crosscheck,
+    )
+
+    if args.all_apps == (args.app is not None):
+        raise ConfigurationError(
+            "static needs exactly one of: an app name, or --all"
+        )
+    names = list(STATIC_APP_NAMES) if args.all_apps else [args.app]
+
+    if args.check:
+        checks = crosscheck_apps(names, scale=args.scale, seed=args.seed)
+        doc = crosscheck_to_dict(checks)
+        if args.json:
+            print(json_mod.dumps(doc, indent=2, sort_keys=True))
+        else:
+            for check in checks:
+                print(render_crosscheck(check))
+        if args.diff_out is not None:
+            pathlib.Path(args.diff_out).write_text(
+                json_mod.dumps(doc, indent=2, sort_keys=True)
+            )
+            print(f"wrote static-diff report to {args.diff_out}",
+                  file=sys.stderr if args.json else sys.stdout)
+        return 0 if doc["ok"] else 1
+
+    graphs = [analyze(describe(n, scale=args.scale)) for n in names]
+    if args.json:
+        payload = [g.to_dict() for g in graphs]
+        print(json_mod.dumps(
+            payload if args.all_apps else payload[0],
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    for graph in graphs:
+        tag = "exact" if graph.exact else (
+            f"{len(graph.approximations)} data-dependent edge(s)"
+        )
+        print(f"{graph.app}: {len(graph.kernels)} kernels, "
+              f"{len(graph.kk_edges)} kernel edges ({tag})")
+        for (prod, cons), ext in graph.kk_edges.items():
+            span = (str(ext.nominal) if ext.exact
+                    else f"[{ext.lo}, {ext.hi}] ~{ext.nominal}")
+            count = graph.transfers.get((prod, cons), 0)
+            print(f"  {prod:>18} -> {cons:<18} {span:>24}  "
+                  f"({count} transfers)")
+        for kernel, ext in graph.host_in.items():
+            print(f"  {'host':>18} -> {kernel:<18} {ext.nominal:>24}")
+        for kernel, ext in graph.host_out.items():
+            print(f"  {kernel:>18} -> {'host':<18} {ext.nominal:>24}")
+    return 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -1047,6 +1134,7 @@ _COMMANDS = {
     "design": cmd_design,
     "explain": cmd_explain,
     "lint": cmd_lint,
+    "static": cmd_static,
     "simulate": cmd_simulate,
     "report": cmd_report,
     "sweep": cmd_sweep,

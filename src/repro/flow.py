@@ -57,6 +57,11 @@ DESIGN_TOGGLE_FIELDS = frozenset({
     "max_duplications",
 })
 
+#: Where the communication graph comes from: a profiled execution
+#: (``trace``, the default) or the static analyzer (``static``, which
+#: never runs the application — see :mod:`repro.static`).
+GRAPH_SOURCES = ("trace", "static")
+
 
 @dataclass(frozen=True)
 class ExperimentResult:
@@ -137,6 +142,7 @@ def run_experiment(
     profile_buckets: int = 64,
     lint: bool = False,
     sim_backend: Optional[str] = None,
+    graph_source: str = "trace",
 ) -> ExperimentResult:
     """Full paper methodology for one application.
 
@@ -165,8 +171,21 @@ def run_experiment(
     are proven byte-identical by the conformance suite, so the choice
     never changes results — only how fast they arrive. ``None`` defers
     to the process default / ``REPRO_SIM_BACKEND`` / ``reference``.
+
+    ``graph_source`` selects how the communication graph is derived:
+    ``"trace"`` (default) profiles an instrumented execution;
+    ``"static"`` analyzes the app's declarative task-graph description
+    (:mod:`repro.static`) and never executes a kernel — the cheap path
+    for served designs. The two agree byte-exactly on every
+    deterministic edge (proven by :mod:`repro.static.crosscheck`), so
+    plans are identical wherever the graphs agree.
     """
     tracer, trace_path = _as_tracer(trace)
+    if graph_source not in GRAPH_SOURCES:
+        raise ConfigurationError(
+            f"unknown graph_source {graph_source!r} "
+            f"(allowed: {', '.join(GRAPH_SOURCES)})"
+        )
     # Resolve eagerly: unknown names fail here, before any work is done.
     from .sim.backend import resolve_backend
 
@@ -177,7 +196,12 @@ def run_experiment(
             app = get_application(name, scale=scale, seed=seed)
             theta = params.theta_s_per_byte()
         with tracer.span("fit", app=name):
-            fitted = fit_application(app, theta)
+            if graph_source == "static":
+                from .static.fit import fit_static
+
+                fitted = fit_static(app, theta)
+            else:
+                fitted = fit_application(app, theta)
 
         config = DesignConfig(
             theta_s_per_byte=theta,

@@ -140,6 +140,7 @@ class DesignClient:
         simulate: bool = True,
         params: Optional[Mapping[str, Any]] = None,
         design: Optional[Mapping[str, Any]] = None,
+        graph_source: str = "trace",
     ) -> Dict[str, Any]:
         """``POST /v1/design``; returns the full response document."""
         body: Dict[str, Any] = {
@@ -149,6 +150,8 @@ class DesignClient:
             body["params"] = dict(params)
         if design:
             body["design"] = dict(design)
+        if graph_source != "trace":
+            body["graph_source"] = graph_source
         return self._request("POST", "/v1/design", body)
 
     def sweep(

@@ -43,7 +43,7 @@ ERROR_KIND = "error-response"
 #: Request-body keys each endpoint accepts (anything else is a 400 —
 #: silently ignoring a typoed key would mask a mis-specified job).
 _DESIGN_KEYS = frozenset({"app", "scale", "seed", "simulate", "params",
-                          "design"})
+                          "design", "graph_source"})
 _SWEEP_KEYS = frozenset({"apps", "scales", "param_grid", "simulate",
                          "seed"})
 
@@ -91,6 +91,7 @@ def parse_design_request(doc: Mapping[str, Any]) -> DesignJob:
             params=SystemParams(**dict(params)),
             simulate=bool(doc.get("simulate", True)),
             design=dict(design),
+            graph_source=str(doc.get("graph_source", "trace")),
         )
     except (TypeError, ValueError) as exc:
         raise ProtocolError(f"invalid design request: {exc}",

@@ -49,7 +49,9 @@ def execute_job(
     it: a :class:`DesignJob` is frozen and fingerprinted, and because
     both backends are proven byte-identical, a cached result is valid
     regardless of which backend produced it — so the backend must not
-    perturb cache keys.
+    perturb cache keys. The job's ``graph_source`` by contrast *is*
+    fingerprinted: static and traced graphs legitimately differ on
+    data-dependent edges, so their results are cached separately.
     """
     result = run_experiment(
         job.app,
@@ -62,6 +64,7 @@ def execute_job(
         profile=profile,
         lint=lint,
         sim_backend=sim_backend,
+        graph_source=job.graph_source,
     )
     return result, result_summary(result)
 

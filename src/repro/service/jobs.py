@@ -26,7 +26,7 @@ from typing import Any, Dict, Mapping, Tuple, Union
 from .. import io as reproio
 from ..apps.registry import APP_NAMES
 from ..errors import ConfigurationError
-from ..flow import DESIGN_TOGGLE_FIELDS
+from ..flow import DESIGN_TOGGLE_FIELDS, GRAPH_SOURCES
 from ..sim.systems import SystemParams
 
 #: Document kind stamped into serialized jobs.
@@ -45,6 +45,10 @@ class DesignJob:
     #: Designer toggle overrides, stored as sorted ``(name, value)``
     #: pairs so the job stays hashable; accepts a mapping on construction.
     design: Tuple[Tuple[str, Any], ...] = ()
+    #: How the communication graph is derived (``repro.flow.GRAPH_SOURCES``):
+    #: a profiled trace or the static analyzer. Part of the fingerprint —
+    #: the two sources legitimately differ on data-dependent edges.
+    graph_source: str = "trace"
 
     def __post_init__(self) -> None:
         if self.app not in APP_NAMES:
@@ -53,6 +57,11 @@ class DesignJob:
             )
         if self.scale < 1:
             raise ConfigurationError(f"scale must be >= 1, got {self.scale}")
+        if self.graph_source not in GRAPH_SOURCES:
+            raise ConfigurationError(
+                f"unknown graph_source {self.graph_source!r} "
+                f"(allowed: {', '.join(GRAPH_SOURCES)})"
+            )
         design = self.design
         if isinstance(design, Mapping):
             design = tuple(sorted(design.items()))
@@ -80,6 +89,7 @@ class DesignJob:
             "scale": self.scale,
             "seed": self.seed,
             "simulate": self.simulate,
+            "graph_source": self.graph_source,
             "params": dataclasses.asdict(self.params),
             "design": {k: v for k, v in self.design},
         }
@@ -95,6 +105,7 @@ class DesignJob:
             simulate=data["simulate"],
             params=SystemParams(**data["params"]),
             design=tuple(sorted(data["design"].items())),
+            graph_source=data.get("graph_source", "trace"),
         )
 
     def fingerprint(self) -> str:

@@ -1,0 +1,69 @@
+"""Static communication analysis: the trace-free design path.
+
+Derives the producer→consumer communication graph of an application
+from a declarative task-graph description — loop bounds × element
+sizes — without executing a single kernel, then feeds it to the same
+calibration and Algorithm 1 pipeline the traced path uses
+(``run_experiment(graph_source="static")``).
+
+Modules:
+
+* :mod:`repro.static.ir` — the access-pattern IR (buffers, steps,
+  repeats, interval extents);
+* :mod:`repro.static.analyzer` — last-writer interval propagation
+  mirroring the tracer's crediting rules;
+* :mod:`repro.static.apps` — descriptions of the four paper apps;
+* :mod:`repro.static.fit` — trace-free calibration;
+* :mod:`repro.static.crosscheck` — the differential proof that static
+  and traced graphs agree byte-exact on deterministic edges.
+
+Lint rule R6 (``tools/lint_repro.py``) enforces the purity guarantee:
+nothing under this package may import the simulator or the profiler.
+"""
+
+from .analyzer import (
+    APPROX_DATA_DEPENDENT,
+    STATIC_GRAPH_KIND,
+    Approximation,
+    StaticGraph,
+    analyze,
+)
+from .apps import STATIC_APP_NAMES, describe
+from .fit import describe_application, fit_static, static_quantities
+from .ir import (
+    Access,
+    AccessMode,
+    BufferDecl,
+    Extent,
+    Repeat,
+    Step,
+    TaskGraph,
+    load,
+    repeat,
+    step,
+    store,
+)
+
+__all__ = [
+    "APPROX_DATA_DEPENDENT",
+    "STATIC_APP_NAMES",
+    "STATIC_GRAPH_KIND",
+    "Access",
+    "AccessMode",
+    "Approximation",
+    "BufferDecl",
+    "Extent",
+    "Repeat",
+    "StaticGraph",
+    "Step",
+    "TaskGraph",
+    "analyze",
+    "describe",
+    "describe_application",
+    "fit_static",
+    "load",
+    "repeat",
+    "static_quantities",
+    "step",
+    "store",
+]

@@ -1,0 +1,341 @@
+"""Interval propagation: replay a :class:`~repro.static.ir.TaskGraph`.
+
+The analyzer derives the communication graph the QUAD tracer would have
+measured, without running anything. It mirrors the tracer's crediting
+rules exactly (:mod:`repro.profiling.tracer` documents them; this module
+deliberately re-implements rather than imports them — lint rule R6
+guarantees the static ring never touches the profiler or simulator):
+
+* a load is credited to the **last writer** of each byte it covers;
+* bytes never written are credited to the entry pseudo-producer;
+* a context never credits itself (self-edges are dropped);
+* folding maps every non-kernel context — including the entry
+  pseudo-producer — onto the host, then drops host→host edges, exactly
+  as :meth:`repro.core.commgraph.CommGraph.from_profile` does.
+
+Byte counts flow through as :class:`~repro.static.ir.Extent` intervals:
+edges touched only by exactly-sized buffers come out byte-exact, edges
+through dynamically sized buffers carry sound ``[lo, hi]`` bounds plus a
+deterministic nominal, and every inexact edge is called out in a typed
+:class:`Approximation` record — the analysis states *where* and *how
+far* it over/under-approximates instead of being silently wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..io import FORMAT_VERSION, validate_document
+from .ir import Access, AccessMode, BufferDecl, Extent, TaskGraph
+
+#: Pseudo-producer for bytes read before any step wrote them. Matches
+#: the tracer's entry sentinel (``Tracer.ENTRY``) by construction.
+ENTRY = "__entry__"
+#: Fold target for non-kernel contexts; matches ``repro.core.commgraph.HOST``.
+HOST = "host"
+
+#: Document kind for serialized static graphs.
+STATIC_GRAPH_KIND = "static-graph"
+
+#: Approximation kind: a buffer's size is data-dependent, so every edge
+#: it feeds is an interval, not a point.
+APPROX_DATA_DEPENDENT = "data-dependent-size"
+
+
+@dataclass(frozen=True, slots=True)
+class Approximation:
+    """One typed record of where the static graph is not exact."""
+
+    producer: str
+    consumer: str
+    buffer: str
+    kind: str
+    extent: Extent
+    note: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (embedded in the static-graph document)."""
+        return {
+            "producer": self.producer,
+            "consumer": self.consumer,
+            "buffer": self.buffer,
+            "kind": self.kind,
+            "lo": self.extent.lo,
+            "nominal": self.extent.nominal,
+            "hi": self.extent.hi,
+            "note": self.note,
+        }
+
+
+class _LastWriter:
+    """Per-buffer last-writer map over byte offsets.
+
+    Exactly sized buffers keep a segment list; dynamically sized buffers
+    are only ever accessed whole, so a single owner suffices.
+    """
+
+    def __init__(self, decl: BufferDecl) -> None:
+        self.decl = decl
+        #: Disjoint, ordered (lo, hi, writer) byte segments.
+        self.segments: List[Tuple[int, int, str]] = []
+
+    def _span(self, access: Access) -> Tuple[int, int]:
+        if access.nbytes is None:
+            return 0, self.decl.size.nominal
+        return access.offset, access.offset + access.nbytes
+
+    def write(self, context: str, access: Access) -> None:
+        lo, hi = self._span(access)
+        kept = [
+            (s_lo, s_hi, w)
+            for s_lo, s_hi, w in self.segments
+            if s_hi <= lo or s_lo >= hi
+        ]
+        # Writers surviving at the edges of the overwritten span.
+        for s_lo, s_hi, w in self.segments:
+            if s_lo < lo < s_hi:
+                kept.append((s_lo, lo, w))
+            if s_lo < hi < s_hi:
+                kept.append((hi, s_hi, w))
+        kept.append((lo, hi, context))
+        kept.sort()
+        self.segments = kept
+
+    def read(self, access: Access) -> List[Tuple[Optional[str], Extent]]:
+        """Credits for one load: (writer or None for entry, extent)."""
+        lo, hi = self._span(access)
+        if not self.decl.size.exact and access.nbytes is None:
+            # Whole access of a dynamic buffer: its extent is the
+            # buffer's interval, owned by at most one writer.
+            owner = self.segments[0][2] if self.segments else None
+            return [(owner, self.decl.size)]
+        credits: List[Tuple[Optional[str], Extent]] = []
+        pos = lo
+        for s_lo, s_hi, writer in self.segments:
+            if s_hi <= pos or s_lo >= hi:
+                continue
+            if s_lo > pos:  # gap: never written
+                credits.append((None, Extent.exactly(s_lo - pos)))
+            span_lo, span_hi = max(s_lo, pos), min(s_hi, hi)
+            credits.append((writer, Extent.exactly(span_hi - span_lo)))
+            pos = span_hi
+        if pos < hi:
+            credits.append((None, Extent.exactly(hi - pos)))
+        return credits
+
+
+@dataclass(frozen=True)
+class StaticGraph:
+    """The statically derived communication graph of one application.
+
+    Shapes mirror :class:`~repro.core.commgraph.CommGraph` — kernel→
+    kernel edges plus per-kernel host traffic, heaviest first — except
+    every byte count is an :class:`~repro.static.ir.Extent` and edge
+    multiplicities (``transfers``) plus approximation records ride
+    along.
+    """
+
+    app: str
+    kernels: Tuple[str, ...]
+    kk_edges: Mapping[Tuple[str, str], Extent]
+    host_in: Mapping[str, Extent]
+    host_out: Mapping[str, Extent]
+    work: Mapping[str, float]
+    #: Transfer count per folded edge; host edges keyed with ``HOST``.
+    transfers: Mapping[Tuple[str, str], int] = field(default_factory=dict)
+    approximations: Tuple[Approximation, ...] = ()
+
+    @property
+    def exact(self) -> bool:
+        """True when every edge is byte-exact."""
+        return not self.approximations
+
+    def nominal_kk(self) -> Dict[Tuple[str, str], int]:
+        """Kernel→kernel nominal byte counts, heaviest-first order."""
+        return {edge: ext.nominal for edge, ext in self.kk_edges.items()}
+
+    def nominal_host_in(self) -> Dict[str, int]:
+        """Host→kernel nominal byte counts."""
+        return {k: ext.nominal for k, ext in self.host_in.items()}
+
+    def nominal_host_out(self) -> Dict[str, int]:
+        """Kernel→host nominal byte counts."""
+        return {k: ext.nominal for k, ext in self.host_out.items()}
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to the versioned ``static-graph`` document."""
+
+        def edge_doc(p: str, c: str, ext: Extent) -> Dict[str, object]:
+            return {
+                "lo": ext.lo,
+                "nominal": ext.nominal,
+                "hi": ext.hi,
+                "transfers": self.transfers.get((p, c), 0),
+            }
+
+        return {
+            "kind": STATIC_GRAPH_KIND,
+            "version": FORMAT_VERSION,
+            "app": self.app,
+            "kernels": list(self.kernels),
+            "kk_edges": [
+                {"producer": p, "consumer": c, **edge_doc(p, c, ext)}
+                for (p, c), ext in self.kk_edges.items()
+            ],
+            "host_in": {
+                k: edge_doc(HOST, k, ext) for k, ext in self.host_in.items()
+            },
+            "host_out": {
+                k: edge_doc(k, HOST, ext) for k, ext in self.host_out.items()
+            },
+            "work": dict(self.work),
+            "approximations": [a.to_dict() for a in self.approximations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StaticGraph":
+        """Deserialize a ``static-graph`` document."""
+        validate_document(dict(data), STATIC_GRAPH_KIND)
+
+        def ext(doc: Mapping[str, object]) -> Extent:
+            return Extent(int(doc["lo"]), int(doc["hi"]), int(doc["nominal"]))  # type: ignore[call-overload]
+
+        kk: Dict[Tuple[str, str], Extent] = {}
+        transfers: Dict[Tuple[str, str], int] = {}
+        for e in data["kk_edges"]:  # type: ignore[index, union-attr]
+            kk[(str(e["producer"]), str(e["consumer"]))] = ext(e)
+            transfers[(str(e["producer"]), str(e["consumer"]))] = int(
+                e["transfers"]
+            )
+        h_in: Dict[str, Extent] = {}
+        h_out: Dict[str, Extent] = {}
+        for k, e in dict(data["host_in"]).items():  # type: ignore[call-overload]
+            h_in[str(k)] = ext(e)
+            transfers[(HOST, str(k))] = int(e["transfers"])
+        for k, e in dict(data["host_out"]).items():  # type: ignore[call-overload]
+            h_out[str(k)] = ext(e)
+            transfers[(str(k), HOST)] = int(e["transfers"])
+        approx = tuple(
+            Approximation(
+                producer=str(a["producer"]),
+                consumer=str(a["consumer"]),
+                buffer=str(a["buffer"]),
+                kind=str(a["kind"]),
+                extent=Extent(int(a["lo"]), int(a["hi"]), int(a["nominal"])),
+                note=str(a["note"]),
+            )
+            for a in data["approximations"]  # type: ignore[union-attr]
+        )
+        return cls(
+            app=str(data["app"]),
+            kernels=tuple(str(k) for k in data["kernels"]),  # type: ignore[union-attr]
+            kk_edges=kk,
+            host_in=h_in,
+            host_out=h_out,
+            work={str(k): float(v) for k, v in dict(data["work"]).items()},  # type: ignore[call-overload]
+            transfers=transfers,
+            approximations=approx,
+        )
+
+
+def analyze(task: TaskGraph) -> StaticGraph:
+    """Derive the folded communication graph of a task description."""
+    writers = {b.name: _LastWriter(b) for b in task.buffers}
+    kernels = set(task.kernels)
+
+    # Context-level edges, then fold — same two phases as the tracer
+    # followed by CommGraph.from_profile.
+    edges: Dict[Tuple[str, str], Extent] = {}
+    counts: Dict[Tuple[str, str], int] = {}
+    by_buffer: Dict[Tuple[str, str], Dict[str, Extent]] = {}
+    work: Dict[str, float] = {}
+
+    for s in task.flatten():
+        work[s.context] = work.get(s.context, 0.0) + s.work
+        for access in s.accesses:
+            lw = writers[access.buffer]
+            if access.mode is AccessMode.STORE:
+                lw.write(s.context, access)
+                continue
+            for writer, extent in lw.read(access):
+                producer = ENTRY if writer is None else writer
+                if producer == s.context:
+                    continue  # a context never credits itself
+                key = (producer, s.context)
+                edges[key] = edges.get(key, Extent.exactly(0)) + extent
+                counts[key] = counts.get(key, 0) + 1
+                buf = by_buffer.setdefault(key, {})
+                buf[access.buffer] = (
+                    buf.get(access.buffer, Extent.exactly(0)) + extent
+                )
+
+    # Fold non-kernel contexts (and the entry pseudo-producer) into the
+    # host; drop edges that become self-edges.
+    folded: Dict[Tuple[str, str], Extent] = {}
+    folded_counts: Dict[Tuple[str, str], int] = {}
+    folded_buffers: Dict[Tuple[str, str], Dict[str, Extent]] = {}
+    for (p, c), extent in edges.items():
+        fp = p if p in kernels else HOST
+        fc = c if c in kernels else HOST
+        if fp == fc:
+            continue
+        key = (fp, fc)
+        folded[key] = folded.get(key, Extent.exactly(0)) + extent
+        folded_counts[key] = folded_counts.get(key, 0) + counts[(p, c)]
+        buf = folded_buffers.setdefault(key, {})
+        for name, contrib in by_buffer[(p, c)].items():
+            buf[name] = buf.get(name, Extent.exactly(0)) + contrib
+
+    # Heaviest-first edge order, exactly as the profile fold orders its
+    # edges before CommGraph.from_profile splits them.
+    ordered = sorted(
+        folded.items(), key=lambda item: (-item[1].nominal, item[0])
+    )
+    kk: Dict[Tuple[str, str], Extent] = {}
+    h_in: Dict[str, Extent] = {}
+    h_out: Dict[str, Extent] = {}
+    approx: List[Approximation] = []
+    for (p, c), extent in ordered:
+        if p == HOST:
+            h_in[c] = extent
+        elif c == HOST:
+            h_out[p] = extent
+        else:
+            kk[(p, c)] = extent
+        for name, contrib in folded_buffers[(p, c)].items():
+            if not contrib.exact:
+                approx.append(
+                    Approximation(
+                        producer=p,
+                        consumer=c,
+                        buffer=name,
+                        kind=APPROX_DATA_DEPENDENT,
+                        extent=contrib,
+                        note=(
+                            f"buffer {name!r} has a data-dependent size; "
+                            f"the edge is bounded, not exact"
+                        ),
+                    )
+                )
+
+    kernel_work: Dict[str, float] = {}
+    for name in task.kernels:
+        charged = work.get(name, 0.0)
+        if charged <= 0:
+            raise ConfigurationError(
+                f"{task.app}: kernel {name!r} declares no work"
+            )
+        kernel_work[name] = charged
+
+    return StaticGraph(
+        app=task.app,
+        kernels=task.kernels,
+        kk_edges=kk,
+        host_in=h_in,
+        host_out=h_out,
+        work=kernel_work,
+        transfers=folded_counts,
+        approximations=tuple(approx),
+    )

@@ -1,0 +1,401 @@
+"""Static task-graph descriptions of the four paper applications.
+
+Each description mirrors its instrumented counterpart in
+:mod:`repro.apps` step for step: the same buffers (loop bounds × element
+sizes), the same tracer contexts in the same order, the same loads and
+stores, and work declared as :mod:`repro.hls.ir` loop nests whose
+expanded operation counts equal the work the instrumented apps charge.
+Shared constants (window sizes, relaxation counts, block sizes) are
+imported from the app modules themselves so the two views cannot drift
+apart silently — and the crosscheck (:mod:`repro.static.crosscheck`)
+proves byte-exact agreement on every deterministic edge.
+
+The only quantities that are genuinely data-dependent are JPEG's two
+entropy-coded stream lengths; they are declared as bounded extents
+(prefix-code bit counts per block: 1–33 bits of differential DC,
+64–2268 bits of run-length AC) with a nominal at the observed ≈6 / ≈140
+bits per block, and surface as typed approximation records instead of
+wrong numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..apps.fluid import RELAX
+from ..apps.jpeg import BLOCK
+from ..apps.klt import ITERS, WIN
+from ..errors import ConfigurationError
+from ..hls.ir import Block as HlsBlock
+from ..hls.ir import Loop, Op
+from .ir import BufferDecl, TaskGraph, load, repeat, step, store
+
+#: Names of the applications with static descriptions (registry order).
+STATIC_APP_NAMES: Tuple[str, ...] = ("canny", "jpeg", "klt", "fluid")
+
+_F32 = 4  # bytes per float32 element
+_I16 = 2  # bytes per int16 element
+_U8 = 1  # bytes per uint8 element
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def describe_canny(scale: int = 1) -> TaskGraph:
+    """Canny: 4-stage pipeline over an ``n×n`` frame (n = 96·scale)."""
+    n = 96 * scale
+    per_pixel = HlsBlock  # alias for readability below
+    return TaskGraph(
+        app="canny",
+        buffers=(
+            BufferDecl.dense("image", (n, n), _F32),
+            BufferDecl.dense("smooth", (n, n), _F32),
+            BufferDecl.dense("mag", (n, n), _F32),
+            BufferDecl.dense("dir", (n, n), _U8),
+            BufferDecl.dense("nms", (n, n), _F32),
+            BufferDecl.dense("edges", (n, n), _U8),
+        ),
+        kernels=(
+            "gaussian_smooth",
+            "sobel_gradient",
+            "nonmax_suppression",
+            "hysteresis",
+        ),
+        nodes=(
+            step("frame_capture", store("image")),
+            # 5×5 separable taps: 25 MACs per pixel.
+            step(
+                "gaussian_smooth",
+                load("image"),
+                store("smooth"),
+                work=Loop(trip=n * n, body=per_pixel([(Op.FMUL, 25)])),
+            ),
+            # Two 3×3 stencils + magnitude + direction quantization.
+            step(
+                "sobel_gradient",
+                load("smooth"),
+                store("mag"),
+                store("dir"),
+                work=Loop(
+                    trip=n * n,
+                    body=per_pixel(
+                        [(Op.FADD, 10), (Op.FMUL, 4), (Op.SQRT, 1), (Op.CMP, 3)]
+                    ),
+                ),
+            ),
+            # Neighbour-pair comparisons along the quantized gradient.
+            step(
+                "nonmax_suppression",
+                load("mag"),
+                load("dir"),
+                store("nms"),
+                work=Loop(trip=n * n, body=per_pixel([(Op.CMP, 8)])),
+            ),
+            # Double threshold + 8-neighbour connectivity growth.
+            step(
+                "hysteresis",
+                load("nms"),
+                store("edges"),
+                work=Loop(trip=n * n, body=per_pixel([(Op.LOGIC, 12)])),
+            ),
+            step("display", load("edges"), load("mag")),
+        ),
+    )
+
+
+def describe_jpeg(scale: int = 1) -> TaskGraph:
+    """JPEG decode: entropy decode → dequantize → IDCT (n = 96·scale
+    blocks). The two bitstream lengths are data-dependent: a block
+    contributes 1–33 bits of differential DC (unary category + sign/
+    amplitude, category ≤ 16) and 64–2268 bits of run-length AC (EOB
+    alone is 64 bits; 63 maximal coefficients bound the other end)."""
+    n = 96 * scale
+    dc_bits = (1, 33, 6)  # (lo, hi, nominal) bits per block
+    ac_bits = (64, 2268, 140)
+    per_block = HlsBlock
+    return TaskGraph(
+        app="jpeg",
+        buffers=(
+            BufferDecl.dynamic(
+                "dc_stream",
+                lo=_ceil_div(dc_bits[0] * n, 8),
+                hi=_ceil_div(dc_bits[1] * n, 8),
+                nominal=_ceil_div(dc_bits[2] * n, 8),
+            ),
+            BufferDecl.dynamic(
+                "ac_stream",
+                lo=_ceil_div(ac_bits[0] * n, 8),
+                hi=_ceil_div(ac_bits[1] * n, 8),
+                nominal=_ceil_div(ac_bits[2] * n, 8),
+            ),
+            BufferDecl.dense("quant_table", (64,), _I16),
+            BufferDecl.dense("zigzag_table", (64,), _U8),
+            BufferDecl.dense("dc_coef", (n,), _I16),
+            BufferDecl.dense("ac_coef", (n, 63), _I16),
+            BufferDecl.dense("coef", (n, 64), _I16),
+            BufferDecl.dense("pixels", (n, BLOCK, BLOCK), _U8),
+        ),
+        kernels=("huff_dc_dec", "huff_ac_dec", "dquantz_lum", "j_rev_dct"),
+        nodes=(
+            step(
+                "bitstream_parse",
+                store("dc_stream"),
+                store("ac_stream"),
+                store("quant_table"),
+                store("zigzag_table"),
+            ),
+            step(
+                "huff_dc_dec",
+                load("dc_stream"),
+                store("dc_coef"),
+                work=Loop(trip=n, body=per_block([(Op.LOGIC, 40)])),
+            ),
+            step(
+                "huff_ac_dec",
+                load("ac_stream"),
+                store("ac_coef"),
+                work=Loop(trip=n, body=per_block([(Op.LOGIC, 900)])),
+            ),
+            step(
+                "dquantz_lum",
+                load("quant_table"),
+                load("dc_coef"),
+                load("ac_coef"),
+                store("coef"),
+                work=Loop(
+                    trip=n, body=per_block([(Op.MUL, 64), (Op.LOAD, 64)])
+                ),
+            ),
+            step(
+                "j_rev_dct",
+                load("zigzag_table"),
+                load("coef"),
+                store("pixels"),
+                work=Loop(
+                    trip=n, body=per_block([(Op.FMUL, 350), (Op.FADD, 350)])
+                ),
+            ),
+            step("display", load("pixels")),
+        ),
+    )
+
+
+def describe_klt(scale: int = 1) -> TaskGraph:
+    """KLT: gradients feed the tracker only (n = 128·scale,
+    features = 48·scale)."""
+    n = 128 * scale
+    n_features = 48 * scale
+    win = 2 * WIN + 1
+    return TaskGraph(
+        app="klt",
+        buffers=(
+            BufferDecl.dense("img1", (n, n), _F32),
+            BufferDecl.dense("img2", (n, n), _F32),
+            BufferDecl.dense("features", (n_features, 2), _F32),
+            BufferDecl.dense("gx", (n, n), _F32),
+            BufferDecl.dense("gy", (n, n), _F32),
+            BufferDecl.dense("tracked", (n_features, 2), _F32),
+        ),
+        kernels=("compute_gradients", "track_features"),
+        nodes=(
+            step(
+                "frame_capture",
+                store("img1"),
+                store("img2"),
+                store("features"),
+            ),
+            # Central differences: one sub + one halve per direction,
+            # both directions, per pixel.
+            step(
+                "compute_gradients",
+                load("img1"),
+                store("gx"),
+                store("gy"),
+                work=Loop(
+                    trip=n * n, body=HlsBlock([(Op.FADD, 4), (Op.FMUL, 4)])
+                ),
+            ),
+            # Per feature × LK iteration × window pixel: bilinear sample
+            # plus structure-tensor/residual MACs.
+            step(
+                "track_features",
+                load("img1"),
+                load("img2"),
+                load("gx"),
+                load("gy"),
+                load("features"),
+                store("tracked"),
+                work=Loop(
+                    trip=n_features,
+                    body=HlsBlock.of_loops(
+                        Loop(
+                            trip=ITERS,
+                            body=HlsBlock.of_loops(
+                                Loop(
+                                    trip=win * win,
+                                    body=HlsBlock([(Op.FMUL, 20)]),
+                                )
+                            ),
+                        )
+                    ),
+                ),
+            ),
+            step("display", load("tracked")),
+        ),
+    )
+
+
+def describe_fluid(scale: int = 1, steps: int = 2) -> TaskGraph:
+    """Stable fluids: diffuse → project → advect → project cycle over
+    ``steps`` solver steps (n = 64·scale). The repeat is unrolled by the
+    analyzer, so first-step edges (state comes from the host's scene
+    setup) differ from steady-state edges (state comes from the second
+    projection) exactly as in the traced graph."""
+    if steps < 1:
+        raise ConfigurationError("need at least one solver step")
+    n = 64 * scale
+    field = (n, n)
+    per_cell_relax = HlsBlock([(Op.FADD, 4), (Op.FMUL, 1), (Op.FDIV, 1)])
+    return TaskGraph(
+        app="fluid",
+        buffers=tuple(
+            BufferDecl.dense(name, field, _F32)
+            for name in (
+                "u_state",
+                "v_state",
+                "d_state",
+                "force_u",
+                "force_v",
+                "source_d",
+                "u_dif",
+                "v_dif",
+                "d_dif",
+                "u_proj",
+                "v_proj",
+                "u_adv",
+                "v_adv",
+                "d_adv",
+                "display",
+            )
+        ),
+        kernels=("diffuse", "project", "advect"),
+        nodes=(
+            step(
+                "scene_setup",
+                store("u_state"),
+                store("v_state"),
+                store("d_state"),
+            ),
+            repeat(
+                steps,
+                step(
+                    "inject_forces",
+                    store("force_u"),
+                    store("force_v"),
+                    store("source_d"),
+                ),
+                # Three Jacobi-relaxed fields, 6 ops per cell per sweep.
+                step(
+                    "diffuse",
+                    load("u_state"),
+                    load("v_state"),
+                    load("d_state"),
+                    load("force_u"),
+                    load("force_v"),
+                    load("source_d"),
+                    store("u_dif"),
+                    store("v_dif"),
+                    store("d_dif"),
+                    work=Loop(
+                        trip=3,
+                        body=HlsBlock.of_loops(
+                            Loop(
+                                trip=RELAX,
+                                body=HlsBlock.of_loops(
+                                    Loop(trip=n * n, body=per_cell_relax)
+                                ),
+                            )
+                        ),
+                    ),
+                ),
+                # Poisson solve (RELAX sweeps) + divergence + gradient.
+                step(
+                    "project",
+                    load("u_dif"),
+                    load("v_dif"),
+                    store("u_proj"),
+                    store("v_proj"),
+                    work=Loop(
+                        trip=RELAX + 2,
+                        body=HlsBlock.of_loops(
+                            Loop(trip=n * n, body=per_cell_relax)
+                        ),
+                    ),
+                ),
+                # Semi-Lagrangian backtrace + bilinear blend, 3 fields.
+                step(
+                    "advect",
+                    load("u_proj"),
+                    load("v_proj"),
+                    store("u_adv"),
+                    store("v_adv"),
+                    load("d_dif"),
+                    store("d_adv"),
+                    work=Loop(
+                        trip=3,
+                        body=HlsBlock.of_loops(
+                            Loop(
+                                trip=n * n,
+                                body=HlsBlock([(Op.FMUL, 8), (Op.FADD, 6)]),
+                            )
+                        ),
+                    ),
+                ),
+                step(
+                    "project",
+                    load("u_adv"),
+                    load("v_adv"),
+                    store("u_state"),
+                    store("v_state"),
+                    work=Loop(
+                        trip=RELAX + 2,
+                        body=HlsBlock.of_loops(
+                            Loop(trip=n * n, body=per_cell_relax)
+                        ),
+                    ),
+                ),
+                # Density state hand-off (no arithmetic work).
+                step("diffuse", load("d_adv"), store("d_state")),
+                step(
+                    "render",
+                    load("d_state"),
+                    store("display"),
+                    load("display"),
+                ),
+            ),
+        ),
+    )
+
+
+#: Description builders by application name. ``**knobs`` forwards
+#: app-specific shape parameters (fluid's ``steps``).
+_DESCRIBERS: Dict[str, Callable[..., TaskGraph]] = {
+    "canny": describe_canny,
+    "jpeg": describe_jpeg,
+    "klt": describe_klt,
+    "fluid": describe_fluid,
+}
+
+
+def describe(name: str, scale: int = 1, **knobs: int) -> TaskGraph:
+    """Static description of one paper application."""
+    builder = _DESCRIBERS.get(name)
+    if builder is None:
+        raise ConfigurationError(
+            f"no static description for {name!r} "
+            f"(have: {', '.join(STATIC_APP_NAMES)})"
+        )
+    if scale < 1:
+        raise ConfigurationError(f"scale must be >= 1, got {scale}")
+    return builder(scale=scale, **knobs)

@@ -1,0 +1,59 @@
+"""Trace-free calibration: fit an application from its static graph.
+
+:func:`fit_static` is the static ring's counterpart of
+:func:`repro.apps.calibration.fit_application` — same published targets,
+same math (the shared :func:`~repro.apps.calibration.fit_quantities`
+core), but the byte volumes and work counters come from
+:func:`repro.static.analyzer.analyze` instead of a profiled execution.
+Where the static graph is exact (every edge of canny, KLT, and fluid),
+the fitted graph — and therefore Algorithm 1's plan — is byte-identical
+to the traced path's; data-dependent edges (JPEG's bitstreams) use
+their nominal extents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..apps.base import Application
+from ..apps.calibration import (
+    CalibrationTargets,
+    FittedApplication,
+    GraphQuantities,
+    fit_quantities,
+)
+from .analyzer import StaticGraph, analyze
+from .apps import describe
+
+
+def static_quantities(graph: StaticGraph) -> GraphQuantities:
+    """Calibration inputs from a static graph (nominal byte counts)."""
+    return GraphQuantities(
+        work=dict(graph.work),
+        kk_edges=graph.nominal_kk(),
+        host_in=graph.nominal_host_in(),
+        host_out=graph.nominal_host_out(),
+    )
+
+
+def describe_application(app: Application) -> "StaticGraph":
+    """Analyze the static description matching a live application."""
+    knobs: Dict[str, int] = {}
+    steps = getattr(app, "steps", None)
+    if isinstance(steps, int):
+        knobs["steps"] = steps
+    return analyze(describe(app.name, scale=app.scale, **knobs))
+
+
+def fit_static(
+    app: Application,
+    theta_s_per_byte: float,
+    targets: Optional[CalibrationTargets] = None,
+) -> FittedApplication:
+    """Fit ``app`` from its static description — no execution, no trace."""
+    return fit_quantities(
+        app,
+        static_quantities(describe_application(app)),
+        theta_s_per_byte,
+        targets,
+    )

@@ -1,0 +1,287 @@
+"""Access-pattern IR for static communication analysis.
+
+A :class:`TaskGraph` is a declarative description of an application's
+memory behaviour: named buffers with byte sizes, plus an ordered list of
+steps, each naming the tracer context it models and declaring its loads
+and stores as ranges over those buffers. The analyzer replays this
+description symbolically (:mod:`repro.static.analyzer`) to derive the
+producer→consumer byte counts the QUAD tracer would have measured —
+without executing any kernel.
+
+Sizes follow the paper's "loop bounds × element sizes" rule: a dense
+buffer's size is the product of its loop bounds times the element size
+(:meth:`BufferDecl.dense`), and a step's compute cost can be declared as
+a :mod:`repro.hls.ir` loop nest whose expanded operation count *is* the
+work charge (:func:`step`). Quantities that cannot be known statically —
+entropy-coded stream lengths, for example — are declared as
+:class:`Extent` bounds (:meth:`BufferDecl.dynamic`) and flow through the
+analysis as intervals instead of silently wrong points.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..hls.ir import Block, Loop
+
+
+@dataclass(frozen=True, slots=True)
+class Extent:
+    """A byte count known exactly or only within bounds.
+
+    ``lo``/``hi`` bound every possible realization; ``nominal`` is the
+    deterministic representative used when a single number is needed
+    (building a :class:`~repro.core.commgraph.CommGraph`, ordering
+    edges). Exact quantities have ``lo == nominal == hi``.
+    """
+
+    lo: int
+    hi: int
+    nominal: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lo <= self.nominal <= self.hi:
+            raise ConfigurationError(
+                f"extent needs 0 <= lo <= nominal <= hi, got "
+                f"({self.lo}, {self.nominal}, {self.hi})"
+            )
+
+    @classmethod
+    def exactly(cls, nbytes: int) -> "Extent":
+        """An exactly known byte count."""
+        return cls(nbytes, nbytes, nbytes)
+
+    @classmethod
+    def bounded(cls, lo: int, hi: int, nominal: int) -> "Extent":
+        """A data-dependent byte count with sound bounds."""
+        return cls(lo, hi, nominal)
+
+    @property
+    def exact(self) -> bool:
+        """True when the bounds pin a single value."""
+        return self.lo == self.hi
+
+    def contains(self, nbytes: int) -> bool:
+        """Whether an observed byte count falls within the bounds."""
+        return self.lo <= nbytes <= self.hi
+
+    def __add__(self, other: "Extent") -> "Extent":
+        return Extent(
+            self.lo + other.lo, self.hi + other.hi, self.nominal + other.nominal
+        )
+
+    def scaled(self, factor: int) -> "Extent":
+        """The extent of ``factor`` back-to-back transfers."""
+        if factor < 0:
+            raise ConfigurationError(f"negative scale factor {factor}")
+        return Extent(self.lo * factor, self.hi * factor, self.nominal * factor)
+
+
+@dataclass(frozen=True, slots=True)
+class BufferDecl:
+    """A named buffer with a (possibly data-dependent) byte size."""
+
+    name: str
+    size: Extent
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("buffer needs a name")
+        if self.size.hi <= 0:
+            raise ConfigurationError(f"buffer {self.name!r} has zero size")
+
+    @classmethod
+    def dense(
+        cls, name: str, shape: Sequence[int], elem_bytes: int
+    ) -> "BufferDecl":
+        """A dense array: loop bounds × element size."""
+        if not shape or any(d <= 0 for d in shape):
+            raise ConfigurationError(f"buffer {name!r}: bad shape {shape!r}")
+        if elem_bytes <= 0:
+            raise ConfigurationError(f"buffer {name!r}: bad element size")
+        nbytes = elem_bytes
+        for dim in shape:
+            nbytes *= dim
+        return cls(name, Extent.exactly(nbytes))
+
+    @classmethod
+    def dynamic(cls, name: str, lo: int, hi: int, nominal: int) -> "BufferDecl":
+        """A buffer whose length is only known within bounds."""
+        return cls(name, Extent.bounded(lo, hi, nominal))
+
+
+class AccessMode(enum.Enum):
+    """Whether an access reads or writes its buffer."""
+
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """One declared access: the whole buffer or an affine byte range.
+
+    ``nbytes is None`` means the whole buffer (whatever its realized
+    size). A partial range covers bytes ``[offset, offset + nbytes)``
+    and is only meaningful on exactly-sized buffers.
+    """
+
+    buffer: str
+    mode: AccessMode
+    nbytes: Union[int, None] = None
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.buffer:
+            raise ConfigurationError("access needs a buffer name")
+        if self.offset < 0:
+            raise ConfigurationError(f"{self.buffer}: negative offset")
+        if self.nbytes is not None and self.nbytes <= 0:
+            raise ConfigurationError(
+                f"{self.buffer}: partial access must cover positive bytes"
+            )
+        if self.nbytes is None and self.offset != 0:
+            raise ConfigurationError(
+                f"{self.buffer}: whole-buffer access cannot have an offset"
+            )
+
+
+def load(buffer: str, nbytes: Union[int, None] = None, offset: int = 0) -> Access:
+    """Declare a read of ``buffer`` (whole buffer by default)."""
+    return Access(buffer, AccessMode.LOAD, nbytes, offset)
+
+
+def store(buffer: str, nbytes: Union[int, None] = None, offset: int = 0) -> Access:
+    """Declare a write of ``buffer`` (whole buffer by default)."""
+    return Access(buffer, AccessMode.STORE, nbytes, offset)
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One tracer context: its accesses, in program order, plus work."""
+
+    context: str
+    accesses: Tuple[Access, ...]
+    work: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.context:
+            raise ConfigurationError("step needs a context name")
+        if self.work < 0:
+            raise ConfigurationError(f"{self.context}: negative work")
+
+
+#: Compute cost of a step: a plain number, or a :mod:`repro.hls.ir` loop
+#: nest whose expanded operation count is the charge.
+WorkLike = Union[float, int, Block, Loop]
+
+
+def _as_work(work: WorkLike) -> float:
+    if isinstance(work, Loop):
+        work = Block.of_loops(work)
+    if isinstance(work, Block):
+        return float(work.work())
+    return float(work)
+
+
+def step(context: str, *accesses: Access, work: WorkLike = 0.0) -> Step:
+    """Build a :class:`Step`; ``work`` may be an HLS loop nest."""
+    return Step(context, tuple(accesses), _as_work(work))
+
+
+@dataclass(frozen=True, slots=True)
+class Repeat:
+    """A counted repetition of a node sequence (an iterative solver's
+    time loop). The analyzer unrolls it so cross-iteration last-writer
+    state — who produced this step's input *last* time around — is
+    tracked exactly."""
+
+    count: int
+    body: Tuple["Node", ...]
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(f"repeat count must be >= 1, got {self.count}")
+        if not self.body:
+            raise ConfigurationError("repeat needs a body")
+
+
+#: A task-graph node: one step, or a counted repetition of nodes.
+Node = Union[Step, Repeat]
+
+
+def repeat(count: int, *body: Node) -> Repeat:
+    """Build a :class:`Repeat` over the given nodes."""
+    return Repeat(count, tuple(body))
+
+
+@dataclass(frozen=True, slots=True)
+class TaskGraph:
+    """A declarative task graph: buffers, kernel set, and step sequence."""
+
+    app: str
+    buffers: Tuple[BufferDecl, ...]
+    kernels: Tuple[str, ...]
+    nodes: Tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        if not self.app:
+            raise ConfigurationError("task graph needs an app name")
+        names = [b.name for b in self.buffers]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"{self.app}: duplicate buffer names")
+        if not self.kernels:
+            raise ConfigurationError(f"{self.app}: needs at least one kernel")
+        if len(set(self.kernels)) != len(self.kernels):
+            raise ConfigurationError(f"{self.app}: duplicate kernel names")
+        sizes = {b.name: b.size for b in self.buffers}
+        contexts = set()
+        for s in self.flatten():
+            contexts.add(s.context)
+            for a in s.accesses:
+                size = sizes.get(a.buffer)
+                if size is None:
+                    raise ConfigurationError(
+                        f"{self.app}: step {s.context!r} accesses "
+                        f"undeclared buffer {a.buffer!r}"
+                    )
+                if a.nbytes is not None:
+                    if not size.exact:
+                        raise ConfigurationError(
+                            f"{self.app}: partial access to dynamically "
+                            f"sized buffer {a.buffer!r}"
+                        )
+                    if a.offset + a.nbytes > size.hi:
+                        raise ConfigurationError(
+                            f"{self.app}: access [{a.offset}, "
+                            f"{a.offset + a.nbytes}) exceeds buffer "
+                            f"{a.buffer!r} of {size.hi} bytes"
+                        )
+        missing = set(self.kernels) - contexts
+        if missing:
+            raise ConfigurationError(
+                f"{self.app}: kernels never appear as steps: {sorted(missing)}"
+            )
+
+    def buffer(self, name: str) -> BufferDecl:
+        """Declaration of one buffer."""
+        for b in self.buffers:
+            if b.name == name:
+                return b
+        raise ConfigurationError(f"{self.app}: unknown buffer {name!r}")
+
+    def flatten(self) -> Iterator[Step]:
+        """All steps in execution order, repeats unrolled."""
+
+        def walk(nodes: Tuple[Node, ...]) -> Iterator[Step]:
+            for node in nodes:
+                if isinstance(node, Repeat):
+                    for _ in range(node.count):
+                        yield from walk(node.body)
+                else:
+                    yield node
+
+        return walk(self.nodes)

@@ -511,9 +511,12 @@ class TestCli:
             "sim_fastcore_s", "sim_fastcore_proposed_s",
             "fastcore_speedup", "sim_proposed_profiled_s",
             "profile_build_s", "profiler_overhead", "lint_s",
+            "trace_fit_s", "static_s", "static_speedup",
         }
+        assert row["static_s"] > 0 and row["trace_fit_s"] > 0
         assert all(field in data["schema"] for field in (
             "apps.<name>.profiler_overhead", "service.batch_cold_s",
+            "apps.<name>.static_s", "apps.<name>.static_speedup",
         ))
         assert "profiler overhead gate ok" in capsys.readouterr().out
 

@@ -283,6 +283,25 @@ class TestEndToEnd:
             client.design("netflix")
         assert err.value.status == 400
 
+    def test_design_static_graph_source(self, server):
+        client = DesignClient(server.url, tenant="pytest")
+        doc = client.design("canny", simulate=False, graph_source="static")
+        local = result_summary(
+            run_experiment("canny", simulate=False, graph_source="static")
+        )
+        assert canonical_json(doc["summary"]) == canonical_json(local)
+        traced = client.design("canny", simulate=False)
+        # Separate fingerprints (separate cache entries), same result on
+        # a deterministic app.
+        assert doc["fingerprint"] != traced["fingerprint"]
+        assert doc["summary"] == traced["summary"]
+
+    def test_design_rejects_unknown_graph_source(self, server):
+        client = DesignClient(server.url)
+        with pytest.raises(ServerError) as err:
+            client.design("canny", graph_source="psychic")
+        assert err.value.status == 400
+
     def test_job_lookup_after_design(self, server):
         client = DesignClient(server.url, tenant="pytest")
         doc = client.design("klt")

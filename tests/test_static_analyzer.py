@@ -1,0 +1,206 @@
+"""Unit tests for the static analyzer's interval propagation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.static.analyzer import (
+    APPROX_DATA_DEPENDENT,
+    HOST,
+    StaticGraph,
+    analyze,
+)
+from repro.static.ir import (
+    BufferDecl,
+    Extent,
+    TaskGraph,
+    load,
+    repeat,
+    step,
+    store,
+)
+
+
+def _graph(nodes, buffers=None, kernels=("k1", "k2"), app="demo"):
+    if buffers is None:
+        buffers = (
+            BufferDecl.dense("a", (16,), 4),
+            BufferDecl.dense("b", (16,), 4),
+            BufferDecl.dense("c", (16,), 4),
+        )
+    return TaskGraph(app=app, buffers=buffers, kernels=kernels, nodes=nodes)
+
+
+# -- crediting rules ------------------------------------------------------
+def test_producer_consumer_chain_is_exact():
+    g = analyze(_graph((
+        step("capture", store("a")),
+        step("k1", load("a"), store("b"), work=10),
+        step("k2", load("b"), store("c"), work=20),
+        step("display", load("c")),
+    )))
+    assert g.exact
+    assert g.kk_edges == {("k1", "k2"): Extent.exactly(64)}
+    assert g.host_in == {"k1": Extent.exactly(64)}
+    assert g.host_out == {"k2": Extent.exactly(64)}
+    assert g.work == {"k1": 10.0, "k2": 20.0}
+
+
+def test_never_written_bytes_credit_entry_folded_to_host():
+    g = analyze(_graph((
+        step("k1", load("a"), store("b"), work=1),
+        step("k2", load("b"), store("c"), work=1),
+    )))
+    # 'a' was never written: the load credits __entry__ -> folds to host.
+    assert g.host_in == {"k1": Extent.exactly(64)}
+
+
+def test_partial_gap_splits_credit_between_writer_and_entry():
+    g = analyze(_graph((
+        step("capture", store("a", 32)),       # bytes [0, 32) written
+        step("k1", load("a"), store("b"), work=1),
+        step("k2", load("b"), work=1),
+    )))
+    # k1 reads 32 written bytes (host) + 32 never-written bytes (entry,
+    # also folded to host) => one 64-byte host_in edge, two credits.
+    assert g.host_in == {"k1": Extent.exactly(64)}
+    assert g.transfers[(HOST, "k1")] == 2
+
+
+def test_last_writer_wins_per_byte_range():
+    g = analyze(_graph((
+        step("capture", store("a")),
+        step("k1", store("a", 32, 16), work=1),  # overwrite [16, 48)
+        step("k2", load("a"), work=1),
+    )))
+    # k2's 64-byte read: [0,16) + [48,64) from capture (host), [16,48)
+    # from k1.
+    assert g.kk_edges == {("k1", "k2"): Extent.exactly(32)}
+    assert g.host_in == {"k2": Extent.exactly(32)}
+
+
+def test_self_reads_are_dropped():
+    g = analyze(_graph((
+        step("capture", store("a")),
+        step("k1", load("a"), store("b"), load("b"), store("c"), work=1),
+        step("k2", load("c"), work=1),
+    )))
+    # k1 re-reading its own store of b is local traffic, not an edge.
+    assert ("k1", "k1") not in g.kk_edges
+    assert g.kk_edges == {("k1", "k2"): Extent.exactly(64)}
+
+
+def test_host_host_traffic_is_folded_away():
+    g = analyze(_graph((
+        step("capture", store("a")),
+        step("host_mid", load("a"), store("b")),
+        step("k1", load("b"), store("c"), work=1),
+        step("k2", load("c"), work=1),
+    )))
+    # capture -> host_mid folds to host -> host and disappears.
+    assert set(g.kk_edges) == {("k1", "k2")}
+    assert g.host_in == {"k1": Extent.exactly(64)}
+
+
+def test_repeat_unrolls_with_cross_iteration_credits():
+    g = analyze(_graph((
+        step("capture", store("a")),
+        repeat(3,
+               step("k1", load("a"), store("b"), work=1),
+               step("k2", load("b"), store("a"), work=1)),
+    )))
+    # Iteration 1: k1 reads host's a. Iterations 2-3: k1 reads k2's a.
+    assert g.kk_edges[("k1", "k2")] == Extent.exactly(3 * 64)
+    assert g.kk_edges[("k2", "k1")] == Extent.exactly(2 * 64)
+    assert g.host_in == {"k1": Extent.exactly(64)}
+    assert g.work == {"k1": 3.0, "k2": 3.0}
+
+
+def test_edges_are_ordered_heaviest_first():
+    g = analyze(_graph((
+        step("capture", store("a"), store("b"), store("c")),
+        step("k1", load("a", 16), store("b"), work=1),
+        step("k2", load("b"), load("a", 32), store("c"), work=1),
+        step("display", load("c")),
+    )))
+    nominals = [e.nominal for e in g.kk_edges.values()]
+    assert nominals == sorted(nominals, reverse=True)
+
+
+# -- approximations -------------------------------------------------------
+def test_dynamic_buffer_produces_bounded_edge_and_record():
+    g = analyze(_graph(
+        (
+            step("capture", store("s")),
+            step("k1", load("s"), store("b"), work=1),
+            step("k2", load("b"), work=1),
+        ),
+        buffers=(
+            BufferDecl.dynamic("s", 12, 396, 72),
+            BufferDecl.dense("b", (16,), 4),
+        ),
+    ))
+    assert not g.exact
+    assert g.host_in == {"k1": Extent.bounded(12, 396, 72)}
+    assert len(g.approximations) == 1
+    a = g.approximations[0]
+    assert a.kind == APPROX_DATA_DEPENDENT
+    assert (a.producer, a.consumer, a.buffer) == (HOST, "k1", "s")
+    assert a.extent == Extent.bounded(12, 396, 72)
+
+
+def test_unwritten_dynamic_buffer_credits_entry():
+    g = analyze(_graph(
+        (
+            step("k1", load("s"), store("b"), work=1),
+            step("k2", load("b"), work=1),
+        ),
+        buffers=(
+            BufferDecl.dynamic("s", 1, 64, 8),
+            BufferDecl.dense("b", (16,), 4),
+        ),
+    ))
+    assert g.host_in == {"k1": Extent.bounded(1, 64, 8)}
+
+
+# -- validation -----------------------------------------------------------
+def test_kernel_with_no_work_is_rejected():
+    with pytest.raises(ConfigurationError):
+        analyze(_graph((
+            step("capture", store("a")),
+            step("k1", load("a"), store("b"), work=1),
+            step("k2", load("b")),          # no work declared
+        )))
+
+
+# -- serialization --------------------------------------------------------
+def test_static_graph_round_trips_through_its_document():
+    g = analyze(_graph(
+        (
+            step("capture", store("a"), store("s")),
+            step("k1", load("a"), load("s"), store("b"), work=10),
+            step("k2", load("b"), store("c"), work=20),
+            step("display", load("c")),
+        ),
+        buffers=(
+            BufferDecl.dense("a", (16,), 4),
+            BufferDecl.dense("b", (16,), 4),
+            BufferDecl.dense("c", (16,), 4),
+            BufferDecl.dynamic("s", 1, 64, 8),
+        ),
+    ))
+    doc = g.to_dict()
+    assert doc["kind"] == "static-graph"
+    back = StaticGraph.from_dict(doc)
+    assert back == g
+
+
+def test_static_graph_document_rejects_wrong_kind():
+    g = analyze(_graph((
+        step("capture", store("a")),
+        step("k1", load("a"), store("b"), work=1),
+        step("k2", load("b"), work=1),
+    )))
+    doc = g.to_dict()
+    doc["kind"] = "not-a-static-graph"
+    with pytest.raises(Exception):
+        StaticGraph.from_dict(doc)

@@ -1,0 +1,102 @@
+"""The static descriptions agree with the traced apps byte-for-byte."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.apps import get_application
+from repro.core.commgraph import CommGraph
+from repro.core.kernel import KernelSpec
+from repro.errors import ConfigurationError
+from repro.static import STATIC_APP_NAMES, analyze, describe
+from repro.static.fit import describe_application
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+DETERMINISTIC_APPS = ("canny", "klt", "fluid")
+
+
+def traced_graph(name, scale=1, seed=2014):
+    app = get_application(name, scale=scale, seed=seed)
+    profile = app.profile()
+    names = app.kernel_names()
+    graph = CommGraph.from_profile(
+        profile, [KernelSpec(n, 0.0, 0.0) for n in names]
+    )
+    work = {n: profile.function(n).work for n in names}
+    return graph, work
+
+
+@pytest.mark.parametrize("name", DETERMINISTIC_APPS)
+@pytest.mark.parametrize("scale", [1, 2])
+def test_deterministic_apps_are_byte_exact(name, scale):
+    static = analyze(describe(name, scale=scale))
+    traced, work = traced_graph(name, scale=scale)
+    assert static.exact
+    assert static.nominal_kk() == traced.kk_edges
+    assert list(static.kk_edges) == list(traced.kk_edges)  # same order
+    assert static.nominal_host_in() == traced.host_in
+    assert static.nominal_host_out() == traced.host_out
+    for kernel, charged in work.items():
+        assert repr(static.work[kernel]) == repr(charged)
+
+
+@pytest.mark.parametrize("scale", [1, 2])
+def test_jpeg_deterministic_edges_exact_streams_bounded(scale):
+    static = analyze(describe("jpeg", scale=scale))
+    traced, work = traced_graph("jpeg", scale=scale)
+    assert len(static.approximations) == 2
+    assert {a.buffer for a in static.approximations} == {
+        "dc_stream", "ac_stream"
+    }
+    assert static.nominal_kk() == traced.kk_edges
+    assert list(static.kk_edges) == list(traced.kk_edges)
+    assert static.nominal_host_out() == traced.host_out
+    for kernel, ext in static.host_in.items():
+        if ext.exact:
+            assert ext.nominal == traced.host_in[kernel], kernel
+        else:
+            assert ext.contains(traced.host_in[kernel]), (kernel, ext)
+    bounded = {k for k, e in static.host_in.items() if not e.exact}
+    assert bounded == {"huff_dc_dec", "huff_ac_dec"}
+    for kernel, charged in work.items():
+        assert repr(static.work[kernel]) == repr(charged)
+
+
+@pytest.mark.parametrize("steps", [1, 2, 3])
+def test_fluid_steps_knob_stays_exact(steps):
+    static = analyze(describe("fluid", steps=steps))
+    app = get_application("fluid", seed=2014)
+    app.steps = steps
+    profile = app.profile()
+    names = app.kernel_names()
+    traced = CommGraph.from_profile(
+        profile, [KernelSpec(n, 0.0, 0.0) for n in names]
+    )
+    assert static.nominal_kk() == traced.kk_edges
+    assert static.nominal_host_in() == traced.host_in
+    assert static.nominal_host_out() == traced.host_out
+
+
+def test_describe_application_forwards_live_knobs():
+    app = get_application("fluid")
+    app.steps = 2
+    static = describe_application(app)
+    assert static == analyze(describe("fluid", scale=app.scale, steps=2))
+
+
+def test_describe_rejects_unknown_app_and_bad_scale():
+    with pytest.raises(ConfigurationError):
+        describe("mystery")
+    with pytest.raises(ConfigurationError):
+        describe("canny", scale=0)
+    with pytest.raises(ConfigurationError):
+        describe("fluid", steps=0)
+
+
+@pytest.mark.parametrize("name", STATIC_APP_NAMES)
+def test_static_graph_matches_golden(name):
+    doc = analyze(describe(name)).to_dict()
+    golden = json.loads((GOLDEN_DIR / f"static_{name}.json").read_text())
+    assert doc == golden

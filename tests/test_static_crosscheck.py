@@ -1,0 +1,135 @@
+"""The differential proof machinery: static vs traced graphs."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.static import STATIC_APP_NAMES
+from repro.static.analyzer import StaticGraph
+from repro.static.crosscheck import (
+    STATUS_EXACT,
+    STATUS_MISMATCH,
+    STATUS_STATIC_ONLY,
+    STATUS_TRACE_ONLY,
+    STATUS_WITHIN,
+    _edge_status,
+    compare_graphs,
+    crosscheck_app,
+    crosscheck_apps,
+    crosscheck_to_dict,
+    render_crosscheck,
+    validate_crosscheck_doc,
+)
+from repro.static.ir import Extent
+
+
+# -- the four apps pass ---------------------------------------------------
+@pytest.mark.parametrize("name", STATIC_APP_NAMES)
+def test_every_app_crosschecks_clean(name):
+    check = crosscheck_app(name)
+    assert check.ok, check.failures()
+    assert check.kk_order_ok
+    if name == "jpeg":
+        assert check.bounded_edges == 2
+        assert check.approximations == 2
+    else:
+        assert check.bounded_edges == 0
+        assert check.approximations == 0
+        assert check.exact_edges == len(check.edges)
+
+
+def test_crosscheck_scales_beyond_one():
+    check = crosscheck_app("canny", scale=2)
+    assert check.ok and check.scale == 2
+
+
+# -- edge-status logic ----------------------------------------------------
+def test_edge_status_matrix():
+    assert _edge_status(None, 64) == STATUS_TRACE_ONLY
+    assert _edge_status(Extent.exactly(64), None) == STATUS_STATIC_ONLY
+    # A bounded edge admitting zero bytes may be absent from the trace.
+    assert _edge_status(Extent.bounded(0, 64, 8), None) == STATUS_WITHIN
+    assert _edge_status(Extent.bounded(1, 64, 8), None) == STATUS_STATIC_ONLY
+    assert _edge_status(Extent.exactly(64), 64) == STATUS_EXACT
+    assert _edge_status(Extent.exactly(64), 63) == STATUS_MISMATCH
+    assert _edge_status(Extent.bounded(1, 64, 8), 64) == STATUS_WITHIN
+    assert _edge_status(Extent.bounded(1, 64, 8), 65) == STATUS_MISMATCH
+
+
+# -- tamper detection -----------------------------------------------------
+def _tampered(static, **field_overrides):
+    return dataclasses.replace(static, **field_overrides)
+
+
+def test_compare_graphs_detects_byte_drift():
+    from repro.apps import get_application
+    from repro.core.commgraph import CommGraph
+    from repro.core.kernel import KernelSpec
+    from repro.static.fit import describe_application
+
+    app = get_application("canny")
+    profile = app.profile()
+    names = app.kernel_names()
+    traced = CommGraph.from_profile(
+        profile, [KernelSpec(n, 0.0, 0.0) for n in names]
+    )
+    work = {n: profile.function(n).work for n in names}
+    static = describe_application(app)
+
+    # Untampered: clean.
+    assert compare_graphs(static, traced, work).ok
+
+    # One byte off on one kernel edge: mismatch, named in failures().
+    edge = next(iter(static.kk_edges))
+    bad_edges = dict(static.kk_edges)
+    bad_edges[edge] = Extent.exactly(bad_edges[edge].nominal + 1)
+    bad = _tampered(static, kk_edges=bad_edges)
+    check = compare_graphs(bad, traced, work)
+    assert not check.ok
+    assert any(e.status == STATUS_MISMATCH for e in check.edges)
+    assert any(edge[0] in line for line in check.failures())
+
+    # Work drift is caught bit-for-bit.
+    bad_work = dict(static.work)
+    kernel = next(iter(bad_work))
+    bad_work[kernel] += 1.0
+    check = compare_graphs(_tampered(static, work=bad_work), traced, work)
+    assert not check.ok
+    assert any(kernel in line for line in check.failures())
+
+    # A phantom static-only edge fails too.
+    extra = dict(static.kk_edges)
+    extra[("ghost", "ghost2")] = Extent.exactly(8)
+    check = compare_graphs(_tampered(static, kk_edges=extra), traced, work)
+    assert not check.ok
+    assert any(e.status == STATUS_STATIC_ONLY for e in check.edges)
+
+
+# -- documents and rendering ----------------------------------------------
+def test_crosscheck_document_round_trip():
+    checks = crosscheck_apps(["canny", "jpeg"])
+    doc = crosscheck_to_dict(checks)
+    assert doc["kind"] == "static-diff"
+    assert doc["ok"] is True
+    assert set(doc["apps"]) == {"canny", "jpeg"}
+    jpeg = doc["apps"]["jpeg"]
+    assert jpeg["bounded_edges"] == 2 == jpeg["approximations"]
+    validate_crosscheck_doc(doc)
+    doc["kind"] = "wrong"
+    with pytest.raises(ReproError):
+        validate_crosscheck_doc(doc)
+
+
+def test_crosscheck_apps_rejects_empty_list():
+    with pytest.raises(ConfigurationError):
+        crosscheck_apps([])
+
+
+def test_render_crosscheck_names_every_edge():
+    check = crosscheck_app("jpeg")
+    text = render_crosscheck(check)
+    assert "jpeg: ok" in text
+    assert "within-bounds" in text
+    for e in check.edges:
+        assert e.producer in text and e.consumer in text

@@ -1,0 +1,214 @@
+"""Unit tests for the access-pattern IR (repro.static.ir)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hls.ir import Block, Loop, Op
+from repro.static.ir import (
+    Access,
+    BufferDecl,
+    Extent,
+    Repeat,
+    Step,
+    TaskGraph,
+    load,
+    repeat,
+    step,
+    store,
+)
+
+
+# -- Extent ---------------------------------------------------------------
+def test_extent_exactly_is_exact():
+    e = Extent.exactly(64)
+    assert e.exact
+    assert (e.lo, e.nominal, e.hi) == (64, 64, 64)
+    assert e.contains(64) and not e.contains(63)
+
+
+def test_extent_bounded_contains_its_interval():
+    e = Extent.bounded(12, 396, 72)
+    assert not e.exact
+    assert e.contains(12) and e.contains(396) and e.contains(67)
+    assert not e.contains(11) and not e.contains(397)
+
+
+@pytest.mark.parametrize(
+    "lo,hi,nominal",
+    [(-1, 4, 2), (5, 4, 5), (0, 4, 5), (3, 4, 2)],
+)
+def test_extent_rejects_unordered_bounds(lo, hi, nominal):
+    with pytest.raises(ConfigurationError):
+        Extent(lo, hi, nominal)
+
+
+def test_extent_add_and_scale_are_interval_arithmetic():
+    a = Extent.bounded(1, 5, 2)
+    b = Extent.exactly(10)
+    s = a + b
+    assert (s.lo, s.nominal, s.hi) == (11, 12, 15)
+    t = a.scaled(3)
+    assert (t.lo, t.nominal, t.hi) == (3, 6, 15)
+    with pytest.raises(ConfigurationError):
+        a.scaled(-1)
+
+
+# -- BufferDecl -----------------------------------------------------------
+def test_dense_buffer_is_loop_bounds_times_element_size():
+    b = BufferDecl.dense("img", (96, 96), 4)
+    assert b.size == Extent.exactly(96 * 96 * 4)
+
+
+@pytest.mark.parametrize("shape", [(), (0,), (4, -1)])
+def test_dense_buffer_rejects_bad_shapes(shape):
+    with pytest.raises(ConfigurationError):
+        BufferDecl.dense("img", shape, 4)
+
+
+def test_dense_buffer_rejects_bad_element_size():
+    with pytest.raises(ConfigurationError):
+        BufferDecl.dense("img", (4,), 0)
+
+
+def test_dynamic_buffer_carries_bounds():
+    b = BufferDecl.dynamic("stream", 12, 396, 72)
+    assert not b.size.exact
+    assert b.size == Extent.bounded(12, 396, 72)
+
+
+def test_buffer_rejects_empty_name_and_zero_size():
+    with pytest.raises(ConfigurationError):
+        BufferDecl("", Extent.exactly(4))
+    with pytest.raises(ConfigurationError):
+        BufferDecl("b", Extent.exactly(0))
+
+
+# -- Access ---------------------------------------------------------------
+def test_access_whole_buffer_defaults():
+    a = load("img")
+    assert a.nbytes is None and a.offset == 0
+
+
+def test_access_rejects_offset_on_whole_buffer():
+    with pytest.raises(ConfigurationError):
+        load("img", None, 8)
+
+
+def test_access_rejects_nonpositive_partial_range():
+    with pytest.raises(ConfigurationError):
+        store("img", 0)
+    with pytest.raises(ConfigurationError):
+        Access("img", load("x").mode, 4, -1)
+
+
+# -- step / work ----------------------------------------------------------
+def test_step_accepts_hls_loop_nest_as_work():
+    nest = Loop(trip=16, body=Block([(Op.FMUL, 25)]))
+    s = step("gaussian", load("img"), store("out"), work=nest)
+    assert s.work == float(16 * 25)
+    assert s.work == float(Block.of_loops(nest).work())
+
+
+def test_step_accepts_plain_numbers_as_work():
+    assert step("k", work=42).work == 42.0
+    assert step("k", work=1.5).work == 1.5
+
+
+def test_step_rejects_negative_work_and_empty_context():
+    with pytest.raises(ConfigurationError):
+        Step("k", (), -1.0)
+    with pytest.raises(ConfigurationError):
+        step("", load("img"))
+
+
+# -- repeat ---------------------------------------------------------------
+def test_repeat_rejects_bad_count_and_empty_body():
+    with pytest.raises(ConfigurationError):
+        repeat(0, step("k"))
+    with pytest.raises(ConfigurationError):
+        Repeat(2, ())
+
+
+# -- TaskGraph ------------------------------------------------------------
+def _graph(**kwargs):
+    defaults = dict(
+        app="demo",
+        buffers=(
+            BufferDecl.dense("a", (16,), 4),
+            BufferDecl.dense("b", (16,), 4),
+        ),
+        kernels=("k1",),
+        nodes=(
+            step("host_in", store("a")),
+            step("k1", load("a"), store("b"), work=10),
+        ),
+    )
+    defaults.update(kwargs)
+    return TaskGraph(**defaults)
+
+
+def test_task_graph_accepts_a_valid_description():
+    g = _graph()
+    assert [s.context for s in g.flatten()] == ["host_in", "k1"]
+    assert g.buffer("a").size == Extent.exactly(64)
+    with pytest.raises(ConfigurationError):
+        g.buffer("missing")
+
+
+def test_task_graph_rejects_duplicate_buffers():
+    with pytest.raises(ConfigurationError):
+        _graph(buffers=(
+            BufferDecl.dense("a", (16,), 4),
+            BufferDecl.dense("a", (16,), 4),
+        ))
+
+
+def test_task_graph_rejects_duplicate_and_missing_kernels():
+    with pytest.raises(ConfigurationError):
+        _graph(kernels=("k1", "k1"))
+    with pytest.raises(ConfigurationError):
+        _graph(kernels=("k1", "ghost"))
+
+
+def test_task_graph_rejects_undeclared_buffer_access():
+    with pytest.raises(ConfigurationError):
+        _graph(nodes=(
+            step("host_in", store("a")),
+            step("k1", load("zzz"), store("b"), work=10),
+        ))
+
+
+def test_task_graph_rejects_partial_access_to_dynamic_buffer():
+    with pytest.raises(ConfigurationError):
+        _graph(
+            buffers=(
+                BufferDecl.dynamic("a", 1, 64, 8),
+                BufferDecl.dense("b", (16,), 4),
+            ),
+            nodes=(
+                step("host_in", store("a")),
+                step("k1", load("a", 8), store("b"), work=10),
+            ),
+        )
+
+
+def test_task_graph_rejects_range_overflow():
+    with pytest.raises(ConfigurationError):
+        _graph(nodes=(
+            step("host_in", store("a")),
+            step("k1", load("a", 32, 48), store("b"), work=10),
+        ))
+
+
+def test_flatten_unrolls_nested_repeats():
+    g = _graph(nodes=(
+        step("host_in", store("a")),
+        repeat(2, step("k1", load("a"), store("b"), work=1),
+               repeat(2, step("host_mid"))),
+    ))
+    names = [s.context for s in g.flatten()]
+    assert names == [
+        "host_in",
+        "k1", "host_mid", "host_mid",
+        "k1", "host_mid", "host_mid",
+    ]

@@ -121,6 +121,74 @@ def test_r5_allows_non_print_calls(source):
     assert _findings(lint_repro.check_raw_print, source) == []
 
 
+# -- R6: static purity -----------------------------------------------------
+STATIC_FAKE = pathlib.Path("/root/repo/src/repro/static/fake.py")
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import repro.sim\n",
+        "import repro.sim.systems\n",
+        "import repro.profiling\n",
+        "from repro.sim import systems\n",
+        "from repro.sim.systems import SystemParams\n",
+        "from repro import sim\n",
+        "from repro import profiling\n",
+        "from ..sim import systems\n",
+        "from ..sim.systems import SystemParams\n",
+        "from .. import sim\n",
+        "from ..profiling import trace\n",
+    ],
+)
+def test_r6_flags_simulator_and_tracer_imports(source):
+    found = _findings(lint_repro.check_static_purity, source, STATIC_FAKE)
+    assert len(found) == 1
+    assert found[0].rule == "R6"
+    assert "without executing" in found[0].message
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import math\n",
+        "from repro.hls.ir import Loop\n",
+        "from ..apps.fluid import RELAX\n",
+        "from .ir import Extent\n",
+        "from . import analyzer\n",
+        "from repro import errors\n",
+        "import repro.simulator_docs\n",   # prefix, not the package
+    ],
+)
+def test_r6_allows_pure_imports(source):
+    assert _findings(lint_repro.check_static_purity, source, STATIC_FAKE) == []
+
+
+def test_r6_resolves_relative_imports_in_init():
+    init = pathlib.Path("/root/repo/src/repro/static/__init__.py")
+    found = _findings(
+        lint_repro.check_static_purity, "from ..sim import systems\n", init
+    )
+    assert found and found[0].rule == "R6"
+    assert _findings(
+        lint_repro.check_static_purity, "from .ir import Extent\n", init
+    ) == []
+
+
+def test_r6_scope_is_static_only():
+    src = lint_repro.SRC_ROOT
+    assert lint_repro._in_pure_scope(src / "static" / "analyzer.py")
+    assert not lint_repro._in_pure_scope(src / "sim" / "systems.py")
+    assert not lint_repro._in_pure_scope(src / "cli.py")
+
+
+def test_r6_static_package_is_clean_on_disk():
+    static_root = lint_repro.SRC_ROOT / "static"
+    for path in lint_repro._python_files(static_root):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        assert list(lint_repro.check_static_purity(path, tree)) == []
+
+
 # -- scoping --------------------------------------------------------------
 def test_determinism_scope_is_sim_and_core_only():
     src = lint_repro.SRC_ROOT

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific AST lint rules, run in CI ahead of the test suite.
 
-Five rules, each encoding an invariant the test suite can only probe
+Six rules, each encoding an invariant the test suite can only probe
 statistically but the AST can prove outright:
 
 * **R1 wall-clock** — no ``time.time()`` / ``time.time_ns()`` /
@@ -27,6 +27,12 @@ statistically but the AST can prove outright:
   log, metrics, and return values; stdout belongs to the CLI layer
   (``repro.cli`` builds the human-facing output), and a stray print
   would corrupt piped CSV/JSON and the SSE wire format.
+* **R6 static purity** — no import of ``repro.sim`` or
+  ``repro.profiling`` (absolute, ``from``-style, or relative) anywhere
+  inside ``repro.static``. The static analyzer's claim is that it
+  derives the communication graph *without executing anything*; an
+  import of the simulator or the tracer would silently void that claim
+  even if no kernel actually runs.
 
 Usage::
 
@@ -54,6 +60,14 @@ DETERMINISTIC_SCOPES = ("sim", "core")
 #: Subpackages that must not write to stdout (R5) — they report through
 #: the event log / metrics / return values; printing is the CLI's job.
 SILENT_SCOPES = ("server", "obs")
+
+#: Subpackages under the execution-free contract (R6) — the static
+#: analyzer derives the graph without running anything, so it may import
+#: neither the simulator nor the tracer.
+PURE_SCOPES = ("static",)
+
+#: Dotted package prefixes the pure scopes must not import (R6).
+IMPURE_IMPORTS = ("repro.sim", "repro.profiling")
 
 #: Dotted-call suffixes that read the wall clock.
 WALL_CLOCK_CALLS = frozenset(
@@ -97,6 +111,11 @@ def _in_deterministic_scope(path: pathlib.Path) -> bool:
 def _in_silent_scope(path: pathlib.Path) -> bool:
     rel = path.relative_to(SRC_ROOT)
     return bool(rel.parts) and rel.parts[0] in SILENT_SCOPES
+
+
+def _in_pure_scope(path: pathlib.Path) -> bool:
+    rel = path.relative_to(SRC_ROOT)
+    return bool(rel.parts) and rel.parts[0] in PURE_SCOPES
 
 
 # -- R1 / R2: determinism of sim + core ----------------------------------
@@ -181,6 +200,69 @@ def check_raw_print(path: pathlib.Path, tree: ast.AST) -> Iterator[Finding]:
                 "raw print() in a library layer — emit a structured "
                 "event / metric, or move the output to repro.cli",
             )
+
+
+# -- R6: execution-free static analysis -----------------------------------
+def _impure(dotted: str) -> bool:
+    return any(
+        dotted == bad or dotted.startswith(bad + ".")
+        for bad in IMPURE_IMPORTS
+    )
+
+
+def _resolve_import_from(path: pathlib.Path, node: ast.ImportFrom) -> str:
+    """Absolute dotted module a ``from ... import`` statement targets.
+
+    Relative imports (``from ..sim import core``) are resolved against
+    the file's package path under ``src/``, so a purity violation cannot
+    hide behind dots.
+    """
+    if node.level == 0:
+        return node.module or ""
+    try:
+        rel = path.relative_to(SRC_ROOT.parent)
+    except ValueError:
+        return node.module or ""
+    # The package a module's level-1 imports resolve against is its
+    # parent directory — for both plain modules and __init__.py.
+    package = list(rel.parts[:-1])
+    base = package[: len(package) - (node.level - 1)]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base)
+
+
+def check_static_purity(
+    path: pathlib.Path, tree: ast.AST
+) -> Iterator[Finding]:
+    """R6: simulator/tracer imports inside the pure static scope."""
+    message = (
+        "— repro.static must derive the graph without executing "
+        "anything; it may not import the simulator or the tracer"
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _impure(alias.name):
+                    yield Finding(
+                        "R6", path, node.lineno,
+                        f"import {alias.name} {message}",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_import_from(path, node)
+            if _impure(base):
+                yield Finding(
+                    "R6", path, node.lineno,
+                    f"from {base} import ... {message}",
+                )
+                continue
+            for alias in node.names:
+                dotted = f"{base}.{alias.name}" if base else alias.name
+                if _impure(dotted):
+                    yield Finding(
+                        "R6", path, node.lineno,
+                        f"from {base} import {alias.name} {message}",
+                    )
 
 
 # -- R4: serialized-schema digest ----------------------------------------
@@ -278,6 +360,8 @@ def run_lint(
             findings.extend(check_shared_rng(path, tree))
         if _in_silent_scope(path):
             findings.extend(check_raw_print(path, tree))
+        if _in_pure_scope(path):
+            findings.extend(check_static_purity(path, tree))
         findings.extend(check_float_equality(path, tree))
     findings.extend(check_schema_drift(collect_schemas(files), digest_path))
     return sorted(findings, key=lambda f: (f.rule, str(f.path), f.line))
